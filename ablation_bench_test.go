@@ -1,0 +1,175 @@
+package mint
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. These
+// report *simulated* cycles (metric "simcycles") alongside host time, so
+// the architectural effect is visible regardless of host speed:
+//
+//   - search index memoization on/off (§VI-A, the paper's 4× lever);
+//   - phase-1 prefetch depth (§VI-B: the paper tried neighborhood
+//     prefetching and rejected it — deeper prefetch must not win);
+//   - comparator width (the phase-1 filter throughput);
+//   - cache ports and MSHRs per bank (the contention parameters the
+//     paper's simulator models, §VII-C).
+//
+// Run with: go test -bench=Ablation -benchmem
+
+import (
+	"testing"
+
+	"mint/internal/datasets"
+	"mint/internal/memlayout"
+	hw "mint/internal/mint"
+	"mint/internal/temporal"
+)
+
+// ablationWorkload is a wiki-talk slice big enough to pressure a scaled
+// cache (hub neighborhoods larger than one bank).
+func ablationWorkload(b *testing.B) (*temporal.Graph, *temporal.Motif) {
+	b.Helper()
+	spec, err := datasets.ByName("wt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := datasets.Generate(spec, 0.012)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, temporal.M1(temporal.DeltaHour)
+}
+
+// ablationConfig scales the cache to the paper's cache:working-set
+// proportion (DESIGN.md §6) so the memory system actually engages.
+func ablationConfig(g *temporal.Graph) hw.Config {
+	cfg := hw.DefaultConfig()
+	cfg.PEs = 256
+	cfg.Cache.Banks = 16
+	ws := int(memlayout.New(g).TotalBytes)
+	cfg.Cache.BankBytes = max(1024, ws/100/cfg.Cache.Banks)
+	return cfg
+}
+
+func runSim(b *testing.B, g *temporal.Graph, m *temporal.Motif, cfg hw.Config) {
+	b.Helper()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := hw.Simulate(g, m, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "simcycles")
+}
+
+func BenchmarkAblationMemoization(b *testing.B) {
+	g, m := ablationWorkload(b)
+	for _, memo := range []bool{false, true} {
+		name := "off"
+		if memo {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := ablationConfig(g)
+			cfg.Memoize = memo
+			runSim(b, g, m, cfg)
+		})
+	}
+}
+
+func BenchmarkAblationPrefetchDepth(b *testing.B) {
+	g, m := ablationWorkload(b)
+	for _, depth := range []int{1, 2, 4, 8, 16} {
+		b.Run(bName("depth", depth), func(b *testing.B) {
+			cfg := ablationConfig(g)
+			cfg.PrefetchDepth = depth
+			runSim(b, g, m, cfg)
+		})
+	}
+}
+
+func BenchmarkAblationComparatorWidth(b *testing.B) {
+	g, m := ablationWorkload(b)
+	for _, width := range []int{4, 16, 64} {
+		b.Run(bName("width", width), func(b *testing.B) {
+			cfg := ablationConfig(g)
+			cfg.ComparatorsPerCycle = width
+			runSim(b, g, m, cfg)
+		})
+	}
+}
+
+func BenchmarkAblationCachePorts(b *testing.B) {
+	g, m := ablationWorkload(b)
+	for _, ports := range []int{1, 2, 4} {
+		b.Run(bName("ports", ports), func(b *testing.B) {
+			cfg := ablationConfig(g)
+			cfg.Cache.PortsPerBank = ports
+			runSim(b, g, m, cfg)
+		})
+	}
+}
+
+func BenchmarkAblationMSHRs(b *testing.B) {
+	g, m := ablationWorkload(b)
+	for _, mshrs := range []int{4, 32} {
+		b.Run(bName("mshrs", mshrs), func(b *testing.B) {
+			cfg := ablationConfig(g)
+			cfg.Cache.MSHRsPerBank = mshrs
+			runSim(b, g, m, cfg)
+		})
+	}
+}
+
+// TestAblationDirections pins the architectural claims the ablations rest
+// on: memoization reduces simulated cycles on this workload, deep prefetch
+// does not beat the baseline overlap, and every variant counts the same
+// matches.
+func TestAblationDirections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation simulations are slow")
+	}
+	spec, err := datasets.ByName("wt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := datasets.Generate(spec, 0.012)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := temporal.M1(temporal.DeltaHour)
+
+	base := ablationConfig(g)
+	baseRes, err := hw.Simulate(g, m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	noMemo := base
+	noMemo.Memoize = false
+	noMemoRes, err := hw.Simulate(g, m, noMemo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noMemoRes.Matches != baseRes.Matches {
+		t.Fatalf("memoization changed counts: %d vs %d", noMemoRes.Matches, baseRes.Matches)
+	}
+	if baseRes.Cycles >= noMemoRes.Cycles {
+		t.Errorf("memoization did not help: %d vs %d cycles", baseRes.Cycles, noMemoRes.Cycles)
+	}
+
+	deep := base
+	deep.PrefetchDepth = 16
+	deepRes, err := hw.Simulate(g, m, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deepRes.Matches != baseRes.Matches {
+		t.Fatalf("prefetching changed counts: %d vs %d", deepRes.Matches, baseRes.Matches)
+	}
+	// §VI-B: prefetching beyond the streaming window should not deliver a
+	// meaningful win; allow tolerance for schedule noise.
+	if float64(deepRes.Cycles) < float64(baseRes.Cycles)*0.90 {
+		t.Errorf("deep prefetch won markedly (%d vs %d cycles), contradicting §VI-B",
+			deepRes.Cycles, baseRes.Cycles)
+	}
+}

@@ -1,0 +1,131 @@
+package mint
+
+import (
+	"strings"
+	"testing"
+)
+
+func fig1() *Graph {
+	g, err := NewGraph([]Edge{
+		{Src: 0, Dst: 1, Time: 5},
+		{Src: 1, Dst: 2, Time: 10},
+		{Src: 2, Dst: 0, Time: 20},
+		{Src: 2, Dst: 3, Time: 25},
+		{Src: 1, Dst: 2, Time: 30},
+		{Src: 0, Dst: 1, Time: 40},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestPublicAPICountAndSimulateAgree(t *testing.T) {
+	g := fig1()
+	m, err := ParseMotif("cycle", 25, "A->B; B->C; C->A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Count(g, m)
+	if want != 1 {
+		t.Fatalf("Count = %d, want 1", want)
+	}
+	if got := CountParallel(g, m, 4); got != want {
+		t.Fatalf("CountParallel = %d", got)
+	}
+	if got := CountTaskQueue(g, m, 2, 4); got != want {
+		t.Fatalf("CountTaskQueue = %d", got)
+	}
+	cfg := DefaultSimConfig()
+	cfg.PEs = 4
+	res, err := Simulate(g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != want {
+		t.Fatalf("Simulate = %d", res.Matches)
+	}
+	gres, err := SimulateGPU(g, m, DefaultGPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Matches != want {
+		t.Fatalf("SimulateGPU = %d", gres.Matches)
+	}
+}
+
+func TestPublicAPIEnumerate(t *testing.T) {
+	g := fig1()
+	m, _ := ParseMotif("cycle", 25, "A->B,B->C,C->A")
+	var seqs [][]int32
+	Enumerate(g, m, func(edges []int32) {
+		cp := make([]int32, len(edges))
+		copy(cp, edges)
+		seqs = append(seqs, cp)
+	})
+	if len(seqs) != 1 || seqs[0][0] != 0 || seqs[0][1] != 1 || seqs[0][2] != 2 {
+		t.Fatalf("Enumerate = %v", seqs)
+	}
+}
+
+func TestPublicAPIMotifConstructors(t *testing.T) {
+	for i, m := range []*Motif{M1(DeltaHour), M2(DeltaHour), M3(DeltaHour), M4(DeltaHour)} {
+		if m == nil || m.NumEdges() < 3 {
+			t.Fatalf("M%d invalid", i+1)
+		}
+	}
+	if _, err := NewMotif("bad", 10, []MotifEdge{{Src: 0, Dst: 0}}); err == nil {
+		t.Fatal("self-loop motif accepted")
+	}
+}
+
+func TestPublicAPILoadSNAP(t *testing.T) {
+	g, err := LoadSNAP(strings.NewReader("0 1 10\n1 2 20\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestPublicAPIDatasets(t *testing.T) {
+	if len(Datasets()) != 6 {
+		t.Fatalf("datasets = %d", len(Datasets()))
+	}
+	g, err := Dataset("em", "", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, err := Dataset("bogus", "", 0.01); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestPublicAPIApprox(t *testing.T) {
+	g, err := Dataset("em", "", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := M1(DeltaHour)
+	est, err := EstimateApprox(g, m, DefaultApproxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 0 {
+		t.Fatalf("estimate = %v", est)
+	}
+}
+
+func TestPublicAPIAreaPower(t *testing.T) {
+	b, err := AreaPower(512, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AreaMM2 < 20 || b.PowerW < 4 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}

@@ -1,0 +1,285 @@
+package mint
+
+// One testing.B benchmark per table/figure of the paper's evaluation. Each
+// benchmark exercises the code path that regenerates the corresponding
+// result; `cmd/experiments` produces the full paper-style tables, while
+// these benches give quick, repeatable per-component timings:
+//
+//	go test -bench=. -benchmem
+//
+// Workloads are the synthetic Table I datasets at small scale so a full
+// bench pass stays in the minutes range on one core.
+
+import (
+	"sync"
+	"testing"
+
+	"mint/internal/cpumodel"
+	"mint/internal/cyclemine"
+	"mint/internal/datasets"
+	"mint/internal/gpumodel"
+	"mint/internal/mackey"
+	hw "mint/internal/mint"
+	"mint/internal/paranjape"
+	"mint/internal/power"
+	"mint/internal/presto"
+	"mint/internal/staticmine"
+	"mint/internal/task"
+	"mint/internal/temporal"
+)
+
+var (
+	benchOnce   sync.Once
+	benchGraph  *temporal.Graph // email-eu, ~6.6k edges
+	benchSparse *temporal.Graph // statically sparser variant for Fig 12
+	benchMotif  *temporal.Motif
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		spec, err := datasets.ByName("em")
+		if err != nil {
+			panic(err)
+		}
+		benchGraph, err = datasets.Generate(spec, 0.02)
+		if err != nil {
+			panic(err)
+		}
+		benchSparse, err = datasets.GenerateWithNodeScale(spec, 0.02, 0.30)
+		if err != nil {
+			panic(err)
+		}
+		benchMotif = temporal.M1(temporal.DeltaHour)
+	})
+}
+
+func benchSimConfig() hw.Config {
+	cfg := hw.DefaultConfig()
+	cfg.PEs = 64
+	cfg.Cache.Banks = 16
+	return cfg
+}
+
+// BenchmarkTable1DatasetGeneration regenerates a Table I dataset.
+func BenchmarkTable1DatasetGeneration(b *testing.B) {
+	spec, err := datasets.ByName("em")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := datasets.Generate(spec, 0.02); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2ThreadScaling measures the parallel CPU miner across thread
+// counts (Fig 2 left).
+func BenchmarkFig2ThreadScaling(b *testing.B) {
+	benchSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(bName("threads", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mackey.MineParallel(benchGraph, benchMotif, mackey.Options{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkFig2CPIStack runs the modeled stall-distribution replay
+// (Fig 2 right).
+func BenchmarkFig2CPIStack(b *testing.B) {
+	benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := cpumodel.Characterize(benchGraph, benchMotif, cpumodel.DefaultModelConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7UtilizationInstrumentation measures mining with the
+// neighborhood-utilization probe attached (Fig 7).
+func BenchmarkFig7UtilizationInstrumentation(b *testing.B) {
+	benchSetup(b)
+	probe := countingProbe{}
+	for i := 0; i < b.N; i++ {
+		mackey.Mine(benchGraph, benchMotif, mackey.Options{Probe: probe})
+	}
+}
+
+type countingProbe struct{}
+
+func (countingProbe) NeighborhoodAccess(int32, bool, int, int, int32) {}
+func (countingProbe) Match([]int32)                                   {}
+
+// BenchmarkFig10Memoization simulates Mint with and without search index
+// memoization (Fig 10).
+func BenchmarkFig10Memoization(b *testing.B) {
+	benchSetup(b)
+	for _, memo := range []bool{false, true} {
+		name := "memo=off"
+		if memo {
+			name = "memo=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchSimConfig()
+			cfg.Memoize = memo
+			for i := 0; i < b.N; i++ {
+				if _, err := hw.Simulate(benchGraph, benchMotif, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Baselines times every system of the headline comparison
+// (Fig 11) on the same workload.
+func BenchmarkFig11Baselines(b *testing.B) {
+	benchSetup(b)
+	b.Run("mackey-cpu", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mackey.MineParallel(benchGraph, benchMotif, mackey.Options{})
+		}
+	})
+	b.Run("mackey-cpu-memo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mackey.MineParallelMemo(benchGraph, benchMotif, mackey.Options{})
+		}
+	})
+	b.Run("taskqueue", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			task.RunQueue(benchGraph, benchMotif, 4, 64)
+		}
+	})
+	b.Run("paranjape", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			paranjape.Count(benchSparse, benchMotif)
+		}
+	})
+	b.Run("presto", func(b *testing.B) {
+		cfg := presto.DefaultConfig()
+		for i := 0; i < b.N; i++ {
+			if _, err := presto.Estimate(benchGraph, benchMotif, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mackey-gpu-model", func(b *testing.B) {
+		cfg := gpumodel.DefaultConfig()
+		for i := 0; i < b.N; i++ {
+			if _, err := gpumodel.Run(benchGraph, benchMotif, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mint-sim", func(b *testing.B) {
+		cfg := benchSimConfig()
+		for i := 0; i < b.N; i++ {
+			if _, err := hw.Simulate(benchGraph, benchMotif, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig12StaticAccel times static pattern mining (the FlexMiner
+// workload) against the temporal miner on the statically sparse variant
+// (Fig 12).
+func BenchmarkFig12StaticAccel(b *testing.B) {
+	benchSetup(b)
+	sg := staticmine.Build(benchSparse)
+	pattern := staticmine.FromMotif(benchMotif)
+	b.Run("static-mining", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			staticmine.Count(sg, pattern)
+		}
+	})
+	b.Run("temporal-mining", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mackey.Mine(benchSparse, benchMotif, mackey.Options{})
+		}
+	})
+}
+
+// BenchmarkFig13Sensitivity simulates Mint across PE counts (Fig 13).
+func BenchmarkFig13Sensitivity(b *testing.B) {
+	benchSetup(b)
+	for _, pes := range []int{1, 16, 64, 256} {
+		b.Run(bName("pes", pes), func(b *testing.B) {
+			cfg := hw.DefaultConfig()
+			cfg.PEs = pes
+			for i := 0; i < b.N; i++ {
+				if _, err := hw.Simulate(benchGraph, benchMotif, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14AreaPower computes the area/power roll-up (Fig 14).
+func BenchmarkFig14AreaPower(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := power.Model(512, 64, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreMinerMotifs measures the exact miner across M1–M4 — the
+// per-motif columns every figure shares.
+func BenchmarkCoreMinerMotifs(b *testing.B) {
+	benchSetup(b)
+	for _, m := range temporal.EvaluationMotifs(temporal.DeltaHour) {
+		b.Run(m.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mackey.Mine(benchGraph, m, mackey.Options{})
+			}
+		})
+	}
+}
+
+func bName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkSpecializationCycles contrasts the pattern-specific cycle miner
+// with the generic pattern-agnostic engine on the same workload — the
+// §II-C trade-off Mint's motif-agnostic design argues against in hardware.
+func BenchmarkSpecializationCycles(b *testing.B) {
+	benchSetup(b)
+	motif, err := temporal.Cycle(3, temporal.DeltaHour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mackey.Mine(benchGraph, motif, mackey.Options{})
+		}
+	})
+	b.Run("pattern-specific", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cyclemine.Count(benchGraph, 3, temporal.DeltaHour); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

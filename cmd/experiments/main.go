@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [flags] [all|table1|table2|fig2|fig7|fig10|fig11|fig12|fig13|fig14]...
+//
+// With no arguments every experiment runs in paper order. Each experiment
+// prints a paper-style table to stdout and writes a CSV under -outdir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mint/internal/experiments"
+	"mint/internal/temporal"
+)
+
+func main() {
+	maxEdges := flag.Int("maxedges", 40_000, "per-dataset edge cap for scaled generation")
+	outDir := flag.String("outdir", "results", "directory for CSV output (empty = skip)")
+	deltaSec := flag.Int64("delta", int64(temporal.DeltaHour), "motif time window δ in seconds")
+	quick := flag.Bool("quick", false, "shrink all sweeps (smoke test)")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.MaxEdges = *maxEdges
+	cfg.OutDir = *outDir
+	cfg.Delta = temporal.Timestamp(*deltaSec)
+	cfg.Quick = *quick
+
+	runners := map[string]func(experiments.Config) error{
+		"table1":     experiments.Table1,
+		"table2":     experiments.Table2,
+		"fig2":       experiments.Fig2,
+		"fig7":       experiments.Fig7,
+		"fig10":      experiments.Fig10,
+		"fig11":      experiments.Fig11,
+		"fig12":      experiments.Fig12,
+		"fig13":      experiments.Fig13,
+		"fig14":      experiments.Fig14,
+		"deltasweep": experiments.DeltaSweep,
+		"all":        experiments.All,
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	for _, name := range args {
+		run, ok := runners[strings.ToLower(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: all table1 table2 fig2 fig7 fig10 fig11 fig12 fig13 fig14 deltasweep\n", name)
+			os.Exit(2)
+		}
+		if err := run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command mine runs the software temporal motif miners on a dataset and
+// motif: the Mackey et al. exact algorithm (sequential, parallel, or
+// memoized), the Paranjape et al. static-first baseline, the PRESTO
+// approximate sampler, and the GPU SIMT timing model.
+//
+// Usage:
+//
+//	mine -algo mackey -dataset wiki-talk -motif M1
+//	mine -algo presto -graph edges.txt -motifspec "A->B;B->A"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mint/internal/cyclemine"
+	"mint/internal/datasets"
+	"mint/internal/gpumodel"
+	"mint/internal/mackey"
+	"mint/internal/paranjape"
+	"mint/internal/presto"
+	"mint/internal/task"
+	"mint/internal/temporal"
+)
+
+func main() {
+	algo := flag.String("algo", "mackey", "mackey | mackey-seq | mackey-memo | taskqueue | paranjape | presto | gpu | cycles")
+	datasetName := flag.String("dataset", "", "dataset name or abbreviation (em/mo/ub/su/wt/so)")
+	graphPath := flag.String("graph", "", "SNAP-format temporal graph file (overrides -dataset)")
+	scale := flag.Float64("scale", 0.01, "synthetic dataset scale (0,1]")
+	motifName := flag.String("motif", "M1", "evaluation motif: M1..M4")
+	motifSpec := flag.String("motifspec", "", "explicit motif, e.g. \"A->B;B->C;C->A\"")
+	deltaSec := flag.Int64("delta", int64(temporal.DeltaHour), "motif time window δ in seconds")
+	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+	windows := flag.Int("windows", 32, "presto: sampled windows")
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *datasetName, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := loadMotif(*motifSpec, *motifName, temporal.Timestamp(*deltaSec))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges; motif %s = %s, δ=%ds; algo=%s\n",
+		g.NumNodes(), g.NumEdges(), m.Name, m, m.Delta, *algo)
+
+	start := time.Now()
+	switch *algo {
+	case "mackey":
+		res := mackey.MineParallel(g, m, mackey.Options{Workers: *workers})
+		report(res.Matches, start)
+		taskStats(res.Stats)
+	case "mackey-seq":
+		res := mackey.Mine(g, m, mackey.Options{})
+		report(res.Matches, start)
+		taskStats(res.Stats)
+	case "mackey-memo":
+		res := mackey.MineParallelMemo(g, m, mackey.Options{Workers: *workers})
+		report(res.Matches, start)
+		taskStats(res.Stats)
+		fmt.Printf("memo: %d hits, %d entries skipped\n",
+			res.Stats.MemoHits, res.Stats.MemoSkippedEntries)
+	case "taskqueue":
+		matches := task.RunQueue(g, m, *workers, 0)
+		report(matches, start)
+	case "paranjape":
+		res := paranjape.Count(g, m)
+		report(res.Matches, start)
+		fmt.Printf("static instances: %d (ratio %.1fx)\n", res.Stats.StaticInstances,
+			float64(res.Stats.StaticInstances)/float64(max64(res.Matches, 1)))
+	case "presto":
+		res, err := presto.Estimate(g, m, presto.Config{Windows: *windows, C: 1.25, Seed: 1})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("estimate: %.1f motifs in %v (%d windows, %d edges processed)\n",
+			res.Estimate, time.Since(start), res.WindowsRun, res.EdgesProcessed)
+	case "cycles":
+		k := len(m.Edges)
+		st, err := cyclemine.Count(g, k, m.Delta)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("temporal %d-cycles: %d in %v (%d walk steps; note: counts Cycle(%d), ignoring -motifspec shape)\n",
+			k, st.Matches, time.Since(start), st.WalksTried, k)
+	case "gpu":
+		res, err := gpumodel.Run(g, m, gpumodel.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("matches: %d; modeled GPU time %.6f s (latency %.6f, bandwidth %.6f); %d warp steps (%d divergent)\n",
+			res.Matches, res.Seconds, res.LatencySeconds, res.BandwidthSeconds,
+			res.WarpSteps, res.DivergentSteps)
+	default:
+		fatal(fmt.Errorf("unknown -algo %q", *algo))
+	}
+}
+
+func report(matches int64, start time.Time) {
+	fmt.Printf("matches: %d in %v\n", matches, time.Since(start))
+}
+
+func taskStats(s mackey.Stats) {
+	fmt.Printf("tasks: %d root, %d search, %d bookkeep, %d backtrack; %d candidates examined\n",
+		s.RootTasks, s.SearchTasks, s.BookkeepTasks, s.BacktrackTasks, s.CandidateEdges)
+}
+
+func loadGraph(path, dataset string, scale float64) (*temporal.Graph, error) {
+	if path != "" {
+		return temporal.LoadSNAPFile(path)
+	}
+	if dataset == "" {
+		return nil, fmt.Errorf("one of -graph or -dataset is required")
+	}
+	spec, err := datasets.ByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	return datasets.Generate(spec, scale)
+}
+
+func loadMotif(spec, name string, delta temporal.Timestamp) (*temporal.Motif, error) {
+	if spec != "" {
+		return temporal.ParseMotif("custom", delta, spec)
+	}
+	for _, m := range temporal.EvaluationMotifs(delta) {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown motif %q (want M1..M4 or -motifspec)", name)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mine:", err)
+	os.Exit(1)
+}

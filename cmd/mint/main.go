@@ -1,0 +1,108 @@
+// Command mint runs the cycle-level Mint accelerator simulator on a
+// dataset and motif, printing match counts, modeled runtime, and memory
+// system statistics.
+//
+// Usage:
+//
+//	mint -dataset wiki-talk -motif M1 [-scale 0.01] [-delta 3600]
+//	mint -graph edges.txt -motifspec "A->B;B->C;C->A"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mint/internal/datasets"
+	hw "mint/internal/mint"
+	"mint/internal/power"
+	"mint/internal/temporal"
+)
+
+func main() {
+	datasetName := flag.String("dataset", "", "dataset name or abbreviation (em/mo/ub/su/wt/so)")
+	graphPath := flag.String("graph", "", "SNAP-format temporal graph file (overrides -dataset)")
+	scale := flag.Float64("scale", 0.01, "synthetic dataset scale (0,1]")
+	motifName := flag.String("motif", "M1", "evaluation motif: M1..M4")
+	motifSpec := flag.String("motifspec", "", "explicit motif, e.g. \"A->B;B->C;C->A\" (overrides -motif)")
+	deltaSec := flag.Int64("delta", int64(temporal.DeltaHour), "motif time window δ in seconds")
+	pes := flag.Int("pes", 0, "processing engines (0 = Table II default of 512)")
+	cacheMB := flag.Int("cachemb", 0, "cache size in MB (0 = Table II default of 4)")
+	noMemo := flag.Bool("nomemo", false, "disable search index memoization")
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *datasetName, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := loadMotif(*motifSpec, *motifName, temporal.Timestamp(*deltaSec))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := hw.DefaultConfig()
+	if *pes > 0 {
+		cfg.PEs = *pes
+	}
+	if *cacheMB > 0 {
+		cfg = cfg.WithCacheMB(*cacheMB)
+	}
+	cfg.Memoize = !*noMemo
+
+	fmt.Printf("graph: %d nodes, %d edges, k(δ)=%.1f\n",
+		g.NumNodes(), g.NumEdges(), g.EdgesPerDelta(m.Delta))
+	fmt.Printf("motif: %s = %s, δ=%ds\n", m.Name, m, m.Delta)
+	fmt.Printf("machine: %d PEs, %d KB cache, memoization=%v\n",
+		cfg.PEs, cfg.Cache.TotalBytes()>>10, cfg.Memoize)
+
+	res, err := hw.Simulate(g, m, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nmatches:            %d\n", res.Matches)
+	fmt.Printf("cycles:             %d (%.6f s @ %.1f GHz)\n", res.Cycles, res.Seconds, cfg.ClockGHz)
+	fmt.Printf("DRAM traffic:       %.2f MB (%.1f%% of peak bandwidth)\n",
+		float64(res.MemTrafficBytes)/(1<<20), res.BandwidthUtil*100)
+	fmt.Printf("cache hit rate:     %.1f%%\n", res.CacheHitRate*100)
+	fmt.Printf("tasks:              %d root, %d search, %d bookkeep, %d backtrack\n",
+		res.Stats.RootTasks, res.Stats.SearchTasks, res.Stats.BookkeepTasks, res.Stats.BacktrackTasks)
+	if cfg.Memoize {
+		fmt.Printf("memoization:        %d reads, %d writes, %d entries skipped\n",
+			res.Stats.MemoReads, res.Stats.MemoWrites, res.Stats.MemoSkippedEntries)
+	}
+	if b, err := power.Model(cfg.PEs, cfg.Cache.Banks, cfg.Cache.BankBytes>>10); err == nil {
+		fmt.Printf("area/power:         %.1f mm2, %.2f W → %.4f J for this run\n",
+			b.AreaMM2, b.PowerW, b.EnergyJoules(res.Seconds))
+	}
+}
+
+func loadGraph(path, dataset string, scale float64) (*temporal.Graph, error) {
+	if path != "" {
+		return temporal.LoadSNAPFile(path)
+	}
+	if dataset == "" {
+		return nil, fmt.Errorf("one of -graph or -dataset is required")
+	}
+	spec, err := datasets.ByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	return datasets.Generate(spec, scale)
+}
+
+func loadMotif(spec, name string, delta temporal.Timestamp) (*temporal.Motif, error) {
+	if spec != "" {
+		return temporal.ParseMotif("custom", delta, spec)
+	}
+	for _, m := range temporal.EvaluationMotifs(delta) {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown motif %q (want M1..M4 or -motifspec)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+// Package mint is a from-scratch reproduction of "Mint: An Accelerator
+// For Mining Temporal Motifs" (Talati et al., MICRO 2022): exact
+// δ-temporal motif mining on temporal graphs, the paper's task-centric
+// programming model, its software and GPU baselines, and a cycle-level
+// simulator of the Mint hardware accelerator.
+//
+// The root package is the public API. It covers four layers:
+//
+//   - Data: temporal graphs (NewGraph, LoadSNAP) and motifs (ParseMotif,
+//     M1–M4), plus the paper's six evaluation datasets as deterministic
+//     synthetic substitutes (Dataset, Datasets).
+//
+//   - Exact mining: Count and CountParallel run the Mackey et al.
+//     chronological edge-driven algorithm; CountTaskQueue runs the
+//     asynchronous task-queue execution of the paper's programming model;
+//     Enumerate streams the matched edge sequences.
+//
+//   - Approximate mining: EstimateApprox runs a PRESTO-style sampling
+//     estimator that uses the exact miner as a subroutine.
+//
+//   - Hardware: Simulate runs the cycle-level Mint accelerator model and
+//     reports runtime, speedups, memory traffic, bandwidth utilization and
+//     cache behavior; AreaPower reports the 28 nm area/power roll-up.
+//
+// Everything under internal/ is the implementation: one package per
+// subsystem (see DESIGN.md for the inventory and the per-experiment map).
+// The experiment harness that regenerates every table and figure of the
+// paper lives in cmd/experiments.
+package mint

@@ -1,0 +1,128 @@
+// Fraud-ring detection on a financial transaction network.
+//
+// Temporal cycles are a known signature of artificial transaction volume
+// and money-cycling fraud (the paper's §II-B, citing Hajdu & Krész): money
+// that flows A→B→C→A within a short window returns to its origin, which
+// legitimate commerce rarely does. This example builds a synthetic
+// transaction network with a heavy tail of normal payments, injects three
+// fraud rings that cycle funds within minutes, and uses exact temporal
+// motif mining to recover them — exactly the scenario where approximate
+// counting is not enough (§II-C: every instance must be enumerated).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"mint"
+)
+
+const (
+	accounts   = 400
+	payments   = 12_000
+	daySeconds = 86_400
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	var edges []mint.Edge
+
+	// Background traffic: random payments spread over 30 days.
+	for i := 0; i < payments; i++ {
+		src := mint.NodeID(rng.Intn(accounts))
+		dst := mint.NodeID(rng.Intn(accounts))
+		if src == dst {
+			dst = (dst + 1) % accounts
+		}
+		edges = append(edges, mint.Edge{
+			Src: src, Dst: dst,
+			Time: mint.Timestamp(rng.Int63n(30 * daySeconds)),
+		})
+	}
+
+	// Three fraud rings: funds cycle through three mule accounts within
+	// minutes, several times.
+	rings := [][3]mint.NodeID{{11, 57, 203}, {88, 301, 144}, {250, 19, 333}}
+	for r, ring := range rings {
+		base := mint.Timestamp((3 + r*7) * daySeconds)
+		for rep := 0; rep < 3; rep++ {
+			t := base + mint.Timestamp(rep*3600)
+			edges = append(edges,
+				mint.Edge{Src: ring[0], Dst: ring[1], Time: t},
+				mint.Edge{Src: ring[1], Dst: ring[2], Time: t + 120},
+				mint.Edge{Src: ring[2], Dst: ring[0], Time: t + 300},
+			)
+		}
+	}
+
+	g, err := mint.NewGraph(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The signature: a 3-cycle completing within 10 minutes.
+	motif, err := mint.ParseMotif("fraud-cycle", 600, "A->B; B->C; C->A")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("transaction network: %d accounts, %d payments over 30 days\n",
+		g.NumNodes(), g.NumEdges())
+	fmt.Printf("searching for %s within %d s\n\n", motif, motif.Delta)
+
+	// Exact enumeration: collect the accounts of every detected cycle.
+	suspicious := map[mint.NodeID]int{}
+	detected := 0
+	mint.Enumerate(g, motif, func(matched []int32) {
+		detected++
+		for _, id := range matched {
+			e := g.Edge(mint.EdgeID(id))
+			suspicious[e.Src]++
+		}
+	})
+	fmt.Printf("detected %d rapid transaction cycles\n", detected)
+
+	// Rank accounts by cycle participation.
+	type hit struct {
+		acct mint.NodeID
+		n    int
+	}
+	var hits []hit
+	for a, n := range suspicious {
+		hits = append(hits, hit{a, n})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].n != hits[j].n {
+			return hits[i].n > hits[j].n
+		}
+		return hits[i].acct < hits[j].acct
+	})
+	fmt.Println("accounts ranked by cycle participation:")
+	for i, h := range hits {
+		if i >= 9 {
+			break
+		}
+		fmt.Printf("  account %3d: %d cycles\n", h.acct, h.n)
+	}
+
+	// Verify the injected mules are all flagged.
+	flagged := 0
+	for _, ring := range rings {
+		for _, a := range ring {
+			if suspicious[a] > 0 {
+				flagged++
+			}
+		}
+	}
+	fmt.Printf("\ninjected mule accounts flagged: %d/9\n", flagged)
+
+	// On a bank-scale feed this is the workload Mint accelerates; show the
+	// modeled hardware runtime for this (small) graph.
+	res, err := mint.Simulate(g, motif, mint.DefaultSimConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Mint accelerator: same %d cycles found in %.3f µs of modeled hardware time\n",
+		res.Matches, res.Seconds*1e6)
+}

@@ -1,0 +1,124 @@
+// Insider-threat detection on an organization's communication network.
+//
+// Mackey et al. — the algorithm Mint accelerates — motivate temporal
+// subgraph isomorphism with insider-threat hunting (paper §II-B): a
+// compromised employee account shows a characteristic *relay* pattern,
+// receiving material from a source and forwarding it outward within
+// minutes, repeatedly. Statically the same edges look like ordinary
+// collaboration; only the temporal ordering exposes the relay.
+//
+// This example models two weeks of email/chat logs, injects a relay
+// (manager → insider → external drop, thrice within minutes), and hunts it
+// with the feed-forward motif A→B, B→C, A→C — "A briefs B, B forwards to
+// C, A also contacts C" is normal; the δ-tightened variant is not.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"mint"
+)
+
+const (
+	employees  = 150
+	messages   = 8000
+	daySeconds = 86_400
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	var edges []mint.Edge
+
+	// Normal traffic: clustered team communication over 14 days (teams of
+	// 10 talk mostly internally, occasionally across teams).
+	for i := 0; i < messages; i++ {
+		team := rng.Intn(employees / 10)
+		src := mint.NodeID(team*10 + rng.Intn(10))
+		var dst mint.NodeID
+		if rng.Float64() < 0.8 {
+			dst = mint.NodeID(team*10 + rng.Intn(10))
+		} else {
+			dst = mint.NodeID(rng.Intn(employees))
+		}
+		if src == dst {
+			dst = (dst + 1) % employees
+		}
+		edges = append(edges, mint.Edge{
+			Src: src, Dst: dst,
+			Time: mint.Timestamp(rng.Int63n(14 * daySeconds)),
+		})
+	}
+
+	// The relay: source 17 sends to insider 42, who forwards to external
+	// contractor account 149 within two minutes; the source also pings the
+	// contractor (scheduling cover traffic). Repeated on three days.
+	const source, insider, drop = 17, 42, 149
+	for day := 2; day <= 6; day += 2 {
+		t := mint.Timestamp(day*daySeconds + 9*3600)
+		edges = append(edges,
+			mint.Edge{Src: source, Dst: insider, Time: t},
+			mint.Edge{Src: insider, Dst: drop, Time: t + 90},
+			mint.Edge{Src: source, Dst: drop, Time: t + 200},
+		)
+	}
+
+	g, err := mint.NewGraph(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Relay signature: feed-forward triangle completing within 5 minutes.
+	motif, err := mint.ParseMotif("relay", 300, "A->B; B->C; A->C")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("communication log: %d employees, %d messages over 14 days\n",
+		g.NumNodes(), g.NumEdges())
+	fmt.Printf("hunting %s within %d s\n\n", motif, motif.Delta)
+
+	// Score each (A,B,C) assignment by occurrence count: the middle node B
+	// is the suspected relay.
+	type triple struct{ a, b, c mint.NodeID }
+	occurrences := map[triple]int{}
+	mint.Enumerate(g, motif, func(matched []int32) {
+		e0 := g.Edge(mint.EdgeID(matched[0])) // A→B
+		e1 := g.Edge(mint.EdgeID(matched[1])) // B→C
+		occurrences[triple{e0.Src, e0.Dst, e1.Dst}]++
+	})
+
+	type scored struct {
+		t triple
+		n int
+	}
+	var ranked []scored
+	for t, n := range occurrences {
+		ranked = append(ranked, scored{t, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].n > ranked[j].n })
+
+	fmt.Printf("distinct relay triples: %d\n", len(ranked))
+	fmt.Println("top suspected relays (source → relay → destination):")
+	for i, s := range ranked {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %3d → %3d → %3d: %d occurrences\n", s.t.a, s.t.b, s.t.c, s.n)
+	}
+	if len(ranked) > 0 && ranked[0].t == (triple{source, insider, drop}) {
+		fmt.Printf("\ninjected relay (%d → %d → %d) is the top hit ✓\n", source, insider, drop)
+	} else {
+		fmt.Println("\nWARNING: injected relay not ranked first")
+	}
+
+	// Contrast with the asynchronous task-queue execution of the paper's
+	// programming model — identical count, schedule-independent.
+	qCount := mint.CountTaskQueue(g, motif, 4, 64)
+	total := int64(0)
+	for _, s := range ranked {
+		total += int64(s.n)
+	}
+	fmt.Printf("task-queue runner count: %d (enumerated %d) ✓\n", qCount, total)
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a temporal graph, define a δ-temporal motif, count and
+// enumerate its occurrences with the exact miner, and run the same
+// workload on the simulated Mint accelerator.
+//
+// The graph is the walk-through example of the paper's Fig 1: six
+// timestamped edges over four nodes, containing exactly one valid
+// three-node temporal cycle within δ = 25.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mint"
+)
+
+func main() {
+	// A temporal graph is a list of directed, timestamped edges.
+	g, err := mint.NewGraph([]mint.Edge{
+		{Src: 0, Dst: 1, Time: 5},
+		{Src: 1, Dst: 2, Time: 10},
+		{Src: 2, Dst: 0, Time: 20},
+		{Src: 2, Dst: 3, Time: 25},
+		{Src: 1, Dst: 2, Time: 30},
+		{Src: 0, Dst: 1, Time: 40},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A δ-temporal motif: edges in chronological order, all within δ.
+	motif, err := mint.ParseMotif("3-cycle", 25, "A->B; B->C; C->A")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("graph: %d nodes, %d edges over %d time units\n",
+		g.NumNodes(), g.NumEdges(), g.TimeSpan())
+	fmt.Printf("motif: %s within δ=%d\n\n", motif, motif.Delta)
+
+	// Exact counting (Mackey et al.'s chronological edge-driven DFS).
+	count := mint.Count(g, motif)
+	fmt.Printf("exact count: %d\n", count)
+
+	// Enumeration: the matched graph-edge indices, in motif order.
+	mint.Enumerate(g, motif, func(edges []int32) {
+		fmt.Printf("  match:")
+		for _, id := range edges {
+			e := g.Edge(mint.EdgeID(id))
+			fmt.Printf("  %d→%d@t=%d", e.Src, e.Dst, e.Time)
+		}
+		fmt.Println()
+	})
+
+	// The same mining run on the simulated Mint accelerator.
+	cfg := mint.DefaultSimConfig()
+	cfg.PEs = 8 // a small machine is plenty for six edges
+	res, err := mint.Simulate(g, motif, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMint simulation: %d matches in %d cycles (%.2f ns at 1.6 GHz)\n",
+		res.Matches, res.Cycles, res.Seconds*1e9)
+	fmt.Printf("tasks: %d root / %d search / %d bookkeep / %d backtrack\n",
+		res.Stats.RootTasks, res.Stats.SearchTasks,
+		res.Stats.BookkeepTasks, res.Stats.BacktrackTasks)
+	if res.Matches != count {
+		log.Fatalf("simulator disagreed with software: %d vs %d", res.Matches, count)
+	}
+	fmt.Println("simulator count matches the exact miner ✓")
+}

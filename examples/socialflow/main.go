@@ -1,0 +1,131 @@
+// Information-flow analysis on social/communication networks.
+//
+// Kovanen et al. (paper §II-B) showed that temporal motif counts expose
+// how information actually propagates over a network — structure a static
+// view cannot see, because a static graph renders two users "connected"
+// whether they exchanged one message or a burst of two hundred. This
+// example builds two synthetic networks with *identical static structure*
+// but different temporal behavior — one bursty and conversational, one
+// with the same edges scattered uniformly in time — and compares their
+// M1–M4 temporal motif profiles, their static pattern counts, and the
+// modeled Mint accelerator runtime for profiling them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mint"
+)
+
+const (
+	users      = 120
+	contacts   = 900 // static edges
+	msgPerEdge = 8   // temporal edges per static edge
+	spanSecs   = 7 * 86_400
+)
+
+// buildStatic draws a fixed random static contact graph.
+func buildStatic(rng *rand.Rand) [][2]mint.NodeID {
+	seen := map[[2]mint.NodeID]bool{}
+	var pairs [][2]mint.NodeID
+	for len(pairs) < contacts {
+		a := mint.NodeID(rng.Intn(users))
+		b := mint.NodeID(rng.Intn(users))
+		if a == b {
+			continue
+		}
+		p := [2]mint.NodeID{a, b}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		pairs = append(pairs, p)
+	}
+	return pairs
+}
+
+// temporalize assigns timestamps to the static edges. In the bursty
+// network, activity arrives in shared cascade windows — the community
+// lights up together for an hour (breaking news, an incident channel), so
+// messages on *different* contacts coincide and information can actually
+// flow across multi-edge paths. In the uniform network the same messages
+// are scattered independently over the whole week.
+func temporalize(rng *rand.Rand, pairs [][2]mint.NodeID, bursty bool) *mint.Graph {
+	const windows = 24 // cascade windows across the week
+	var edges []mint.Edge
+	for _, p := range pairs {
+		for k := 0; k < msgPerEdge; k++ {
+			var t mint.Timestamp
+			if bursty {
+				w := rng.Intn(windows)
+				t = mint.Timestamp(w)*(spanSecs/windows) + mint.Timestamp(rng.Int63n(3600))
+			} else {
+				t = mint.Timestamp(rng.Int63n(spanSecs))
+			}
+			edges = append(edges, mint.Edge{Src: p[0], Dst: p[1], Time: t})
+		}
+	}
+	g, err := mint.NewGraph(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(4))
+	pairs := buildStatic(rng)
+	bursty := temporalize(rand.New(rand.NewSource(5)), pairs, true)
+	uniform := temporalize(rand.New(rand.NewSource(5)), pairs, false)
+
+	fmt.Printf("two networks, identical static structure: %d users, %d contacts, %d messages each\n\n",
+		users, contacts, bursty.NumEdges())
+
+	motifs := []*mint.Motif{
+		mint.M1(mint.DeltaHour), mint.M2(mint.DeltaHour),
+		mint.M3(mint.DeltaHour), mint.M4(mint.DeltaHour),
+	}
+	fmt.Printf("%-6s %14s %14s %10s\n", "motif", "bursty", "uniform", "ratio")
+	for _, m := range motifs {
+		cb := mint.Count(bursty, m)
+		cu := mint.Count(uniform, m)
+		ratio := "∞"
+		if cu > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(cb)/float64(cu))
+		}
+		fmt.Printf("%-6s %14d %14d %10s\n", m.Name, cb, cu, ratio)
+	}
+	fmt.Println("\nidentical static graphs, radically different temporal motif profiles —")
+	fmt.Println("the information loss the paper's §I email example describes.")
+
+	// Profile the heavier network on the modeled accelerator.
+	m1 := motifs[0]
+	res, err := mint.Simulate(bursty, m1, mint.DefaultSimConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMint accelerator, M1 on the bursty network: %d matches, %.3f µs modeled,\n",
+		res.Matches, res.Seconds*1e6)
+	fmt.Printf("%.1f%% peak DRAM bandwidth, %.1f%% cache hit rate\n",
+		res.BandwidthUtil*100, res.CacheHitRate*100)
+
+	// And the approximate estimate for a quick triage pass.
+	cfg := mint.DefaultApproxConfig()
+	cfg.Windows = 200
+	est, err := mint.EstimateApprox(bursty, m1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := mint.Count(bursty, m1)
+	fmt.Printf("\nPRESTO-style estimate of M1: %.0f (exact %d, %.1f%% error)\n",
+		est, exact, 100*abs(est-float64(exact))/float64(exact))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module mint
+
+go 1.22

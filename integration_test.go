@@ -1,0 +1,130 @@
+package mint
+
+// End-to-end integration tests over the public API: dataset generation →
+// software mining → approximate estimation → accelerator simulation →
+// area/power/energy, with cross-layer consistency checks.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Dataset: a scaled evaluation graph.
+	g, err := Dataset("mathoverflow", "", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Exact software mining, three execution models.
+	m := M2(DeltaHour)
+	exact := Count(g, m)
+	if par := CountParallel(g, m, 4); par != exact {
+		t.Fatalf("parallel %d vs sequential %d", par, exact)
+	}
+	if q := CountTaskQueue(g, m, 4, 32); q != exact {
+		t.Fatalf("task queue %d vs sequential %d", q, exact)
+	}
+
+	// 3. Enumeration totals must match counting.
+	n := int64(0)
+	Enumerate(g, m, func([]int32) { n++ })
+	if n != exact {
+		t.Fatalf("enumerate %d vs count %d", n, exact)
+	}
+
+	// 4. Accelerator simulation: exact count, sane derived metrics.
+	cfg := DefaultSimConfig()
+	cfg.PEs = 32
+	cfg.Cache.Banks = 8
+	cfg.Cache.BankBytes = 4 << 10
+	res, err := Simulate(g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != exact {
+		t.Fatalf("sim %d vs software %d", res.Matches, exact)
+	}
+	if res.Cycles <= 0 || res.Seconds <= 0 {
+		t.Fatalf("degenerate timing: %+v", res)
+	}
+	if res.BandwidthUtil < 0 || res.BandwidthUtil > 1 ||
+		res.CacheHitRate < 0 || res.CacheHitRate > 1 {
+		t.Fatalf("derived metrics out of range: %+v", res)
+	}
+
+	// 5. GPU model: same count.
+	gpu, err := SimulateGPU(g, m, DefaultGPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.Matches != exact {
+		t.Fatalf("gpu %d vs software %d", gpu.Matches, exact)
+	}
+
+	// 6. Power/energy roll-up for the simulated run.
+	b, err := AreaPower(cfg.PEs, cfg.Cache.Banks, cfg.Cache.BankBytes>>10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := b.EnergyJoules(res.Seconds); e <= 0 {
+		t.Fatalf("energy %v", e)
+	}
+}
+
+func TestEndToEndApproximateTracksExact(t *testing.T) {
+	g, err := Dataset("email-eu", "", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := M1(DeltaHour)
+	exact := float64(Count(g, m))
+	if exact < 10 {
+		t.Skipf("too few motifs (%v) for a stable statistical check", exact)
+	}
+	cfg := DefaultApproxConfig()
+	cfg.Windows = 2000
+	cfg.Seed = 4
+	est, err := EstimateApprox(g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := est/exact - 1
+	if rel < -0.5 || rel > 0.5 {
+		t.Fatalf("estimate %v vs exact %v (rel err %.2f)", est, exact, rel)
+	}
+}
+
+// TestSimulatedSpeedupDirection: on a fixed workload the simulated Mint
+// should complete in far less modeled time than the software baseline
+// takes on this host — the paper's headline direction.
+func TestSimulatedSpeedupDirection(t *testing.T) {
+	g, err := Dataset("wiki-talk", "", 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := M1(DeltaHour)
+
+	swSeconds := timeSoftware(g, m)
+	res, err := Simulate(g, m, DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds >= swSeconds {
+		t.Errorf("modeled accelerator (%vs) not faster than software (%vs)",
+			res.Seconds, swSeconds)
+	}
+}
+
+func timeSoftware(g *Graph, m *Motif) float64 {
+	// A coarse wall-clock measurement is fine: the assertion allows orders
+	// of magnitude of slack.
+	start := nowSeconds()
+	CountParallel(g, m, 0)
+	return nowSeconds() - start
+}
+
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

@@ -1,0 +1,273 @@
+// Package cache models Mint's on-chip SRAM cache (paper Table II): a
+// multi-bank, multi-port, set-associative, write-back cache with per-bank
+// Miss Status Handling Registers (MSHRs), fronting the DRAM controller.
+// The simulator charges the microarchitectural events the paper models in
+// its own simulator (§VII-C): bank port contention, MSHR exhaustion, and
+// memory-controller back-pressure.
+package cache
+
+import (
+	"fmt"
+
+	"mint/internal/dram"
+)
+
+// Config describes the cache geometry. Table II: 64 banks × 64 KB (4 MB
+// total), 4-way, 64 B lines, 2 ports per bank, 32 MSHRs per bank, 2-cycle
+// access latency.
+type Config struct {
+	Banks        int
+	BankBytes    int
+	Ways         int
+	LineBytes    int
+	PortsPerBank int
+	MSHRsPerBank int
+	HitLatency   int64
+}
+
+// DefaultConfig returns the Table II cache.
+func DefaultConfig() Config {
+	return Config{
+		Banks:        64,
+		BankBytes:    64 << 10,
+		Ways:         4,
+		LineBytes:    64,
+		PortsPerBank: 2,
+		MSHRsPerBank: 32,
+		HitLatency:   2,
+	}
+}
+
+// TotalBytes is the aggregate capacity.
+func (c Config) TotalBytes() int { return c.Banks * c.BankBytes }
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Hits       int64
+	Misses     int64 // demand misses that allocated an MSHR
+	MergedMiss int64 // requests merged into an in-flight MSHR
+	PortStalls int64
+	MSHRStalls int64
+	DRAMStalls int64 // stalls due to a full DRAM channel queue
+	Writebacks int64
+}
+
+// Accesses is the number of completed lookups.
+func (s Stats) Accesses() int64 { return s.Hits + s.Misses + s.MergedMiss }
+
+// HitRate is Hits / Accesses; merged misses count as misses, matching how
+// hardware counters report demand hit rate.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(a)
+}
+
+type line struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	lastUsed int64
+}
+
+type mshr struct {
+	lineAddr uint64
+	ready    int64
+	valid    bool
+	dirty    bool // a write merged while the fill was in flight
+}
+
+type bank struct {
+	sets      [][]line
+	mshrs     []mshr
+	portCycle int64
+	portsUsed int
+
+	// Retirement short-circuit: live MSHR count and earliest fill time,
+	// so the common no-op retire costs O(1) instead of an MSHR scan.
+	mshrLive  int
+	nextReady int64
+}
+
+// Cache is the cycle-level model. Not safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	banks    []bank
+	sets     int
+	dram     *dram.Controller
+	stats    Stats
+	setMask  uint64
+	bankMask uint64 // banks-1 when banks is a power of two, else 0
+}
+
+// New validates the geometry and builds a cache backed by d.
+func New(cfg Config, d *dram.Controller) (*Cache, error) {
+	if cfg.Banks <= 0 || cfg.BankBytes <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		return nil, fmt.Errorf("cache: invalid geometry %+v", cfg)
+	}
+	if cfg.PortsPerBank <= 0 || cfg.MSHRsPerBank <= 0 {
+		return nil, fmt.Errorf("cache: invalid ports/MSHRs %+v", cfg)
+	}
+	sets := cfg.BankBytes / (cfg.LineBytes * cfg.Ways)
+	if sets <= 0 {
+		return nil, fmt.Errorf("cache: bank too small: %+v", cfg)
+	}
+	c := &Cache{cfg: cfg, sets: sets, dram: d, setMask: uint64(sets - 1)}
+	if sets&(sets-1) != 0 {
+		c.setMask = 0 // non-power-of-two sets fall back to modulo
+	}
+	if cfg.Banks&(cfg.Banks-1) == 0 {
+		c.bankMask = uint64(cfg.Banks - 1)
+	}
+	c.banks = make([]bank, cfg.Banks)
+	for i := range c.banks {
+		c.banks[i].sets = make([][]line, sets)
+		for s := range c.banks[i].sets {
+			c.banks[i].sets[s] = make([]line, cfg.Ways)
+		}
+		c.banks[i].mshrs = make([]mshr, cfg.MSHRsPerBank)
+	}
+	return c, nil
+}
+
+// lineAddr truncates a byte address to its line address.
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr / uint64(c.cfg.LineBytes) }
+
+func (c *Cache) bankOf(la uint64) *bank {
+	if c.bankMask != 0 {
+		return &c.banks[la&c.bankMask]
+	}
+	return &c.banks[la%uint64(c.cfg.Banks)]
+}
+
+func (c *Cache) setOf(la uint64) uint64 {
+	perBank := la / uint64(c.cfg.Banks)
+	if c.setMask != 0 {
+		return perBank & c.setMask
+	}
+	return perBank % uint64(c.sets)
+}
+
+// retire installs completed fills and frees their MSHRs.
+func (c *Cache) retire(b *bank, now int64) {
+	if b.mshrLive == 0 || b.nextReady > now {
+		return
+	}
+	next := int64(1<<63 - 1)
+	for i := range b.mshrs {
+		m := &b.mshrs[i]
+		if !m.valid {
+			continue
+		}
+		if m.ready <= now {
+			c.install(b, m.lineAddr, m.ready, m.dirty)
+			m.valid = false
+			b.mshrLive--
+		} else if m.ready < next {
+			next = m.ready
+		}
+	}
+	b.nextReady = next
+}
+
+// install places a line into its set, evicting LRU and writing back dirty
+// victims. Writebacks are fire-and-forget: they consume DRAM bandwidth but
+// do not back-pressure the fill (a standard victim-buffer assumption).
+func (c *Cache) install(b *bank, la uint64, now int64, dirty bool) {
+	set := b.sets[c.setOf(la)]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			// Already present (e.g. installed by an earlier merged fill).
+			set[i].dirty = set[i].dirty || dirty
+			set[i].lastUsed = now
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUsed < set[victim].lastUsed {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.stats.Writebacks++
+		c.dram.Request(set[victim].tag, now, true)
+	}
+	set[victim] = line{tag: la, valid: true, dirty: dirty, lastUsed: now}
+}
+
+// Request performs one lookup for the line containing addr at cycle now.
+// write marks the line dirty (write-allocate, write-back). It returns the
+// cycle at which the data is available and true, or false when the request
+// must be retried next cycle (port conflict, MSHR exhaustion, or DRAM
+// queue back-pressure).
+func (c *Cache) Request(addr uint64, now int64, write bool) (ready int64, ok bool) {
+	la := c.lineAddr(addr)
+	b := c.bankOf(la)
+	c.retire(b, now)
+
+	// Port arbitration: PortsPerBank lookups per bank per cycle.
+	if b.portCycle == now {
+		if b.portsUsed >= c.cfg.PortsPerBank {
+			c.stats.PortStalls++
+			return 0, false
+		}
+	} else {
+		b.portCycle = now
+		b.portsUsed = 0
+	}
+	b.portsUsed++
+
+	// Hit path.
+	set := b.sets[c.setOf(la)]
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			set[i].lastUsed = now
+			set[i].dirty = set[i].dirty || write
+			c.stats.Hits++
+			return now + c.cfg.HitLatency, true
+		}
+	}
+
+	// Merge into an in-flight MSHR for the same line.
+	freeSlot := -1
+	for i := range b.mshrs {
+		m := &b.mshrs[i]
+		if m.valid && m.lineAddr == la {
+			m.dirty = m.dirty || write
+			c.stats.MergedMiss++
+			return m.ready + c.cfg.HitLatency, true
+		}
+		if !m.valid && freeSlot < 0 {
+			freeSlot = i
+		}
+	}
+	if freeSlot < 0 {
+		c.stats.MSHRStalls++
+		return 0, false
+	}
+
+	// Demand miss: fetch the line from DRAM.
+	done, issued := c.dram.Request(la, now, false)
+	if !issued {
+		c.stats.DRAMStalls++
+		return 0, false
+	}
+	b.mshrs[freeSlot] = mshr{lineAddr: la, ready: done, valid: true, dirty: write}
+	b.mshrLive++
+	if b.mshrLive == 1 || done < b.nextReady {
+		b.nextReady = done
+	}
+	c.stats.Misses++
+	return done + c.cfg.HitLatency, true
+}
+
+// Stats returns a copy of the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineBytes exposes the line size for address iteration by requesters.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }

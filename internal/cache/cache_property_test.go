@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mint/internal/dram"
+)
+
+// TestCacheInvariantsProperty drives random request streams through a
+// small cache and checks the model's global invariants:
+//
+//   - every accepted request completes no earlier than now + hit latency;
+//   - accounting identity: hits + misses + merged = accepted requests;
+//   - a line read twice with no interference is a hit the second time;
+//   - the model never returns ok for the same bank more than
+//     PortsPerBank times in one cycle.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := dram.NewController(dram.DefaultConfig())
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			Banks:        2,
+			BankBytes:    1 << 10,
+			Ways:         2,
+			LineBytes:    64,
+			PortsPerBank: 2,
+			MSHRsPerBank: 4,
+			HitLatency:   2,
+		}
+		c, err := New(cfg, d)
+		if err != nil {
+			return false
+		}
+		accepted := int64(0)
+		now := int64(0)
+		grantsThisCycle := map[int64]int{} // bank -> count at current cycle
+		for i := 0; i < 500; i++ {
+			if rng.Intn(3) == 0 {
+				now += int64(1 + rng.Intn(50))
+				grantsThisCycle = map[int64]int{}
+			}
+			addr := uint64(rng.Intn(64)) * 64
+			bank := int64(addr/64) % int64(cfg.Banks)
+			ready, ok := c.Request(addr, now, rng.Intn(4) == 0)
+			if !ok {
+				continue
+			}
+			accepted++
+			grantsThisCycle[bank]++
+			if grantsThisCycle[bank] > cfg.PortsPerBank {
+				t.Logf("bank %d over-granted at cycle %d", bank, now)
+				return false
+			}
+			if ready < now+cfg.HitLatency {
+				t.Logf("ready %d before now+hit %d", ready, now+cfg.HitLatency)
+				return false
+			}
+		}
+		s := c.Stats()
+		return s.Accesses() == accepted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatHitAfterFill: any line re-accessed after its fill completes,
+// with no conflicting traffic, must hit.
+func TestRepeatHitAfterFill(t *testing.T) {
+	d, _ := dram.NewController(dram.DefaultConfig())
+	c, _ := New(DefaultConfig(), d)
+	rng := rand.New(rand.NewSource(5))
+	now := int64(0)
+	for i := 0; i < 100; i++ {
+		addr := uint64(rng.Intn(1 << 20))
+		ready, ok := c.Request(addr, now, false)
+		if !ok {
+			now++
+			continue
+		}
+		before := c.Stats().Hits
+		if _, ok := c.Request(addr, ready+1, false); !ok {
+			t.Fatalf("re-access rejected at %d", addr)
+		}
+		if c.Stats().Hits != before+1 {
+			t.Fatalf("re-access of %d after fill did not hit", addr)
+		}
+		now = ready + 2
+	}
+}

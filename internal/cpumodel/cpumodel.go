@@ -1,0 +1,222 @@
+// Package cpumodel reproduces the paper's CPU workload characterization
+// (Fig 2): the thread-scaling curve of the software miner (left panel) and
+// the CPI-stack stall distribution (right panel, methodology of Eyerman et
+// al. [17]).
+//
+// Thread scaling is a *real measurement* of this repository's parallel Go
+// miner on the host machine. The stall distribution is modeled: the mining
+// run is replayed as a memory/branch event trace (binary-search probes,
+// neighbor scans, edge-record fetches) through an LLC-sized cache model,
+// and the CPI stack is assembled from miss and misprediction counts —
+// the substitution for hardware performance counters documented in
+// DESIGN.md §6.
+package cpumodel
+
+import (
+	"fmt"
+	"time"
+
+	"mint/internal/cache"
+	"mint/internal/dram"
+	"mint/internal/mackey"
+	"mint/internal/memlayout"
+	"mint/internal/task"
+	"mint/internal/temporal"
+)
+
+// ScalingPoint is one thread-count measurement.
+type ScalingPoint struct {
+	Threads int
+	Seconds float64
+	// Normalized is runtime relative to the 1-thread run (Fig 2's y-axis).
+	Normalized float64
+}
+
+// ThreadScaling measures the parallel miner's wall time at each thread
+// count and normalizes to single-thread performance.
+func ThreadScaling(g *temporal.Graph, m *temporal.Motif, threads []int) []ScalingPoint {
+	points := make([]ScalingPoint, 0, len(threads))
+	base := 0.0
+	for _, th := range threads {
+		start := time.Now()
+		mackey.MineParallel(g, m, mackey.Options{Workers: th})
+		sec := time.Since(start).Seconds()
+		if base == 0 {
+			base = sec
+		}
+		points = append(points, ScalingPoint{Threads: th, Seconds: sec, Normalized: sec / base})
+	}
+	return points
+}
+
+// CPIStack is the Fig 2 (right) stall decomposition, as fractions of
+// execution time summing to 1.
+type CPIStack struct {
+	DRAMStall   float64
+	BranchStall float64
+	OtherStalls float64
+	NoStall     float64
+
+	// Underlying counts, for inspection.
+	Instructions int64
+	Branches     int64
+	Mispredicts  int64
+	CacheHits    int64
+	CacheMisses  int64
+}
+
+// ModelConfig holds the analytic-model constants. Defaults approximate a
+// server-class core with a 2 MB LLC slice (§III-B's experiment uses 32
+// threads with 2 MB LLC slice per core; the replay models one core's
+// slice).
+type ModelConfig struct {
+	LLCBytes          int
+	DRAMLatencyCycles float64
+	MispredictRate    float64
+	MispredictPenalty float64
+	BaseCPI           float64
+	OtherStallCPI     float64
+	InstrPerCandidate float64
+	InstrPerTask      float64
+}
+
+// DefaultModelConfig returns the calibration used for the Fig 2 replay.
+func DefaultModelConfig() ModelConfig {
+	return ModelConfig{
+		LLCBytes:          2 << 20,
+		DRAMLatencyCycles: 220,
+		MispredictRate:    0.18,
+		MispredictPenalty: 16,
+		BaseCPI:           0.35,
+		OtherStallCPI:     0.05,
+		InstrPerCandidate: 10,
+		InstrPerTask:      24,
+	}
+}
+
+// Characterize replays the mining of m on g as an address/branch trace
+// through a cache model and assembles the CPI stack.
+func Characterize(g *temporal.Graph, m *temporal.Motif, cfg ModelConfig) (CPIStack, error) {
+	if cfg.LLCBytes <= 0 {
+		return CPIStack{}, fmt.Errorf("cpumodel: LLCBytes must be positive")
+	}
+	dctrl, err := dram.NewController(dram.Config{
+		Channels:                8,
+		LineBytes:               64,
+		BytesPerCyclePerChannel: 16,
+		BaseLatency:             64,
+		QueueDepth:              1 << 20, // counting replay: never back-pressure
+	})
+	if err != nil {
+		return CPIStack{}, err
+	}
+	llc, err := cache.New(cache.Config{
+		Banks:        16,
+		BankBytes:    cfg.LLCBytes / 16,
+		Ways:         16,
+		LineBytes:    64,
+		PortsPerBank: 1024,
+		MSHRsPerBank: 256,
+		HitLatency:   1,
+	}, dctrl)
+	if err != nil {
+		return CPIStack{}, err
+	}
+	layout := memlayout.New(g)
+
+	var st CPIStack
+	clock := int64(0)
+	access := func(addr uint64) {
+		clock++
+		if _, ok := llc.Request(addr, clock, false); !ok {
+			// With unbounded ports/MSHRs this cannot happen; guard anyway.
+			clock++
+			llc.Request(addr, clock, false)
+		}
+	}
+
+	// Replay every search tree through the task model, issuing the same
+	// access pattern the software miner performs.
+	var ctx task.Context
+	for root := 0; root < g.NumEdges(); root++ {
+		access(layout.EdgeAddr(temporal.EdgeID(root)))
+		if !ctx.StartRoot(g, m, temporal.EdgeID(root)) {
+			continue
+		}
+		st.Instructions += int64(cfg.InstrPerTask)
+		for ctx.Busy {
+			switch ctx.Type {
+			case task.Search:
+				spec := task.PlanSearch(&ctx, g, m)
+				eG, cost := task.ExecuteSearchCounted(&ctx, g, m)
+				// Binary-search probes: dependent irregular loads.
+				if !spec.Global {
+					start := temporal.SearchAfter(spec.List, ctx.Cursor-1)
+					lo, hi := 0, len(spec.List)
+					for lo < hi {
+						mid := (lo + hi) / 2
+						access(layout.EntryAddr(spec.Out, spec.Node, mid))
+						if spec.List[mid] > ctx.Cursor-1 {
+							hi = mid
+						} else {
+							lo = mid + 1
+						}
+					}
+					// Scan: index entries then candidate edge records.
+					for i := 0; i < cost.IndexEntries; i++ {
+						access(layout.EntryAddr(spec.Out, spec.Node, start+i))
+						access(layout.EdgeAddr(spec.List[start+i]))
+					}
+				} else {
+					for i := 0; i < cost.EdgesExamined; i++ {
+						access(layout.EdgeAddr(ctx.Cursor + temporal.EdgeID(i)))
+					}
+				}
+				st.Branches += int64(cost.EdgesExamined) + int64(cost.BinarySteps)
+				st.Instructions += int64(cfg.InstrPerTask) +
+					int64(float64(cost.EdgesExamined)*cfg.InstrPerCandidate) +
+					int64(float64(cost.BinarySteps)*cfg.InstrPerCandidate)
+				if eG != temporal.InvalidEdge {
+					ctx.Cursor = eG
+					ctx.Type = task.BookKeep
+				} else {
+					ctx.Type = task.Backtrack
+				}
+			case task.BookKeep:
+				st.Instructions += int64(cfg.InstrPerTask)
+				st.Branches++
+				if ctx.Bookkeep(g, m, ctx.Cursor) {
+					ctx.Type = task.Backtrack
+				} else {
+					ctx.Type = task.Search
+				}
+			case task.Backtrack:
+				st.Instructions += int64(cfg.InstrPerTask)
+				st.Branches++
+				if ctx.Backtrack(g, m) {
+					break
+				}
+				ctx.Type = task.Search
+			}
+		}
+	}
+
+	cs := llc.Stats()
+	st.CacheHits = cs.Hits
+	st.CacheMisses = cs.Misses + cs.MergedMiss
+	st.Mispredicts = int64(float64(st.Branches) * cfg.MispredictRate)
+
+	dramCycles := float64(st.CacheMisses) * cfg.DRAMLatencyCycles
+	branchCycles := float64(st.Mispredicts) * cfg.MispredictPenalty
+	baseCycles := float64(st.Instructions) * cfg.BaseCPI
+	otherCycles := float64(st.Instructions) * cfg.OtherStallCPI
+	total := dramCycles + branchCycles + baseCycles + otherCycles
+	if total == 0 {
+		return st, nil
+	}
+	st.DRAMStall = dramCycles / total
+	st.BranchStall = branchCycles / total
+	st.OtherStalls = otherCycles / total
+	st.NoStall = baseCycles / total
+	return st, nil
+}

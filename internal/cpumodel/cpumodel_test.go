@@ -1,0 +1,86 @@
+package cpumodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+func TestThreadScalingShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := testutil.RandomGraph(rng, 30, 3000, 50_000)
+	m := temporal.M1(2000)
+	pts := ThreadScaling(g, m, []int{1, 2, 4})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Normalized != 1.0 {
+		t.Fatalf("first point normalized = %v", pts[0].Normalized)
+	}
+	for _, p := range pts {
+		if p.Seconds <= 0 {
+			t.Fatalf("non-positive time at %d threads", p.Threads)
+		}
+	}
+}
+
+func TestCharacterizeStackSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := testutil.RandomGraph(rng, 50, 2000, 100_000)
+	m := temporal.M1(5000)
+	st, err := Characterize(g, m, DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := st.DRAMStall + st.BranchStall + st.OtherStalls + st.NoStall
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("stack sums to %v: %+v", sum, st)
+	}
+	if st.Instructions == 0 || st.Branches == 0 {
+		t.Fatalf("empty counts: %+v", st)
+	}
+}
+
+// TestDRAMDominatesOnLargeWorkingSets reproduces the Fig 2 (right) shape:
+// on a graph whose working set dwarfs the LLC, DRAM stall dominates and
+// branch stall is the second component.
+func TestDRAMDominatesOnLargeWorkingSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	// Working set: ~40k edges × 16 B + index lists ≫ a deliberately tiny LLC.
+	g := testutil.RandomGraph(rng, 2000, 40_000, 10_000_000)
+	m := temporal.M1(100_000)
+	cfg := DefaultModelConfig()
+	cfg.LLCBytes = 64 << 10
+	st, err := Characterize(g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DRAMStall <= st.BranchStall || st.DRAMStall <= st.NoStall {
+		t.Fatalf("DRAM stall not dominant: %+v", st)
+	}
+	if st.BranchStall <= st.OtherStalls {
+		t.Fatalf("branch stall not second: %+v", st)
+	}
+}
+
+func TestCharacterizeRejectsBadConfig(t *testing.T) {
+	g := temporal.MustNewGraph([]temporal.Edge{{Src: 0, Dst: 1, Time: 1}})
+	cfg := DefaultModelConfig()
+	cfg.LLCBytes = 0
+	if _, err := Characterize(g, temporal.M1(10), cfg); err == nil {
+		t.Fatal("LLCBytes=0 accepted")
+	}
+}
+
+func TestCharacterizeEmptyGraph(t *testing.T) {
+	st, err := Characterize(temporal.MustNewGraph(nil), temporal.M1(10), DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DRAMStall != 0 && st.NoStall != 0 {
+		t.Fatalf("empty graph produced a stack: %+v", st)
+	}
+}

@@ -1,0 +1,217 @@
+package datasets
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mint/internal/temporal"
+)
+
+func TestTable1Inventory(t *testing.T) {
+	specs := Table1()
+	if len(specs) != 6 {
+		t.Fatalf("got %d datasets, want 6", len(specs))
+	}
+	// Spot-check Table I numbers.
+	em := specs[0]
+	if em.Short != "em" || em.Nodes != 986 || em.TemporalEdges != 332_300 {
+		t.Errorf("email-eu spec drifted: %+v", em)
+	}
+	so := specs[5]
+	if so.Short != "so" || so.Nodes != 2_600_000 || so.TemporalEdges != 36_200_000 {
+		t.Errorf("stackoverflow spec drifted: %+v", so)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if s, err := ByName("wiki-talk"); err != nil || s.Short != "wt" {
+		t.Fatalf("ByName(wiki-talk) = %+v, %v", s, err)
+	}
+	if s, err := ByName("wt"); err != nil || s.Name != "wiki-talk" {
+		t.Fatalf("ByName(wt) = %+v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestGenerateScaledTargets(t *testing.T) {
+	spec, _ := ByName("em")
+	g, err := Generate(spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := int(float64(spec.TemporalEdges) * 0.05)
+	if g.NumEdges() != wantEdges {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// Time span scales with edge count, preserving the per-window edge
+	// density k of the full dataset.
+	wantSpan := float64(spec.TimeSpanDays) * 0.05
+	gotSpan := float64(g.TimeSpan()) / secondsPerDay
+	if gotSpan < wantSpan*0.9 || gotSpan > wantSpan*1.1 {
+		t.Errorf("span = %.1f days, want ≈%.1f", gotSpan, wantSpan)
+	}
+	fullK := float64(spec.TemporalEdges) * float64(temporal.DeltaHour) /
+		(float64(spec.TimeSpanDays) * secondsPerDay)
+	scaledK := g.EdgesPerDelta(temporal.DeltaHour)
+	if scaledK < fullK*0.8 || scaledK > fullK*1.2 {
+		t.Errorf("k = %.1f, want ≈%.1f (full-dataset density)", scaledK, fullK)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := ByName("mo")
+	g1, err := Generate(spec, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(spec, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, g1.Edges[i], g2.Edges[i])
+		}
+	}
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	spec, _ := ByName("em")
+	for _, s := range []float64{0, -1, 1.5} {
+		if _, err := Generate(spec, s); err == nil {
+			t.Errorf("scale %v accepted", s)
+		}
+	}
+}
+
+func TestHeavyTailedDegrees(t *testing.T) {
+	// wiki-talk must be markedly more hub-concentrated than email-eu,
+	// matching the paper's §VIII-A neighborhood-size analysis.
+	wt, _ := ByName("wt")
+	em, _ := ByName("em")
+	gwt, err := Generate(wt, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gem, err := Generate(em, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swt := gwt.OutDegreeStats()
+	sem := gem.OutDegreeStats()
+	// Hub concentration: top-10% mean over overall mean.
+	concWT := swt.Top10Mean / swt.Mean
+	concEM := sem.Top10Mean / sem.Mean
+	if concWT <= concEM {
+		t.Errorf("wiki-talk concentration %.2f not above email-eu %.2f", concWT, concEM)
+	}
+	if swt.Max <= swt.P50*4 {
+		t.Errorf("wiki-talk lacks hubs: max=%d p50=%d", swt.Max, swt.P50)
+	}
+}
+
+func TestBurstinessRaisesEdgesPerDelta(t *testing.T) {
+	// Bursts concentrate edges in time: plenty of edges must fall within
+	// 1-hour windows even at small scale, or mining finds nothing.
+	spec, _ := ByName("em")
+	g, err := Generate(spec, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count max edges within any 1-hour window.
+	maxWin := 0
+	j := 0
+	for i := range g.Edges {
+		for g.Edges[i].Time-g.Edges[j].Time > temporal.DeltaHour {
+			j++
+		}
+		if w := i - j + 1; w > maxWin {
+			maxWin = w
+		}
+	}
+	if maxWin < 3 {
+		t.Errorf("max edges per hour = %d; too sparse for motif mining", maxWin)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	spec, _ := ByName("em")
+	g, err := Generate(spec, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Describe(spec, g)
+	if st.Nodes != g.NumNodes() || st.TemporalEdges != g.NumEdges() {
+		t.Fatalf("describe mismatch: %+v", st)
+	}
+	if st.SizeMB <= 0 || st.TimeSpanDays <= 0 {
+		t.Fatalf("describe derived stats: %+v", st)
+	}
+}
+
+func TestSortedBySize(t *testing.T) {
+	specs := SortedBySize()
+	for i := 1; i < len(specs); i++ {
+		if specs[i-1].TemporalEdges > specs[i].TemporalEdges {
+			t.Fatal("not sorted")
+		}
+	}
+	if specs[0].Short != "em" || specs[5].Short != "so" {
+		t.Fatalf("order = %v...%v", specs[0].Short, specs[5].Short)
+	}
+}
+
+func TestLoadPrefersRealFile(t *testing.T) {
+	dir := t.TempDir()
+	spec, _ := ByName("em")
+	// Write a tiny SNAP file under the dataset's name.
+	content := "0 1 100\n1 2 200\n2 0 300\n"
+	if err := os.WriteFile(filepath.Join(dir, "email-eu.txt"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(spec, dir, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("loaded %d edges, want the real file's 3", g.NumEdges())
+	}
+	// Without the file it falls back to generation.
+	g2, err := Load(spec, t.TempDir(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() == 3 {
+		t.Fatal("fallback did not generate")
+	}
+}
+
+func TestGenerateWithNodeScaleValidation(t *testing.T) {
+	spec, _ := ByName("em")
+	for _, bad := range [][2]float64{{0.01, 0}, {0.01, 1.5}, {0, 0.5}} {
+		if _, err := GenerateWithNodeScale(spec, bad[0], bad[1]); err == nil {
+			t.Errorf("scales %v accepted", bad)
+		}
+	}
+	// More nodes than the uniform scaling → statically sparser graph.
+	dense, err := GenerateWithNodeScale(spec, 0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := GenerateWithNodeScale(spec, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.NumNodes() <= dense.NumNodes() {
+		t.Fatalf("node scale ignored: %d vs %d nodes", sparse.NumNodes(), dense.NumNodes())
+	}
+}

@@ -1,0 +1,135 @@
+// Package dram models the accelerator's main memory: an 8-channel
+// DDR4-3200 system with 204.8 GB/s aggregate peak bandwidth (paper
+// Table II). The model is a per-channel bandwidth/latency queue — the
+// substitution for Ramulator documented in DESIGN.md §6: temporal motif
+// mining is bandwidth-bound (the paper measures >60% peak bandwidth
+// utilization and >98% of search-engine time waiting on DRAM, §VI-B), so a
+// bandwidth-faithful channel model preserves the bottleneck that shapes
+// the results.
+package dram
+
+import "fmt"
+
+// Config describes the DRAM system. All latencies are in accelerator
+// clock cycles.
+type Config struct {
+	// Channels is the number of independent channels (Table II: 8).
+	Channels int
+	// LineBytes is the transfer granule (one cache line).
+	LineBytes int
+	// BytesPerCyclePerChannel is the per-channel service bandwidth in
+	// bytes per accelerator cycle. DDR4-3200 × 8 channels = 204.8 GB/s;
+	// at 1.6 GHz that is 128 B/cycle total, 16 B/cycle per channel.
+	BytesPerCyclePerChannel float64
+	// BaseLatency is the unloaded access latency in cycles (row activate +
+	// CAS + transfer head; ~40 ns ≈ 64 cycles at 1.6 GHz).
+	BaseLatency int64
+	// QueueDepth bounds outstanding requests per channel; a full queue
+	// back-pressures the requester (the cache's MSHRs).
+	QueueDepth int
+}
+
+// DefaultConfig returns the Table II DRAM system as seen by a 1.6 GHz
+// accelerator clock.
+func DefaultConfig() Config {
+	return Config{
+		Channels:                8,
+		LineBytes:               64,
+		BytesPerCyclePerChannel: 16,
+		BaseLatency:             64,
+		QueueDepth:              64,
+	}
+}
+
+// Stats aggregates DRAM activity.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	BytesRead  int64
+	BytesWrite int64
+	// BusyCycles accumulates per-channel service occupancy; divide by
+	// (channels × elapsed cycles) for utilization.
+	BusyCycles int64
+}
+
+// TotalBytes is all data moved.
+func (s Stats) TotalBytes() int64 { return s.BytesRead + s.BytesWrite }
+
+// Controller is the cycle-level DRAM model. It is not safe for concurrent
+// use; the simulator drives it from a single goroutine.
+type Controller struct {
+	cfg          Config
+	serviceCycle int64 // cycles to move one line on one channel
+	nextFree     []int64
+	inflight     []int
+	stats        Stats
+}
+
+// NewController validates cfg and builds a controller.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Channels <= 0 || cfg.LineBytes <= 0 || cfg.BytesPerCyclePerChannel <= 0 {
+		return nil, fmt.Errorf("dram: invalid config %+v", cfg)
+	}
+	service := int64(float64(cfg.LineBytes)/cfg.BytesPerCyclePerChannel + 0.5)
+	if service < 1 {
+		service = 1
+	}
+	return &Controller{
+		cfg:          cfg,
+		serviceCycle: service,
+		nextFree:     make([]int64, cfg.Channels),
+		inflight:     make([]int, cfg.Channels),
+	}, nil
+}
+
+// channel maps a line address to its channel (line interleaving).
+func (c *Controller) channel(lineAddr uint64) int {
+	return int(lineAddr % uint64(c.cfg.Channels))
+}
+
+// Request enqueues a line read (or write when write=true) beginning at
+// cycle now. It returns the completion cycle and true, or false when the
+// channel queue is full and the requester must retry later.
+func (c *Controller) Request(lineAddr uint64, now int64, write bool) (done int64, ok bool) {
+	ch := c.channel(lineAddr)
+	// Drain bookkeeping: requests finished by now free queue slots.
+	if c.nextFree[ch] <= now {
+		c.inflight[ch] = 0
+	}
+	if c.inflight[ch] >= c.cfg.QueueDepth {
+		return 0, false
+	}
+	start := c.nextFree[ch]
+	if start < now {
+		start = now
+	}
+	finish := start + c.serviceCycle
+	c.nextFree[ch] = finish
+	c.inflight[ch]++
+	c.stats.BusyCycles += c.serviceCycle
+	if write {
+		c.stats.Writes++
+		c.stats.BytesWrite += int64(c.cfg.LineBytes)
+	} else {
+		c.stats.Reads++
+		c.stats.BytesRead += int64(c.cfg.LineBytes)
+	}
+	return finish + c.cfg.BaseLatency, true
+}
+
+// Stats returns a copy of the accumulated counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// PeakBytesPerCycle is the aggregate peak bandwidth in bytes per cycle.
+func (c *Controller) PeakBytesPerCycle() float64 {
+	return c.cfg.BytesPerCyclePerChannel * float64(c.cfg.Channels)
+}
+
+// Utilization reports achieved bandwidth as a fraction of peak over an
+// elapsed cycle count.
+func (c *Controller) Utilization(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(c.stats.TotalBytes()) / (c.PeakBytesPerCycle() * float64(cycles))
+}

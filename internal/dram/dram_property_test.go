@@ -1,0 +1,63 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestControllerInvariantsProperty drives random request streams and
+// checks the channel model's invariants:
+//
+//   - completion times are strictly increasing per channel (service is
+//     serialized) and never precede now + service + base latency;
+//   - byte accounting equals accepted requests × line size;
+//   - utilization never exceeds 1 over the busy horizon.
+func TestControllerInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.QueueDepth = 8
+		c, err := NewController(cfg)
+		if err != nil {
+			return false
+		}
+		service := int64(float64(cfg.LineBytes) / cfg.BytesPerCyclePerChannel)
+		lastDone := make([]int64, cfg.Channels)
+		accepted := int64(0)
+		now := int64(0)
+		maxDone := int64(0)
+		for i := 0; i < 400; i++ {
+			if rng.Intn(2) == 0 {
+				now += int64(rng.Intn(20))
+			}
+			line := uint64(rng.Intn(256))
+			done, ok := c.Request(line, now, rng.Intn(5) == 0)
+			if !ok {
+				continue
+			}
+			accepted++
+			ch := int(line % uint64(cfg.Channels))
+			if done <= lastDone[ch] {
+				t.Logf("channel %d: completion %d not after previous %d", ch, done, lastDone[ch])
+				return false
+			}
+			if done < now+service+cfg.BaseLatency {
+				t.Logf("completion %d earlier than physically possible %d", done, now+service+cfg.BaseLatency)
+				return false
+			}
+			lastDone[ch] = done
+			if done > maxDone {
+				maxDone = done
+			}
+		}
+		s := c.Stats()
+		if s.TotalBytes() != accepted*int64(cfg.LineBytes) {
+			return false
+		}
+		return maxDone == 0 || c.Utilization(maxDone) <= 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

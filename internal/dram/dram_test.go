@@ -1,0 +1,96 @@
+package dram
+
+import "testing"
+
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Channels != 8 {
+		t.Errorf("channels = %d, want 8", cfg.Channels)
+	}
+	// 204.8 GB/s at 1.6 GHz = 128 B/cycle aggregate.
+	if got := cfg.BytesPerCyclePerChannel * float64(cfg.Channels); got != 128 {
+		t.Errorf("aggregate = %v B/cycle, want 128", got)
+	}
+}
+
+func TestNewControllerRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Channels: 0, LineBytes: 64, BytesPerCyclePerChannel: 16},
+		{Channels: 8, LineBytes: 0, BytesPerCyclePerChannel: 16},
+		{Channels: 8, LineBytes: 64, BytesPerCyclePerChannel: 0},
+	} {
+		if _, err := NewController(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestUnloadedLatency(t *testing.T) {
+	c, err := NewController(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, ok := c.Request(0, 100, false)
+	if !ok {
+		t.Fatal("unloaded request rejected")
+	}
+	// service (64/16 = 4 cycles) + base latency 64.
+	if done != 100+4+64 {
+		t.Errorf("done = %d, want 168", done)
+	}
+}
+
+func TestChannelSerialization(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	// Same channel (same line addr modulo channels): requests serialize.
+	d1, _ := c.Request(0, 0, false)
+	d2, _ := c.Request(8, 0, false) // 8 % 8 == 0 → same channel
+	if d2 != d1+4 {
+		t.Errorf("second same-channel request done = %d, want %d", d2, d1+4)
+	}
+	// Different channel: no serialization.
+	d3, _ := c.Request(1, 0, false)
+	if d3 != d1 {
+		t.Errorf("different-channel request done = %d, want %d", d3, d1)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 2
+	c, _ := NewController(cfg)
+	if _, ok := c.Request(0, 0, false); !ok {
+		t.Fatal("first rejected")
+	}
+	if _, ok := c.Request(0, 0, false); !ok {
+		t.Fatal("second rejected")
+	}
+	if _, ok := c.Request(0, 0, false); ok {
+		t.Fatal("third should back-pressure")
+	}
+	// After the queue drains, requests flow again.
+	if _, ok := c.Request(0, 1000, false); !ok {
+		t.Fatal("post-drain request rejected")
+	}
+}
+
+func TestStatsAndUtilization(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	c.Request(0, 0, false)
+	c.Request(1, 0, true)
+	s := c.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TotalBytes() != 128 {
+		t.Fatalf("total bytes = %d", s.TotalBytes())
+	}
+	// 128 bytes over 10 cycles at 128 B/cycle peak = 10%.
+	if got := c.Utilization(10); got < 0.099 || got > 0.101 {
+		t.Fatalf("utilization = %v", got)
+	}
+	if c.Utilization(0) != 0 {
+		t.Fatal("zero-cycle utilization must be 0")
+	}
+}

@@ -1,0 +1,322 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII–§VIII): Table I (datasets), Table II (system
+// configuration), Fig 2 (CPU characterization), Fig 7 (neighborhood
+// utilization decay), Fig 10 (search index memoization), Fig 11 (baseline
+// comparison), Fig 12 (static mining accelerator comparison), Fig 13
+// (sensitivity), and Fig 14 (area/power).
+//
+// Each experiment prints a paper-style table to the configured writer and
+// optionally writes a CSV under OutDir. Absolute numbers differ from the
+// paper — the substrate is a Go simulator over synthetic datasets on this
+// host, not 28 nm RTL plus a dual-EPYC testbed — but each experiment's
+// *shape* (who wins, rough factors, trends) reproduces; EXPERIMENTS.md
+// records paper-vs-measured values side by side.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mint/internal/datasets"
+	"mint/internal/mackey"
+	"mint/internal/memlayout"
+	hw "mint/internal/mint"
+	"mint/internal/temporal"
+)
+
+// Config controls experiment scope and output.
+type Config struct {
+	// Out receives the printed tables (default os.Stdout).
+	Out io.Writer
+
+	// OutDir, when non-empty, receives one CSV per experiment.
+	OutDir string
+
+	// MaxEdges caps each dataset's scaled edge count so cycle-level
+	// simulation stays tractable on one host core.
+	MaxEdges int
+
+	// Delta is the motif time window (paper: 1 hour).
+	Delta temporal.Timestamp
+
+	// Quick shrinks every sweep for smoke tests.
+	Quick bool
+
+	// WorkBudget caps the software work (candidate examinations +
+	// bookkeepings) of each simulated workload; datasets are re-scaled
+	// down per (dataset, motif) pair until they fit, bounding cycle-level
+	// simulation time. Dense motifs like M4 on wiki-talk would otherwise
+	// produce tens of millions of simulation events.
+	WorkBudget int64
+
+	graphs    map[string]*temporal.Graph
+	workloads map[string]*temporal.Graph
+}
+
+// Default returns the standard harness configuration.
+func Default() Config {
+	return Config{
+		Out:      os.Stdout,
+		OutDir:   "results",
+		MaxEdges: 40_000,
+		Delta:    temporal.DeltaHour,
+		// Pre-created so the cache is shared across experiments even
+		// though Config is passed by value.
+		graphs:    map[string]*temporal.Graph{},
+		workloads: map[string]*temporal.Graph{},
+	}
+}
+
+func (c *Config) out() io.Writer {
+	if c.Out == nil {
+		return os.Stdout
+	}
+	return c.Out
+}
+
+// scaleFor returns the generation scale that caps spec at MaxEdges.
+func (c *Config) scaleFor(spec datasets.Spec) float64 {
+	maxEdges := c.MaxEdges
+	if maxEdges <= 0 {
+		maxEdges = 40_000
+	}
+	if c.Quick {
+		maxEdges = min(maxEdges, 3000)
+	}
+	s := float64(maxEdges) / float64(spec.TemporalEdges)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// dataset returns the (cached) scaled graph for a dataset.
+func (c *Config) dataset(spec datasets.Spec) (*temporal.Graph, error) {
+	if c.graphs == nil {
+		c.graphs = map[string]*temporal.Graph{}
+	}
+	if g, ok := c.graphs[spec.Short]; ok {
+		return g, nil
+	}
+	g, err := datasets.Generate(spec, c.scaleFor(spec))
+	if err != nil {
+		return nil, err
+	}
+	c.graphs[spec.Short] = g
+	return g, nil
+}
+
+// workload returns a (cached) graph for one (dataset, motif) simulation
+// row, re-scaled until its software mining work fits WorkBudget. All
+// systems compared within a row run this same graph.
+func (c *Config) workload(spec datasets.Spec, m *temporal.Motif) (*temporal.Graph, error) {
+	budget := c.WorkBudget
+	if budget <= 0 {
+		budget = 800_000
+	}
+	return c.workloadScaled(spec, m, c.scaleFor(spec), budget, "")
+}
+
+// largeWorkload is workload at the memoization-study operating point
+// (Fig 10): roughly 5× larger datasets, so hub neighborhoods are big
+// enough — and the scaled cache pressured enough — for the §VI-A
+// optimization to show its traffic effect, as it does on the paper's
+// full-size wiki-talk and stackoverflow.
+func (c *Config) largeWorkload(spec datasets.Spec, m *temporal.Motif) (*temporal.Graph, error) {
+	maxEdges := 200_000
+	budget := int64(4_000_000)
+	if c.Quick {
+		maxEdges = 3000
+		budget = 50_000
+	}
+	scale := float64(maxEdges) / float64(spec.TemporalEdges)
+	if scale > 1 {
+		scale = 1
+	}
+	return c.workloadScaled(spec, m, scale, budget, "L")
+}
+
+func (c *Config) workloadScaled(spec datasets.Spec, m *temporal.Motif,
+	scale float64, budget int64, keySuffix string) (*temporal.Graph, error) {
+	if c.workloads == nil {
+		c.workloads = map[string]*temporal.Graph{}
+	}
+	key := spec.Short + "/" + m.Name + keySuffix
+	if g, ok := c.workloads[key]; ok {
+		return g, nil
+	}
+	if c.Quick {
+		budget = min(budget, 50_000)
+	}
+	var g *temporal.Graph
+	for try := 0; try < 5; try++ {
+		var err error
+		g, err = datasets.Generate(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		res := mackey.Mine(g, m, mackey.Options{})
+		work := res.Stats.CandidateEdges + res.Stats.BookkeepTasks
+		if work <= budget {
+			break
+		}
+		// Work grows superlinearly with scale; shrink conservatively.
+		scale *= math.Sqrt(float64(budget)/float64(work)) * 0.9
+	}
+	c.workloads[key] = g
+	return g, nil
+}
+
+// motifs returns the evaluation motifs M1–M4 at the configured δ.
+func (c *Config) motifs() []*temporal.Motif {
+	d := c.Delta
+	if d <= 0 {
+		d = temporal.DeltaHour
+	}
+	ms := temporal.EvaluationMotifs(d)
+	if c.Quick {
+		return ms[:2]
+	}
+	return ms
+}
+
+// specs returns the evaluation datasets, smallest first.
+func (c *Config) specs() []datasets.Spec {
+	all := datasets.SortedBySize()
+	if c.Quick {
+		return all[:2]
+	}
+	return all
+}
+
+// CacheToWorkingSetRatio preserves the paper's cache-to-dataset
+// proportion: the 4 MB on-chip cache versus datasets from ~200 MB
+// (wiki-talk, 1:50) to ~1.5 GB (stackoverflow, 1:375). Experiments run on
+// scaled-down datasets, so the modeled cache shrinks by the same
+// proportion — otherwise every scaled dataset is cache-resident and the
+// memory system the paper characterizes never engages. 100 is the
+// geometric middle of the paper's range; at this point the simulator
+// reproduces the paper's operating regime (cache hit rates in the 60–80%
+// band and DRAM bandwidth utilization above 60%, §VI-B/Fig 13).
+const CacheToWorkingSetRatio = 100
+
+// simConfig returns the Table II machine, shrunk under Quick.
+func (c *Config) simConfig() hw.Config {
+	cfg := hw.DefaultConfig()
+	if c.Quick {
+		cfg.PEs = 16
+		cfg.Cache.Banks = 8
+	}
+	return cfg
+}
+
+// simConfigFor returns the Table II machine with the cache scaled to
+// preserve the paper's cache:working-set proportion for graph g.
+func (c *Config) simConfigFor(g *temporal.Graph) hw.Config {
+	cfg := c.simConfig()
+	minBytes := cfg.Cache.Banks * cfg.Cache.LineBytes * cfg.Cache.Ways
+	cfg.Cache.BankBytes = scaledCacheBytes(g, 1.0, minBytes) / cfg.Cache.Banks
+	return cfg
+}
+
+// scaledCacheBytes computes the scaled-equivalent cache capacity for g:
+// fraction 1.0 corresponds to the Table II 4 MB cache, 0.5 to 2 MB, etc.
+// minBytes keeps the geometry valid (at least one set per bank) for tiny
+// test graphs; pass banks × line × ways.
+func scaledCacheBytes(g *temporal.Graph, fraction float64, minBytes int) int {
+	ws := int(memlayout.New(g).TotalBytes)
+	bytes := int(float64(ws) / CacheToWorkingSetRatio * fraction)
+	if bytes < minBytes {
+		bytes = minBytes
+	}
+	if bytes > 4<<20 {
+		bytes = 4 << 20
+	}
+	return bytes
+}
+
+// writeCSV emits rows (first row = header) to OutDir/name.csv.
+func (c *Config) writeCSV(name string, rows [][]string) error {
+	if c.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.OutDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(c.OutDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// timeIt measures wall time of f.
+func timeIt(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+// geomean computes the geometric mean of positive values; zero on empty.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// header prints a section banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n===== %s =====\n", title)
+}
+
+// All runs every experiment in paper order.
+func All(cfg Config) error {
+	steps := []struct {
+		name string
+		run  func(Config) error
+	}{
+		{"Table I", Table1},
+		{"Table II", Table2},
+		{"Fig 2", Fig2},
+		{"Fig 7", Fig7},
+		{"Fig 10", Fig10},
+		{"Fig 11", Fig11},
+		{"Fig 12", Fig12},
+		{"Fig 13", Fig13},
+		{"Fig 14", Fig14},
+		{"DeltaSweep", DeltaSweep},
+	}
+	for _, s := range steps {
+		if err := s.run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quickConfig returns a tiny configuration for smoke tests.
+func quickConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := Default()
+	cfg.Quick = true
+	cfg.MaxEdges = 2000
+	cfg.Out = &bytes.Buffer{}
+	cfg.OutDir = t.TempDir()
+	return cfg
+}
+
+func output(cfg Config) string { return cfg.Out.(*bytes.Buffer).String() }
+
+func TestTable1(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := output(cfg)
+	if !strings.Contains(out, "email-eu") {
+		t.Fatalf("missing dataset row:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "table1.csv")); err != nil {
+		t.Fatal("table1.csv not written")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := Table2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := output(cfg)
+	for _, want := range []string{"Task Queue", "Context Memory", "DDR4-3200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in Table II output", want)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := Fig2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := output(cfg)
+	if !strings.Contains(out, "dram-stall") {
+		t.Fatalf("missing CPI stack:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "fig2_cpistack.csv")); err != nil {
+		t.Fatal("fig2_cpistack.csv not written")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := Fig7(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := output(cfg)
+	if !strings.Contains(out, "node1") {
+		t.Fatalf("missing utilization series:\n%s", out)
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Logf("utilization did not decay in quick mode:\n%s", out)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := Fig10(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := output(cfg)
+	if !strings.Contains(out, "geomean speedup w/  memo") {
+		t.Fatalf("missing geomean:\n%s", out)
+	}
+}
+
+func TestFig11(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := Fig11(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := output(cfg)
+	for _, want := range []string{"vs Mackey CPU", "vs PRESTO", "vs Mackey GPU"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig12(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := Fig12(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := output(cfg)
+	if !strings.Contains(out, "flexminer") && !strings.Contains(out, "FlexMiner") {
+		t.Fatalf("missing FlexMiner comparison:\n%s", out)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := Fig13(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := output(cfg)
+	if !strings.Contains(out, "Speedup (x)") || !strings.Contains(out, "Cache hit rate") {
+		t.Fatalf("missing panels:\n%s", out)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := Fig14(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := output(cfg)
+	if !strings.Contains(out, "Total") || !strings.Contains(out, "Crossbar") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}
+
+func TestDeltaSweep(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := DeltaSweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := output(cfg)
+	if !strings.Contains(out, "growth exponent") && !strings.Contains(out, "marginal") {
+		t.Fatalf("missing sweep output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "deltasweep.csv")); err != nil {
+		t.Fatal("deltasweep.csv not written")
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness smoke test skipped in -short")
+	}
+	cfg := quickConfig(t)
+	if err := All(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Every CSV of the run must exist.
+	for _, name := range []string{"table1", "fig2_scaling", "fig2_cpistack",
+		"fig7", "fig10", "fig11", "fig12", "fig13", "fig14"} {
+		if _, err := os.Stat(filepath.Join(cfg.OutDir, name+".csv")); err != nil {
+			t.Errorf("missing %s.csv", name)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mint/internal/gpumodel"
+	"mint/internal/mackey"
+	hw "mint/internal/mint"
+	"mint/internal/paranjape"
+	"mint/internal/presto"
+)
+
+// Fig11 reproduces the headline baseline comparison: Mint (with
+// memoization) versus (1) the Mackey et al. CPU baseline, (2) the same
+// with software memoization, (3) Paranjape et al. (M1/M2 only, matching
+// the public code's limitation), (4) PRESTO approximate sampling, and (5)
+// the Mackey-on-GPU SIMT model. Paper geomeans: 363.1×, 305.9×, 2575.9×,
+// 16.2×, and 9.2× respectively.
+func Fig11(cfg Config) error {
+	w := cfg.out()
+	header(w, "Fig 11: Mint speedup vs software baselines (x = not supported)")
+	fmt.Fprintf(w, "%-14s %-4s %12s %12s %12s %12s %12s\n",
+		"dataset", "m", "vs cpu", "vs cpu+memo", "vs paranjape", "vs presto", "vs gpu")
+	rows := [][]string{{"dataset", "motif", "mint_s", "cpu_s", "cpu_memo_s",
+		"paranjape_s", "presto_s", "gpu_s"}}
+
+	var vsCPU, vsMemo, vsPar, vsPresto, vsGPU []float64
+	for _, spec := range cfg.specs() {
+		for _, m := range cfg.motifs() {
+			g, err := cfg.workload(spec, m)
+			if err != nil {
+				return err
+			}
+			mintRes, err := hw.Simulate(g, m, cfg.simConfigFor(g))
+			if err != nil {
+				return err
+			}
+			mintSec := mintRes.Seconds
+
+			cpuSec := timeIt(func() { mackey.MineParallel(g, m, mackey.Options{}) })
+			memoSec := timeIt(func() { mackey.MineParallelMemo(g, m, mackey.Options{}) })
+
+			parSec := -1.0
+			if m.Name == "M1" || m.Name == "M2" {
+				parSec = timeIt(func() { paranjape.Count(g, m) })
+				vsPar = append(vsPar, parSec/mintSec)
+			}
+			prestoCfg := presto.DefaultConfig()
+			prestoSec := timeIt(func() {
+				if _, err := presto.Estimate(g, m, prestoCfg); err != nil {
+					panic(err) // config is static and valid
+				}
+			})
+			gpu, err := gpumodel.Run(g, m, gpumodel.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			if gpu.Matches != mintRes.Matches {
+				return fmt.Errorf("fig11: gpu count mismatch on %s/%s", spec.Short, m.Name)
+			}
+
+			vsCPU = append(vsCPU, cpuSec/mintSec)
+			vsMemo = append(vsMemo, memoSec/mintSec)
+			vsPresto = append(vsPresto, prestoSec/mintSec)
+			vsGPU = append(vsGPU, gpu.Seconds/mintSec)
+
+			parCell := "x"
+			if parSec >= 0 {
+				parCell = fmt.Sprintf("%.1f", parSec/mintSec)
+			}
+			fmt.Fprintf(w, "%-14s %-4s %12.1f %12.1f %12s %12.1f %12.1f\n",
+				spec.Short, m.Name, cpuSec/mintSec, memoSec/mintSec, parCell,
+				prestoSec/mintSec, gpu.Seconds/mintSec)
+			rows = append(rows, []string{spec.Short, m.Name,
+				fmt.Sprintf("%.6f", mintSec), fmt.Sprintf("%.6f", cpuSec),
+				fmt.Sprintf("%.6f", memoSec), fmt.Sprintf("%.6f", parSec),
+				fmt.Sprintf("%.6f", prestoSec), fmt.Sprintf("%.6f", gpu.Seconds)})
+		}
+	}
+	fmt.Fprintf(w, "geomean vs Mackey CPU:        %8.1fx (paper: 363.1x)\n", geomean(vsCPU))
+	fmt.Fprintf(w, "geomean vs Mackey CPU w/memo: %8.1fx (paper: 305.9x)\n", geomean(vsMemo))
+	fmt.Fprintf(w, "geomean vs Paranjape:         %8.1fx (paper: 2575.9x)\n", geomean(vsPar))
+	fmt.Fprintf(w, "geomean vs PRESTO:            %8.1fx (paper: 16.2x)\n", geomean(vsPresto))
+	fmt.Fprintf(w, "geomean vs Mackey GPU:        %8.1fx (paper: 9.2x)\n", geomean(vsGPU))
+	return cfg.writeCSV("fig11", rows)
+}

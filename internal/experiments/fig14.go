@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mint/internal/power"
+)
+
+// Fig14 reproduces the area/power breakdown of the full Mint design on the
+// 28 nm node. Paper totals: 28.3 mm², 5.1 W, with the SRAM cache the
+// dominant consumer of both.
+func Fig14(cfg Config) error {
+	w := cfg.out()
+	header(w, "Fig 14: area and power of the Mint design (28 nm, 1.6 GHz)")
+	b := power.ReferenceModel()
+	fmt.Fprintf(w, "%-18s %10s %12s %12s\n", "Component", "Instances", "Area (mm2)", "Power (mW)")
+	rows := [][]string{{"component", "instances", "area_mm2", "power_mw"}}
+	for _, c := range b.Components {
+		fmt.Fprintf(w, "%-18s %10d %12.3f %12.1f\n", c.Name, c.Instances, c.AreaMM2, c.PowerMW)
+		rows = append(rows, []string{c.Name, fmt.Sprint(c.Instances),
+			fmt.Sprintf("%.3f", c.AreaMM2), fmt.Sprintf("%.1f", c.PowerMW)})
+	}
+	fmt.Fprintf(w, "%-18s %10s %12.1f %12.1f\n", "Total", "", b.AreaMM2, b.PowerW*1000)
+	fmt.Fprintf(w, "(paper: 28.3 mm2, 5.1 W; vs GPU %.0f W: %.0fx lower power)\n",
+		power.GPUPowerW, power.GPUPowerW/b.PowerW)
+	rows = append(rows, []string{"total", "", fmt.Sprintf("%.1f", b.AreaMM2),
+		fmt.Sprintf("%.1f", b.PowerW*1000)})
+	return cfg.writeCSV("fig14", rows)
+}

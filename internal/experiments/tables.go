@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mint/internal/datasets"
+)
+
+// Table1 reproduces Table I: the six evaluation datasets. Both the paper's
+// full-scale targets and the generated (scaled) statistics are printed;
+// the generator preserves per-window edge density, degree skew, and
+// relative dataset ordering.
+func Table1(cfg Config) error {
+	w := cfg.out()
+	header(w, "Table I: temporal graph datasets (paper targets vs generated)")
+	fmt.Fprintf(w, "%-14s %5s | %10s %12s %9s %7s | %10s %12s %9s %8s %7s\n",
+		"graph", "abbr", "paper |V|", "paper |E|", "paper MB", "days",
+		"gen |V|", "gen |E|", "gen MB", "gen days", "k(1h)")
+	rows := [][]string{{"name", "abbr", "paper_nodes", "paper_edges", "paper_mb", "paper_days",
+		"gen_nodes", "gen_edges", "gen_mb", "gen_days", "k_per_hour"}}
+	paperMB := map[string]float64{"em": 7.6, "mo": 12.0, "ub": 24.5, "su": 36.0, "wt": 196.7, "so": 1493.0}
+	for _, spec := range cfg.specs() {
+		g, err := cfg.dataset(spec)
+		if err != nil {
+			return err
+		}
+		st := datasets.Describe(spec, g)
+		k := g.EdgesPerDelta(cfg.Delta)
+		fmt.Fprintf(w, "%-14s %5s | %10d %12d %9.1f %7d | %10d %12d %9.1f %8.1f %7.1f\n",
+			spec.Name, spec.Short, spec.Nodes, spec.TemporalEdges, paperMB[spec.Short],
+			spec.TimeSpanDays, st.Nodes, st.TemporalEdges, st.SizeMB, st.TimeSpanDays, k)
+		rows = append(rows, []string{
+			spec.Name, spec.Short,
+			fmt.Sprint(spec.Nodes), fmt.Sprint(spec.TemporalEdges),
+			fmt.Sprintf("%.1f", paperMB[spec.Short]), fmt.Sprint(spec.TimeSpanDays),
+			fmt.Sprint(st.Nodes), fmt.Sprint(st.TemporalEdges),
+			fmt.Sprintf("%.2f", st.SizeMB), fmt.Sprintf("%.1f", st.TimeSpanDays),
+			fmt.Sprintf("%.2f", k),
+		})
+	}
+	return cfg.writeCSV("table1", rows)
+}
+
+// Table2 reproduces Table II: the Mint system configuration as modeled.
+func Table2(cfg Config) error {
+	w := cfg.out()
+	c := cfg.simConfig()
+	header(w, "Table II: Mint system configuration")
+	fmt.Fprintf(w, "%-18s %s\n", "Component", "Modeled parameters")
+	fmt.Fprintf(w, "%-18s %d× context manager instances, update latency %d cycle(s)\n",
+		"Context Manager", c.PEs, c.CtxUpdateLatency)
+	fmt.Fprintf(w, "%-18s %d× dispatchers (latency %d), %d× two-phase search engines (%d comparators/cycle)\n",
+		"Search Unit", c.PEs, c.DispatchLatency, c.PEs, c.ComparatorsPerCycle)
+	fmt.Fprintf(w, "%-18s 1× queue, 1-cycle dequeue, single grant per cycle\n", "Task Queue")
+	fmt.Fprintf(w, "%-18s %d× context instances (registers + eStack + node CAM), %d-cycle access\n",
+		"Context Memory", c.PEs, c.CtxAccessLatency)
+	fmt.Fprintf(w, "%-18s %d× banks of %d KB SRAM (%d KB total), %d-way, %d ports/bank, %d B lines, %d MSHR/bank, %d-cycle access\n",
+		"On-chip Cache", c.Cache.Banks, c.Cache.BankBytes>>10, c.Cache.TotalBytes()>>10,
+		c.Cache.Ways, c.Cache.PortsPerBank, c.Cache.LineBytes, c.Cache.MSHRsPerBank, c.Cache.HitLatency)
+	fmt.Fprintf(w, "%-18s %d-channel DDR4-3200, %.1f GB/s peak, %.1f B/cycle/channel\n",
+		"DRAM", c.DRAM.Channels,
+		c.DRAM.BytesPerCyclePerChannel*float64(c.DRAM.Channels)*c.ClockGHz,
+		c.DRAM.BytesPerCyclePerChannel)
+	fmt.Fprintf(w, "%-18s %.1f GHz, search index memoization %v\n", "Clock", c.ClockGHz, c.Memoize)
+	return nil
+}

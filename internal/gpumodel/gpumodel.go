@@ -1,0 +1,223 @@
+// Package gpumodel is a SIMT timing model of the paper's "Mackey et al.
+// GPU" baseline: an in-house CUDA port of the chronological edge-driven
+// algorithm running on an NVIDIA GeForce RTX 2080 Ti (§VII-B, §VII-D).
+//
+// No GPU exists in this environment, so the baseline is *simulated*
+// (DESIGN.md §6): search trees are assigned to warp lanes and executed in
+// lockstep. The model charges exactly the two costs the paper blames for
+// limited GPU efficiency on this workload (§VIII-A):
+//
+//   - thread divergence: lanes of one warp executing different task types
+//     serialize, and a warp step lasts as long as its slowest lane; and
+//   - non-coalesced memory access: each lane's irregular accesses occupy
+//     their own memory transactions, so achieved bandwidth per useful byte
+//     is poor.
+//
+// Total time is the maximum of the latency/divergence estimate and the
+// bandwidth bound — the standard roofline treatment.
+package gpumodel
+
+import (
+	"fmt"
+
+	"mint/internal/task"
+	"mint/internal/temporal"
+)
+
+// Config describes the modeled GPU. Defaults follow the RTX 2080 Ti.
+type Config struct {
+	// ClockGHz is the SM clock.
+	ClockGHz float64
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// ResidentWarpsPerSM is the effective number of warps an SM overlaps
+	// to hide latency (occupancy-limited for this register-heavy kernel).
+	ResidentWarpsPerSM int
+	// WarpSize is the SIMT width.
+	WarpSize int
+	// BandwidthGBps is peak memory bandwidth (2080 Ti: 616 GB/s).
+	BandwidthGBps float64
+	// EffectiveBWFraction derates peak bandwidth for scattered 32 B
+	// sector traffic; GPUs typically achieve 25–40% of peak on fully
+	// uncoalesced access patterns.
+	EffectiveBWFraction float64
+	// TransactionBytes is the memory transaction granule (32 B sectors).
+	TransactionBytes int
+	// MemLatencyCycles is the average global-memory latency a warp stalls
+	// for when its accesses miss in cache.
+	MemLatencyCycles int64
+	// CtxUpdateCycles is the cost of a bookkeep/backtrack step per lane.
+	CtxUpdateCycles int64
+	// EntriesPerTransaction is how many 4 B neighbor-index entries one
+	// transaction serves for a single lane's sequential scan.
+	EntriesPerTransaction int
+}
+
+// DefaultConfig models the paper's RTX 2080 Ti.
+func DefaultConfig() Config {
+	return Config{
+		ClockGHz:              1.545,
+		SMs:                   68,
+		ResidentWarpsPerSM:    4, // register-heavy kernel: low occupancy
+		WarpSize:              32,
+		BandwidthGBps:         616,
+		EffectiveBWFraction:   0.25,
+		TransactionBytes:      32,
+		MemLatencyCycles:      500,
+		CtxUpdateCycles:       8,
+		EntriesPerTransaction: 1, // lockstep lanes do not coalesce index scans
+	}
+}
+
+// Result is the outcome of a model run.
+type Result struct {
+	Matches int64
+	// Seconds is the modeled execution time: max(latency-bound,
+	// bandwidth-bound).
+	Seconds float64
+	// LatencySeconds and BandwidthSeconds expose the two roofline terms.
+	LatencySeconds   float64
+	BandwidthSeconds float64
+	// WarpSteps counts lockstep steps across all warps.
+	WarpSteps int64
+	// DivergentSteps counts steps in which lanes disagreed on task type.
+	DivergentSteps int64
+	// Transactions counts memory transactions issued.
+	Transactions int64
+	// BytesTouched is transactions × transaction size.
+	BytesTouched int64
+}
+
+// lane is one SIMT lane executing one search tree at a time.
+type lane struct {
+	ctx    task.Context
+	active bool
+}
+
+// Run executes the SIMT model for graph g and motif m.
+func Run(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) {
+	if cfg.WarpSize <= 0 || cfg.SMs <= 0 || cfg.ResidentWarpsPerSM <= 0 {
+		return Result{}, fmt.Errorf("gpumodel: invalid parallelism in config %+v", cfg)
+	}
+	if cfg.BandwidthGBps <= 0 || cfg.ClockGHz <= 0 || cfg.EntriesPerTransaction <= 0 {
+		return Result{}, fmt.Errorf("gpumodel: invalid rates in config %+v", cfg)
+	}
+	if cfg.EffectiveBWFraction <= 0 || cfg.EffectiveBWFraction > 1 {
+		return Result{}, fmt.Errorf("gpumodel: EffectiveBWFraction must be in (0,1], got %v", cfg.EffectiveBWFraction)
+	}
+	res := Result{}
+	nextRoot := 0
+	var warpCycles int64 // summed serial cycles across all warps
+
+	lanes := make([]lane, cfg.WarpSize)
+	// seed assigns the next admissible root to the lane (grid-stride
+	// scheduling over the chronological root list).
+	seed := func(l *lane) bool {
+		for nextRoot < g.NumEdges() {
+			root := temporal.EdgeID(nextRoot)
+			nextRoot++
+			if l.ctx.StartRoot(g, m, root) {
+				l.active = true
+				return true
+			}
+		}
+		l.active = false
+		return false
+	}
+
+	for nextRoot < g.NumEdges() {
+		// Form one warp.
+		activeLanes := 0
+		for i := range lanes {
+			if seed(&lanes[i]) {
+				activeLanes++
+			}
+		}
+		if activeLanes == 0 {
+			break
+		}
+		// Execute the warp to completion in lockstep.
+		for activeLanes > 0 {
+			res.WarpSteps++
+			// Each active lane performs its pending task; costs aggregate
+			// by task type (divergent types serialize), and uncoalesced
+			// memory transactions replay through the load/store pipe one
+			// per cycle (memory divergence).
+			var typeMax [3]int64
+			var typesPresent [3]bool
+			var stepTx int64
+			for i := range lanes {
+				l := &lanes[i]
+				if !l.active {
+					continue
+				}
+				tt := l.ctx.Type
+				typesPresent[tt] = true
+				var cycles int64
+				switch tt {
+				case task.Search:
+					eG, cost := task.ExecuteSearchCounted(&l.ctx, g, m)
+					tx := int64((cost.IndexEntries+cfg.EntriesPerTransaction-1)/cfg.EntriesPerTransaction) +
+						int64(cost.EdgesExamined) + // one uncoalesced 32 B tx per edge record
+						int64(cost.BinarySteps) // binary-search probes are dependent loads
+					if tx == 0 {
+						tx = 1
+					}
+					res.Transactions += tx
+					stepTx += tx
+					cycles = cfg.MemLatencyCycles // exposed latency; issue charged per step
+					if eG != temporal.InvalidEdge {
+						l.ctx.Cursor = eG
+						l.ctx.Type = task.BookKeep
+					} else {
+						l.ctx.Type = task.Backtrack
+					}
+				case task.BookKeep:
+					cycles = cfg.CtxUpdateCycles
+					if l.ctx.Bookkeep(g, m, l.ctx.Cursor) {
+						res.Matches++
+						l.ctx.Type = task.Backtrack
+					} else {
+						l.ctx.Type = task.Search
+					}
+				case task.Backtrack:
+					cycles = cfg.CtxUpdateCycles
+					if l.ctx.Backtrack(g, m) {
+						// Tree done: lane idles until the warp retires
+						// (tail divergence, as a real grid-stride kernel
+						// without work stealing suffers).
+						l.active = false
+						activeLanes--
+					} else {
+						l.ctx.Type = task.Search
+					}
+				}
+				if cycles > typeMax[tt] {
+					typeMax[tt] = cycles
+				}
+			}
+			step := stepTx // replayed transaction issue serializes in the LSU
+			present := 0
+			for tt := 0; tt < 3; tt++ {
+				if typesPresent[tt] {
+					step += typeMax[tt]
+					present++
+				}
+			}
+			if present > 1 {
+				res.DivergentSteps++
+			}
+			warpCycles += step
+		}
+	}
+
+	res.BytesTouched = res.Transactions * int64(cfg.TransactionBytes)
+	parallelWarps := float64(cfg.SMs * cfg.ResidentWarpsPerSM)
+	res.LatencySeconds = float64(warpCycles) / parallelWarps / (cfg.ClockGHz * 1e9)
+	res.BandwidthSeconds = float64(res.BytesTouched) / (cfg.BandwidthGBps * cfg.EffectiveBWFraction * 1e9)
+	res.Seconds = res.LatencySeconds
+	if res.BandwidthSeconds > res.Seconds {
+		res.Seconds = res.BandwidthSeconds
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package gpumodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"mint/internal/mackey"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+func TestRejectsBadConfig(t *testing.T) {
+	g := temporal.MustNewGraph([]temporal.Edge{{Src: 0, Dst: 1, Time: 1}})
+	m := temporal.M1(10)
+	bad := DefaultConfig()
+	bad.WarpSize = 0
+	if _, err := Run(g, m, bad); err == nil {
+		t.Error("WarpSize=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.BandwidthGBps = 0
+	if _, err := Run(g, m, bad); err == nil {
+		t.Error("BandwidthGBps=0 accepted")
+	}
+}
+
+// TestModelIsFunctionallyExact: the SIMT schedule must not change counts.
+func TestModelIsFunctionallyExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		g := testutil.RandomGraph(rng, 4+rng.Intn(8), 10+rng.Intn(60), 150)
+		m := testutil.RandomConnectedMotif(rng, 2+rng.Intn(3), temporal.Timestamp(10+rng.Int63n(80)))
+		want := mackey.Mine(g, m, mackey.Options{}).Matches
+		res, err := Run(g, m, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != want {
+			t.Fatalf("trial %d: gpu=%d software=%d (motif %v)", trial, res.Matches, want, m)
+		}
+	}
+}
+
+func TestDivergenceIsObserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := testutil.RandomGraph(rng, 10, 400, 1000)
+	res, err := Run(g, temporal.M1(100), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarpSteps == 0 {
+		t.Fatal("no warp steps")
+	}
+	if res.DivergentSteps == 0 {
+		t.Error("irregular workload produced no divergence — model broken")
+	}
+	if res.Transactions == 0 || res.BytesTouched != res.Transactions*32 {
+		t.Errorf("transaction accounting: %+v", res)
+	}
+	if res.Seconds <= 0 {
+		t.Error("no time elapsed")
+	}
+	if res.Seconds < res.LatencySeconds || res.Seconds < res.BandwidthSeconds {
+		t.Error("roofline max violated")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Run(temporal.MustNewGraph(nil), temporal.M1(10), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 0 || res.WarpSteps != 0 {
+		t.Fatalf("empty graph: %+v", res)
+	}
+}
+
+// TestMoreParallelismIsFaster: doubling resident warps must not slow the
+// modeled latency term.
+func TestMoreParallelismIsFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := testutil.RandomGraph(rng, 12, 500, 2000)
+	m := temporal.M1(200)
+	base := DefaultConfig()
+	small := base
+	small.ResidentWarpsPerSM = 2
+	rSmall, err := Run(g, m, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBase, err := Run(g, m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBase.LatencySeconds > rSmall.LatencySeconds {
+		t.Errorf("more warps slower: %v vs %v", rBase.LatencySeconds, rSmall.LatencySeconds)
+	}
+}

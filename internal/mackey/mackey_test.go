@@ -1,0 +1,348 @@
+package mackey
+
+import (
+	"math/rand"
+	"testing"
+
+	"mint/internal/oracle"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+// fig1Graph is the paper's walk-through input (Fig 1 / Fig 4(b)).
+func fig1Graph() *temporal.Graph {
+	return temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 5},
+		{Src: 1, Dst: 2, Time: 10},
+		{Src: 2, Dst: 0, Time: 20},
+		{Src: 2, Dst: 3, Time: 25},
+		{Src: 1, Dst: 2, Time: 30},
+		{Src: 0, Dst: 1, Time: 40},
+	})
+}
+
+func cycle3(delta temporal.Timestamp) *temporal.Motif {
+	return temporal.MustNewMotif("cycle3", delta, []temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
+}
+
+// TestFig1WalkThrough reproduces the paper's Fig 1 example: exactly one
+// valid δ=25 three-cycle; the two other cycle candidates violate either
+// the δ-window or the edge ordering.
+func TestFig1WalkThrough(t *testing.T) {
+	g := fig1Graph()
+	m := cycle3(25)
+	for name, mine := range miners() {
+		res := mine(g, m, Options{})
+		if res.Matches != 1 {
+			t.Errorf("%s: matches = %d, want 1", name, res.Matches)
+		}
+	}
+	// Widening δ does not help: the only other ordered cycle
+	// (10,20,40) spans 30 > 25 but fits in δ=30.
+	res := Mine(g, m.WithDelta(30), Options{})
+	if res.Matches != 2 {
+		t.Errorf("δ=30: matches = %d, want 2", res.Matches)
+	}
+}
+
+// miners returns every functionally-equivalent entry point.
+func miners() map[string]func(*temporal.Graph, *temporal.Motif, Options) Result {
+	return map[string]func(*temporal.Graph, *temporal.Motif, Options) Result{
+		"reference":  Mine,
+		"algorithm1": MineAlgorithm1,
+		"parallel": func(g *temporal.Graph, m *temporal.Motif, o Options) Result {
+			o.Workers = 4
+			return MineParallel(g, m, o)
+		},
+		"memo": func(g *temporal.Graph, m *temporal.Motif, o Options) Result { return MineMemo(g, m, o) },
+		"parallelMemo": func(g *temporal.Graph, m *temporal.Motif, o Options) Result {
+			o.Workers = 4
+			return MineParallelMemo(g, m, o)
+		},
+	}
+}
+
+// TestMinersMatchOracleConnected cross-validates every miner against the
+// brute-force oracle on random graphs and connected-prefix motifs.
+func TestMinersMatchOracleConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 120; trial++ {
+		g := testutil.RandomGraph(rng, 3+rng.Intn(6), 5+rng.Intn(30), 100)
+		m := testutil.RandomConnectedMotif(rng, 2+rng.Intn(3), temporal.Timestamp(5+rng.Int63n(60)))
+		want := oracle.Count(g, m)
+		for name, mine := range miners() {
+			if got := mine(g, m, Options{}).Matches; got != want {
+				t.Fatalf("trial %d, %s: motif %v, got %d, want %d", trial, name, m, got, want)
+			}
+		}
+	}
+}
+
+// TestMinersMatchOracleDisconnected covers motifs whose edge sequence is
+// not a connected prefix, exercising the whole-edge-list search path.
+func TestMinersMatchOracleDisconnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1337))
+	for trial := 0; trial < 60; trial++ {
+		g := testutil.RandomGraph(rng, 3+rng.Intn(5), 5+rng.Intn(20), 80)
+		m := testutil.RandomMotif(rng, 2+rng.Intn(2), temporal.Timestamp(5+rng.Int63n(50)))
+		want := oracle.Count(g, m)
+		for name, mine := range miners() {
+			if got := mine(g, m, Options{}).Matches; got != want {
+				t.Fatalf("trial %d, %s: motif %v, got %d, want %d", trial, name, m, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluationMotifsOnRandomGraph cross-validates M1–M4 specifically.
+func TestEvaluationMotifsOnRandomGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testutil.RandomGraph(rng, 8, 60, 200)
+	for _, m := range temporal.EvaluationMotifs(40) {
+		want := oracle.Count(g, m)
+		for name, mine := range miners() {
+			if got := mine(g, m, Options{}).Matches; got != want {
+				t.Errorf("%s/%s: got %d, want %d", m.Name, name, got, want)
+			}
+		}
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	empty := temporal.MustNewGraph(nil)
+	m := cycle3(10)
+	for name, mine := range miners() {
+		if got := mine(empty, m, Options{}).Matches; got != 0 {
+			t.Errorf("%s on empty graph: %d matches", name, got)
+		}
+	}
+	// A graph with only self-loops can never match a loop-free motif.
+	loops := temporal.MustNewGraph([]temporal.Edge{{Src: 1, Dst: 1, Time: 1}, {Src: 2, Dst: 2, Time: 2}})
+	for name, mine := range miners() {
+		if got := mine(loops, m, Options{}).Matches; got != 0 {
+			t.Errorf("%s on self-loop graph: %d matches", name, got)
+		}
+	}
+}
+
+func TestDeltaBoundaryInclusive(t *testing.T) {
+	// Span exactly equals δ: t_l − t_1 ≤ δ must accept equality.
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 0},
+		{Src: 1, Dst: 2, Time: 5},
+		{Src: 2, Dst: 0, Time: 10},
+	})
+	for name, mine := range miners() {
+		if got := mine(g, cycle3(10), Options{}).Matches; got != 1 {
+			t.Errorf("%s δ=span: %d matches, want 1", name, got)
+		}
+		if got := mine(g, cycle3(9), Options{}).Matches; got != 0 {
+			t.Errorf("%s δ<span: %d matches, want 0", name, got)
+		}
+	}
+}
+
+func TestEdgeOrderingEnforced(t *testing.T) {
+	// Cycle edges exist but in the wrong temporal order (Fig 1(e)).
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 1, Dst: 2, Time: 0}, // B→C first
+		{Src: 0, Dst: 1, Time: 5}, // A→B second
+		{Src: 2, Dst: 0, Time: 8},
+	})
+	// As an unordered static pattern this is a cycle, but the temporal
+	// order A→B, B→C, C→A never occurs.
+	if got := Mine(g, cycle3(100), Options{}).Matches; got != 0 {
+		t.Errorf("wrong-order cycle counted: %d", got)
+	}
+}
+
+func TestNodeMappingIsInjective(t *testing.T) {
+	// A 4-cycle motif must not match a closed walk that revisits a node.
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 0},
+		{Src: 1, Dst: 0, Time: 1}, // revisits node 0
+		{Src: 0, Dst: 2, Time: 2},
+		{Src: 2, Dst: 0, Time: 3},
+	})
+	m4cycle := temporal.MustNewMotif("c4", 100, []temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}})
+	if got := Mine(g, m4cycle, Options{}).Matches; got != 0 {
+		t.Errorf("non-injective mapping counted: %d", got)
+	}
+	want := oracle.Count(g, m4cycle)
+	if want != 0 {
+		t.Fatalf("oracle disagrees: %d", want)
+	}
+}
+
+// TestRepeatedEdgesInMotif checks motifs that reuse the same directed pair
+// (e.g. A→B, B→A, A→B ping-pong), which stress the eCount bookkeeping.
+func TestRepeatedEdgesInMotif(t *testing.T) {
+	pingpong := temporal.MustNewMotif("pp", 100, []temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 0, Dst: 1}})
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 3, Dst: 4, Time: 0},
+		{Src: 4, Dst: 3, Time: 10},
+		{Src: 3, Dst: 4, Time: 20},
+		{Src: 4, Dst: 3, Time: 30},
+		{Src: 3, Dst: 4, Time: 40},
+	})
+	// With A=3,B=4: (0,10,20),(0,10,40),(0,30,40),(20,30,40); with the
+	// reversed mapping A=4,B=3: (10,20,30). Five matches total.
+	want := oracle.Count(g, pingpong)
+	if want != 5 {
+		t.Fatalf("oracle = %d, want 5", want)
+	}
+	for name, mine := range miners() {
+		if got := mine(g, pingpong, Options{}).Matches; got != want {
+			t.Errorf("%s: got %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestStatsTaskAccounting(t *testing.T) {
+	g := fig1Graph()
+	res := Mine(g, cycle3(25), Options{})
+	s := res.Stats
+	if s.Matches != 1 {
+		t.Fatalf("matches = %d", s.Matches)
+	}
+	// Every non-self-loop edge roots a tree.
+	if s.RootTasks != 6 {
+		t.Errorf("root tasks = %d, want 6", s.RootTasks)
+	}
+	if s.BookkeepTasks <= s.Matches {
+		t.Errorf("bookkeep tasks = %d, should exceed match count", s.BookkeepTasks)
+	}
+	if s.BacktrackTasks == 0 || s.SearchTasks == 0 {
+		t.Errorf("missing task accounting: %+v", s)
+	}
+	if s.CandidateEdges == 0 || s.NeighborEntries == 0 {
+		t.Errorf("missing memory accounting: %+v", s)
+	}
+	if s.NeighborEntriesUseful > s.NeighborEntries {
+		t.Errorf("useful entries %d > fetched %d", s.NeighborEntriesUseful, s.NeighborEntries)
+	}
+}
+
+func TestMemoReducesNeighborTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// A hub-heavy graph: node 0 talks to everyone repeatedly, so its
+	// neighborhood is fetched by many trees at increasing eG.
+	var edges []temporal.Edge
+	ts := temporal.Timestamp(0)
+	for i := 0; i < 400; i++ {
+		ts += temporal.Timestamp(1 + rng.Intn(3))
+		v := temporal.NodeID(1 + rng.Intn(20))
+		if i%2 == 0 {
+			edges = append(edges, temporal.Edge{Src: 0, Dst: v, Time: ts})
+		} else {
+			edges = append(edges, temporal.Edge{Src: v, Dst: 0, Time: ts})
+		}
+	}
+	g := temporal.MustNewGraph(edges)
+	m := temporal.MustNewMotif("tri", 30, []temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 0, Dst: 1}})
+
+	plain := Mine(g, m, Options{})
+	memo := MineMemo(g, m, Options{})
+	if plain.Matches != memo.Matches {
+		t.Fatalf("memoization changed result: %d vs %d", plain.Matches, memo.Matches)
+	}
+	if memo.Stats.MemoHits == 0 {
+		t.Fatal("memoization never hit on a hub-heavy graph")
+	}
+	if memo.Stats.MemoSkippedEntries == 0 {
+		t.Fatal("memoization skipped no entries")
+	}
+	fetchedPlain := plain.Stats.NeighborEntries
+	fetchedMemo := memo.Stats.NeighborEntries
+	if fetchedMemo >= fetchedPlain {
+		t.Errorf("memoized fetch %d not below plain %d", fetchedMemo, fetchedPlain)
+	}
+}
+
+// TestMemoCorrectnessUnderConcurrency hammers the shared memo table from
+// multiple workers; counts must stay exact.
+func TestMemoCorrectnessUnderConcurrency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		g := testutil.RandomGraph(rng, 6, 80, 120)
+		m := testutil.RandomConnectedMotif(rng, 3, 40)
+		want := Mine(g, m, Options{}).Matches
+		for rep := 0; rep < 3; rep++ {
+			got := MineParallelMemo(g, m, Options{Workers: 8}).Matches
+			if got != want {
+				t.Fatalf("trial %d rep %d: parallel memo = %d, want %d", trial, rep, got, want)
+			}
+		}
+	}
+}
+
+type captureProbe struct {
+	accesses int
+	matches  [][]int32
+}
+
+func (p *captureProbe) NeighborhoodAccess(node int32, out bool, listLen, filterPos int, rootEG int32) {
+	p.accesses++
+}
+func (p *captureProbe) Match(edges []int32) {
+	cp := make([]int32, len(edges))
+	copy(cp, edges)
+	p.matches = append(p.matches, cp)
+}
+
+func TestProbeReceivesMatchSequences(t *testing.T) {
+	g := fig1Graph()
+	p := &captureProbe{}
+	Mine(g, cycle3(25), Options{Probe: p})
+	if len(p.matches) != 1 {
+		t.Fatalf("probe saw %d matches", len(p.matches))
+	}
+	seq := p.matches[0]
+	want := []int32{0, 1, 2} // edges (0→1,5),(1→2,10),(2→0,20)
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("match sequence = %v, want %v", seq, want)
+		}
+	}
+	if p.accesses == 0 {
+		t.Error("probe saw no neighborhood accesses")
+	}
+}
+
+func TestMemoTablePackUnpack(t *testing.T) {
+	tbl := NewMemoTable(4)
+	if _, hit := tbl.Lookup(true, 2, 10); hit {
+		t.Fatal("empty table reported a hit")
+	}
+	tbl.Update(true, 2, 10, 7)
+	start, hit := tbl.Lookup(true, 2, 15)
+	if !hit || start != 7 {
+		t.Fatalf("lookup after update: start=%d hit=%v", start, hit)
+	}
+	// A reader with an older root must not trust the newer entry.
+	if _, hit := tbl.Lookup(true, 2, 5); hit {
+		t.Fatal("older-root reader trusted newer memo entry")
+	}
+	// Updates never move backward.
+	tbl.Update(true, 2, 3, 1)
+	start, hit = tbl.Lookup(true, 2, 15)
+	if !hit || start != 7 {
+		t.Fatalf("backward update applied: start=%d hit=%v", start, hit)
+	}
+	// In-direction is independent.
+	if _, hit := tbl.Lookup(false, 2, 50); hit {
+		t.Fatal("in-direction contaminated by out-direction update")
+	}
+}
+
+func TestParallelWorkerSweepIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := testutil.RandomGraph(rng, 10, 150, 300)
+	m := cycle3(60)
+	want := Mine(g, m, Options{}).Matches
+	for _, workers := range []int{1, 2, 3, 7, 16, 64} {
+		if got := MineParallel(g, m, Options{Workers: workers}).Matches; got != want {
+			t.Errorf("workers=%d: got %d, want %d", workers, got, want)
+		}
+	}
+}

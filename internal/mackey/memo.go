@@ -1,0 +1,85 @@
+package mackey
+
+import (
+	"sync/atomic"
+
+	"mint/internal/temporal"
+)
+
+// MemoTable is the software realization of Mint's search index memoization
+// (§VI-A). For every node and direction it remembers, from the most recent
+// search tree that touched the neighborhood, the position of the first
+// neighbor-index entry whose edge index exceeds that tree's *root* eG.
+//
+// Correctness argument (mirroring the paper's): every candidate filter in
+// a tree with root edge r asks for entries with edge index > last where
+// last ≥ r. Therefore entries at positions below the memoized index —
+// whose edge indices are ≤ the recorded root — can never be needed by any
+// tree whose root is ≥ the recorded root. Root tasks are generated in
+// chronological order, but because trees execute concurrently, each entry
+// also records the root it was computed for; a reader only trusts an entry
+// recorded for a root no later than its own. Entries are packed into a
+// single uint64 (root+1 in the high half, index in the low half) so the
+// table is safely shared across workers with atomic loads and CAS updates.
+type MemoTable struct {
+	out []atomic.Uint64
+	in  []atomic.Uint64
+}
+
+// NewMemoTable allocates a memo table for a graph with numNodes nodes.
+func NewMemoTable(numNodes int) *MemoTable {
+	return &MemoTable{
+		out: make([]atomic.Uint64, numNodes),
+		in:  make([]atomic.Uint64, numNodes),
+	}
+}
+
+func pack(root temporal.EdgeID, idx int) uint64 {
+	return uint64(uint32(root+1))<<32 | uint64(uint32(idx))
+}
+
+func unpack(v uint64) (root temporal.EdgeID, idx int) {
+	return temporal.EdgeID(uint32(v>>32)) - 1, int(uint32(v))
+}
+
+func (t *MemoTable) slot(out bool, node temporal.NodeID) *atomic.Uint64 {
+	if out {
+		return &t.out[node]
+	}
+	return &t.in[node]
+}
+
+// Lookup returns a safe starting position within the node's neighbor-index
+// list for a search tree rooted at rootEG, and whether the memo supplied a
+// non-zero start (a "memo hit"). Position 0 is always safe.
+func (t *MemoTable) Lookup(out bool, node temporal.NodeID, rootEG temporal.EdgeID) (start int, hit bool) {
+	storedRoot, idx := unpack(t.slot(out, node).Load())
+	if storedRoot >= 0 && storedRoot <= rootEG && idx > 0 {
+		return idx, true
+	}
+	return 0, false
+}
+
+// Update records that, for the tree rooted at rootEG, the first useful
+// entry of the node's neighbor-index list sits at position idx. The entry
+// only moves forward: updates for older roots than the stored one lose.
+func (t *MemoTable) Update(out bool, node temporal.NodeID, rootEG temporal.EdgeID, idx int) {
+	slot := t.slot(out, node)
+	for {
+		cur := slot.Load()
+		curRoot, _ := unpack(cur)
+		if curRoot >= rootEG {
+			return
+		}
+		if slot.CompareAndSwap(cur, pack(rootEG, idx)) {
+			return
+		}
+	}
+}
+
+// MemoryBytes reports the table footprint in bytes; the paper stores the
+// equivalent structures in DRAM because they grow linearly with node count
+// (§VI-A), and the Mint simulator charges DRAM traffic for them.
+func (t *MemoTable) MemoryBytes() int64 {
+	return int64(len(t.out)+len(t.in)) * 8
+}

@@ -1,0 +1,80 @@
+package mackey
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mint/internal/temporal"
+)
+
+// MineParallel is the task-centric multi-threaded CPU baseline of the
+// paper (§VII-D: "we convert their code into a task-centric multi-threaded
+// implementation ... using work stealing OpenMP threads"). Root tasks —
+// complete search trees, which are mutually independent (§IV-C) — are
+// distributed to workers through a shared atomic cursor in small chunks,
+// the Go analog of OpenMP dynamic/work-stealing scheduling. Each worker
+// owns private node mappings; only the optional memo table is shared.
+func MineParallel(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	n := g.NumEdges()
+	if workers > n {
+		workers = max(1, n)
+	}
+
+	// Chunked dynamic scheduling: small enough chunks to balance the
+	// heavy-tailed tree sizes, large enough to keep cursor contention low.
+	chunk := int64(n / (workers * 16))
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 256 {
+		chunk = 256
+	}
+
+	var cursor atomic.Int64
+	perWorker := make([]Stats, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := newWorker(g, m, opts)
+			for {
+				base := cursor.Add(chunk) - chunk
+				if base >= int64(n) {
+					break
+				}
+				end := min(base+chunk, int64(n))
+				for root := base; root < end; root++ {
+					w.mineRoot(temporal.EdgeID(root))
+				}
+			}
+			perWorker[wi] = w.stats
+		}(wi)
+	}
+	wg.Wait()
+
+	var total Stats
+	for _, s := range perWorker {
+		total.Add(s)
+	}
+	return Result{Matches: total.Matches, Stats: total}
+}
+
+// MineMemo runs the sequential reference miner with software search index
+// memoization enabled — the "Mackey et al. CPU w/ Memoization" baseline of
+// Fig 10/11. The memo table is allocated internally.
+func MineMemo(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
+	opts.Memo = NewMemoTable(g.NumNodes())
+	return Mine(g, m, opts)
+}
+
+// MineParallelMemo is MineParallel with a shared memo table.
+func MineParallelMemo(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
+	opts.Memo = NewMemoTable(g.NumNodes())
+	return MineParallel(g, m, opts)
+}

@@ -1,0 +1,264 @@
+package mackey
+
+import (
+	"math"
+	"math/bits"
+
+	"mint/internal/temporal"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// Probe receives fine-grained events; may be nil.
+	Probe Probe
+
+	// Memo enables software search index memoization using the given
+	// table (shared across workers in parallel runs); nil disables it.
+	Memo *MemoTable
+
+	// Workers sets the degree of parallelism for the parallel miners;
+	// values < 1 mean runtime.NumCPU().
+	Workers int
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Matches int64
+	Stats   Stats
+}
+
+// Mine counts δ-temporal motif instances of m in g using the recursive
+// reference formulation of Mackey et al.'s chronological edge-driven DFS.
+func Mine(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
+	w := newWorker(g, m, opts)
+	for root := 0; root < g.NumEdges(); root++ {
+		w.mineRoot(temporal.EdgeID(root))
+	}
+	return Result{Matches: w.stats.Matches, Stats: w.stats}
+}
+
+// worker holds the per-thread mining state: the node mappings (m2gMap and
+// g2mMap from Algorithm 1) and instrumentation counters. A worker expands
+// complete search trees one root at a time; distinct workers never share
+// mutable state except the (atomically updated) memo table.
+type worker struct {
+	g    *temporal.Graph
+	m    *temporal.Motif
+	opts Options
+
+	m2g []temporal.NodeID // motif node -> graph node, -1 if unmapped
+	g2m []temporal.NodeID // graph node -> motif node, -1 if unmapped
+	seq []temporal.EdgeID // matched graph edges in motif order (eStack)
+
+	rootEG temporal.EdgeID
+	stats  Stats
+}
+
+func newWorker(g *temporal.Graph, m *temporal.Motif, opts Options) *worker {
+	w := &worker{
+		g:    g,
+		m:    m,
+		opts: opts,
+		m2g:  make([]temporal.NodeID, m.NumNodes()),
+		g2m:  make([]temporal.NodeID, g.NumNodes()),
+		seq:  make([]temporal.EdgeID, 0, m.NumEdges()),
+	}
+	for i := range w.m2g {
+		w.m2g[i] = temporal.InvalidNode
+	}
+	for i := range w.g2m {
+		w.g2m[i] = temporal.InvalidNode
+	}
+	return w
+}
+
+// mineRoot expands the complete search tree rooted at matching motif edge
+// 0 to graph edge root. Root tasks are exactly the paper's root
+// book-keeping tasks (§IV-A).
+func (w *worker) mineRoot(root temporal.EdgeID) {
+	e := w.g.Edges[root]
+	if e.Src == e.Dst {
+		return // motif edges are loop-free; a self-loop can never map
+	}
+	w.stats.RootTasks++
+	w.rootEG = root
+	me := w.m.Edges[0]
+	w.bind(me.Src, e.Src)
+	w.bind(me.Dst, e.Dst)
+	w.seq = append(w.seq, root)
+	w.stats.BookkeepTasks++
+	w.extend(1, root, e.Time+w.m.Delta)
+	w.seq = w.seq[:0]
+	w.unbind(me.Dst, e.Dst)
+	w.unbind(me.Src, e.Src)
+	w.stats.BacktrackTasks++
+}
+
+func (w *worker) bind(mu temporal.NodeID, gu temporal.NodeID) {
+	w.m2g[mu] = gu
+	w.g2m[gu] = mu
+}
+
+func (w *worker) unbind(mu temporal.NodeID, gu temporal.NodeID) {
+	w.m2g[mu] = temporal.InvalidNode
+	w.g2m[gu] = temporal.InvalidNode
+}
+
+// extend matches motif edge depth against graph edges later than last and
+// no later than deadline, recursing on every success. It is the recursive
+// equivalent of the paper's FindNextMatchingEdge + UpdateDataStructures +
+// backtracking loop.
+func (w *worker) extend(depth int, last temporal.EdgeID, deadline temporal.Timestamp) {
+	if depth == w.m.NumEdges() {
+		w.stats.Matches++
+		if w.opts.Probe != nil {
+			w.opts.Probe.Match(edgeIDsAsInt32(w.seq))
+		}
+		return
+	}
+	w.stats.SearchTasks++
+	me := w.m.Edges[depth]
+	uG := w.m2g[me.Src]
+	vG := w.m2g[me.Dst]
+
+	switch {
+	case uG != temporal.InvalidNode && vG != temporal.InvalidNode:
+		// Both endpoints mapped (Algorithm 1 line 31): scan the smaller of
+		// Nout(uG) and Nin(vG), matching the other endpoint exactly.
+		outList := w.g.OutEdges(uG)
+		inList := w.g.InEdges(vG)
+		if len(outList) <= len(inList) {
+			w.scanList(outList, true, uG, depth, last, deadline, func(e temporal.Edge) bool { return e.Dst == vG }, nil)
+		} else {
+			w.scanList(inList, false, vG, depth, last, deadline, func(e temporal.Edge) bool { return e.Src == uG }, nil)
+		}
+
+	case uG != temporal.InvalidNode:
+		// Source mapped (line 33): scan Nout(uG), destination must be free.
+		w.scanList(w.g.OutEdges(uG), true, uG, depth, last, deadline,
+			func(e temporal.Edge) bool { return w.g2m[e.Dst] == temporal.InvalidNode },
+			func(e temporal.Edge, bind bool) {
+				if bind {
+					w.bind(me.Dst, e.Dst)
+				} else {
+					w.unbind(me.Dst, e.Dst)
+				}
+			})
+
+	case vG != temporal.InvalidNode:
+		// Destination mapped (line 35): scan Nin(vG), source must be free.
+		w.scanList(w.g.InEdges(vG), false, vG, depth, last, deadline,
+			func(e temporal.Edge) bool { return w.g2m[e.Src] == temporal.InvalidNode },
+			func(e temporal.Edge, bind bool) {
+				if bind {
+					w.bind(me.Src, e.Src)
+				} else {
+					w.unbind(me.Src, e.Src)
+				}
+			})
+
+	default:
+		// Neither endpoint mapped (line 37): the search space is the whole
+		// remaining edge list. Only reachable for motifs whose edge
+		// sequence is not connected-prefix; kept for full generality.
+		for id := int(last) + 1; id < w.g.NumEdges(); id++ {
+			e := w.g.Edges[id]
+			if e.Time > deadline {
+				break
+			}
+			w.stats.CandidateEdges++
+			w.stats.Branches++
+			if e.Src == e.Dst ||
+				w.g2m[e.Src] != temporal.InvalidNode ||
+				w.g2m[e.Dst] != temporal.InvalidNode {
+				continue
+			}
+			w.bind(me.Src, e.Src)
+			w.bind(me.Dst, e.Dst)
+			w.accept(depth, temporal.EdgeID(id), deadline)
+			w.unbind(me.Dst, e.Dst)
+			w.unbind(me.Src, e.Src)
+		}
+	}
+	w.stats.BacktrackTasks++
+}
+
+// scanList is the shared phase-1/phase-2 candidate loop over one node
+// neighborhood. valid is the structural predicate; rebind (optional)
+// binds/unbinds the newly mapped endpoint around each recursion.
+func (w *worker) scanList(list []temporal.EdgeID, out bool, node temporal.NodeID,
+	depth int, last temporal.EdgeID, deadline temporal.Timestamp,
+	valid func(temporal.Edge) bool, rebind func(temporal.Edge, bool)) {
+
+	// Phase-1 filter origin. Software uses binary search; with memoization
+	// enabled the memoized index bounds the search range first and a
+	// second binary search refines it (§VII-D).
+	memoStart := 0
+	if w.opts.Memo != nil {
+		s, hit := w.opts.Memo.Lookup(out, node, w.rootEG)
+		if hit {
+			memoStart = s
+			w.stats.MemoHits++
+			w.stats.MemoSkippedEntries += int64(s)
+		}
+		w.stats.BinarySearches++ // the extra memo-index search
+		// Keep the memo current for later trees: position of first entry
+		// beyond this tree's root.
+		rootPos := memoStart + temporal.SearchAfter(list[memoStart:], w.rootEG)
+		w.opts.Memo.Update(out, node, w.rootEG, rootPos)
+	}
+	start := memoStart + temporal.SearchAfter(list[memoStart:], last)
+	w.stats.BinarySearches++
+	if n := len(list[memoStart:]); n > 0 {
+		w.stats.Branches += int64(bits.Len(uint(n)))
+	}
+
+	// Fig 7 accounting: a streaming hardware fetch transfers the tail of
+	// the neighborhood from the memo origin; only entries beyond the eG
+	// filter are useful.
+	w.stats.NeighborEntries += int64(len(list) - memoStart)
+	w.stats.NeighborEntriesUseful += int64(len(list) - start)
+	if w.opts.Probe != nil {
+		w.opts.Probe.NeighborhoodAccess(int32(node), out, len(list), start, int32(w.rootEG))
+	}
+
+	for i := start; i < len(list); i++ {
+		id := list[i]
+		e := w.g.Edges[id]
+		if e.Time > deadline {
+			break
+		}
+		w.stats.CandidateEdges++
+		w.stats.Branches++
+		if !valid(e) {
+			continue
+		}
+		if rebind != nil {
+			rebind(e, true)
+		}
+		w.accept(depth, id, deadline)
+		if rebind != nil {
+			rebind(e, false)
+		}
+	}
+}
+
+// accept records a successful mapping of motif edge depth to graph edge id
+// and recurses to the next motif edge.
+func (w *worker) accept(depth int, id temporal.EdgeID, deadline temporal.Timestamp) {
+	w.stats.BookkeepTasks++
+	w.seq = append(w.seq, id)
+	w.extend(depth+1, id, deadline)
+	w.seq = w.seq[:len(w.seq)-1]
+}
+
+// maxTimestamp is the sentinel deadline before the first edge is matched.
+const maxTimestamp = temporal.Timestamp(math.MaxInt64)
+
+func edgeIDsAsInt32(seq []temporal.EdgeID) []int32 {
+	out := make([]int32, len(seq))
+	for i, id := range seq {
+		out[i] = int32(id)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+// Package mackey implements the pattern-agnostic exact temporal motif
+// mining algorithm of Mackey et al. ("A chronological edge-driven approach
+// to temporal subgraph isomorphism", IEEE BigData 2018), which is the
+// algorithm Mint accelerates (paper §II-D, Algorithm 1).
+//
+// Four miners are provided, all functionally identical:
+//
+//   - Mine: the recursive reference miner (clean DFS formulation).
+//   - MineAlgorithm1: an iterative miner mirroring the paper's Algorithm 1
+//     line-by-line (explicit eStack, eCount, t′, backtracking loop).
+//   - MineParallel: the task-centric multi-threaded variant the paper uses
+//     as its CPU baseline (§VII-D), with work stealing over root tasks.
+//   - MineMemo / MineParallelMemo: the above plus the software port of
+//     Mint's search index memoization (§VI-A, evaluated in Fig 10/11 as
+//     "Mackey et al. CPU w/ Memoization").
+//
+// All miners populate Stats, the instrumentation that drives the workload
+// characterization experiments (Fig 2 and Fig 7) and validates the Mint
+// simulator's functional layer.
+package mackey
+
+// Stats aggregates instrumentation counters from a mining run. Counters
+// follow the paper's task taxonomy (§IV-A: search, book-keeping,
+// backtracking) and its memory-behavior analysis (§III-B, §VI-A).
+type Stats struct {
+	// Matches is the number of complete motif instances found.
+	Matches int64
+
+	// RootTasks is the number of search trees expanded (one per graph
+	// edge structurally admissible as the first motif edge).
+	RootTasks int64
+
+	// SearchTasks counts invocations of FindNextMatchingEdge.
+	SearchTasks int64
+
+	// BookkeepTasks counts successful edge mappings (context extensions).
+	BookkeepTasks int64
+
+	// BacktrackTasks counts voided mappings (context contractions).
+	BacktrackTasks int64
+
+	// CandidateEdges counts graph edges examined for structural/temporal
+	// constraints (the phase-2 workload of the Mint search engine).
+	CandidateEdges int64
+
+	// NeighborEntries counts neighbor-index entries that a streaming
+	// (hardware-style) phase-1 fetch would transfer: the full tail of the
+	// neighborhood from the filter origin onward.
+	NeighborEntries int64
+
+	// NeighborEntriesUseful counts the subset of NeighborEntries with
+	// edge index beyond the current eG — the entries the filter keeps.
+	// NeighborEntriesUseful / NeighborEntries is the neighborhood
+	// utilization of Fig 7.
+	NeighborEntriesUseful int64
+
+	// BinarySearches counts binary searches performed (the software
+	// implementation's filter mechanism; doubled under memoization,
+	// §VII-D "two search operations are triggered").
+	BinarySearches int64
+
+	// MemoHits counts phase-1 accesses that started from a memoized
+	// index rather than position 0.
+	MemoHits int64
+
+	// MemoSkippedEntries counts neighbor-index entries whose fetch the
+	// memoization avoided (the memory-traffic reduction of Fig 10).
+	MemoSkippedEntries int64
+
+	// Branches counts data-dependent branch events (candidate accepts/
+	// rejects and backtrack decisions); input to the Fig 2 CPI stack.
+	Branches int64
+}
+
+// Add accumulates other into s; used to merge per-worker stats.
+func (s *Stats) Add(other Stats) {
+	s.Matches += other.Matches
+	s.RootTasks += other.RootTasks
+	s.SearchTasks += other.SearchTasks
+	s.BookkeepTasks += other.BookkeepTasks
+	s.BacktrackTasks += other.BacktrackTasks
+	s.CandidateEdges += other.CandidateEdges
+	s.NeighborEntries += other.NeighborEntries
+	s.NeighborEntriesUseful += other.NeighborEntriesUseful
+	s.BinarySearches += other.BinarySearches
+	s.MemoHits += other.MemoHits
+	s.MemoSkippedEntries += other.MemoSkippedEntries
+	s.Branches += other.Branches
+}
+
+// Utilization returns the overall neighborhood-data utilization (Fig 7):
+// the fraction of streamed neighbor entries that survive the time filter.
+func (s *Stats) Utilization() float64 {
+	if s.NeighborEntries == 0 {
+		return 0
+	}
+	return float64(s.NeighborEntriesUseful) / float64(s.NeighborEntries)
+}
+
+// Probe receives fine-grained events during mining. All methods may be
+// called very frequently; implementations must be cheap. A nil Probe is
+// always legal.
+type Probe interface {
+	// NeighborhoodAccess fires once per phase-1 candidate gathering over a
+	// node neighborhood. node is the graph node, out reports direction
+	// (true = outgoing), listLen the full neighborhood size, filterPos the
+	// position of the first entry surviving the >eG filter, and rootEG the
+	// root edge of the current search tree (a proxy for algorithm
+	// progress, the x-axis of Fig 7).
+	NeighborhoodAccess(node int32, out bool, listLen, filterPos int, rootEG int32)
+
+	// Match fires once per complete motif instance, with the matched
+	// graph-edge indices in motif order. The slice is reused; copy to
+	// retain.
+	Match(edges []int32)
+}

@@ -1,0 +1,95 @@
+// Package memlayout assigns byte addresses to the temporal graph data
+// structures as the Mint accelerator would see them in DRAM: the temporal
+// edge list, the per-node out/in neighbor-index arrays (CSR-flattened),
+// and the two search-index memoization arrays (§VI-A stores these in DRAM
+// because they grow with node count). Both the Mint simulator and the CPU
+// CPI-stack model derive their memory traces from this layout, so cache
+// behavior is computed over realistic addresses.
+package memlayout
+
+import (
+	"mint/internal/temporal"
+)
+
+// Record sizes, in bytes.
+const (
+	// EdgeBytes is one temporal edge record: src (4) + dst (4) + time (8).
+	EdgeBytes = 16
+	// EntryBytes is one neighbor-index entry (a 4-byte edge index).
+	EntryBytes = 4
+	// MemoBytes is one memoization entry (a 4-byte list position).
+	MemoBytes = 4
+)
+
+// Layout maps graph structures to a flat address space. Regions are
+// contiguous and line-aligned.
+type Layout struct {
+	EdgeBase    uint64
+	OutBase     uint64
+	InBase      uint64
+	MemoOutBase uint64
+	MemoInBase  uint64
+	TotalBytes  uint64
+
+	outOff []uint64 // per-node starting entry index within the out region
+	inOff  []uint64
+}
+
+// New computes the layout for graph g. Regions are packed in order:
+// edges, out-index, in-index, out-memo, in-memo, each aligned to 64 B.
+func New(g *temporal.Graph) *Layout {
+	const align = 64
+	l := &Layout{}
+	n := g.NumNodes()
+	l.outOff = make([]uint64, n+1)
+	l.inOff = make([]uint64, n+1)
+	for u := 0; u < n; u++ {
+		l.outOff[u+1] = l.outOff[u] + uint64(len(g.OutEdges(temporal.NodeID(u))))
+		l.inOff[u+1] = l.inOff[u] + uint64(len(g.InEdges(temporal.NodeID(u))))
+	}
+	cursor := uint64(0)
+	place := func(bytes uint64) uint64 {
+		base := cursor
+		cursor += (bytes + align - 1) / align * align
+		return base
+	}
+	l.EdgeBase = place(uint64(g.NumEdges()) * EdgeBytes)
+	l.OutBase = place(l.outOff[n] * EntryBytes)
+	l.InBase = place(l.inOff[n] * EntryBytes)
+	l.MemoOutBase = place(uint64(n) * MemoBytes)
+	l.MemoInBase = place(uint64(n) * MemoBytes)
+	l.TotalBytes = cursor
+	return l
+}
+
+// EdgeAddr returns the address of temporal edge record id.
+func (l *Layout) EdgeAddr(id temporal.EdgeID) uint64 {
+	return l.EdgeBase + uint64(id)*EdgeBytes
+}
+
+// OutEntryAddr returns the address of entry i of node u's out-index list.
+func (l *Layout) OutEntryAddr(u temporal.NodeID, i int) uint64 {
+	return l.OutBase + (l.outOff[u]+uint64(i))*EntryBytes
+}
+
+// InEntryAddr returns the address of entry i of node v's in-index list.
+func (l *Layout) InEntryAddr(v temporal.NodeID, i int) uint64 {
+	return l.InBase + (l.inOff[v]+uint64(i))*EntryBytes
+}
+
+// EntryAddr dispatches on direction.
+func (l *Layout) EntryAddr(out bool, node temporal.NodeID, i int) uint64 {
+	if out {
+		return l.OutEntryAddr(node, i)
+	}
+	return l.InEntryAddr(node, i)
+}
+
+// MemoAddr returns the address of the memoization entry for a node and
+// direction.
+func (l *Layout) MemoAddr(out bool, node temporal.NodeID) uint64 {
+	if out {
+		return l.MemoOutBase + uint64(node)*MemoBytes
+	}
+	return l.MemoInBase + uint64(node)*MemoBytes
+}

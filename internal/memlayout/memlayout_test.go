@@ -1,0 +1,123 @@
+package memlayout
+
+import (
+	"math/rand"
+	"testing"
+
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+func testGraph() *temporal.Graph {
+	return temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 5},
+		{Src: 1, Dst: 2, Time: 10},
+		{Src: 2, Dst: 0, Time: 20},
+		{Src: 0, Dst: 2, Time: 30},
+	})
+}
+
+func TestRegionOrderAndAlignment(t *testing.T) {
+	l := New(testGraph())
+	if l.EdgeBase != 0 {
+		t.Errorf("edge base = %d", l.EdgeBase)
+	}
+	for _, base := range []uint64{l.OutBase, l.InBase, l.MemoOutBase, l.MemoInBase, l.TotalBytes} {
+		if base%64 != 0 {
+			t.Errorf("region base %d not 64-byte aligned", base)
+		}
+	}
+	if !(l.EdgeBase < l.OutBase && l.OutBase < l.InBase &&
+		l.InBase < l.MemoOutBase && l.MemoOutBase < l.MemoInBase &&
+		l.MemoInBase < l.TotalBytes) {
+		t.Errorf("regions out of order: %+v", l)
+	}
+}
+
+func TestEdgeAddr(t *testing.T) {
+	l := New(testGraph())
+	if l.EdgeAddr(0) != l.EdgeBase {
+		t.Error("edge 0 not at base")
+	}
+	if l.EdgeAddr(3)-l.EdgeAddr(2) != EdgeBytes {
+		t.Error("edge stride wrong")
+	}
+}
+
+func TestEntryAddrMatchesAdjacency(t *testing.T) {
+	g := testGraph()
+	l := New(g)
+	// Node 0 has out-edges [0, 3]; its two entries must be contiguous.
+	if l.OutEntryAddr(0, 1)-l.OutEntryAddr(0, 0) != EntryBytes {
+		t.Error("out entry stride wrong")
+	}
+	// Consecutive nodes' regions must not overlap.
+	n0end := l.OutEntryAddr(0, len(g.OutEdges(0)))
+	if l.OutEntryAddr(1, 0) != n0end {
+		t.Errorf("node 1 out entries start at %d, want %d", l.OutEntryAddr(1, 0), n0end)
+	}
+	// EntryAddr dispatches by direction.
+	if l.EntryAddr(true, 0, 0) != l.OutEntryAddr(0, 0) {
+		t.Error("EntryAddr(out) mismatch")
+	}
+	if l.EntryAddr(false, 2, 0) != l.InEntryAddr(2, 0) {
+		t.Error("EntryAddr(in) mismatch")
+	}
+}
+
+func TestMemoAddr(t *testing.T) {
+	g := testGraph()
+	l := New(g)
+	if l.MemoAddr(true, 0) != l.MemoOutBase {
+		t.Error("memo out base")
+	}
+	if l.MemoAddr(false, 2)-l.MemoAddr(false, 1) != MemoBytes {
+		t.Error("memo stride")
+	}
+	if l.MemoAddr(true, temporal.NodeID(g.NumNodes()-1)) >= l.MemoInBase {
+		t.Error("out-memo overflows into in-memo region")
+	}
+}
+
+// TestNoAddressCollisions verifies, on random graphs, that every
+// addressable record occupies a disjoint byte range.
+func TestNoAddressCollisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		g := testutil.RandomGraph(rng, 3+rng.Intn(10), 5+rng.Intn(40), 100)
+		l := New(g)
+		used := map[uint64]string{}
+		claim := func(addr uint64, size int, what string) {
+			for b := uint64(0); b < uint64(size); b++ {
+				if prev, ok := used[addr+b]; ok {
+					t.Fatalf("trial %d: byte %d claimed by %s and %s", trial, addr+b, prev, what)
+				}
+				used[addr+b] = what
+			}
+		}
+		for id := 0; id < g.NumEdges(); id++ {
+			claim(l.EdgeAddr(temporal.EdgeID(id)), EdgeBytes, "edge")
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			node := temporal.NodeID(u)
+			for i := range g.OutEdges(node) {
+				claim(l.OutEntryAddr(node, i), EntryBytes, "out")
+			}
+			for i := range g.InEdges(node) {
+				claim(l.InEntryAddr(node, i), EntryBytes, "in")
+			}
+			claim(l.MemoAddr(true, node), MemoBytes, "memo-out")
+			claim(l.MemoAddr(false, node), MemoBytes, "memo-in")
+		}
+		if l.TotalBytes < uint64(len(used)) {
+			t.Fatalf("trial %d: total %d below used bytes %d", trial, l.TotalBytes, len(used))
+		}
+	}
+}
+
+func TestEmptyGraphLayout(t *testing.T) {
+	l := New(temporal.MustNewGraph(nil))
+	if l.TotalBytes != 0 {
+		t.Errorf("empty layout occupies %d bytes", l.TotalBytes)
+	}
+}

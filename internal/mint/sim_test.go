@@ -1,0 +1,252 @@
+package mint
+
+import (
+	"math/rand"
+	"testing"
+
+	"mint/internal/mackey"
+	"mint/internal/oracle"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+// testConfig returns a small but complete machine for unit tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PEs = 8
+	cfg.Cache.Banks = 4
+	cfg.Cache.BankBytes = 16 << 10
+	return cfg
+}
+
+func fig1Graph() *temporal.Graph {
+	return temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 5},
+		{Src: 1, Dst: 2, Time: 10},
+		{Src: 2, Dst: 0, Time: 20},
+		{Src: 2, Dst: 3, Time: 25},
+		{Src: 1, Dst: 2, Time: 30},
+		{Src: 0, Dst: 1, Time: 40},
+	})
+}
+
+func cycle3(delta temporal.Timestamp) *temporal.Motif {
+	return temporal.MustNewMotif("cycle3", delta,
+		[]temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
+}
+
+func TestSimulateFig1(t *testing.T) {
+	res, err := Simulate(fig1Graph(), cycle3(25), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 1 {
+		t.Fatalf("matches = %d, want 1", res.Matches)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	if res.Seconds <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if res.Stats.RootTasks != 6 {
+		t.Errorf("root tasks = %d, want 6", res.Stats.RootTasks)
+	}
+	if res.Stats.SearchTasks == 0 || res.Stats.BookkeepTasks == 0 || res.Stats.BacktrackTasks == 0 {
+		t.Errorf("task accounting incomplete: %+v", res.Stats)
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	g := fig1Graph()
+	m := cycle3(25)
+	bad := testConfig()
+	bad.PEs = 0
+	if _, err := Simulate(g, m, bad); err == nil {
+		t.Error("PEs=0 accepted")
+	}
+	bad = testConfig()
+	bad.ComparatorsPerCycle = 0
+	if _, err := Simulate(g, m, bad); err == nil {
+		t.Error("ComparatorsPerCycle=0 accepted")
+	}
+	bad = testConfig()
+	bad.DRAM.Channels = 0
+	if _, err := Simulate(g, m, bad); err == nil {
+		t.Error("bad DRAM config accepted")
+	}
+	bad = testConfig()
+	bad.Cache.Ways = 0
+	if _, err := Simulate(g, m, bad); err == nil {
+		t.Error("bad cache config accepted")
+	}
+}
+
+func TestSimulateEmptyGraph(t *testing.T) {
+	res, err := Simulate(temporal.MustNewGraph(nil), cycle3(10), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 0 {
+		t.Fatalf("matches = %d", res.Matches)
+	}
+}
+
+// TestSimulatorMatchesSoftware is the central functional cross-check: the
+// timed simulator must count exactly what the software algorithm counts,
+// with and without memoization, across random workloads — the equivalent
+// of the paper's trace-matching simulator validation (§VII-C).
+func TestSimulatorMatchesSoftware(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		g := testutil.RandomGraph(rng, 4+rng.Intn(8), 10+rng.Intn(60), 150)
+		m := testutil.RandomConnectedMotif(rng, 2+rng.Intn(3), temporal.Timestamp(10+rng.Int63n(80)))
+		want := mackey.Mine(g, m, mackey.Options{}).Matches
+		for _, memo := range []bool{false, true} {
+			cfg := testConfig()
+			cfg.Memoize = memo
+			res, err := Simulate(g, m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Matches != want {
+				t.Fatalf("trial %d memo=%v: sim=%d software=%d (motif %v)",
+					trial, memo, res.Matches, want, m)
+			}
+		}
+	}
+}
+
+// TestSimulatorGlobalSearchShape covers disconnected motifs, which force
+// the whole-edge-list search path in hardware.
+func TestSimulatorGlobalSearchShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	disc := temporal.MustNewMotif("disc", 60,
+		[]temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}})
+	for trial := 0; trial < 10; trial++ {
+		g := testutil.RandomGraph(rng, 6, 25, 100)
+		want := oracle.Count(g, disc)
+		res, err := Simulate(g, disc, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != want {
+			t.Fatalf("trial %d: sim=%d oracle=%d", trial, res.Matches, want)
+		}
+	}
+}
+
+// TestPECountInvariance: the match count must not depend on how many PEs
+// run (trees are independent); cycles should not increase with more PEs.
+func TestPECountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testutil.RandomGraph(rng, 12, 150, 400)
+	m := cycle3(80)
+	want := mackey.Mine(g, m, mackey.Options{}).Matches
+	var prevCycles int64 = 1 << 62
+	for _, pes := range []int{1, 2, 8, 32} {
+		cfg := testConfig()
+		cfg.PEs = pes
+		res, err := Simulate(g, m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != want {
+			t.Fatalf("PEs=%d: matches=%d, want %d", pes, res.Matches, want)
+		}
+		if res.Cycles > prevCycles+prevCycles/10 {
+			t.Errorf("PEs=%d: cycles grew markedly: %d after %d", pes, res.Cycles, prevCycles)
+		}
+		prevCycles = res.Cycles
+	}
+}
+
+// TestMemoizationReducesTraffic: on a hub-heavy graph the §VI-A
+// optimization must reduce DRAM traffic without changing counts.
+func TestMemoizationReducesTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var edges []temporal.Edge
+	ts := temporal.Timestamp(0)
+	for i := 0; i < 600; i++ {
+		ts += temporal.Timestamp(1 + rng.Intn(3))
+		v := temporal.NodeID(1 + rng.Intn(15))
+		if i%2 == 0 {
+			edges = append(edges, temporal.Edge{Src: 0, Dst: v, Time: ts})
+		} else {
+			edges = append(edges, temporal.Edge{Src: v, Dst: 0, Time: ts})
+		}
+	}
+	g := temporal.MustNewGraph(edges)
+	m := temporal.MustNewMotif("tri", 40,
+		[]temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 0, Dst: 1}})
+
+	// A cache far smaller than the hub's neighborhood, so phase-1
+	// streaming traffic actually reaches DRAM (as it does on the paper's
+	// large datasets, where the optimization shows its benefit).
+	tiny := testConfig()
+	tiny.Cache.Banks = 2
+	tiny.Cache.BankBytes = 512
+
+	base := tiny
+	base.Memoize = false
+	plain, err := Simulate(g, m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memoCfg := tiny
+	memoCfg.Memoize = true
+	memo, err := Simulate(g, m, memoCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Matches != memo.Matches {
+		t.Fatalf("memoization changed count: %d vs %d", plain.Matches, memo.Matches)
+	}
+	if memo.Stats.MemoSkippedEntries == 0 {
+		t.Fatal("memoization skipped nothing on a hub-heavy graph")
+	}
+	if memo.Stats.Phase1Entries >= plain.Stats.Phase1Entries {
+		t.Errorf("memoized phase-1 entries %d not below plain %d",
+			memo.Stats.Phase1Entries, plain.Stats.Phase1Entries)
+	}
+	if memo.MemTrafficBytes >= plain.MemTrafficBytes {
+		t.Errorf("memoized traffic %d not below plain %d",
+			memo.MemTrafficBytes, plain.MemTrafficBytes)
+	}
+}
+
+func TestResultDerivedMetrics(t *testing.T) {
+	res, err := Simulate(fig1Graph(), cycle3(25), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BandwidthUtil < 0 || res.BandwidthUtil > 1 {
+		t.Errorf("bandwidth util = %v", res.BandwidthUtil)
+	}
+	if res.CacheHitRate < 0 || res.CacheHitRate > 1 {
+		t.Errorf("hit rate = %v", res.CacheHitRate)
+	}
+	if res.MemTrafficBytes != res.DRAM.TotalBytes() {
+		t.Errorf("traffic mismatch: %d vs %d", res.MemTrafficBytes, res.DRAM.TotalBytes())
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxCycles = 2
+	rng := rand.New(rand.NewSource(1))
+	g := testutil.RandomGraph(rng, 10, 200, 500)
+	if _, err := Simulate(g, cycle3(100), cfg); err == nil {
+		t.Fatal("MaxCycles guard did not trip")
+	}
+}
+
+func TestWithCacheMB(t *testing.T) {
+	cfg := DefaultConfig().WithCacheMB(2)
+	if cfg.Cache.TotalBytes() != 2<<20 {
+		t.Fatalf("total = %d", cfg.Cache.TotalBytes())
+	}
+	if cfg.Cache.Banks != 64 {
+		t.Fatalf("banks changed: %d", cfg.Cache.Banks)
+	}
+}

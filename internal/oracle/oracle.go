@@ -1,0 +1,150 @@
+// Package oracle provides a deliberately simple brute-force δ-temporal
+// motif enumerator. It exists purely as a correctness anchor: every other
+// miner in this repository (the Mackey reference and Algorithm-1 miners,
+// the parallel and memoized variants, the Paranjape baseline, and the Mint
+// simulator's functional layer) is property-tested against it on
+// randomized small graphs.
+//
+// The oracle enumerates every strictly time-increasing sequence of
+// |E_M| graph edges whose span fits within δ and whose endpoints admit a
+// consistent bijective node mapping onto the motif. Its complexity is
+// O(|E_G|^|E_M|); keep inputs small.
+package oracle
+
+import (
+	"mint/internal/temporal"
+)
+
+// Count returns the exact number of δ-temporal motif instances of m in g.
+func Count(g *temporal.Graph, m *temporal.Motif) int64 {
+	matches := int64(0)
+	Enumerate(g, m, func([]temporal.EdgeID) bool {
+		matches++
+		return true
+	})
+	return matches
+}
+
+// Enumerate calls visit with the edge-index sequence of every match, in
+// lexicographic order of the sequence. The callback's slice is reused
+// across calls; copy it to retain. Returning false stops enumeration.
+func Enumerate(g *temporal.Graph, m *temporal.Motif, visit func(edges []temporal.EdgeID) bool) {
+	st := &state{
+		g:     g,
+		m:     m,
+		m2g:   make([]temporal.NodeID, m.NumNodes()),
+		g2m:   make(map[temporal.NodeID]temporal.NodeID),
+		seq:   make([]temporal.EdgeID, 0, m.NumEdges()),
+		visit: visit,
+	}
+	for i := range st.m2g {
+		st.m2g[i] = temporal.InvalidNode
+	}
+	st.recurse(0, temporal.InvalidEdge, 0)
+}
+
+type state struct {
+	g       *temporal.Graph
+	m       *temporal.Motif
+	m2g     []temporal.NodeID
+	g2m     map[temporal.NodeID]temporal.NodeID
+	seq     []temporal.EdgeID
+	visit   func([]temporal.EdgeID) bool
+	stopped bool
+}
+
+// recurse extends the partial match with graph edges for motif edge depth.
+// last is the most recent matched edge index; deadline is the exclusive
+// upper time bound t1 + δ (0 means "unset": no edge matched yet).
+func (s *state) recurse(depth int, last temporal.EdgeID, deadline temporal.Timestamp) {
+	if s.stopped {
+		return
+	}
+	if depth == s.m.NumEdges() {
+		if !s.visit(s.seq) {
+			s.stopped = true
+		}
+		return
+	}
+	me := s.m.Edges[depth]
+	for id := int(last) + 1; id < s.g.NumEdges(); id++ {
+		e := s.g.Edges[id]
+		if depth > 0 && e.Time > deadline {
+			break // edge list is time-sorted; nothing later can fit the window
+		}
+		if !s.consistent(me, e) {
+			continue
+		}
+		s.bind(me, e)
+		d := deadline
+		if depth == 0 {
+			d = e.Time + s.m.Delta
+		}
+		s.seq = append(s.seq, temporal.EdgeID(id))
+		s.recurse(depth+1, temporal.EdgeID(id), d)
+		s.seq = s.seq[:len(s.seq)-1]
+		s.unbind(me, e)
+		if s.stopped {
+			return
+		}
+	}
+}
+
+// consistent reports whether graph edge e can be matched to motif edge me
+// under the current partial node mapping.
+func (s *state) consistent(me temporal.MotifEdge, e temporal.Edge) bool {
+	if e.Src == e.Dst {
+		return false // motif edges are loop-free
+	}
+	if gu := s.m2g[me.Src]; gu != temporal.InvalidNode {
+		if gu != e.Src {
+			return false
+		}
+	} else if _, taken := s.g2m[e.Src]; taken {
+		return false
+	}
+	if gv := s.m2g[me.Dst]; gv != temporal.InvalidNode {
+		if gv != e.Dst {
+			return false
+		}
+	} else if _, taken := s.g2m[e.Dst]; taken {
+		return false
+	}
+	return true
+}
+
+func (s *state) bind(me temporal.MotifEdge, e temporal.Edge) {
+	if s.m2g[me.Src] == temporal.InvalidNode {
+		s.m2g[me.Src] = e.Src
+		s.g2m[e.Src] = me.Src
+	}
+	if s.m2g[me.Dst] == temporal.InvalidNode {
+		s.m2g[me.Dst] = e.Dst
+		s.g2m[e.Dst] = me.Dst
+	}
+}
+
+func (s *state) unbind(me temporal.MotifEdge, e temporal.Edge) {
+	// Unbind only endpoints whose binding was created by this edge: an
+	// endpoint was created here iff no earlier edge in seq references it.
+	if s.g2m[e.Src] == me.Src && !s.referencedEarlier(me.Src) {
+		delete(s.g2m, e.Src)
+		s.m2g[me.Src] = temporal.InvalidNode
+	}
+	if s.g2m[e.Dst] == me.Dst && !s.referencedEarlier(me.Dst) {
+		delete(s.g2m, e.Dst)
+		s.m2g[me.Dst] = temporal.InvalidNode
+	}
+}
+
+// referencedEarlier reports whether motif node mu appears in any motif
+// edge at a depth shallower than the current recursion frontier.
+func (s *state) referencedEarlier(mu temporal.NodeID) bool {
+	for d := 0; d < len(s.seq); d++ {
+		me := s.m.Edges[d]
+		if me.Src == mu || me.Dst == mu {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+func fig1Graph() *temporal.Graph {
+	return temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 5},
+		{Src: 1, Dst: 2, Time: 10},
+		{Src: 2, Dst: 0, Time: 20},
+		{Src: 2, Dst: 3, Time: 25},
+		{Src: 1, Dst: 2, Time: 30},
+		{Src: 0, Dst: 1, Time: 40},
+	})
+}
+
+func TestCountFig1(t *testing.T) {
+	m := temporal.M1(25)
+	if got := Count(fig1Graph(), m); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+}
+
+func TestEnumerateSequencesAreOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := testutil.RandomGraph(rng, 6, 40, 100)
+	m := temporal.M1(50)
+	Enumerate(g, m, func(edges []temporal.EdgeID) bool {
+		last := temporal.InvalidEdge
+		span := g.Edges[edges[len(edges)-1]].Time - g.Edges[edges[0]].Time
+		if span > m.Delta {
+			t.Fatalf("match %v violates δ", edges)
+		}
+		for _, id := range edges {
+			if id <= last {
+				t.Fatalf("match %v not strictly increasing", edges)
+			}
+			last = id
+		}
+		return true
+	})
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	// Dense ping-pong graph with many matches.
+	var edges []temporal.Edge
+	for i := 0; i < 20; i++ {
+		edges = append(edges, temporal.Edge{Src: temporal.NodeID(i % 2), Dst: temporal.NodeID((i + 1) % 2), Time: temporal.Timestamp(i)})
+	}
+	g := temporal.MustNewGraph(edges)
+	m := temporal.MustNewMotif("pp", 100, []temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	calls := 0
+	Enumerate(g, m, func([]temporal.EdgeID) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Fatalf("early stop ignored: %d calls", calls)
+	}
+}
+
+func TestNodeMappingBijective(t *testing.T) {
+	// Walk 0→1→0 must not match a 2-chain needing 3 distinct nodes.
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 0},
+		{Src: 1, Dst: 0, Time: 1},
+	})
+	chain := temporal.MustNewMotif("chain2", 10, []temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if got := Count(g, chain); got != 0 {
+		t.Fatalf("non-injective chain counted: %d", got)
+	}
+}
+
+func TestSelfLoopNeverMatches(t *testing.T) {
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 0, Time: 0},
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 1, Dst: 0, Time: 2},
+	})
+	pp := temporal.MustNewMotif("pp", 10, []temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	// Only the (1,2) pair matches; the self-loop must not participate.
+	if got := Count(g, pp); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+}
+
+func TestDisconnectedMotif(t *testing.T) {
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 0},
+		{Src: 2, Dst: 3, Time: 5},
+		{Src: 1, Dst: 0, Time: 6},
+	})
+	disc := temporal.MustNewMotif("disc", 10, []temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}})
+	// Pairs with 4 distinct nodes and increasing time: (0→1, 2→3) and
+	// (2→3, 1→0). The pair (0→1, 1→0) shares nodes — excluded.
+	if got := Count(g, disc); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}

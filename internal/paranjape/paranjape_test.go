@@ -1,0 +1,112 @@
+package paranjape
+
+import (
+	"math/rand"
+	"testing"
+
+	"mint/internal/mackey"
+	"mint/internal/oracle"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+func TestFig1Example(t *testing.T) {
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 5},
+		{Src: 1, Dst: 2, Time: 10},
+		{Src: 2, Dst: 0, Time: 20},
+		{Src: 2, Dst: 3, Time: 25},
+		{Src: 1, Dst: 2, Time: 30},
+		{Src: 0, Dst: 1, Time: 40},
+	})
+	m := temporal.MustNewMotif("cycle3", 25,
+		[]temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
+	res := Count(g, m)
+	if res.Matches != 1 {
+		t.Fatalf("matches = %d, want 1", res.Matches)
+	}
+	if res.Stats.StaticInstances == 0 {
+		t.Fatal("no static instances recorded")
+	}
+}
+
+// TestMatchesOracle cross-validates the two-phase counter against the
+// brute-force oracle and the chronological miner on random inputs,
+// including graphs with repeated pairs and timestamp ties.
+func TestMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 80; trial++ {
+		g := testutil.RandomGraph(rng, 3+rng.Intn(5), 5+rng.Intn(25), 60)
+		m := testutil.RandomConnectedMotif(rng, 2+rng.Intn(3), temporal.Timestamp(5+rng.Int63n(40)))
+		want := oracle.Count(g, m)
+		got := Count(g, m)
+		if got.Matches != want {
+			t.Fatalf("trial %d: motif %v: paranjape=%d oracle=%d", trial, m, got.Matches, want)
+		}
+		if mk := mackey.Mine(g, m, mackey.Options{}).Matches; mk != want {
+			t.Fatalf("trial %d: mackey drifted: %d vs %d", trial, mk, want)
+		}
+	}
+}
+
+// TestM1M2OnEvaluationMotifs mirrors the paper's usage (open-source code
+// supports only M1 and M2).
+func TestM1M2OnEvaluationMotifs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := testutil.RandomGraph(rng, 10, 120, 400)
+	for _, m := range []*temporal.Motif{temporal.M1(60), temporal.M2(60)} {
+		want := mackey.Mine(g, m, mackey.Options{}).Matches
+		if got := Count(g, m).Matches; got != want {
+			t.Errorf("%s: got %d, want %d", m.Name, got, want)
+		}
+	}
+}
+
+// TestStaticExceedsTemporal reproduces the Fig 12 insight on a crafted
+// input: many static triangles whose temporal orderings almost never
+// satisfy the δ constraint.
+func TestStaticExceedsTemporal(t *testing.T) {
+	var edges []temporal.Edge
+	ts := temporal.Timestamp(0)
+	// 20 node-disjoint triangles, each with edges spread far apart in time.
+	for i := 0; i < 20; i++ {
+		base := temporal.NodeID(i * 3)
+		edges = append(edges,
+			temporal.Edge{Src: base, Dst: base + 1, Time: ts},
+			temporal.Edge{Src: base + 1, Dst: base + 2, Time: ts + 10_000},
+			temporal.Edge{Src: base + 2, Dst: base, Time: ts + 20_000},
+		)
+		ts += 100_000
+	}
+	g := temporal.MustNewGraph(edges)
+	m := temporal.M1(100) // δ far smaller than the intra-triangle spread
+	res := Count(g, m)
+	if res.Matches != 0 {
+		t.Fatalf("matches = %d, want 0", res.Matches)
+	}
+	if res.Stats.StaticInstances < 20 {
+		t.Fatalf("static instances = %d, want ≥ 20", res.Stats.StaticInstances)
+	}
+}
+
+func TestTimestampTies(t *testing.T) {
+	// Edges with identical timestamps: index order is the canonical
+	// tie-break everywhere, including phase 2 here.
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 10},
+		{Src: 1, Dst: 2, Time: 10},
+		{Src: 2, Dst: 0, Time: 10},
+	})
+	m := temporal.M1(50)
+	want := oracle.Count(g, m)
+	if got := Count(g, m).Matches; got != want {
+		t.Fatalf("ties: paranjape=%d oracle=%d", got, want)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res := Count(temporal.MustNewGraph(nil), temporal.M1(10))
+	if res.Matches != 0 || res.Stats.StaticInstances != 0 {
+		t.Fatalf("empty: %+v", res)
+	}
+}

@@ -1,0 +1,115 @@
+// Package power reproduces the paper's area and power analysis (Fig 14):
+// post-synthesis 28 nm component measurements rolled up over a Mint
+// configuration, plus energy integration over simulated runtimes.
+//
+// The per-component constants are taken from Fig 14 itself (which reports
+// them for the 512-PE, 4 MB configuration of Table II); this package
+// re-derives per-instance values and scales them to arbitrary PE counts
+// and cache sizes, preserving the paper's roll-up arithmetic.
+package power
+
+import "fmt"
+
+// Fig 14 totals for the reference configuration.
+const (
+	refPEs         = 512
+	refCacheBanks  = 64
+	refCacheKBBank = 64
+)
+
+// Per-component area (mm²) and power (mW) for the *whole* reference
+// configuration, straight from Fig 14.
+const (
+	targetMotifArea  = 0.001 // reported as < 0.001 mm²
+	targetMotifPower = 6.8
+
+	taskQueueArea  = 0.01 // reported as < 0.01 mm²
+	taskQueuePower = 0.1  // reported as < 0.1 mW
+
+	contextMemArea512  = 4.98
+	contextMemPower512 = 265.0
+
+	cacheArea64  = 19.29
+	cachePower64 = 4698.2
+
+	contextMgrArea512  = 0.36
+	contextMgrPower512 = 18.9
+
+	dispatcherArea512  = 0.53
+	dispatcherPower512 = 17.4
+
+	searchEngineArea512  = 3.12
+	searchEnginePower512 = 67.1
+
+	crossbarArea  = 0.05
+	crossbarPower = 0.3
+)
+
+// Component is one row of the Fig 14 table.
+type Component struct {
+	Name      string
+	Instances int
+	AreaMM2   float64
+	PowerMW   float64
+}
+
+// Breakdown is the complete area/power roll-up for a configuration.
+type Breakdown struct {
+	Components []Component
+	AreaMM2    float64
+	PowerW     float64
+}
+
+// Model computes the Fig 14 roll-up for a Mint instance with the given PE
+// count and cache geometry (bank count × per-bank KB). PE-coupled
+// components scale linearly with PEs; the cache scales linearly with total
+// capacity; the motif register file, task queue, and the single
+// queue-to-managers crossbar are fixed.
+func Model(pes, cacheBanks, cacheKBPerBank int) (Breakdown, error) {
+	if pes <= 0 || cacheBanks <= 0 || cacheKBPerBank <= 0 {
+		return Breakdown{}, fmt.Errorf("power: invalid configuration (%d PEs, %d banks, %d KB/bank)",
+			pes, cacheBanks, cacheKBPerBank)
+	}
+	peScale := float64(pes) / refPEs
+	cacheScale := float64(cacheBanks*cacheKBPerBank) / (refCacheBanks * refCacheKBBank)
+
+	comps := []Component{
+		{Name: "Target Motif", Instances: 1, AreaMM2: targetMotifArea, PowerMW: targetMotifPower},
+		{Name: "Task Queue", Instances: 1, AreaMM2: taskQueueArea, PowerMW: taskQueuePower},
+		{Name: "Context Mem", Instances: pes, AreaMM2: contextMemArea512 * peScale, PowerMW: contextMemPower512 * peScale},
+		{Name: "Cache", Instances: cacheBanks, AreaMM2: cacheArea64 * cacheScale, PowerMW: cachePower64 * cacheScale},
+		{Name: "Context Manager", Instances: pes, AreaMM2: contextMgrArea512 * peScale, PowerMW: contextMgrPower512 * peScale},
+		{Name: "Dispatcher", Instances: pes, AreaMM2: dispatcherArea512 * peScale, PowerMW: dispatcherPower512 * peScale},
+		{Name: "Search Engines", Instances: pes, AreaMM2: searchEngineArea512 * peScale, PowerMW: searchEnginePower512 * peScale},
+		{Name: "Crossbar", Instances: 1, AreaMM2: crossbarArea, PowerMW: crossbarPower},
+	}
+	b := Breakdown{Components: comps}
+	for _, c := range comps {
+		b.AreaMM2 += c.AreaMM2
+		b.PowerW += c.PowerMW / 1000
+	}
+	return b, nil
+}
+
+// ReferenceModel returns the Table II configuration's breakdown (the
+// published totals: 28.3 mm², 5.1 W).
+func ReferenceModel() Breakdown {
+	b, err := Model(refPEs, refCacheBanks, refCacheKBBank)
+	if err != nil {
+		panic(err) // reference constants are always valid
+	}
+	return b
+}
+
+// EnergyJoules integrates power over a simulated runtime.
+func (b Breakdown) EnergyJoules(seconds float64) float64 {
+	return b.PowerW * seconds
+}
+
+// GPUPowerW and CPUPowerW are the comparison points the paper cites:
+// the RTX 2080 Ti's 250 W board power (§VIII-A: Mint operates at ~50×
+// lower power) and a dual-EPYC-7742 socket pair (2 × 225 W TDP).
+const (
+	GPUPowerW = 250.0
+	CPUPowerW = 450.0
+)

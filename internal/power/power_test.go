@@ -1,0 +1,81 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReferenceMatchesFig14Totals(t *testing.T) {
+	b := ReferenceModel()
+	// Paper: 28.3 mm² and 5.1 W for the Table II configuration.
+	if math.Abs(b.AreaMM2-28.3) > 0.2 {
+		t.Errorf("area = %.2f mm², want ≈28.3", b.AreaMM2)
+	}
+	if math.Abs(b.PowerW-5.1) > 0.1 {
+		t.Errorf("power = %.2f W, want ≈5.1", b.PowerW)
+	}
+	if len(b.Components) != 8 {
+		t.Errorf("components = %d, want 8 (Fig 14 rows)", len(b.Components))
+	}
+}
+
+func TestCacheDominates(t *testing.T) {
+	// Fig 14's headline: the SRAM cache is the majority of area and power.
+	b := ReferenceModel()
+	var cacheArea, cachePower float64
+	for _, c := range b.Components {
+		if c.Name == "Cache" {
+			cacheArea = c.AreaMM2
+			cachePower = c.PowerMW / 1000
+		}
+	}
+	if cacheArea < b.AreaMM2/2 {
+		t.Errorf("cache area %.2f not majority of %.2f", cacheArea, b.AreaMM2)
+	}
+	if cachePower < b.PowerW/2 {
+		t.Errorf("cache power %.2f not majority of %.2f", cachePower, b.PowerW)
+	}
+}
+
+func TestScaling(t *testing.T) {
+	half, err := Model(256, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ReferenceModel()
+	if half.AreaMM2 >= full.AreaMM2 {
+		t.Errorf("halving PEs did not shrink area: %.2f vs %.2f", half.AreaMM2, full.AreaMM2)
+	}
+	smallCache, err := Model(512, 64, 16) // 1 MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallCache.PowerW >= full.PowerW {
+		t.Errorf("shrinking cache did not shrink power: %.2f vs %.2f", smallCache.PowerW, full.PowerW)
+	}
+}
+
+func TestModelRejectsBadConfig(t *testing.T) {
+	for _, c := range [][3]int{{0, 64, 64}, {512, 0, 64}, {512, 64, 0}} {
+		if _, err := Model(c[0], c[1], c[2]); err == nil {
+			t.Errorf("config %v accepted", c)
+		}
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	b := ReferenceModel()
+	e := b.EnergyJoules(2)
+	if math.Abs(e-2*b.PowerW) > 1e-12 {
+		t.Errorf("energy = %v", e)
+	}
+}
+
+func TestPowerAdvantageOverGPU(t *testing.T) {
+	b := ReferenceModel()
+	ratio := GPUPowerW / b.PowerW
+	// §VIII-A: ~50× lower power than the 250 W GPU.
+	if ratio < 40 || ratio > 60 {
+		t.Errorf("GPU power ratio = %.1f, want ≈50", ratio)
+	}
+}

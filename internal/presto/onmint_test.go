@@ -1,0 +1,68 @@
+package presto
+
+import (
+	"math/rand"
+	"testing"
+
+	hw "mint/internal/mint"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+func smallSimConfig() hw.Config {
+	cfg := hw.DefaultConfig()
+	cfg.PEs = 8
+	cfg.Cache.Banks = 4
+	cfg.Cache.BankBytes = 8 << 10
+	return cfg
+}
+
+// TestEstimateOnMintMatchesSoftwareEstimate: with the same seed, the
+// accelerated sampler must produce the exact same estimate as the software
+// sampler — the per-window subroutine is exact in both.
+func TestEstimateOnMintMatchesSoftwareEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := testutil.RandomGraph(rng, 10, 400, 5000)
+	m := temporal.M1(300)
+	cfg := Config{Windows: 24, C: 1.25, Seed: 9}
+
+	sw, err := Estimate(g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwRes, sum, err := EstimateOnMint(g, m, cfg, smallSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Estimate != hwRes.Estimate {
+		t.Fatalf("estimates differ: software %v vs on-mint %v", sw.Estimate, hwRes.Estimate)
+	}
+	if sw.OccurrencesSeen != hwRes.OccurrencesSeen {
+		t.Fatalf("occurrences differ: %d vs %d", sw.OccurrencesSeen, hwRes.OccurrencesSeen)
+	}
+	if sw.EdgesProcessed != hwRes.EdgesProcessed {
+		t.Fatalf("edges processed differ: %d vs %d", sw.EdgesProcessed, hwRes.EdgesProcessed)
+	}
+	if hwRes.OccurrencesSeen > 0 && (sum.Cycles == 0 || sum.Seconds <= 0) {
+		t.Fatalf("no hardware cost modeled: %+v", sum)
+	}
+}
+
+func TestEstimateOnMintValidation(t *testing.T) {
+	g := temporal.MustNewGraph([]temporal.Edge{{Src: 0, Dst: 1, Time: 1}})
+	m := temporal.M1(10)
+	if _, _, err := EstimateOnMint(g, m, Config{Windows: 0, C: 1.25}, smallSimConfig()); err == nil {
+		t.Error("Windows=0 accepted")
+	}
+	if _, _, err := EstimateOnMint(g, m, Config{Windows: 4, C: 0.5}, smallSimConfig()); err == nil {
+		t.Error("C<1 accepted")
+	}
+	// Empty graph: zero estimate, zero cost.
+	res, sum, err := EstimateOnMint(temporal.MustNewGraph(nil), m, DefaultConfig(), smallSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 || sum.Cycles != 0 {
+		t.Fatalf("empty graph produced work: %+v %+v", res, sum)
+	}
+}

@@ -1,0 +1,124 @@
+package presto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mint/internal/mackey"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+func TestConfigValidation(t *testing.T) {
+	g := temporal.MustNewGraph([]temporal.Edge{{Src: 0, Dst: 1, Time: 1}})
+	m := temporal.M1(10)
+	if _, err := Estimate(g, m, Config{Windows: 0, C: 1.25}); err == nil {
+		t.Error("Windows=0 accepted")
+	}
+	if _, err := Estimate(g, m, Config{Windows: 4, C: 0.5}); err == nil {
+		t.Error("C<1 accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Estimate(temporal.MustNewGraph(nil), temporal.M1(10), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 {
+		t.Fatalf("estimate = %v", res.Estimate)
+	}
+}
+
+func TestZeroWhenNoMotifs(t *testing.T) {
+	// Edges far apart in time: no δ window contains a full motif.
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 0},
+		{Src: 1, Dst: 2, Time: 1_000_000},
+		{Src: 2, Dst: 0, Time: 2_000_000},
+	})
+	res, err := Estimate(g, temporal.M1(10), Config{Windows: 50, C: 1.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 || res.OccurrencesSeen != 0 {
+		t.Fatalf("estimate = %v, occurrences = %d", res.Estimate, res.OccurrencesSeen)
+	}
+}
+
+// TestUnbiasedness checks that the estimator converges to the exact count:
+// with many windows the mean relative error must be small, and mostly
+// within 10% — the accuracy regime the paper cites for PRESTO (§VIII-A).
+func TestUnbiasedness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// A dense bursty graph with a healthy motif count.
+	var edges []temporal.Edge
+	ts := temporal.Timestamp(0)
+	for i := 0; i < 600; i++ {
+		ts += temporal.Timestamp(1 + rng.Intn(6))
+		edges = append(edges, temporal.Edge{
+			Src:  temporal.NodeID(rng.Intn(8)),
+			Dst:  temporal.NodeID(rng.Intn(8)),
+			Time: ts,
+		})
+	}
+	g := temporal.MustNewGraph(edges)
+	m := temporal.M1(60)
+	exact := float64(mackey.Mine(g, m, mackey.Options{}).Matches)
+	if exact < 20 {
+		t.Fatalf("test graph too sparse: exact = %v", exact)
+	}
+	res, err := Estimate(g, m, Config{Windows: 4000, C: 1.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(res.Estimate-exact) / exact
+	if relErr > 0.15 {
+		t.Fatalf("estimate %v vs exact %v: rel err %.3f", res.Estimate, exact, relErr)
+	}
+}
+
+// TestSamplingBoundsWork: PRESTO's point is scalability — the edges
+// processed across windows must be far below windows × |E|.
+func TestSamplingBoundsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := testutil.RandomGraph(rng, 40, 4000, 1_000_000)
+	m := temporal.M1(500)
+	cfg := Config{Windows: 20, C: 1.25, Seed: 2}
+	res, err := Estimate(g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := int64(cfg.Windows) * int64(g.NumEdges())
+	if res.EdgesProcessed >= full/10 {
+		t.Fatalf("processed %d edges; sampling saved < 10× vs %d", res.EdgesProcessed, full)
+	}
+	if res.WindowsRun != cfg.Windows {
+		t.Fatalf("windows run = %d, want %d", res.WindowsRun, cfg.Windows)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := testutil.RandomGraph(rng, 10, 300, 10_000)
+	m := temporal.M2(500)
+	a, err := Estimate(g, m, Config{Windows: 16, C: 1.25, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(g, m, Config{Windows: 16, C: 1.25, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate {
+		t.Fatalf("same seed, different estimates: %v vs %v", a.Estimate, b.Estimate)
+	}
+	c, err := Estimate(g, m, Config{Windows: 16, C: 1.25, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate == c.Estimate && a.Estimate != 0 {
+		t.Log("different seeds coincided (possible but unlikely)")
+	}
+}

@@ -1,0 +1,257 @@
+// Package staticmine implements directed static subgraph pattern counting
+// on the aggregated (time-erased) graph. It plays two roles from the
+// paper's evaluation (§VII-D):
+//
+//   - the phase-1 workload of the Paranjape et al. baseline, which first
+//     mines static instances and then resolves temporal constraints; and
+//   - the workload of the FlexMiner comparison (Fig 12), where a static
+//     graph mining accelerator is modeled as the measured static-mining
+//     time divided by FlexMiner's best reported speedup (40×) —
+//     the paper's own methodology — while phase 2 is ignored entirely,
+//     giving that baseline a performance upper bound.
+package staticmine
+
+import (
+	"fmt"
+	"sort"
+
+	"mint/internal/temporal"
+)
+
+// StaticGraph is the time-erased directed simple graph of a temporal
+// graph: each ordered node pair with at least one temporal edge appears
+// exactly once.
+type StaticGraph struct {
+	Out [][]temporal.NodeID // sorted, deduplicated successors
+	In  [][]temporal.NodeID // sorted, deduplicated predecessors
+
+	numEdges int
+}
+
+// Build aggregates a temporal graph into its static graph. Self-loops are
+// dropped: motif patterns are loop-free, so they can never participate.
+func Build(g *temporal.Graph) *StaticGraph {
+	n := g.NumNodes()
+	s := &StaticGraph{
+		Out: make([][]temporal.NodeID, n),
+		In:  make([][]temporal.NodeID, n),
+	}
+	for _, e := range g.Edges {
+		if e.Src != e.Dst {
+			s.Out[e.Src] = append(s.Out[e.Src], e.Dst)
+		}
+	}
+	for u := 0; u < n; u++ {
+		s.Out[u] = dedupSorted(s.Out[u])
+		s.numEdges += len(s.Out[u])
+		for _, v := range s.Out[u] {
+			s.In[v] = append(s.In[v], temporal.NodeID(u))
+		}
+	}
+	// In-lists were appended in ascending u order, hence already sorted.
+	return s
+}
+
+func dedupSorted(l []temporal.NodeID) []temporal.NodeID {
+	if len(l) == 0 {
+		return nil
+	}
+	sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	out := l[:1]
+	for _, v := range l[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NumNodes reports the node count.
+func (s *StaticGraph) NumNodes() int { return len(s.Out) }
+
+// NumEdges reports the number of distinct directed edges.
+func (s *StaticGraph) NumEdges() int { return s.numEdges }
+
+// HasEdge reports whether u→v exists, by binary search.
+func (s *StaticGraph) HasEdge(u, v temporal.NodeID) bool {
+	l := s.Out[u]
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= v })
+	return i < len(l) && l[i] == v
+}
+
+// Pattern is a static directed pattern: a set of directed edges over
+// pattern-local nodes. Build one from a temporal motif with FromMotif.
+type Pattern struct {
+	Edges    []temporal.MotifEdge
+	numNodes int
+}
+
+// FromMotif erases temporal order from a motif, deduplicates repeated
+// directed pairs, and reorders edges into a connected-prefix sequence so
+// the enumerator always extends from mapped nodes when possible.
+func FromMotif(m *temporal.Motif) Pattern {
+	unique := m.StaticPattern()
+	ordered := make([]temporal.MotifEdge, 0, len(unique))
+	placed := make([]bool, len(unique))
+	mapped := map[temporal.NodeID]bool{}
+	for len(ordered) < len(unique) {
+		found := -1
+		for i, e := range unique {
+			if placed[i] {
+				continue
+			}
+			if len(ordered) == 0 || mapped[e.Src] || mapped[e.Dst] {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			// Disconnected pattern: start a new component.
+			for i := range unique {
+				if !placed[i] {
+					found = i
+					break
+				}
+			}
+		}
+		e := unique[found]
+		placed[found] = true
+		ordered = append(ordered, e)
+		mapped[e.Src] = true
+		mapped[e.Dst] = true
+	}
+	n := 0
+	for _, e := range ordered {
+		if int(e.Src) >= n {
+			n = int(e.Src) + 1
+		}
+		if int(e.Dst) >= n {
+			n = int(e.Dst) + 1
+		}
+	}
+	return Pattern{Edges: ordered, numNodes: n}
+}
+
+// NumNodes reports the number of distinct pattern nodes.
+func (p Pattern) NumNodes() int { return p.numNodes }
+
+// Count returns the number of injective node mappings from the pattern
+// into the static graph such that every pattern edge is present — the
+// "static subgraph instances" of Fig 12. Mappings related by pattern
+// automorphisms are counted separately, matching the per-assignment
+// accounting the temporal counters use.
+func Count(s *StaticGraph, p Pattern) int64 {
+	var total int64
+	Enumerate(s, p, func([]temporal.NodeID) bool {
+		total++
+		return true
+	})
+	return total
+}
+
+// Enumerate calls visit with every injective embedding (indexed by pattern
+// node). The mapping slice is reused; copy to retain. Returning false
+// stops the enumeration.
+func Enumerate(s *StaticGraph, p Pattern, visit func(mapping []temporal.NodeID) bool) {
+	if p.numNodes == 0 {
+		return
+	}
+	e := &enumerator{s: s, p: p, visit: visit, m2g: make([]temporal.NodeID, p.numNodes)}
+	for i := range e.m2g {
+		e.m2g[i] = temporal.InvalidNode
+	}
+	e.used = make(map[temporal.NodeID]bool, p.numNodes)
+	e.recurse(0)
+}
+
+type enumerator struct {
+	s       *StaticGraph
+	p       Pattern
+	visit   func([]temporal.NodeID) bool
+	m2g     []temporal.NodeID
+	used    map[temporal.NodeID]bool
+	stopped bool
+}
+
+func (e *enumerator) recurse(depth int) {
+	if e.stopped {
+		return
+	}
+	if depth == len(e.p.Edges) {
+		if !e.visit(e.m2g) {
+			e.stopped = true
+		}
+		return
+	}
+	pe := e.p.Edges[depth]
+	u := e.m2g[pe.Src]
+	v := e.m2g[pe.Dst]
+	switch {
+	case u != temporal.InvalidNode && v != temporal.InvalidNode:
+		if e.s.HasEdge(u, v) {
+			e.recurse(depth + 1)
+		}
+	case u != temporal.InvalidNode:
+		for _, w := range e.s.Out[u] {
+			if e.used[w] {
+				continue
+			}
+			e.bind(pe.Dst, w)
+			e.recurse(depth + 1)
+			e.unbind(pe.Dst, w)
+			if e.stopped {
+				return
+			}
+		}
+	case v != temporal.InvalidNode:
+		for _, w := range e.s.In[v] {
+			if e.used[w] {
+				continue
+			}
+			e.bind(pe.Src, w)
+			e.recurse(depth + 1)
+			e.unbind(pe.Src, w)
+			if e.stopped {
+				return
+			}
+		}
+	default:
+		// First edge of a component: try every static edge.
+		for uu := 0; uu < e.s.NumNodes(); uu++ {
+			if e.used[temporal.NodeID(uu)] {
+				continue
+			}
+			for _, w := range e.s.Out[uu] {
+				if e.used[w] || w == temporal.NodeID(uu) {
+					continue
+				}
+				e.bind(pe.Src, temporal.NodeID(uu))
+				e.bind(pe.Dst, w)
+				e.recurse(depth + 1)
+				e.unbind(pe.Dst, w)
+				e.unbind(pe.Src, temporal.NodeID(uu))
+				if e.stopped {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *enumerator) bind(pn, gn temporal.NodeID) {
+	if e.m2g[pn] != temporal.InvalidNode || e.used[gn] {
+		panic(fmt.Sprintf("staticmine: conflicting bind %d->%d", pn, gn))
+	}
+	e.m2g[pn] = gn
+	e.used[gn] = true
+}
+
+func (e *enumerator) unbind(pn, gn temporal.NodeID) {
+	e.m2g[pn] = temporal.InvalidNode
+	delete(e.used, gn)
+}
+
+// FlexMinerSpeedup is the highest speedup FlexMiner reports over its
+// software baseline; the paper divides measured static-mining time by
+// this factor to model the accelerator (§VII-D).
+const FlexMinerSpeedup = 40.0

@@ -1,0 +1,150 @@
+package staticmine
+
+import (
+	"math/rand"
+	"testing"
+
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+func triangleGraph() *temporal.Graph {
+	// Static: 0→1, 1→2, 2→0 plus an extra repeated temporal edge 0→1.
+	return temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 0, Dst: 1, Time: 2},
+		{Src: 1, Dst: 2, Time: 3},
+		{Src: 2, Dst: 0, Time: 4},
+		{Src: 3, Dst: 3, Time: 5}, // self-loop: dropped
+	})
+}
+
+func TestBuildDeduplicates(t *testing.T) {
+	s := Build(triangleGraph())
+	if s.NumEdges() != 3 {
+		t.Fatalf("static edges = %d, want 3", s.NumEdges())
+	}
+	if !s.HasEdge(0, 1) || !s.HasEdge(1, 2) || !s.HasEdge(2, 0) {
+		t.Fatal("missing static edges")
+	}
+	if s.HasEdge(1, 0) || s.HasEdge(3, 3) {
+		t.Fatal("phantom static edges")
+	}
+}
+
+func TestFromMotifDedupsAndOrders(t *testing.T) {
+	m := temporal.MustNewMotif("pp", 10,
+		[]temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 0, Dst: 1}})
+	p := FromMotif(m)
+	if len(p.Edges) != 2 {
+		t.Fatalf("pattern edges = %d, want 2", len(p.Edges))
+	}
+	if p.NumNodes() != 2 {
+		t.Fatalf("pattern nodes = %d", p.NumNodes())
+	}
+}
+
+func TestFromMotifConnectedPrefix(t *testing.T) {
+	// Edge sequence 0→1, 2→3, 1→2 is prefix-disconnected temporally; the
+	// static ordering should reorder so each edge touches a mapped node.
+	m := temporal.MustNewMotif("z", 10,
+		[]temporal.MotifEdge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 1, Dst: 2}})
+	p := FromMotif(m)
+	mapped := map[temporal.NodeID]bool{}
+	for i, e := range p.Edges {
+		if i > 0 && !mapped[e.Src] && !mapped[e.Dst] {
+			t.Fatalf("edge %d (%v) extends nothing in %v", i, e, p.Edges)
+		}
+		mapped[e.Src] = true
+		mapped[e.Dst] = true
+	}
+}
+
+func TestCountTriangle(t *testing.T) {
+	s := Build(triangleGraph())
+	p := FromMotif(temporal.M1(10))
+	// The directed 3-cycle embeds with 3 rotations of the mapping.
+	if got := Count(s, p); got != 3 {
+		t.Fatalf("triangle count = %d, want 3", got)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	g := temporal.MustNewGraph([]temporal.Edge{
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 0, Dst: 2, Time: 2},
+		{Src: 0, Dst: 3, Time: 3},
+		{Src: 0, Dst: 4, Time: 4},
+	})
+	s := Build(g)
+	p := FromMotif(temporal.M4(10)) // 4-edge out-star over 5 nodes
+	// Injective assignments of 4 labeled leaves to 4 neighbors: 4! = 24.
+	if got := Count(s, p); got != 24 {
+		t.Fatalf("star count = %d, want 24", got)
+	}
+}
+
+// bruteForceStatic counts injective embeddings by trying all node tuples.
+func bruteForceStatic(s *StaticGraph, p Pattern) int64 {
+	n := s.NumNodes()
+	assign := make([]temporal.NodeID, p.NumNodes())
+	used := make([]bool, n)
+	var rec func(k int) int64
+	rec = func(k int) int64 {
+		if k == len(assign) {
+			for _, e := range p.Edges {
+				if !s.HasEdge(assign[e.Src], assign[e.Dst]) {
+					return 0
+				}
+			}
+			return 1
+		}
+		var tot int64
+		for u := 0; u < n; u++ {
+			if used[u] {
+				continue
+			}
+			used[u] = true
+			assign[k] = temporal.NodeID(u)
+			tot += rec(k + 1)
+			used[u] = false
+		}
+		return tot
+	}
+	return rec(0)
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		g := testutil.RandomGraph(rng, 3+rng.Intn(4), 5+rng.Intn(20), 50)
+		m := testutil.RandomConnectedMotif(rng, 2+rng.Intn(3), 10)
+		s := Build(g)
+		p := FromMotif(m)
+		want := bruteForceStatic(s, p)
+		if got := Count(s, p); got != want {
+			t.Fatalf("trial %d: motif %v: got %d, want %d", trial, m, got, want)
+		}
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	s := Build(triangleGraph())
+	p := FromMotif(temporal.M1(10))
+	calls := 0
+	Enumerate(s, p, func([]temporal.NodeID) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop ignored: %d calls", calls)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	s := Build(temporal.MustNewGraph(nil))
+	p := FromMotif(temporal.M1(10))
+	if got := Count(s, p); got != 0 {
+		t.Fatalf("empty graph count = %d", got)
+	}
+}

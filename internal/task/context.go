@@ -1,0 +1,256 @@
+// Package task implements Mint's task-centric programming model (paper
+// §IV): temporal motif mining decomposed into three task types — search,
+// book-keeping, and backtracking — whose entire execution state lives in a
+// small, fixed-size TaskContext. Search trees are independent, so contexts
+// execute asynchronously and in parallel (§IV-C).
+//
+// The package is the single source of functional truth for the model: the
+// software queue runner (Run, RunQueue — the code transformation of Fig 5)
+// and the cycle-level accelerator simulator in internal/mint both drive
+// the same Context transitions, mirroring how the paper validates its
+// simulator by matching traces against an instrumented software baseline
+// (§VII-C).
+package task
+
+import (
+	"fmt"
+
+	"mint/internal/temporal"
+)
+
+// Type enumerates the three fundamental task types (§IV-A).
+type Type uint8
+
+const (
+	// Search finds the next graph edge to map (Algorithm 1 line 8).
+	Search Type = iota
+	// BookKeep records a successful mapping (Algorithm 1 line 10).
+	BookKeep
+	// Backtrack voids the most recent mapping (Algorithm 1 lines 12–22).
+	Backtrack
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Search:
+		return "search"
+	case BookKeep:
+		return "bookkeep"
+	case Backtrack:
+		return "backtrack"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// MaxCAMEntries bounds the node-mapping CAM. A motif has at most
+// MaxMotifEdges edges, each introducing at most two nodes.
+const MaxCAMEntries = 2 * temporal.MaxMotifEdges
+
+// camEntry is one row of the hardware node-mapping CAM (Fig 6(c)): a
+// graph-node/motif-node pair plus the mapped-edge count (the paper's
+// eCount) that decides when the mapping is freed.
+type camEntry struct {
+	g     temporal.NodeID
+	m     temporal.NodeID
+	count int32
+}
+
+// NodeCAM models the context memory's content-addressable node-mapping
+// store. It answers both directions of the mapping (g2mMap and m2gMap in
+// Algorithm 1) with an associative lookup, exactly as the hardware does,
+// and tracks per-node mapped-edge counts.
+type NodeCAM struct {
+	entries [MaxCAMEntries]camEntry
+	n       int
+}
+
+// Reset empties the CAM.
+func (c *NodeCAM) Reset() { c.n = 0 }
+
+// Size reports the number of live mappings.
+func (c *NodeCAM) Size() int { return c.n }
+
+// LookupG returns the motif node mapped to graph node g, if any.
+func (c *NodeCAM) LookupG(g temporal.NodeID) (temporal.NodeID, bool) {
+	for i := 0; i < c.n; i++ {
+		if c.entries[i].g == g {
+			return c.entries[i].m, true
+		}
+	}
+	return temporal.InvalidNode, false
+}
+
+// LookupM returns the graph node mapped to motif node m, if any.
+func (c *NodeCAM) LookupM(m temporal.NodeID) (temporal.NodeID, bool) {
+	for i := 0; i < c.n; i++ {
+		if c.entries[i].m == m {
+			return c.entries[i].g, true
+		}
+	}
+	return temporal.InvalidNode, false
+}
+
+// Bind records (or reinforces) the mapping g↔m, incrementing its
+// mapped-edge count. Binding a pair that conflicts with a live entry is a
+// programming error and panics: the search phase must only pass validated
+// candidates.
+func (c *NodeCAM) Bind(g, m temporal.NodeID) {
+	for i := 0; i < c.n; i++ {
+		e := &c.entries[i]
+		if e.g == g || e.m == m {
+			if e.g != g || e.m != m {
+				panic(fmt.Sprintf("task: conflicting CAM bind (%d,%d) over (%d,%d)", g, m, e.g, e.m))
+			}
+			e.count++
+			return
+		}
+	}
+	if c.n == MaxCAMEntries {
+		panic("task: CAM overflow")
+	}
+	c.entries[c.n] = camEntry{g: g, m: m, count: 1}
+	c.n++
+}
+
+// Unbind decrements the mapped-edge count of graph node g and removes the
+// mapping when the count reaches zero (Algorithm 1 lines 16–22). It
+// reports whether the mapping was freed.
+func (c *NodeCAM) Unbind(g temporal.NodeID) bool {
+	for i := 0; i < c.n; i++ {
+		if c.entries[i].g == g {
+			c.entries[i].count--
+			if c.entries[i].count == 0 {
+				c.n--
+				c.entries[i] = c.entries[c.n]
+				return true
+			}
+			return false
+		}
+	}
+	panic(fmt.Sprintf("task: unbind of unmapped graph node %d", g))
+}
+
+// maxTimestamp is the "unset" deadline (paper: t′ ← ∞).
+const maxTimestamp = temporal.Timestamp(1<<63 - 1)
+
+// Context is the task context of §IV-B: the minimal state needed to
+// advance one search tree. Its fixed-size layout mirrors the hardware
+// context memory (Fig 6(c)); the paper measures it at 178 B for
+// eight-edge motifs.
+type Context struct {
+	// Busy marks the context as owning an in-flight search tree.
+	Busy bool
+	// Type is the pending task type for this context.
+	Type Type
+	// EM is the index of the next motif edge to match (== Depth).
+	EM int
+	// EG is the most recently matched graph edge (top of EStack), or
+	// InvalidEdge at the root.
+	EG temporal.EdgeID
+	// Cursor is the next graph-edge index at which the search resumes —
+	// the paper's "eG + 1" / "eStack.pop() + 1" resume points.
+	Cursor temporal.EdgeID
+	// FirstEdgeTime is the timestamp of the first matched edge.
+	FirstEdgeTime temporal.Timestamp
+	// Deadline is FirstEdgeTime + δ once the root is matched (t′).
+	Deadline temporal.Timestamp
+	// RootEG is the root graph edge of this tree (memoization key, §VI-A).
+	RootEG temporal.EdgeID
+	// EStack holds the matched graph edges in motif order.
+	EStack [temporal.MaxMotifEdges]temporal.EdgeID
+	// Depth is the number of live entries in EStack.
+	Depth int
+	// CAM is the node-mapping store.
+	CAM NodeCAM
+}
+
+// Reset returns the context to the idle state.
+func (c *Context) Reset() {
+	c.Busy = false
+	c.Type = Search
+	c.EM = 0
+	c.EG = temporal.InvalidEdge
+	c.Cursor = 0
+	c.FirstEdgeTime = 0
+	c.Deadline = maxTimestamp
+	c.RootEG = temporal.InvalidEdge
+	c.Depth = 0
+	c.CAM.Reset()
+}
+
+// SizeBytes reports the modeled on-chip footprint of one context for a
+// given motif capacity, following §IV-B's accounting: O(1) registers plus
+// O(|E_M|) stack and CAM entries.
+func SizeBytes(motifEdges int) int {
+	const registers = 1 /*type*/ + 1 /*busy*/ + 4 /*eM*/ + 4 /*eG*/ + 4 /*cursor*/ + 8 /*firstEdgeTime*/ + 8 /*deadline*/ + 4 /*rootEG*/
+	stack := 4 * motifEdges
+	cam := (4 + 4 + 2) * (2 * motifEdges) // g, m, count per entry
+	return registers + stack + cam
+}
+
+// StartRoot initializes the context as a root book-keeping task mapping
+// motif edge 0 to graph edge root (§IV-A). It reports false when the root
+// edge is structurally inadmissible (a self-loop), in which case the
+// context is left idle.
+func (c *Context) StartRoot(g *temporal.Graph, m *temporal.Motif, root temporal.EdgeID) bool {
+	e := g.Edges[root]
+	if e.Src == e.Dst {
+		return false
+	}
+	c.Reset()
+	c.Busy = true
+	c.RootEG = root
+	c.FirstEdgeTime = e.Time
+	c.Deadline = e.Time + m.Delta
+	c.applyMapping(g, m, root)
+	c.Type = Search
+	return true
+}
+
+// applyMapping pushes graph edge eG as the match for motif edge c.EM.
+func (c *Context) applyMapping(g *temporal.Graph, m *temporal.Motif, eG temporal.EdgeID) {
+	e := g.Edges[eG]
+	me := m.Edges[c.EM]
+	c.CAM.Bind(e.Src, me.Src)
+	c.CAM.Bind(e.Dst, me.Dst)
+	c.EStack[c.Depth] = eG
+	c.Depth++
+	c.EM++
+	c.EG = eG
+	c.Cursor = eG + 1
+}
+
+// Bookkeep applies a successful search result: graph edge eG becomes the
+// match for motif edge c.EM. It reports whether the motif is now complete
+// (the caller should count a match and then Backtrack).
+func (c *Context) Bookkeep(g *temporal.Graph, m *temporal.Motif, eG temporal.EdgeID) (complete bool) {
+	c.applyMapping(g, m, eG)
+	return c.Depth == m.NumEdges()
+}
+
+// Backtrack voids the most recent mapping and positions the cursor just
+// past the popped edge. It reports whether the tree is exhausted (the
+// popped edge was the root): the context is then idle and ready for a new
+// root task.
+func (c *Context) Backtrack(g *temporal.Graph, m *temporal.Motif) (exhausted bool) {
+	c.Depth--
+	c.EM--
+	top := c.EStack[c.Depth]
+	e := g.Edges[top]
+	c.CAM.Unbind(e.Src)
+	c.CAM.Unbind(e.Dst)
+	c.Cursor = top + 1
+	if c.Depth == 0 {
+		c.Busy = false
+		c.Deadline = maxTimestamp
+		c.EG = temporal.InvalidEdge
+		return true
+	}
+	c.EG = c.EStack[c.Depth-1]
+	return false
+}
+
+// Matched returns the matched edge sequence (live view; copy to retain).
+func (c *Context) Matched() []temporal.EdgeID { return c.EStack[:c.Depth] }

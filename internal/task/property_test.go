@@ -1,0 +1,80 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+// TestContextAlwaysUnwindsClean: for random graphs and motifs, driving any
+// context from root to exhaustion must leave it exactly in the idle state
+// — empty CAM, zero depth, reset deadline. A leak here would corrupt the
+// next tree assigned to the same (hardware or software) context instance.
+func TestContextAlwaysUnwindsClean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 3+rng.Intn(6), 5+rng.Intn(25), 80)
+		m := testutil.RandomConnectedMotif(rng, 2+rng.Intn(3), temporal.Timestamp(5+rng.Int63n(50)))
+		var ctx Context
+		for root := 0; root < g.NumEdges(); root++ {
+			if !ctx.StartRoot(g, m, temporal.EdgeID(root)) {
+				continue
+			}
+			runTree(&ctx, g, m)
+			if ctx.Busy || ctx.Depth != 0 || ctx.CAM.Size() != 0 {
+				t.Logf("seed %d root %d: dirty context %+v", seed, root, ctx)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchMonotonicity: within one tree, successive matched edges must
+// have strictly increasing indices, and every bookkept edge must satisfy
+// the δ window against the root.
+func TestSearchMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := testutil.RandomGraph(rng, 8, 60, 120)
+	m := testutil.RandomConnectedMotif(rng, 3, 40)
+	var ctx Context
+	for root := 0; root < g.NumEdges(); root++ {
+		if !ctx.StartRoot(g, m, temporal.EdgeID(root)) {
+			continue
+		}
+		for ctx.Busy {
+			switch ctx.Type {
+			case Search:
+				if eG := ExecuteSearch(&ctx, g, m); eG != temporal.InvalidEdge {
+					if eG <= ctx.EG {
+						t.Fatalf("root %d: found edge %d not after %d", root, eG, ctx.EG)
+					}
+					if g.Edges[eG].Time > ctx.FirstEdgeTime+m.Delta {
+						t.Fatalf("root %d: edge %d outside δ window", root, eG)
+					}
+					ctx.Cursor = eG
+					ctx.Type = BookKeep
+				} else {
+					ctx.Type = Backtrack
+				}
+			case BookKeep:
+				if ctx.Bookkeep(g, m, ctx.Cursor) {
+					ctx.Type = Backtrack
+				} else {
+					ctx.Type = Search
+				}
+			case Backtrack:
+				if ctx.Backtrack(g, m) {
+					break
+				}
+				ctx.Type = Search
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package task
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mint/internal/temporal"
+)
+
+// Run mines the motif with the task-centric model executed synchronously
+// per context: each worker owns one Context, repeatedly pulls the next
+// root task from the shared queue (an atomic cursor over the chronological
+// edge list, like Mint's hardware task queue), and drives the
+// search→bookkeep/backtrack loop to tree exhaustion. It returns the exact
+// match count; property tests pin it to the Mackey miners and the oracle.
+func Run(g *temporal.Graph, m *temporal.Motif, workers int) int64 {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	var next atomic.Int64
+	var matches atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ctx Context
+			local := int64(0)
+			for {
+				root := next.Add(1) - 1
+				if root >= int64(g.NumEdges()) {
+					break
+				}
+				if !ctx.StartRoot(g, m, temporal.EdgeID(root)) {
+					continue
+				}
+				local += runTree(&ctx, g, m)
+			}
+			matches.Add(local)
+		}()
+	}
+	wg.Wait()
+	return matches.Load()
+}
+
+// runTree drives one context from a freshly started root to exhaustion,
+// returning the number of complete motifs found. This loop is the
+// task-graph of Fig 4(a): Search spawns BookKeep or Backtrack; both spawn
+// Search until the tree is exhausted.
+func runTree(ctx *Context, g *temporal.Graph, m *temporal.Motif) int64 {
+	matches := int64(0)
+	for ctx.Busy {
+		switch ctx.Type {
+		case Search:
+			if eG := ExecuteSearch(ctx, g, m); eG != temporal.InvalidEdge {
+				ctx.Cursor = eG // bookkeep consumes the found edge
+				ctx.Type = BookKeep
+			} else {
+				ctx.Type = Backtrack
+			}
+		case BookKeep:
+			if ctx.Bookkeep(g, m, ctx.Cursor) {
+				matches++
+				ctx.Type = Backtrack
+			} else {
+				ctx.Type = Search
+			}
+		case Backtrack:
+			if ctx.Backtrack(g, m) {
+				return matches // tree exhausted; context idle
+			}
+			ctx.Type = Search
+		}
+	}
+	return matches
+}
+
+// queueTask is one unit of work flowing through the asynchronous queue
+// runner: a context plus its pending task type (carried in the context).
+type queueTask struct {
+	ctx *Context
+}
+
+// RunQueue mines the motif with the fully asynchronous, queue-mediated
+// execution of Fig 5(b): a bounded task queue feeds workers; every
+// processed task enqueues its child task (search→bookkeep/backtrack,
+// bookkeep/backtrack→search) until its tree is exhausted, at which point
+// the context is recycled onto a fresh root. contexts bounds the number of
+// in-flight search trees (the hardware analog: number of context-memory
+// instances).
+func RunQueue(g *temporal.Graph, m *temporal.Motif, workers, contexts int) int64 {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if contexts < 1 {
+		contexts = workers * 4
+	}
+	n := int64(g.NumEdges())
+	var nextRoot atomic.Int64
+	var matches atomic.Int64
+	var inflight atomic.Int64
+
+	queue := make(chan queueTask, contexts)
+
+	// seed pulls the next admissible root into ctx; returns false when the
+	// edge list is drained.
+	seed := func(ctx *Context) bool {
+		for {
+			root := nextRoot.Add(1) - 1
+			if root >= n {
+				return false
+			}
+			if ctx.StartRoot(g, m, temporal.EdgeID(root)) {
+				return true
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range queue {
+				ctx := t.ctx
+				done := false
+				switch ctx.Type {
+				case Search:
+					if eG := ExecuteSearch(ctx, g, m); eG != temporal.InvalidEdge {
+						ctx.Cursor = eG
+						ctx.Type = BookKeep
+					} else {
+						ctx.Type = Backtrack
+					}
+				case BookKeep:
+					if ctx.Bookkeep(g, m, ctx.Cursor) {
+						matches.Add(1)
+						ctx.Type = Backtrack
+					} else {
+						ctx.Type = Search
+					}
+				case Backtrack:
+					if ctx.Backtrack(g, m) {
+						// Tree exhausted: recycle the context onto a new root.
+						if !seed(ctx) {
+							done = true
+						} else {
+							ctx.Type = Search
+						}
+					} else {
+						ctx.Type = Search
+					}
+				}
+				if done {
+					if inflight.Add(-1) == 0 {
+						close(queue)
+					}
+				} else {
+					queue <- t
+				}
+			}
+		}()
+	}
+
+	// Seed the initial wave of contexts.
+	seeded := 0
+	for i := 0; i < contexts; i++ {
+		ctx := &Context{}
+		if !seed(ctx) {
+			break
+		}
+		seeded++
+		inflight.Add(1)
+		queue <- queueTask{ctx: ctx}
+	}
+	if seeded == 0 {
+		close(queue)
+	}
+	wg.Wait()
+	return matches.Load()
+}

@@ -1,0 +1,138 @@
+package task
+
+import (
+	"mint/internal/temporal"
+)
+
+// SearchSpec describes where the search task for a context's next motif
+// edge must look — the output of the Mint dispatcher (Fig 6(e)) and the
+// input to the two-phase search engine. Exactly one of the four shapes of
+// Algorithm 1 lines 30–37 applies:
+//
+//   - Global:   neither endpoint mapped; scan the whole edge list.
+//   - !Global:  scan the index list of node Node in direction Out.
+type SearchSpec struct {
+	// Global marks the whole-edge-list search space.
+	Global bool
+	// Node is the graph node whose neighborhood is scanned (when !Global).
+	Node temporal.NodeID
+	// Out selects the outgoing (true) or incoming (false) index list.
+	Out bool
+	// List is the neighbor-index list to scan (nil when Global).
+	List []temporal.EdgeID
+	// MatchSrc/MatchDst pin an endpoint to an exact graph node
+	// (InvalidNode = endpoint is free and will be bound on success).
+	MatchSrc temporal.NodeID
+	MatchDst temporal.NodeID
+}
+
+// PlanSearch computes the SearchSpec for the context's pending motif edge.
+// It performs only context-memory and motif-register reads — the work the
+// hardware dispatcher does on-chip.
+func PlanSearch(c *Context, g *temporal.Graph, m *temporal.Motif) SearchSpec {
+	me := m.Edges[c.EM]
+	uG, uOK := c.CAM.LookupM(me.Src)
+	vG, vOK := c.CAM.LookupM(me.Dst)
+	switch {
+	case uOK && vOK:
+		// Both mapped: hardware scans Nout(u) filtering dst (or the
+		// mirror); pick the smaller list, as the software baselines do.
+		outList := g.OutEdges(uG)
+		inList := g.InEdges(vG)
+		if len(outList) <= len(inList) {
+			return SearchSpec{Node: uG, Out: true, List: outList, MatchSrc: uG, MatchDst: vG}
+		}
+		return SearchSpec{Node: vG, Out: false, List: inList, MatchSrc: uG, MatchDst: vG}
+	case uOK:
+		return SearchSpec{Node: uG, Out: true, List: g.OutEdges(uG), MatchSrc: uG, MatchDst: temporal.InvalidNode}
+	case vOK:
+		return SearchSpec{Node: vG, Out: false, List: g.InEdges(vG), MatchSrc: temporal.InvalidNode, MatchDst: vG}
+	default:
+		return SearchSpec{Global: true, MatchSrc: temporal.InvalidNode, MatchDst: temporal.InvalidNode}
+	}
+}
+
+// ValidCandidate applies the phase-2 structural checks (Fig 6(g)): pinned
+// endpoints must match exactly; free endpoints must bind fresh graph
+// nodes; self-loops never match a loop-free motif edge.
+func ValidCandidate(c *Context, spec SearchSpec, e temporal.Edge) bool {
+	if e.Src == e.Dst {
+		return false
+	}
+	if spec.MatchSrc != temporal.InvalidNode {
+		if e.Src != spec.MatchSrc {
+			return false
+		}
+	} else if _, taken := c.CAM.LookupG(e.Src); taken {
+		return false
+	}
+	if spec.MatchDst != temporal.InvalidNode {
+		if e.Dst != spec.MatchDst {
+			return false
+		}
+	} else if _, taken := c.CAM.LookupG(e.Dst); taken {
+		return false
+	}
+	return true
+}
+
+// ExecuteSearch runs the complete search task in software: it returns the
+// first graph edge at or after the context's cursor that satisfies the
+// structural and temporal constraints for motif edge c.EM, or InvalidEdge.
+// This is the functional contract the Mint simulator's timed two-phase
+// search engine must honor cycle-for-cycle.
+func ExecuteSearch(c *Context, g *temporal.Graph, m *temporal.Motif) temporal.EdgeID {
+	eG, _ := ExecuteSearchCounted(c, g, m)
+	return eG
+}
+
+// SearchCost reports the work one search task performed, for the timing
+// models that replay task traces (the GPU SIMT model and the CPU CPI
+// stack).
+type SearchCost struct {
+	// IndexEntries is the number of neighbor-index entries (or, for the
+	// global shape, edge-list slots) the search position spans, counted
+	// from the binary-search start to the stopping point.
+	IndexEntries int
+	// EdgesExamined is the number of temporal edge records checked
+	// against structural/temporal constraints.
+	EdgesExamined int
+	// BinarySteps approximates the binary-search probe count.
+	BinarySteps int
+}
+
+// ExecuteSearchCounted is ExecuteSearch with work accounting.
+func ExecuteSearchCounted(c *Context, g *temporal.Graph, m *temporal.Motif) (temporal.EdgeID, SearchCost) {
+	var cost SearchCost
+	spec := PlanSearch(c, g, m)
+	if spec.Global {
+		for id := int(c.Cursor); id < g.NumEdges(); id++ {
+			e := g.Edges[id]
+			cost.EdgesExamined++
+			if e.Time > c.Deadline {
+				break
+			}
+			if ValidCandidate(c, spec, e) {
+				return temporal.EdgeID(id), cost
+			}
+		}
+		return temporal.InvalidEdge, cost
+	}
+	start := temporal.SearchAfter(spec.List, c.Cursor-1)
+	for n := len(spec.List); n > 1; n >>= 1 {
+		cost.BinarySteps++
+	}
+	for i := start; i < len(spec.List); i++ {
+		id := spec.List[i]
+		e := g.Edges[id]
+		cost.IndexEntries++
+		cost.EdgesExamined++
+		if e.Time > c.Deadline {
+			break
+		}
+		if ValidCandidate(c, spec, e) {
+			return id, cost
+		}
+	}
+	return temporal.InvalidEdge, cost
+}

@@ -1,0 +1,270 @@
+// Package temporal provides the temporal graph and temporal motif data
+// structures used throughout the Mint reproduction.
+//
+// A temporal graph is a multiset of directed, timestamped edges. Following
+// Mackey et al. and the Mint paper (§II-D), the primary representation is a
+// temporal edge list sorted by timestamp, plus a compressed per-node
+// structure that stores, for every node, the *indices* of its outgoing and
+// incoming temporal edges (not neighbor IDs). Because the global edge list
+// is sorted by time, each per-node index list is simultaneously sorted by
+// time and by edge index — a property the mining algorithms and the
+// accelerator's search-index memoization (§VI-A) both rely on.
+package temporal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in a temporal graph.
+type NodeID int32
+
+// EdgeID is an index into a Graph's temporal edge list. Because the edge
+// list is sorted by timestamp, comparing EdgeIDs compares times.
+type EdgeID int32
+
+// InvalidEdge is the sentinel for "no edge" (paper: eG = -1).
+const InvalidEdge EdgeID = -1
+
+// InvalidNode is the sentinel for "no node" (paper: map entries of -1).
+const InvalidNode NodeID = -1
+
+// Timestamp is a point in time. The unit is dataset-defined (the paper's
+// SNAP datasets use seconds); only differences and ordering matter.
+type Timestamp int64
+
+// Edge is a single temporal edge: a directed interaction from Src to Dst
+// at time Time.
+type Edge struct {
+	Src  NodeID
+	Dst  NodeID
+	Time Timestamp
+}
+
+// Graph is an immutable temporal graph.
+//
+// Edges is sorted by (Time, original order). Out[u] lists the indices of
+// edges with Src == u, ascending; In[v] lists the indices of edges with
+// Dst == v, ascending. Construct with NewGraph.
+type Graph struct {
+	Edges []Edge
+	Out   [][]EdgeID
+	In    [][]EdgeID
+
+	numNodes int
+}
+
+// NewGraph builds a Graph from an arbitrary edge multiset. The input slice
+// is not retained; edges are copied and stably sorted by timestamp. Node
+// IDs must be non-negative; the node count is 1 + the maximum node ID seen
+// (isolated smaller IDs simply have empty adjacency).
+func NewGraph(edges []Edge) (*Graph, error) {
+	maxNode := NodeID(-1)
+	for i, e := range edges {
+		if e.Src < 0 || e.Dst < 0 {
+			return nil, fmt.Errorf("temporal: edge %d has negative node id (%d->%d)", i, e.Src, e.Dst)
+		}
+		if e.Src > maxNode {
+			maxNode = e.Src
+		}
+		if e.Dst > maxNode {
+			maxNode = e.Dst
+		}
+	}
+	sorted := make([]Edge, len(edges))
+	copy(sorted, edges)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	n := int(maxNode) + 1
+	g := &Graph{Edges: sorted, numNodes: n}
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for _, e := range sorted {
+		outDeg[e.Src]++
+		inDeg[e.Dst]++
+	}
+	g.Out = make([][]EdgeID, n)
+	g.In = make([][]EdgeID, n)
+	for u := 0; u < n; u++ {
+		if outDeg[u] > 0 {
+			g.Out[u] = make([]EdgeID, 0, outDeg[u])
+		}
+		if inDeg[u] > 0 {
+			g.In[u] = make([]EdgeID, 0, inDeg[u])
+		}
+	}
+	for i, e := range sorted {
+		g.Out[e.Src] = append(g.Out[e.Src], EdgeID(i))
+		g.In[e.Dst] = append(g.In[e.Dst], EdgeID(i))
+	}
+	return g, nil
+}
+
+// MustNewGraph is NewGraph but panics on error; for tests and examples
+// with known-good inputs.
+func MustNewGraph(edges []Edge) *Graph {
+	g, err := NewGraph(edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumNodes reports the number of nodes (1 + max node ID).
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// NumEdges reports the number of temporal edges.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Edge returns the temporal edge with index id.
+func (g *Graph) Edge(id EdgeID) Edge { return g.Edges[id] }
+
+// Time returns the timestamp of edge id.
+func (g *Graph) Time(id EdgeID) Timestamp { return g.Edges[id].Time }
+
+// OutEdges returns the (time-ordered) indices of edges leaving u.
+// The returned slice is owned by the graph and must not be modified.
+func (g *Graph) OutEdges(u NodeID) []EdgeID { return g.Out[u] }
+
+// InEdges returns the (time-ordered) indices of edges entering v.
+// The returned slice is owned by the graph and must not be modified.
+func (g *Graph) InEdges(v NodeID) []EdgeID { return g.In[v] }
+
+// TimeSpan returns the difference between the last and first timestamps,
+// or zero for graphs with fewer than two edges.
+func (g *Graph) TimeSpan() Timestamp {
+	if len(g.Edges) < 2 {
+		return 0
+	}
+	return g.Edges[len(g.Edges)-1].Time - g.Edges[0].Time
+}
+
+// SearchAfter returns the position of the first entry in list whose edge
+// index is strictly greater than after. Because per-node lists are sorted
+// by edge index, this is the software binary search the paper's baselines
+// perform on every candidate-gathering step (Algorithm 1 lines 31/33/35).
+func SearchAfter(list []EdgeID, after EdgeID) int {
+	return sort.Search(len(list), func(i int) bool { return list[i] > after })
+}
+
+// LinearSearchAfter is the streaming variant the Mint search engine uses
+// in hardware (§V-B: "Mint employs linear search"): it scans from position
+// start and returns the first position whose edge index exceeds after,
+// along with the number of entries examined. It assumes list[start:] is
+// sorted ascending.
+func LinearSearchAfter(list []EdgeID, start int, after EdgeID) (pos, scanned int) {
+	i := start
+	for i < len(list) && list[i] <= after {
+		i++
+	}
+	return i, i - start + boolToInt(i < len(list))
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DegreeStats summarizes a degree distribution; used by the dataset
+// tooling (Table I) and the memoization analysis (§VIII-A, which relates
+// memoization benefit to the size of the largest neighborhoods).
+type DegreeStats struct {
+	Max        int
+	Mean       float64
+	P50        int
+	P90        int
+	P99        int
+	Top10Mean  float64 // mean size of the largest 10% of neighborhoods
+	NumNonZero int
+}
+
+// OutDegreeStats computes DegreeStats over per-node out-neighborhood sizes.
+func (g *Graph) OutDegreeStats() DegreeStats { return degreeStats(g.Out) }
+
+// InDegreeStats computes DegreeStats over per-node in-neighborhood sizes.
+func (g *Graph) InDegreeStats() DegreeStats { return degreeStats(g.In) }
+
+func degreeStats(adj [][]EdgeID) DegreeStats {
+	degs := make([]int, 0, len(adj))
+	total := 0
+	for _, l := range adj {
+		if len(l) > 0 {
+			degs = append(degs, len(l))
+			total += len(l)
+		}
+	}
+	if len(degs) == 0 {
+		return DegreeStats{}
+	}
+	sort.Ints(degs)
+	pct := func(p float64) int { return degs[min(len(degs)-1, int(p*float64(len(degs))))] }
+	top10 := degs[len(degs)-max(1, len(degs)/10):]
+	t10sum := 0
+	for _, d := range top10 {
+		t10sum += d
+	}
+	return DegreeStats{
+		Max:        degs[len(degs)-1],
+		Mean:       float64(total) / float64(len(degs)),
+		P50:        pct(0.50),
+		P90:        pct(0.90),
+		P99:        pct(0.99),
+		Top10Mean:  float64(t10sum) / float64(len(top10)),
+		NumNonZero: len(degs),
+	}
+}
+
+// EdgesPerDelta estimates k, the expected number of edges occurring within
+// a δ window (§III-A uses k in the complexity bound O(|E_G|·k^(|E_M|-1))).
+func (g *Graph) EdgesPerDelta(delta Timestamp) float64 {
+	span := g.TimeSpan()
+	if span <= 0 {
+		return float64(g.NumEdges())
+	}
+	return float64(g.NumEdges()) * float64(delta) / float64(span)
+}
+
+// Validate checks internal invariants: edges sorted by time, adjacency
+// lists consistent and index-sorted. It is used by property tests and the
+// loaders; normal construction through NewGraph always satisfies it.
+func (g *Graph) Validate() error {
+	for i := 1; i < len(g.Edges); i++ {
+		if g.Edges[i].Time < g.Edges[i-1].Time {
+			return fmt.Errorf("temporal: edges out of time order at %d", i)
+		}
+	}
+	seenOut := 0
+	for u, l := range g.Out {
+		for i, id := range l {
+			if i > 0 && l[i-1] >= id {
+				return fmt.Errorf("temporal: out list of node %d not strictly increasing", u)
+			}
+			if g.Edges[id].Src != NodeID(u) {
+				return fmt.Errorf("temporal: out list of node %d contains foreign edge %d", u, id)
+			}
+			seenOut++
+		}
+	}
+	if seenOut != len(g.Edges) {
+		return errors.New("temporal: out lists do not cover edge list")
+	}
+	seenIn := 0
+	for v, l := range g.In {
+		for i, id := range l {
+			if i > 0 && l[i-1] >= id {
+				return fmt.Errorf("temporal: in list of node %d not strictly increasing", v)
+			}
+			if g.Edges[id].Dst != NodeID(v) {
+				return fmt.Errorf("temporal: in list of node %d contains foreign edge %d", v, id)
+			}
+			seenIn++
+		}
+	}
+	if seenIn != len(g.Edges) {
+		return errors.New("temporal: in lists do not cover edge list")
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package temporal
+
+import "fmt"
+
+// This file provides a library of commonly mined δ-temporal motif
+// families from the application domains the paper surveys (§II-B):
+// cycles for financial fraud, stars for broadcast/aggregation behavior,
+// chains for information flow, ping-pongs for conversations, and
+// fan-out/fan-in for mediated exchange. All constructors validate through
+// NewMotif and respect the hardware limit of MaxMotifEdges.
+
+// Cycle returns the n-node temporal cycle 0→1→…→(n−1)→0 in chronological
+// order. Cycle(3, δ) is the paper's M1. Temporal cycles in transaction
+// networks indicate potentially fraudulent volume (§II-B).
+func Cycle(n int, delta Timestamp) (*Motif, error) {
+	if n < 2 || n > MaxMotifEdges {
+		return nil, fmt.Errorf("temporal: cycle size %d out of [2,%d]", n, MaxMotifEdges)
+	}
+	edges := make([]MotifEdge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = MotifEdge{Src: NodeID(i), Dst: NodeID((i + 1) % n)}
+	}
+	return NewMotif(fmt.Sprintf("cycle%d", n), delta, edges)
+}
+
+// Chain returns the (n+1)-node temporal path 0→1→…→n: information
+// relayed hop by hop within δ.
+func Chain(n int, delta Timestamp) (*Motif, error) {
+	if n < 1 || n > MaxMotifEdges {
+		return nil, fmt.Errorf("temporal: chain length %d out of [1,%d]", n, MaxMotifEdges)
+	}
+	edges := make([]MotifEdge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = MotifEdge{Src: NodeID(i), Dst: NodeID(i + 1)}
+	}
+	return NewMotif(fmt.Sprintf("chain%d", n), delta, edges)
+}
+
+// OutStar returns the hub-broadcast motif: node 0 contacts k distinct
+// leaves in order. OutStar(4, δ) is the paper's M4.
+func OutStar(k int, delta Timestamp) (*Motif, error) {
+	if k < 1 || k > MaxMotifEdges {
+		return nil, fmt.Errorf("temporal: star degree %d out of [1,%d]", k, MaxMotifEdges)
+	}
+	edges := make([]MotifEdge, k)
+	for i := 0; i < k; i++ {
+		edges[i] = MotifEdge{Src: 0, Dst: NodeID(i + 1)}
+	}
+	return NewMotif(fmt.Sprintf("outstar%d", k), delta, edges)
+}
+
+// InStar returns the hub-aggregation motif: k distinct sources contact
+// node 0 in order.
+func InStar(k int, delta Timestamp) (*Motif, error) {
+	if k < 1 || k > MaxMotifEdges {
+		return nil, fmt.Errorf("temporal: star degree %d out of [1,%d]", k, MaxMotifEdges)
+	}
+	edges := make([]MotifEdge, k)
+	for i := 0; i < k; i++ {
+		edges[i] = MotifEdge{Src: NodeID(i + 1), Dst: 0}
+	}
+	return NewMotif(fmt.Sprintf("instar%d", k), delta, edges)
+}
+
+// PingPong returns the k-message conversation motif alternating 0→1,
+// 1→0, 0→1, … — the bursty reply pattern of communication networks.
+func PingPong(k int, delta Timestamp) (*Motif, error) {
+	if k < 2 || k > MaxMotifEdges {
+		return nil, fmt.Errorf("temporal: ping-pong length %d out of [2,%d]", k, MaxMotifEdges)
+	}
+	edges := make([]MotifEdge, k)
+	for i := 0; i < k; i++ {
+		if i%2 == 0 {
+			edges[i] = MotifEdge{Src: 0, Dst: 1}
+		} else {
+			edges[i] = MotifEdge{Src: 1, Dst: 0}
+		}
+	}
+	return NewMotif(fmt.Sprintf("pingpong%d", k), delta, edges)
+}
+
+// FanOutFanIn returns the mediated-exchange motif: a source broadcasts to
+// k intermediaries, which then all forward to one sink, in order — a
+// layering/smurfing signature in transaction networks.
+func FanOutFanIn(k int, delta Timestamp) (*Motif, error) {
+	if k < 1 || 2*k > MaxMotifEdges {
+		return nil, fmt.Errorf("temporal: fan width %d out of [1,%d]", k, MaxMotifEdges/2)
+	}
+	edges := make([]MotifEdge, 0, 2*k)
+	sink := NodeID(k + 1)
+	for i := 0; i < k; i++ {
+		edges = append(edges, MotifEdge{Src: 0, Dst: NodeID(i + 1)})
+	}
+	for i := 0; i < k; i++ {
+		edges = append(edges, MotifEdge{Src: NodeID(i + 1), Dst: sink})
+	}
+	return NewMotif(fmt.Sprintf("fanoutin%d", k), delta, edges)
+}
+
+// FeedForward returns the 3-node feed-forward triangle A→B, B→C, A→C —
+// the paper's M2 shape.
+func FeedForward(delta Timestamp) *Motif {
+	return MustNewMotif("feedforward", delta, []MotifEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+}
+
+// Library returns a catalog of named small motifs (≤ MaxMotifEdges edges)
+// covering the application families of §II-B, for exploratory profiling.
+func Library(delta Timestamp) []*Motif {
+	mk := func(m *Motif, err error) *Motif {
+		if err != nil {
+			panic(err) // static arguments below are always valid
+		}
+		return m
+	}
+	return []*Motif{
+		mk(Cycle(2, delta)),
+		mk(Cycle(3, delta)),
+		mk(Cycle(4, delta)),
+		mk(Chain(2, delta)),
+		mk(Chain(3, delta)),
+		mk(OutStar(3, delta)),
+		mk(InStar(3, delta)),
+		mk(PingPong(3, delta)),
+		mk(PingPong(4, delta)),
+		mk(FanOutFanIn(2, delta)),
+		FeedForward(delta),
+	}
+}

@@ -1,0 +1,137 @@
+package temporal
+
+import (
+	"testing"
+)
+
+func TestCycleConstructor(t *testing.T) {
+	c3, err := Cycle(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle(3) must equal the paper's M1.
+	m1 := M1(10)
+	if c3.String() != m1.String() {
+		t.Errorf("Cycle(3) = %s, M1 = %s", c3, m1)
+	}
+	c2, err := Cycle(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumNodes() != 2 || c2.NumEdges() != 2 {
+		t.Errorf("Cycle(2): %d nodes %d edges", c2.NumNodes(), c2.NumEdges())
+	}
+	for _, bad := range []int{0, 1, MaxMotifEdges + 1} {
+		if _, err := Cycle(bad, 10); err == nil {
+			t.Errorf("Cycle(%d) accepted", bad)
+		}
+	}
+}
+
+func TestChainConstructor(t *testing.T) {
+	ch, err := Chain(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.NumNodes() != 4 || ch.NumEdges() != 3 {
+		t.Errorf("Chain(3): %d nodes %d edges", ch.NumNodes(), ch.NumEdges())
+	}
+	if _, err := Chain(0, 10); err == nil {
+		t.Error("Chain(0) accepted")
+	}
+}
+
+func TestStarConstructors(t *testing.T) {
+	out, err := OutStar(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OutStar(4) must equal the paper's M4.
+	if out.String() != M4(10).String() {
+		t.Errorf("OutStar(4) = %s, M4 = %s", out, M4(10))
+	}
+	in, err := InStar(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range in.Edges {
+		if e.Dst != 0 {
+			t.Errorf("InStar edge %v does not point at hub", e)
+		}
+	}
+	if _, err := OutStar(MaxMotifEdges+1, 10); err == nil {
+		t.Error("oversized star accepted")
+	}
+}
+
+func TestPingPongConstructor(t *testing.T) {
+	pp, err := PingPong(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.NumNodes() != 2 || pp.NumEdges() != 4 {
+		t.Errorf("PingPong(4): %d nodes %d edges", pp.NumNodes(), pp.NumEdges())
+	}
+	// Directions must alternate.
+	for i, e := range pp.Edges {
+		want := MotifEdge{Src: 0, Dst: 1}
+		if i%2 == 1 {
+			want = MotifEdge{Src: 1, Dst: 0}
+		}
+		if e != want {
+			t.Errorf("edge %d = %v, want %v", i, e, want)
+		}
+	}
+	if _, err := PingPong(1, 10); err == nil {
+		t.Error("PingPong(1) accepted")
+	}
+}
+
+func TestFanOutFanInConstructor(t *testing.T) {
+	f, err := FanOutFanIn(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodes() != 4 || f.NumEdges() != 4 {
+		t.Errorf("FanOutFanIn(2): %d nodes %d edges", f.NumNodes(), f.NumEdges())
+	}
+	// First half leaves the source, second half enters the sink.
+	sink := NodeID(3)
+	for i, e := range f.Edges {
+		if i < 2 && e.Src != 0 {
+			t.Errorf("edge %d should leave source: %v", i, e)
+		}
+		if i >= 2 && e.Dst != sink {
+			t.Errorf("edge %d should enter sink: %v", i, e)
+		}
+	}
+	if _, err := FanOutFanIn(MaxMotifEdges, 10); err == nil {
+		t.Error("oversized fan accepted")
+	}
+}
+
+func TestFeedForwardMatchesM2(t *testing.T) {
+	if FeedForward(10).String() != M2(10).String() {
+		t.Errorf("FeedForward = %s, M2 = %s", FeedForward(10), M2(10))
+	}
+}
+
+func TestLibraryCatalog(t *testing.T) {
+	lib := Library(DeltaHour)
+	if len(lib) < 10 {
+		t.Fatalf("library has %d motifs", len(lib))
+	}
+	seen := map[string]bool{}
+	for _, m := range lib {
+		if m.Delta != DeltaHour {
+			t.Errorf("%s: delta = %d", m.Name, m.Delta)
+		}
+		if m.NumEdges() > MaxMotifEdges {
+			t.Errorf("%s exceeds hardware motif limit", m.Name)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate motif name %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}

@@ -1,0 +1,161 @@
+package temporal
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvaluationMotifs(t *testing.T) {
+	ms := EvaluationMotifs(DeltaHour)
+	if len(ms) != 4 {
+		t.Fatalf("got %d motifs", len(ms))
+	}
+	wantNodes := []int{3, 3, 4, 5}
+	wantEdges := []int{3, 3, 4, 4}
+	for i, m := range ms {
+		if m.NumNodes() != wantNodes[i] {
+			t.Errorf("%s: nodes = %d, want %d", m.Name, m.NumNodes(), wantNodes[i])
+		}
+		if m.NumEdges() != wantEdges[i] {
+			t.Errorf("%s: edges = %d, want %d", m.Name, m.NumEdges(), wantEdges[i])
+		}
+		if m.Delta != DeltaHour {
+			t.Errorf("%s: delta = %d", m.Name, m.Delta)
+		}
+	}
+}
+
+func TestNewMotifValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		delta Timestamp
+		edges []MotifEdge
+	}{
+		{"empty", 10, nil},
+		{"selfloop", 10, []MotifEdge{{0, 0}}},
+		{"negative", 10, []MotifEdge{{-1, 0}}},
+		{"gap", 10, []MotifEdge{{0, 2}}}, // skips node 1
+		{"zerodelta", 0, []MotifEdge{{0, 1}}},
+		{"toolong", 10, make([]MotifEdge, MaxMotifEdges+1)},
+	}
+	for _, c := range cases {
+		if c.name == "toolong" {
+			for i := range c.edges {
+				c.edges[i] = MotifEdge{0, 1}
+			}
+		}
+		if _, err := NewMotif(c.name, c.delta, c.edges); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestParseMotif(t *testing.T) {
+	m, err := ParseMotif("cycle", 25, "A->B; B->C; C->A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 3 || m.NumEdges() != 3 {
+		t.Fatalf("parsed %d nodes %d edges", m.NumNodes(), m.NumEdges())
+	}
+	want := []MotifEdge{{0, 1}, {1, 2}, {2, 0}}
+	for i, e := range m.Edges {
+		if e != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, e, want[i])
+		}
+	}
+
+	m2, err := ParseMotif("numeric", 10, "0->1,1->2,2->0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.String() != "0->1,1->2,2->0" {
+		t.Errorf("String() = %q", m2.String())
+	}
+
+	for _, bad := range []string{"", "A->", "A-B", "A->B->C", "A->A", "?->B"} {
+		if _, err := ParseMotif("bad", 10, bad); err == nil {
+			t.Errorf("ParseMotif(%q): want error", bad)
+		}
+	}
+}
+
+func TestStaticPattern(t *testing.T) {
+	// A motif that revisits the same directed pair collapses statically.
+	m := MustNewMotif("pingpong", 10, []MotifEdge{{0, 1}, {1, 0}, {0, 1}})
+	p := m.StaticPattern()
+	if len(p) != 2 {
+		t.Fatalf("static pattern = %v, want 2 unique edges", p)
+	}
+}
+
+func TestWithDelta(t *testing.T) {
+	m := M1(100)
+	m2 := m.WithDelta(7)
+	if m2.Delta != 7 || m.Delta != 100 {
+		t.Fatalf("WithDelta mutated original or failed: %d %d", m.Delta, m2.Delta)
+	}
+	if m2.NumEdges() != m.NumEdges() {
+		t.Fatal("WithDelta lost edges")
+	}
+}
+
+func TestReadWriteSNAPRoundTrip(t *testing.T) {
+	g := fig1Graph()
+	var sb strings.Builder
+	if err := WriteSNAP(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSNAP(strings.NewReader("# comment\n" + sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumNodes() != g.NumNodes() {
+		t.Fatalf("round trip: %d/%d edges, %d/%d nodes",
+			g2.NumEdges(), g.NumEdges(), g2.NumNodes(), g.NumNodes())
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != g2.Edges[i] {
+			t.Errorf("edge %d: %v != %v", i, g.Edges[i], g2.Edges[i])
+		}
+	}
+}
+
+func TestReadSNAPErrors(t *testing.T) {
+	for _, bad := range []string{"1 2", "a 2 3", "1 b 3", "1 2 c"} {
+		if _, err := ReadSNAP(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadSNAP(%q): want error", bad)
+		}
+	}
+}
+
+func TestReadSNAPRemapsSparseIDs(t *testing.T) {
+	g, err := ReadSNAP(strings.NewReader("1000000 2000000 5\n2000000 1000000 6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("want dense remap to 2 nodes, got %d", g.NumNodes())
+	}
+}
+
+func TestSaveLoadSNAPFile(t *testing.T) {
+	g := fig1Graph()
+	path := t.TempDir() + "/g.txt"
+	if err := SaveSNAPFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadSNAPFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("file round trip lost edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	if _, err := LoadSNAPFile(t.TempDir() + "/missing.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := SaveSNAPFile("/nonexistent-dir/x/y.txt", g); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"mint/internal/temporal"
+)
+
+func TestRandomGraphShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomGraph(rng, 7, 30, 100)
+	if g.NumEdges() != 30 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if g.NumNodes() > 7 {
+		t.Fatalf("nodes = %d, want ≤ 7", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges {
+		if e.Time < 0 || e.Time >= 100 {
+			t.Fatalf("timestamp %d out of range", e.Time)
+		}
+	}
+}
+
+func TestRandomConnectedMotifPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		edges := 2 + rng.Intn(5)
+		m := RandomConnectedMotif(rng, edges, 10)
+		if m.NumEdges() != edges {
+			t.Fatalf("trial %d: edges = %d, want %d", trial, m.NumEdges(), edges)
+		}
+		// Every edge after the first must share a node with an earlier one.
+		seen := map[temporal.NodeID]bool{}
+		for i, e := range m.Edges {
+			if i > 0 && !seen[e.Src] && !seen[e.Dst] {
+				t.Fatalf("trial %d: edge %d (%v) disconnected in %v", trial, i, e, m.Edges)
+			}
+			seen[e.Src] = true
+			seen[e.Dst] = true
+		}
+	}
+}
+
+func TestRandomMotifValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		m := RandomMotif(rng, 2+rng.Intn(3), 10)
+		if m.Delta != 10 {
+			t.Fatalf("delta = %d", m.Delta)
+		}
+		for _, e := range m.Edges {
+			if e.Src == e.Dst {
+				t.Fatalf("self-loop in %v", m.Edges)
+			}
+		}
+	}
+}
