@@ -1,0 +1,29 @@
+# Tier-1 verification for the Mint reproduction. `make tier1` is the
+# gate every PR must keep green: build, vet, the full test suite, and the
+# race-enabled run of the concurrent miners.
+
+GO ?= go
+
+.PHONY: tier1 build vet test race fuzz bench
+
+tier1: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the SNAP loader (native Go fuzzing).
+fuzz:
+	$(GO) test ./internal/temporal/ -run='^$$' -fuzz=FuzzReadSNAP -fuzztime=30s
+
+# Sequential hot-path benchmarks (the <2% regression budget lives here).
+bench:
+	$(GO) test -run='^$$' -bench=BenchmarkCoreMinerMotifs -benchtime=2x -count=5 .

@@ -1,12 +1,12 @@
 package mint
 
 import (
+	"context"
 	"io"
 
 	"mint/internal/cyclemine"
 	"mint/internal/datasets"
 	"mint/internal/gpumodel"
-	"mint/internal/mackey"
 	hw "mint/internal/mint"
 	"mint/internal/power"
 	"mint/internal/presto"
@@ -66,20 +66,28 @@ func M4(delta Timestamp) *Motif { return temporal.M4(delta) }
 
 // Count returns the exact number of δ-temporal motif instances of m in g,
 // using the sequential chronological edge-driven algorithm of Mackey et
-// al. — the algorithm Mint accelerates.
+// al. — the algorithm Mint accelerates. It is an uncancellable, unbounded
+// shim over CountCtx.
 func Count(g *Graph, m *Motif) int64 {
-	return mackey.Mine(g, m, mackey.Options{}).Matches
+	return CountCtx(context.Background(), g, m, Budget{}).Matches
 }
 
 // CountParallel is Count on a work-stealing worker pool (workers < 1 means
-// GOMAXPROCS). Search trees are independent, so the count is exact.
+// GOMAXPROCS). Search trees are independent, so the count is exact. It is
+// an uncancellable shim over CountParallelCtx (a worker panic, converted
+// into an error there, re-panics here).
 func CountParallel(g *Graph, m *Motif, workers int) int64 {
-	return mackey.MineParallel(g, m, mackey.Options{Workers: workers}).Matches
+	res, err := CountParallelCtx(context.Background(), g, m, workers, Budget{})
+	if err != nil {
+		panic(err)
+	}
+	return res.Matches
 }
 
 // CountTaskQueue runs the paper's asynchronous task-queue programming
 // model (§IV, Fig 5) in software: contexts flow through a bounded queue,
-// each processed task enqueueing its child task.
+// each processed task enqueueing its child task. It is an uncancellable
+// shim over CountTaskQueueCtx.
 func CountTaskQueue(g *Graph, m *Motif, workers, contexts int) int64 {
 	return task.RunQueue(g, m, workers, contexts)
 }
@@ -97,8 +105,9 @@ func CountCycles(g *Graph, k int, delta Timestamp) (int64, error) {
 
 // Enumerate streams every match as its graph-edge index sequence (in motif
 // order) to visit. The slice is reused across calls; copy it to retain.
+// It is an uncancellable shim over EnumerateCtx.
 func Enumerate(g *Graph, m *Motif, visit func(edges []int32)) {
-	mackey.Mine(g, m, mackey.Options{Probe: enumProbe{visit}})
+	EnumerateCtx(context.Background(), g, m, Budget{}, visit)
 }
 
 type enumProbe struct{ visit func([]int32) }

@@ -6,13 +6,18 @@
 //
 // With no arguments every experiment runs in paper order. Each experiment
 // prints a paper-style table to stdout and writes a CSV under -outdir.
+// SIGINT/SIGTERM stop the sweep between experiments: completed experiments
+// keep their output and the command reports which ones finished.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mint/internal/experiments"
 	"mint/internal/temporal"
@@ -24,6 +29,9 @@ func main() {
 	deltaSec := flag.Int64("delta", int64(temporal.DeltaHour), "motif time window δ in seconds")
 	quick := flag.Bool("quick", false, "shrink all sweeps (smoke test)")
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	cfg := experiments.Default()
 	cfg.MaxEdges = *maxEdges
@@ -49,15 +57,38 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
+	var done []string
 	for _, name := range args {
 		run, ok := runners[strings.ToLower(name)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: all table1 table2 fig2 fig7 fig10 fig11 fig12 fig13 fig14 deltasweep\n", name)
 			os.Exit(2)
 		}
+		// Stop between experiments on SIGINT/SIGTERM: what completed stays
+		// on disk, and we say how far we got.
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "interrupted after %s; skipping: %s\n",
+				summarize(done), strings.Join(remaining(args, len(done)), " "))
+			os.Exit(130)
+		}
 		if err := run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			os.Exit(1)
 		}
+		done = append(done, name)
 	}
+}
+
+func summarize(done []string) string {
+	if len(done) == 0 {
+		return "0 experiments"
+	}
+	return fmt.Sprintf("%d experiment(s): %s", len(done), strings.Join(done, " "))
+}
+
+func remaining(args []string, done int) []string {
+	if done >= len(args) {
+		return nil
+	}
+	return args[done:]
 }

@@ -1,18 +1,28 @@
 // Command mine runs the software temporal motif miners on a dataset and
 // motif: the Mackey et al. exact algorithm (sequential, parallel, or
 // memoized), the Paranjape et al. static-first baseline, the PRESTO
-// approximate sampler, and the GPU SIMT timing model.
+// approximate sampler, the GPU SIMT timing model, and the exact→approx
+// fallback path.
+//
+// Long runs are interruptible: SIGINT/SIGTERM cancel the mining context,
+// and -timeout / -maxmatches / -maxnodes bound the run up front. An
+// interrupted or budget-capped run prints its exact partial results
+// (flagged as truncated) instead of dying silently.
 //
 // Usage:
 //
 //	mine -algo mackey -dataset wiki-talk -motif M1
 //	mine -algo presto -graph edges.txt -motifspec "A->B;B->A"
+//	mine -algo fallback -dataset wiki-talk -timeout 2s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mint/internal/cyclemine"
@@ -21,12 +31,13 @@ import (
 	"mint/internal/mackey"
 	"mint/internal/paranjape"
 	"mint/internal/presto"
+	"mint/internal/runctl"
 	"mint/internal/task"
 	"mint/internal/temporal"
 )
 
 func main() {
-	algo := flag.String("algo", "mackey", "mackey | mackey-seq | mackey-memo | taskqueue | paranjape | presto | gpu | cycles")
+	algo := flag.String("algo", "mackey", "mackey | mackey-seq | mackey-memo | taskqueue | paranjape | presto | gpu | cycles | fallback")
 	datasetName := flag.String("dataset", "", "dataset name or abbreviation (em/mo/ub/su/wt/so)")
 	graphPath := flag.String("graph", "", "SNAP-format temporal graph file (overrides -dataset)")
 	scale := flag.Float64("scale", 0.01, "synthetic dataset scale (0,1]")
@@ -35,7 +46,21 @@ func main() {
 	deltaSec := flag.Int64("delta", int64(temporal.DeltaHour), "motif time window δ in seconds")
 	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 	windows := flag.Int("windows", 32, "presto: sampled windows")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
+	maxMatches := flag.Int64("maxmatches", 0, "stop after this many matches (0 = unlimited)")
+	maxNodes := flag.Int64("maxnodes", 0, "stop after this many search-tree node expansions (0 = unlimited)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the mining context: interrupted runs unwind
+	// cooperatively and print their partial results below.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+	budget := runctl.Budget{MaxMatches: *maxMatches, MaxNodes: *maxNodes}
 
 	g, err := loadGraph(*graphPath, *datasetName, *scale)
 	if err != nil {
@@ -51,34 +76,46 @@ func main() {
 	start := time.Now()
 	switch *algo {
 	case "mackey":
-		res := mackey.MineParallel(g, m, mackey.Options{Workers: *workers})
-		report(res.Matches, start)
-		taskStats(res.Stats)
+		res, err := mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: *workers}, budget)
+		if err != nil {
+			fatal(err)
+		}
+		reportMine(res, start)
 	case "mackey-seq":
-		res := mackey.Mine(g, m, mackey.Options{})
-		report(res.Matches, start)
-		taskStats(res.Stats)
+		res := mackey.MineCtx(ctx, g, m, mackey.Options{}, budget)
+		reportMine(res, start)
 	case "mackey-memo":
-		res := mackey.MineParallelMemo(g, m, mackey.Options{Workers: *workers})
-		report(res.Matches, start)
-		taskStats(res.Stats)
+		res, err := mackey.MineParallelMemoCtx(ctx, g, m, mackey.Options{Workers: *workers}, budget)
+		if err != nil {
+			fatal(err)
+		}
+		reportMine(res, start)
 		fmt.Printf("memo: %d hits, %d entries skipped\n",
 			res.Stats.MemoHits, res.Stats.MemoSkippedEntries)
 	case "taskqueue":
-		matches := task.RunQueue(g, m, *workers, 0)
-		report(matches, start)
+		res, err := task.RunQueueCtl(g, m, *workers, 0, runctl.New(ctx, budget))
+		if err != nil {
+			fatal(err)
+		}
+		report(res.Matches, start)
+		if res.Truncated {
+			truncNote(res.StopReason)
+		}
 	case "paranjape":
 		res := paranjape.Count(g, m)
 		report(res.Matches, start)
 		fmt.Printf("static instances: %d (ratio %.1fx)\n", res.Stats.StaticInstances,
 			float64(res.Stats.StaticInstances)/float64(max64(res.Matches, 1)))
 	case "presto":
-		res, err := presto.Estimate(g, m, presto.Config{Windows: *windows, C: 1.25, Seed: 1})
+		res, err := presto.EstimateCtx(ctx, g, m, presto.Config{Windows: *windows, C: 1.25, Seed: 1})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("estimate: %.1f motifs in %v (%d windows, %d edges processed)\n",
 			res.Estimate, time.Since(start), res.WindowsRun, res.EdgesProcessed)
+		if res.Truncated {
+			truncNote(res.StopReason)
+		}
 	case "cycles":
 		k := len(m.Edges)
 		st, err := cyclemine.Count(g, k, m.Delta)
@@ -88,20 +125,94 @@ func main() {
 		fmt.Printf("temporal %d-cycles: %d in %v (%d walk steps; note: counts Cycle(%d), ignoring -motifspec shape)\n",
 			k, st.Matches, time.Since(start), st.WalksTried, k)
 	case "gpu":
-		res, err := gpumodel.Run(g, m, gpumodel.DefaultConfig())
+		res, err := gpumodel.RunCtx(ctx, g, m, gpumodel.DefaultConfig(), budget)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("matches: %d; modeled GPU time %.6f s (latency %.6f, bandwidth %.6f); %d warp steps (%d divergent)\n",
 			res.Matches, res.Seconds, res.LatencySeconds, res.BandwidthSeconds,
 			res.WarpSteps, res.DivergentSteps)
+		if res.Truncated {
+			truncNote(res.StopReason)
+		}
+	case "fallback":
+		if budget.Deadline.IsZero() && *timeout > 0 {
+			// Reserve a slice of the wall budget for the estimator.
+			budget.Deadline = start.Add(*timeout * 3 / 4)
+		}
+		res, err := fallback(ctx, g, m, *workers, budget, *windows)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case res.exact:
+			fmt.Printf("matches: %d (exact) in %v\n", res.exactPartial, time.Since(start))
+		case res.approximate:
+			fmt.Printf("estimate: %.1f motifs (approximate; exact miner truncated: %s, partial count %d) in %v\n",
+				res.count, res.reason, res.exactPartial, time.Since(start))
+		default:
+			fmt.Printf("matches: ≥%d (partial lower bound; run interrupted: %s) in %v\n",
+				res.exactPartial, res.reason, time.Since(start))
+		}
 	default:
 		fatal(fmt.Errorf("unknown -algo %q", *algo))
 	}
 }
 
+// fallbackResult mirrors the library's CountWithFallback outcome with just
+// what the CLI report needs.
+type fallbackResult struct {
+	count        float64
+	exact        bool
+	approximate  bool
+	exactPartial int64
+	reason       runctl.Reason
+}
+
+// fallback tries the exact parallel miner within budget and degrades to
+// the PRESTO estimator when it is cut short.
+func fallback(ctx context.Context, g *temporal.Graph, m *temporal.Motif, workers int, budget runctl.Budget, windows int) (fallbackResult, error) {
+	res, err := mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: workers}, budget)
+	out := fallbackResult{exactPartial: res.Matches, reason: res.StopReason}
+	if err != nil {
+		return out, err
+	}
+	if !res.Truncated {
+		out.exact = true
+		out.count = float64(res.Matches)
+		return out, nil
+	}
+	ares, err := presto.EstimateCtx(ctx, g, m, presto.Config{Windows: windows, C: 1.25, Seed: 1})
+	if err != nil {
+		return out, err
+	}
+	if ares.WindowsRun == 0 {
+		return out, nil
+	}
+	out.approximate = true
+	out.count = ares.Estimate
+	// The exact partial count is a proven lower bound on the true count;
+	// never report an estimate we already know is too low.
+	if lb := float64(res.Matches); out.count < lb {
+		out.count = lb
+	}
+	return out, nil
+}
+
 func report(matches int64, start time.Time) {
 	fmt.Printf("matches: %d in %v\n", matches, time.Since(start))
+}
+
+func reportMine(res mackey.Result, start time.Time) {
+	report(res.Matches, start)
+	taskStats(res.Stats)
+	if res.Truncated {
+		truncNote(res.StopReason)
+	}
+}
+
+func truncNote(r runctl.Reason) {
+	fmt.Printf("NOTE: run truncated (%s); counts above are exact partial results\n", r)
 }
 
 func taskStats(s mackey.Stats) {

@@ -1,0 +1,198 @@
+package mint
+
+// Cancellation, budgets, and graceful degradation for the public API.
+//
+// Temporal motif search trees are heavy-tailed: a pathological (graph,
+// motif, δ) triple can expand combinatorially many nodes (paper §II,
+// Fig 2), so every blocking entry point has a *Ctx twin that accepts a
+// context.Context and a Budget. Cancellation is cooperative and cheap —
+// workers poll a shared atomic flag every few thousand tree expansions —
+// and an aborted run returns its exact partial results (Truncated=true)
+// instead of discarding the work. CountWithFallback goes one step
+// further: when the exact miner exceeds its deadline it degrades to the
+// PRESTO sampling estimate, turning a hard timeout into a usable answer.
+
+import (
+	"context"
+
+	"mint/internal/gpumodel"
+	"mint/internal/mackey"
+	hw "mint/internal/mint"
+	"mint/internal/presto"
+	"mint/internal/runctl"
+	"mint/internal/task"
+)
+
+// Budget bounds the resources a mining run may consume: a wall-clock
+// Deadline, a MaxMatches cap, and a MaxNodes cap on expanded search-tree
+// nodes. The zero Budget is unlimited.
+type Budget = runctl.Budget
+
+// StopReason says why a truncated run stopped.
+type StopReason = runctl.Reason
+
+// Stop reasons reported in results with Truncated=true.
+const (
+	// NotStopped: the run completed normally.
+	NotStopped = runctl.NotStopped
+	// StopCanceled: the context was canceled.
+	StopCanceled = runctl.Canceled
+	// StopDeadline: the Budget.Deadline or context deadline passed.
+	StopDeadline = runctl.DeadlineExceeded
+	// StopMatchBudget: Budget.MaxMatches was reached.
+	StopMatchBudget = runctl.MatchBudget
+	// StopNodeBudget: Budget.MaxNodes was reached.
+	StopNodeBudget = runctl.NodeBudget
+	// StopFailed: a worker failed and the run was aborted.
+	StopFailed = runctl.Failed
+)
+
+// MineResult is the full outcome of an exact mining run: the match count,
+// instrumentation stats, and the truncation contract — when Truncated is
+// true, Matches and Stats hold the exact partial work done before the stop
+// (a lower bound on the full count), and StopReason says why.
+type MineResult = mackey.Result
+
+// MineStats re-exports the miner instrumentation counters.
+type MineStats = mackey.Stats
+
+// TaskQueueResult is the outcome of a cancellable task-queue run.
+type TaskQueueResult = task.QueueResult
+
+// PanicError is the error returned when a mining worker panics: the run
+// aborts cleanly (no process death), partial results stay available, and
+// the error carries the worker index and offending root edge ID.
+type PanicError = runctl.PanicError
+
+// ApproxResult is the full outcome of a PRESTO estimation run.
+type ApproxResult = presto.Result
+
+// GPUResult is the outcome of the GPU SIMT timing model.
+type GPUResult = gpumodel.Result
+
+// CountCtx is Count bounded by a context and a budget. A truncated run
+// returns Truncated=true with the exact partial count and stats; at a
+// fixed MaxNodes budget the sequential truncation point — and therefore
+// the partial count — is deterministic across runs.
+func CountCtx(ctx context.Context, g *Graph, m *Motif, b Budget) MineResult {
+	return mackey.MineCtx(ctx, g, m, mackey.Options{}, b)
+}
+
+// CountParallelCtx is CountParallel bounded by a context and a budget
+// (workers < 1 means GOMAXPROCS). A panicking worker converts into a
+// returned *PanicError instead of killing the process; the partial result
+// accompanies the error.
+func CountParallelCtx(ctx context.Context, g *Graph, m *Motif, workers int, b Budget) (MineResult, error) {
+	return mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: workers}, b)
+}
+
+// CountTaskQueueCtx is CountTaskQueue bounded by a context and a budget.
+// On cancellation the bounded queue drains cleanly and the partial count
+// is returned with Truncated=true.
+func CountTaskQueueCtx(ctx context.Context, g *Graph, m *Motif, workers, contexts int, b Budget) (TaskQueueResult, error) {
+	return task.RunQueueCtl(g, m, workers, contexts, runctl.New(ctx, b))
+}
+
+// EnumerateCtx is Enumerate bounded by a context and a budget. With
+// Budget.MaxMatches = n it streams exactly the first n matches (in the
+// deterministic chronological search order) and stops. The visit slice is
+// reused across calls; copy it to retain.
+func EnumerateCtx(ctx context.Context, g *Graph, m *Motif, b Budget, visit func(edges []int32)) MineResult {
+	return mackey.MineCtx(ctx, g, m, mackey.Options{Probe: enumProbe{visit}}, b)
+}
+
+// EstimateApproxCtx is EstimateApprox with cancellation: the sampler
+// checks its context between (and inside) windows. A truncated run returns
+// the estimate averaged over the windows completed so far — still
+// unbiased, just higher-variance — with Truncated=true.
+func EstimateApproxCtx(ctx context.Context, g *Graph, m *Motif, cfg ApproxConfig) (ApproxResult, error) {
+	return presto.EstimateCtx(ctx, g, m, cfg)
+}
+
+// SimulateCtx is Simulate bounded by a context and a budget: the cycle
+// loop polls for cancellation every few thousand simulated cycles and a
+// stopped simulation returns its partial Result with Truncated=true.
+func SimulateCtx(ctx context.Context, g *Graph, m *Motif, cfg SimConfig, b Budget) (SimResult, error) {
+	return hw.SimulateCtx(ctx, g, m, cfg, b)
+}
+
+// SimulateGPUCtx is SimulateGPU bounded by a context and a budget; the
+// warp-step loop polls for cancellation between lockstep steps.
+func SimulateGPUCtx(ctx context.Context, g *Graph, m *Motif, cfg GPUConfig, b Budget) (GPUResult, error) {
+	return gpumodel.RunCtx(ctx, g, m, cfg, b)
+}
+
+// FallbackConfig configures CountWithFallback's exact→approximate
+// degradation.
+type FallbackConfig struct {
+	// Budget bounds the exact attempt — typically a Deadline, optionally
+	// MaxNodes. Leave headroom between this deadline and the context's own
+	// deadline so the estimator has time to run.
+	Budget Budget
+	// Workers is the exact miner's parallelism (< 1 means GOMAXPROCS).
+	Workers int
+	// Approx configures the PRESTO estimator used when the exact attempt
+	// is cut short. The zero value means DefaultApproxConfig().
+	Approx ApproxConfig
+}
+
+// FallbackResult is CountWithFallback's outcome.
+type FallbackResult struct {
+	// Count is the best available answer: the exact count when Exact, the
+	// PRESTO estimate when Approximate, otherwise the exact partial count
+	// (a lower bound — the context died before the estimator could run).
+	Count float64
+	// Exact reports that the exact miner completed within its budget.
+	Exact bool
+	// Approximate reports that Count is the sampling estimate.
+	Approximate bool
+	// ExactPartial is the exact miner's (possibly partial) match count;
+	// always a valid lower bound on the true count.
+	ExactPartial int64
+	// ExactResult and ApproxResult carry the detailed outcomes of the two
+	// stages (ApproxResult is zero when the exact stage completed).
+	ExactResult  MineResult
+	ApproxResult ApproxResult
+}
+
+// CountWithFallback mines exactly within cfg.Budget and degrades
+// gracefully: when the exact parallel miner exceeds its deadline (or node
+// budget), it falls back to the PRESTO sampling estimator under the
+// remaining context, returning an approximate answer flagged as such
+// instead of a hard timeout. The exact stage's partial count is always
+// returned as a lower bound.
+func CountWithFallback(ctx context.Context, g *Graph, m *Motif, cfg FallbackConfig) (FallbackResult, error) {
+	if cfg.Approx.Windows == 0 {
+		cfg.Approx = DefaultApproxConfig()
+	}
+	res, err := mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: cfg.Workers}, cfg.Budget)
+	out := FallbackResult{ExactResult: res, ExactPartial: res.Matches}
+	if err != nil {
+		return out, err
+	}
+	if !res.Truncated {
+		out.Exact = true
+		out.Count = float64(res.Matches)
+		return out, nil
+	}
+	ares, err := presto.EstimateCtx(ctx, g, m, cfg.Approx)
+	out.ApproxResult = ares
+	if err != nil {
+		return out, err
+	}
+	if ares.WindowsRun == 0 {
+		// The context died before a single window completed: the partial
+		// exact count is the only usable answer.
+		out.Count = float64(res.Matches)
+		return out, nil
+	}
+	out.Approximate = true
+	out.Count = ares.Estimate
+	// The exact partial count is a proven lower bound; on heavy-tailed
+	// graphs a small window sample can estimate below it. Never report an
+	// answer we already know is too low.
+	if lb := float64(res.Matches); out.Count < lb {
+		out.Count = lb
+	}
+	return out, nil
+}

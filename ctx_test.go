@@ -1,0 +1,196 @@
+package mint
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mint/internal/testutil"
+)
+
+// denseTestGraph is big enough that every engine crosses several
+// cancellation checkpoints.
+func denseTestGraph() (*Graph, *Motif) {
+	rng := rand.New(rand.NewSource(31))
+	g := testutil.RandomGraph(rng, 24, 4000, 500)
+	return g, M1(400)
+}
+
+func TestCtxShimsMatchBlockingAPI(t *testing.T) {
+	g, m := denseTestGraph()
+	want := Count(g, m)
+	ctx := context.Background()
+
+	res := CountCtx(ctx, g, m, Budget{})
+	if res.Truncated || res.Matches != want {
+		t.Fatalf("CountCtx = %d (truncated=%v), want %d", res.Matches, res.Truncated, want)
+	}
+	pres, err := CountParallelCtx(ctx, g, m, 4, Budget{})
+	if err != nil || pres.Matches != want {
+		t.Fatalf("CountParallelCtx = %d, %v; want %d", pres.Matches, err, want)
+	}
+	qres, err := CountTaskQueueCtx(ctx, g, m, 4, 16, Budget{})
+	if err != nil || qres.Matches != want {
+		t.Fatalf("CountTaskQueueCtx = %d, %v; want %d", qres.Matches, err, want)
+	}
+}
+
+// TestEnumerateCtxMaxMatches: with a match budget of n, EnumerateCtx must
+// stream exactly the first n matches of the deterministic search order.
+func TestEnumerateCtxMaxMatches(t *testing.T) {
+	g, m := denseTestGraph()
+	var full [][]int32
+	Enumerate(g, m, func(edges []int32) {
+		cp := make([]int32, len(edges))
+		copy(cp, edges)
+		full = append(full, cp)
+	})
+	if len(full) < 10 {
+		t.Fatalf("test graph too sparse: %d matches", len(full))
+	}
+	const n = 10
+	var got [][]int32
+	res := EnumerateCtx(context.Background(), g, m, Budget{MaxMatches: n}, func(edges []int32) {
+		cp := make([]int32, len(edges))
+		copy(cp, edges)
+		got = append(got, cp)
+	})
+	if len(got) != n {
+		t.Fatalf("streamed %d matches, want exactly %d", len(got), n)
+	}
+	if !res.Truncated || res.StopReason != StopMatchBudget {
+		t.Fatalf("truncated=%v reason=%v, want MatchBudget", res.Truncated, res.StopReason)
+	}
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j] != full[i][j] {
+				t.Fatalf("match %d differs from full enumeration: %v vs %v", i, got[i], full[i])
+			}
+		}
+	}
+}
+
+func TestCountTaskQueueCtxTruncates(t *testing.T) {
+	g, m := denseTestGraph()
+	res, err := CountTaskQueueCtx(context.Background(), g, m, 4, 16,
+		Budget{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.StopReason != StopDeadline {
+		t.Fatalf("truncated=%v reason=%v, want DeadlineExceeded", res.Truncated, res.StopReason)
+	}
+}
+
+func TestCountWithFallbackExactPath(t *testing.T) {
+	g, m := denseTestGraph()
+	want := Count(g, m)
+	res, err := CountWithFallback(context.Background(), g, m, FallbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Approximate {
+		t.Fatalf("exact=%v approximate=%v, want exact", res.Exact, res.Approximate)
+	}
+	if int64(res.Count) != want || res.ExactPartial != want {
+		t.Fatalf("Count = %v, ExactPartial = %d; want %d", res.Count, res.ExactPartial, want)
+	}
+}
+
+// TestCountWithFallbackApproximatePath: an exact stage strangled by a tiny
+// node budget must degrade to the PRESTO estimate, flagged approximate,
+// with the exact partial count still reported as a lower bound.
+func TestCountWithFallbackApproximatePath(t *testing.T) {
+	g, m := denseTestGraph()
+	full := Count(g, m)
+	cfg := FallbackConfig{
+		Budget:  Budget{MaxNodes: 1}, // force truncation almost immediately
+		Workers: 4,
+		Approx:  ApproxConfig{Windows: 8, C: 1.25, Seed: 3},
+	}
+	res, err := CountWithFallback(context.Background(), g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("exact stage claimed success under a 1-node budget")
+	}
+	if !res.Approximate {
+		t.Fatalf("fallback did not produce an approximate answer: %+v", res)
+	}
+	if !res.ExactResult.Truncated || res.ExactResult.StopReason != StopNodeBudget {
+		t.Fatalf("exact stage: truncated=%v reason=%v, want NodeBudget",
+			res.ExactResult.Truncated, res.ExactResult.StopReason)
+	}
+	if res.ExactPartial < 0 || res.ExactPartial > full {
+		t.Fatalf("ExactPartial = %d outside [0, %d]", res.ExactPartial, full)
+	}
+	if res.ApproxResult.WindowsRun != 8 {
+		t.Fatalf("estimator ran %d windows, want 8", res.ApproxResult.WindowsRun)
+	}
+	if res.Count <= 0 {
+		t.Fatalf("estimate %v is not positive on a dense graph", res.Count)
+	}
+}
+
+func TestEstimateApproxCtxCanceled(t *testing.T) {
+	g, m := denseTestGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := EstimateApproxCtx(ctx, g, m, ApproxConfig{Windows: 8, C: 1.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.StopReason != StopCanceled {
+		t.Fatalf("truncated=%v reason=%v, want Canceled", res.Truncated, res.StopReason)
+	}
+	if res.WindowsRun != 0 {
+		t.Fatalf("pre-canceled estimator completed %d windows", res.WindowsRun)
+	}
+}
+
+func TestSimulateCtxTruncates(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := testutil.RandomGraph(rng, 24, 1200, 500)
+	m := M1(400)
+	cfg := DefaultSimConfig()
+	cfg.PEs = 8
+
+	want, err := Simulate(g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateCtx(context.Background(), g, m, cfg, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated || res.Matches != want.Matches {
+		t.Fatalf("unbounded SimulateCtx = %d (truncated=%v), want %d",
+			res.Matches, res.Truncated, want.Matches)
+	}
+
+	tres, err := SimulateCtx(context.Background(), g, m, cfg,
+		Budget{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tres.Truncated || tres.StopReason != StopDeadline {
+		t.Fatalf("truncated=%v reason=%v, want DeadlineExceeded", tres.Truncated, tres.StopReason)
+	}
+	if tres.Matches > want.Matches {
+		t.Fatalf("partial matches %d exceed full %d", tres.Matches, want.Matches)
+	}
+}
+
+func TestSimulateGPUCtxTruncates(t *testing.T) {
+	g, m := denseTestGraph()
+	res, err := SimulateGPUCtx(context.Background(), g, m, DefaultGPUConfig(),
+		Budget{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.StopReason != StopDeadline {
+		t.Fatalf("truncated=%v reason=%v, want DeadlineExceeded", res.Truncated, res.StopReason)
+	}
+}

@@ -22,6 +22,29 @@
 //     reports runtime, speedups, memory traffic, bandwidth utilization and
 //     cache behavior; AreaPower reports the 28 nm area/power roll-up.
 //
+// # Cancellation and budgets
+//
+// Temporal motif search trees are heavy-tailed (paper §II, Fig 2), so
+// every blocking entry point has a *Ctx twin — CountCtx,
+// CountParallelCtx, CountTaskQueueCtx, EnumerateCtx, EstimateApproxCtx,
+// SimulateCtx, SimulateGPUCtx — that accepts a context.Context and a
+// Budget (wall-clock Deadline, MaxMatches, MaxNodes; the zero Budget is
+// unlimited). Cancellation is cooperative: workers poll a shared atomic
+// flag every few thousand search-tree expansions, so the unbounded hot
+// path is unaffected and cancellation latency is microseconds of work per
+// worker.
+//
+// A stopped run is not an error: it returns its result with
+// Truncated=true, a StopReason, and exact partial counts — a lower bound
+// on the full answer. On the sequential path a fixed MaxNodes budget
+// truncates deterministically (same budget, same partial count, every
+// run). A panicking worker in the parallel miners converts into a
+// returned *PanicError carrying the offending root edge instead of
+// killing the process. CountWithFallback composes the layers: it mines
+// exactly within a Budget and, when cut short, degrades to the PRESTO
+// sampling estimate, turning a hard timeout into a usable (flagged)
+// approximate answer.
+//
 // Everything under internal/ is the implementation: one package per
 // subsystem (see DESIGN.md for the inventory and the per-experiment map).
 // The experiment harness that regenerates every table and figure of the

@@ -18,8 +18,10 @@
 package gpumodel
 
 import (
+	"context"
 	"fmt"
 
+	"mint/internal/runctl"
 	"mint/internal/task"
 	"mint/internal/temporal"
 )
@@ -86,6 +88,13 @@ type Result struct {
 	Transactions int64
 	// BytesTouched is transactions × transaction size.
 	BytesTouched int64
+
+	// Truncated reports that the model run was stopped early by its
+	// context or budget (RunCtx); Matches and the timing terms then
+	// describe the partial run.
+	Truncated bool
+	// StopReason says why a truncated run stopped.
+	StopReason runctl.Reason
 }
 
 // lane is one SIMT lane executing one search tree at a time.
@@ -96,6 +105,22 @@ type lane struct {
 
 // Run executes the SIMT model for graph g and motif m.
 func Run(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) {
+	return RunCtl(g, m, cfg, nil)
+}
+
+// RunCtx is Run bounded by a context and a budget. The warp-step loop
+// polls the controller between lockstep steps; a stopped run returns the
+// partial Result with Truncated=true rather than an error.
+func RunCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, cfg Config, b runctl.Budget) (Result, error) {
+	var ctl *runctl.Controller
+	if (ctx != nil && ctx.Done() != nil) || !b.Unlimited() {
+		ctl = runctl.New(ctx, b)
+	}
+	return RunCtl(g, m, cfg, ctl)
+}
+
+// RunCtl is Run under an externally owned controller (nil = unbounded).
+func RunCtl(g *temporal.Graph, m *temporal.Motif, cfg Config, ctl *runctl.Controller) (Result, error) {
 	if cfg.WarpSize <= 0 || cfg.SMs <= 0 || cfg.ResidentWarpsPerSM <= 0 {
 		return Result{}, fmt.Errorf("gpumodel: invalid parallelism in config %+v", cfg)
 	}
@@ -125,6 +150,9 @@ func Run(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) {
 		return false
 	}
 
+	truncated := false
+	var flushedSteps, flushedMatches int64
+warps:
 	for nextRoot < g.NumEdges() {
 		// Form one warp.
 		activeLanes := 0
@@ -138,6 +166,18 @@ func Run(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) {
 		}
 		// Execute the warp to completion in lockstep.
 		for activeLanes > 0 {
+			// Cooperative cancellation: poll the controller on an amortized
+			// warp-step stride (each step executes up to WarpSize searches,
+			// so a small stride keeps stop latency tight).
+			if ctl != nil && res.WarpSteps&63 == 0 {
+				dn := res.WarpSteps - flushedSteps
+				dm := res.Matches - flushedMatches
+				flushedSteps, flushedMatches = res.WarpSteps, res.Matches
+				if ctl.Checkpoint(dn, dm) {
+					truncated = true
+					break warps
+				}
+			}
 			res.WarpSteps++
 			// Each active lane performs its pending task; costs aggregate
 			// by task type (divergent types serialize), and uncoalesced
@@ -211,6 +251,10 @@ func Run(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) {
 		}
 	}
 
+	if truncated {
+		res.Truncated = true
+		res.StopReason = ctl.Reason()
+	}
 	res.BytesTouched = res.Transactions * int64(cfg.TransactionBytes)
 	parallelWarps := float64(cfg.SMs * cfg.ResidentWarpsPerSM)
 	res.LatencySeconds = float64(warpCycles) / parallelWarps / (cfg.ClockGHz * 1e9)

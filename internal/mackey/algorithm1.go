@@ -1,6 +1,7 @@
 package mackey
 
 import (
+	"mint/internal/runctl"
 	"mint/internal/temporal"
 )
 
@@ -26,7 +27,7 @@ func MineAlgorithm1(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 		a.g2m[i] = temporal.InvalidNode
 	}
 	a.run()
-	return Result{Matches: a.stats.Matches, Stats: a.stats}
+	return a.finish()
 }
 
 type algo1 struct {
@@ -42,6 +43,36 @@ type algo1 struct {
 	tPrime temporal.Timestamp // t′: exclusive-inclusive end-time bound
 	rootEG temporal.EdgeID
 	stats  Stats
+
+	sinceCheck     int32
+	stopped        bool
+	flushedMatches int64
+}
+
+// checkpoint flushes progress into the shared controller and latches any
+// stop request; one loop iteration of run() is one node expansion here.
+func (a *algo1) checkpoint() {
+	nodes := int64(a.sinceCheck)
+	a.sinceCheck = 0
+	a.stats.NodesExpanded += nodes
+	if a.opts.Ctl == nil {
+		return
+	}
+	dm := a.stats.Matches - a.flushedMatches
+	a.flushedMatches = a.stats.Matches
+	if a.opts.Ctl.Checkpoint(nodes, dm) {
+		a.stopped = true
+	}
+}
+
+func (a *algo1) finish() Result {
+	truncated := a.stopped
+	a.checkpoint()
+	res := Result{Matches: a.stats.Matches, Stats: a.stats, Truncated: truncated}
+	if truncated {
+		res.StopReason = a.opts.Ctl.Reason()
+	}
+	return res
 }
 
 // run is the outer while-true loop of Algorithm 1 (lines 7–24).
@@ -49,6 +80,13 @@ func (a *algo1) run() {
 	a.tPrime = maxTimestamp
 	cursor := temporal.EdgeID(0) // first graph edge index to consider next
 	for {
+		a.sinceCheck++
+		if a.sinceCheck >= runctl.CheckInterval {
+			a.checkpoint()
+			if a.stopped {
+				return
+			}
+		}
 		eM := len(a.eStack) // next motif edge to match
 		eG := a.findNextMatchingEdge(eM, cursor)
 		if eG != temporal.InvalidEdge {
@@ -58,6 +96,12 @@ func (a *algo1) run() {
 				a.stats.Matches++
 				if a.opts.Probe != nil {
 					a.opts.Probe.Match(edgeIDsAsInt32(a.eStack))
+				}
+				if a.opts.Ctl.MatchBudgeted() {
+					a.checkpoint()
+					if a.stopped {
+						return
+					}
 				}
 				cursor = a.backtrack() // resume the sibling of the leaf
 				if cursor == temporal.InvalidEdge {

@@ -1,0 +1,218 @@
+package mackey
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mint/internal/runctl"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+// denseGraph returns a graph/motif pair whose mine expands enough tree
+// nodes to cross several CheckInterval checkpoints — the regime the
+// truncation machinery is designed for.
+func denseGraph(t *testing.T) (*temporal.Graph, *temporal.Motif) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g := testutil.RandomGraph(rng, 24, 4000, 500)
+	m := temporal.M1(400) // 3-edge cycle, wide δ
+	return g, m
+}
+
+func TestMineCtxUnboundedMatchesMine(t *testing.T) {
+	g, m := denseGraph(t)
+	want := Mine(g, m, Options{})
+	got := MineCtx(context.Background(), g, m, Options{}, runctl.Budget{})
+	if got.Matches != want.Matches || got.Truncated {
+		t.Fatalf("MineCtx unbounded: got %d (truncated=%v), want %d",
+			got.Matches, got.Truncated, want.Matches)
+	}
+}
+
+// TestTruncationDeterminism: at a fixed MaxNodes budget the sequential
+// miner must stop at the same expansion every run and report identical
+// partial counts — the property that makes truncated runs reproducible.
+func TestTruncationDeterminism(t *testing.T) {
+	g, m := denseGraph(t)
+	full := Mine(g, m, Options{})
+	if full.Stats.NodesExpanded < 4*runctl.CheckInterval {
+		t.Fatalf("test graph too small: %d expansions, want >= %d",
+			full.Stats.NodesExpanded, 4*runctl.CheckInterval)
+	}
+	b := runctl.Budget{MaxNodes: full.Stats.NodesExpanded / 2}
+	first := MineCtx(context.Background(), g, m, Options{}, b)
+	if !first.Truncated {
+		t.Fatalf("run within half the node budget not truncated (%d matches)", first.Matches)
+	}
+	if first.StopReason != runctl.NodeBudget {
+		t.Fatalf("StopReason = %v, want NodeBudget", first.StopReason)
+	}
+	if first.Matches > full.Matches {
+		t.Fatalf("partial count %d exceeds full count %d", first.Matches, full.Matches)
+	}
+	for i := 0; i < 4; i++ {
+		again := MineCtx(context.Background(), g, m, Options{}, b)
+		if again.Matches != first.Matches || again.Stats.NodesExpanded != first.Stats.NodesExpanded {
+			t.Fatalf("run %d: %d matches / %d nodes, want %d / %d (nondeterministic truncation)",
+				i, again.Matches, again.Stats.NodesExpanded,
+				first.Matches, first.Stats.NodesExpanded)
+		}
+	}
+}
+
+// TestMatchBudgetExactSequential: the sequential miner checks eagerly on
+// each match when a match budget is set, so it stops at exactly
+// MaxMatches.
+func TestMatchBudgetExactSequential(t *testing.T) {
+	g, m := denseGraph(t)
+	full := Mine(g, m, Options{})
+	if full.Matches < 10 {
+		t.Fatalf("test graph too sparse: %d matches", full.Matches)
+	}
+	for _, n := range []int64{1, 7, full.Matches / 2} {
+		res := MineCtx(context.Background(), g, m, Options{}, runctl.Budget{MaxMatches: n})
+		if res.Matches != n {
+			t.Fatalf("MaxMatches=%d: got %d matches", n, res.Matches)
+		}
+		if !res.Truncated || res.StopReason != runctl.MatchBudget {
+			t.Fatalf("MaxMatches=%d: truncated=%v reason=%v", n, res.Truncated, res.StopReason)
+		}
+	}
+	// A budget at or above the full count must not truncate.
+	res := MineCtx(context.Background(), g, m, Options{}, runctl.Budget{MaxMatches: full.Matches + 1})
+	if res.Truncated || res.Matches != full.Matches {
+		t.Fatalf("over-budget run: %d matches truncated=%v, want %d untruncated",
+			res.Matches, res.Truncated, full.Matches)
+	}
+}
+
+func TestExpiredDeadlineTruncates(t *testing.T) {
+	g, m := denseGraph(t)
+	res := MineCtx(context.Background(), g, m, Options{},
+		runctl.Budget{Deadline: time.Now().Add(-time.Second)})
+	if !res.Truncated || res.StopReason != runctl.DeadlineExceeded {
+		t.Fatalf("truncated=%v reason=%v, want deadline truncation", res.Truncated, res.StopReason)
+	}
+}
+
+// TestCancelLatency: canceling mid-mine must return promptly with exact
+// partial results. The acceptance budget is 50ms of mining after cancel;
+// we assert a CI-safe 500ms.
+func TestCancelLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := testutil.RandomGraph(rng, 40, 20000, 300)
+	m := temporal.M3(300) // 4-edge cycle: combinatorial enough to run long
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type outcome struct {
+		res     Result
+		elapsed time.Duration
+	}
+	done := make(chan outcome, 1)
+	var canceledAt time.Time
+	go func() {
+		res := MineCtx(ctx, g, m, Options{}, runctl.Budget{})
+		done <- outcome{res, time.Since(canceledAt)}
+	}()
+	time.Sleep(30 * time.Millisecond) // let the mine get going
+	canceledAt = time.Now()
+	cancel()
+	select {
+	case out := <-done:
+		if !out.res.Truncated {
+			t.Skip("mine finished before cancel landed; nothing to measure")
+		}
+		if out.res.StopReason != runctl.Canceled {
+			t.Fatalf("StopReason = %v, want Canceled", out.res.StopReason)
+		}
+		if out.elapsed > 500*time.Millisecond {
+			t.Fatalf("cancel latency %v exceeds 500ms", out.elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("miner did not return within 10s of cancel")
+	}
+}
+
+// panicProbe panics on the nth match — simulating a buggy user probe. It
+// is shared across workers, so the countdown is atomic.
+type panicProbe struct{ left atomic.Int64 }
+
+func (p *panicProbe) NeighborhoodAccess(int32, bool, int, int, int32) {}
+func (p *panicProbe) Match(edges []int32) {
+	if p.left.Add(-1) <= 0 {
+		panic("probe exploded")
+	}
+}
+
+// TestMineParallelPanicRecovery: a panicking worker must surface as a
+// returned *runctl.PanicError naming the offending root edge — not kill
+// the process — and the partial result must still be reported.
+func TestMineParallelPanicRecovery(t *testing.T) {
+	g, m := denseGraph(t)
+	probe := &panicProbe{}
+	probe.left.Store(3)
+	res, err := MineParallelCtx(context.Background(), g, m,
+		Options{Workers: 4, Probe: probe}, runctl.Budget{})
+	if err == nil {
+		t.Fatal("want *runctl.PanicError, got nil")
+	}
+	var pe *runctl.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *runctl.PanicError: %v", err, err)
+	}
+	if pe.Root < 0 || pe.Root >= int64(g.NumEdges()) {
+		t.Fatalf("PanicError.Root = %d out of edge range", pe.Root)
+	}
+	if !res.Truncated || res.StopReason != runctl.Failed {
+		t.Fatalf("truncated=%v reason=%v, want Failed truncation", res.Truncated, res.StopReason)
+	}
+}
+
+// TestMineParallelCtxCancel: cancellation stops all workers and the merged
+// partial result is flagged.
+func TestMineParallelCtxCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := testutil.RandomGraph(rng, 40, 20000, 300)
+	m := temporal.M3(300)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	res, err := MineParallelCtx(ctx, g, m, Options{Workers: 8}, runctl.Budget{})
+	if err != nil {
+		t.Fatalf("MineParallelCtx: %v", err)
+	}
+	if !res.Truncated {
+		t.Skip("mine finished before cancel landed")
+	}
+	if res.StopReason != runctl.Canceled {
+		t.Fatalf("StopReason = %v, want Canceled", res.StopReason)
+	}
+}
+
+// TestMineParallelMemoRace: the memoized parallel miner with many workers
+// on a dense graph must agree with the sequential miner. Run under -race
+// this doubles as the concurrency-safety check for the memo table and the
+// shared controller.
+func TestMineParallelMemoRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := testutil.RandomGraph(rng, 16, 1200, 120)
+	for _, m := range temporal.EvaluationMotifs(100) {
+		want := Mine(g, m, Options{})
+		res, err := MineParallelMemoCtx(context.Background(), g, m, Options{Workers: 16}, runctl.Budget{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if res.Truncated || res.Matches != want.Matches {
+			t.Fatalf("%s: parallel-memo %d (truncated=%v), sequential %d",
+				m.Name, res.Matches, res.Truncated, want.Matches)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package mackey
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"mint/internal/runctl"
 	"mint/internal/temporal"
 )
 
@@ -15,7 +17,33 @@ import (
 // distributed to workers through a shared atomic cursor in small chunks,
 // the Go analog of OpenMP dynamic/work-stealing scheduling. Each worker
 // owns private node mappings; only the optional memo table is shared.
+//
+// A panicking worker aborts the run and surfaces as the error of
+// MineParallelCtx; this compatibility wrapper re-panics with it, which is
+// still strictly better than the unrecovered-goroutine process kill the
+// panic would otherwise cause.
 func MineParallel(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
+	res, err := MineParallelCtx(context.Background(), g, m, opts, runctl.Budget{})
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// MineParallelCtx is MineParallel bounded by a context and a budget.
+// Cancellation is cooperative: workers poll a shared atomic flag every
+// runctl.CheckInterval tree expansions and unwind promptly. A truncated
+// run returns Truncated=true with the exact partial count and stats
+// merged across workers. A worker panic converts into a *runctl.PanicError
+// (carrying the offending root edge ID) instead of killing the process;
+// the remaining workers are stopped and their partial stats returned.
+func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, opts Options, b runctl.Budget) (Result, error) {
+	if opts.Ctl == nil {
+		// Always run parallel workers under a controller so that a panic
+		// in one worker stops the others promptly.
+		opts.Ctl = runctl.New(ctx, b)
+	}
+	ctl := opts.Ctl
 	workers := opts.Workers
 	if workers < 1 {
 		workers = runtime.NumCPU()
@@ -37,12 +65,22 @@ func MineParallel(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 
 	var cursor atomic.Int64
 	perWorker := make([]Stats, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
 			w := newWorker(g, m, opts)
+			cur := int64(temporal.InvalidEdge)
+			defer func() {
+				if r := recover(); r != nil {
+					errs[wi] = &runctl.PanicError{Worker: wi, Root: cur, Value: r}
+					ctl.Stop(runctl.Failed)
+					perWorker[wi] = w.stats
+				}
+			}()
+		pull:
 			for {
 				base := cursor.Add(chunk) - chunk
 				if base >= int64(n) {
@@ -50,9 +88,14 @@ func MineParallel(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 				}
 				end := min(base+chunk, int64(n))
 				for root := base; root < end; root++ {
+					if w.stopped {
+						break pull
+					}
+					cur = root
 					w.mineRoot(temporal.EdgeID(root))
 				}
 			}
+			w.checkpoint() // flush the tail of this worker's progress
 			perWorker[wi] = w.stats
 		}(wi)
 	}
@@ -62,7 +105,17 @@ func MineParallel(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 	for _, s := range perWorker {
 		total.Add(s)
 	}
-	return Result{Matches: total.Matches, Stats: total}
+	res := Result{Matches: total.Matches, Stats: total}
+	if ctl.Stopped() {
+		res.Truncated = true
+		res.StopReason = ctl.Reason()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 // MineMemo runs the sequential reference miner with software search index
@@ -77,4 +130,10 @@ func MineMemo(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 func MineParallelMemo(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 	opts.Memo = NewMemoTable(g.NumNodes())
 	return MineParallel(g, m, opts)
+}
+
+// MineParallelMemoCtx is MineParallelCtx with a shared memo table.
+func MineParallelMemoCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, opts Options, b runctl.Budget) (Result, error) {
+	opts.Memo = NewMemoTable(g.NumNodes())
+	return MineParallelCtx(ctx, g, m, opts, b)
 }

@@ -1,9 +1,11 @@
 package mackey
 
 import (
+	"context"
 	"math"
 	"math/bits"
 
+	"mint/internal/runctl"
 	"mint/internal/temporal"
 )
 
@@ -19,12 +21,27 @@ type Options struct {
 	// Workers sets the degree of parallelism for the parallel miners;
 	// values < 1 mean runtime.NumCPU().
 	Workers int
+
+	// Ctl carries the run's cancellation and budget state; nil means the
+	// run is uncancellable and unbounded (the historical behavior).
+	// Workers poll it cooperatively every runctl.CheckInterval tree
+	// expansions, so the hot path stays within its regression budget.
+	Ctl *runctl.Controller
 }
 
 // Result is the outcome of a mining run.
 type Result struct {
 	Matches int64
 	Stats   Stats
+
+	// Truncated reports that the run stopped before exhausting the search
+	// space (cancellation, deadline, or budget). Matches and Stats then
+	// hold the exact partial work done up to the stop point — a lower
+	// bound on the full count, not garbage.
+	Truncated bool
+	// StopReason says why a truncated run stopped (runctl.NotStopped
+	// when Truncated is false).
+	StopReason runctl.Reason
 }
 
 // Mine counts δ-temporal motif instances of m in g using the recursive
@@ -32,9 +49,32 @@ type Result struct {
 func Mine(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 	w := newWorker(g, m, opts)
 	for root := 0; root < g.NumEdges(); root++ {
+		if w.stopped {
+			break
+		}
 		w.mineRoot(temporal.EdgeID(root))
 	}
-	return Result{Matches: w.stats.Matches, Stats: w.stats}
+	return w.finish()
+}
+
+// MineCtx is Mine bounded by a context and a resource budget. A truncated
+// run returns the exact partial count and stats accumulated so far; at a
+// fixed node budget the sequential truncation point — and therefore the
+// partial count — is deterministic across runs.
+func MineCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, opts Options, b runctl.Budget) Result {
+	if opts.Ctl == nil {
+		opts.Ctl = controllerFor(ctx, b)
+	}
+	return Mine(g, m, opts)
+}
+
+// controllerFor builds a controller for (ctx, b), or nil when neither can
+// ever fire — keeping the uncancellable fast path allocation-free.
+func controllerFor(ctx context.Context, b runctl.Budget) *runctl.Controller {
+	if (ctx == nil || ctx.Done() == nil) && b.Unlimited() {
+		return nil
+	}
+	return runctl.New(ctx, b)
 }
 
 // worker holds the per-thread mining state: the node mappings (m2gMap and
@@ -52,6 +92,45 @@ type worker struct {
 
 	rootEG temporal.EdgeID
 	stats  Stats
+
+	// Cooperative cancellation state: sinceCheck counts tree expansions
+	// since the last shared-state poll; stopped latches a stop request so
+	// the recursion unwinds with one local branch per frame.
+	sinceCheck     int32
+	stopped        bool
+	flushedMatches int64
+}
+
+// checkpoint flushes the worker's progress into the shared controller and
+// latches any stop request. Called every runctl.CheckInterval expansions
+// (and on each match under a match budget), so its cost is amortized away.
+func (w *worker) checkpoint() {
+	nodes := int64(w.sinceCheck)
+	w.sinceCheck = 0
+	w.stats.NodesExpanded += nodes
+	if w.opts.Ctl == nil {
+		return
+	}
+	dm := w.stats.Matches - w.flushedMatches
+	w.flushedMatches = w.stats.Matches
+	if w.opts.Ctl.Checkpoint(nodes, dm) {
+		w.stopped = true
+	}
+}
+
+// finish flushes any unreported progress and assembles the worker's
+// Result. Truncation reflects whether a stop was observed during mining —
+// a stop that fires only at this final flush (e.g. a budget reached on the
+// very last expansion) does not mark an actually-complete run truncated.
+func (w *worker) finish() Result {
+	truncated := w.stopped
+	w.checkpoint()
+	w.stopped = truncated
+	res := Result{Matches: w.stats.Matches, Stats: w.stats, Truncated: truncated}
+	if truncated {
+		res.StopReason = w.opts.Ctl.Reason()
+	}
+	return res
 }
 
 func newWorker(g *temporal.Graph, m *temporal.Motif, opts Options) *worker {
@@ -109,10 +188,25 @@ func (w *worker) unbind(mu temporal.NodeID, gu temporal.NodeID) {
 // equivalent of the paper's FindNextMatchingEdge + UpdateDataStructures +
 // backtracking loop.
 func (w *worker) extend(depth int, last temporal.EdgeID, deadline temporal.Timestamp) {
+	if w.stopped {
+		return
+	}
+	w.sinceCheck++
+	if w.sinceCheck >= runctl.CheckInterval {
+		w.checkpoint()
+		if w.stopped {
+			return
+		}
+	}
 	if depth == w.m.NumEdges() {
 		w.stats.Matches++
 		if w.opts.Probe != nil {
 			w.opts.Probe.Match(edgeIDsAsInt32(w.seq))
+		}
+		if w.opts.Ctl.MatchBudgeted() {
+			// Eager poll under a match budget: the sequential miner then
+			// stops after exactly MaxMatches matches.
+			w.checkpoint()
 		}
 		return
 	}

@@ -70,6 +70,13 @@ type Stats struct {
 	// Branches counts data-dependent branch events (candidate accepts/
 	// rejects and backtrack decisions); input to the Fig 2 CPI stack.
 	Branches int64
+
+	// NodesExpanded counts search-tree node expansions — the unit the
+	// runctl.Budget.MaxNodes budget is charged in. The exact definition is
+	// per-miner (recursive-extend invocations for Mine, task-loop
+	// iterations for MineAlgorithm1) but deterministic for a given miner,
+	// graph, and motif, which is what makes truncation reproducible.
+	NodesExpanded int64
 }
 
 // Add accumulates other into s; used to merge per-worker stats.
@@ -86,6 +93,7 @@ func (s *Stats) Add(other Stats) {
 	s.MemoHits += other.MemoHits
 	s.MemoSkippedEntries += other.MemoSkippedEntries
 	s.Branches += other.Branches
+	s.NodesExpanded += other.NodesExpanded
 }
 
 // Utilization returns the overall neighborhood-data utilization (Fig 7):

@@ -16,6 +16,7 @@ package mint
 import (
 	"mint/internal/cache"
 	"mint/internal/dram"
+	"mint/internal/runctl"
 )
 
 // Config describes a Mint instance. Latencies are in core cycles at
@@ -150,4 +151,11 @@ type Result struct {
 	BandwidthUtil float64
 	// CacheHitRate is the demand hit rate (Fig 13).
 	CacheHitRate float64
+
+	// Truncated reports that the simulation was stopped early by its
+	// context or budget (SimulateCtx); Matches and the cycle/memory stats
+	// then describe the exact partial run up to the stop cycle.
+	Truncated bool
+	// StopReason says why a truncated simulation stopped.
+	StopReason runctl.Reason
 }

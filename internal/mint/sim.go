@@ -1,12 +1,14 @@
 package mint
 
 import (
+	"context"
 	"fmt"
 
 	"mint/internal/cache"
 	"mint/internal/dram"
 	"mint/internal/mackey"
 	"mint/internal/memlayout"
+	"mint/internal/runctl"
 	"mint/internal/task"
 	"mint/internal/temporal"
 )
@@ -15,6 +17,24 @@ import (
 // timing, memory-system, and task statistics. The match count is exact:
 // the PEs drive the same task.Context transitions as the software runners.
 func Simulate(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) {
+	return SimulateCtl(g, m, cfg, nil)
+}
+
+// SimulateCtx is Simulate bounded by a context and a budget. The event
+// loop polls the controller every few thousand simulated cycles; a stopped
+// simulation returns the partial Result (exact matches and memory-system
+// stats up to the stop cycle) with Truncated=true rather than an error.
+func SimulateCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, cfg Config, b runctl.Budget) (Result, error) {
+	var ctl *runctl.Controller
+	if (ctx != nil && ctx.Done() != nil) || !b.Unlimited() {
+		ctl = runctl.New(ctx, b)
+	}
+	return SimulateCtl(g, m, cfg, ctl)
+}
+
+// SimulateCtl is Simulate under an externally owned controller (nil =
+// unbounded), for callers coordinating several engines in one run.
+func SimulateCtl(g *temporal.Graph, m *temporal.Motif, cfg Config, ctl *runctl.Controller) (Result, error) {
 	if cfg.PEs <= 0 {
 		return Result{}, fmt.Errorf("mint: PEs must be positive, got %d", cfg.PEs)
 	}
@@ -44,6 +64,7 @@ func Simulate(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) 
 		cache:  c,
 		dram:   dctrl,
 		max:    maxCycles,
+		ctl:    ctl,
 	}
 	if cfg.Memoize {
 		sim.memo = mackey.NewMemoTable(g.NumNodes())
@@ -114,6 +135,7 @@ type simulator struct {
 	dram   *dram.Controller
 	memo   *mackey.MemoTable
 	max    int64
+	ctl    *runctl.Controller
 
 	pes       []pe
 	nextRoot  int64
@@ -164,9 +186,26 @@ func (s *simulator) run() (Result, error) {
 	}
 
 	var ready []int32
+	truncated := false
+	var flushedNodes, flushedMatches int64
 	for cycle := int64(0); w.pending > 0; cycle++ {
 		if cycle > s.max {
 			return Result{}, fmt.Errorf("mint: exceeded MaxCycles=%d", s.max)
+		}
+		// Cooperative cancellation: poll the controller on an amortized
+		// cycle stride, flushing functional progress (bookkeeping tasks as
+		// node expansions) so deadline and budget checks can fire.
+		if s.ctl != nil && cycle&(runctl.CheckInterval-1) == 0 {
+			dn := s.stats.BookkeepTasks - flushedNodes
+			dm := s.matches - flushedMatches
+			flushedNodes, flushedMatches = s.stats.BookkeepTasks, s.matches
+			if s.ctl.Checkpoint(dn, dm) {
+				truncated = true
+				if cycle > s.lastSeen {
+					s.lastSeen = cycle
+				}
+				break
+			}
 		}
 		// Fold due overflow entries back into the wheel once per lap.
 		if cycle&(int64(len(w.slots))-1) == 0 && len(w.overflow) > 0 {
@@ -217,6 +256,10 @@ func (s *simulator) run() (Result, error) {
 		MemTrafficBytes: ds.TotalBytes(),
 		BandwidthUtil:   s.dram.Utilization(cycles),
 		CacheHitRate:    cs.HitRate(),
+	}
+	if truncated {
+		res.Truncated = true
+		res.StopReason = s.ctl.Reason()
 	}
 	return res, nil
 }

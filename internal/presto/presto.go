@@ -14,11 +14,13 @@
 package presto
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"mint/internal/mackey"
+	"mint/internal/runctl"
 	"mint/internal/temporal"
 )
 
@@ -50,10 +52,37 @@ type Result struct {
 	EdgesProcessed int64
 	// OccurrencesSeen totals motif occurrences found inside windows.
 	OccurrencesSeen int64
+	// Truncated reports that the sampler stopped before running all
+	// cfg.Windows windows (cancellation or deadline). Estimate then
+	// averages over the WindowsRun completed windows — still unbiased,
+	// just higher-variance; a window interrupted mid-mine is discarded.
+	Truncated bool
+	// StopReason says why a truncated run stopped.
+	StopReason runctl.Reason
 }
 
 // Estimate runs PRESTO-A on graph g for motif m.
 func Estimate(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) {
+	return EstimateCtl(g, m, cfg, nil)
+}
+
+// EstimateCtx is Estimate bounded by a context: the sampler checks for
+// cancellation between windows (and, via the shared controller, inside
+// each window's exact mine). See Result.Truncated for partial-run
+// semantics.
+func EstimateCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) {
+	var ctl *runctl.Controller
+	if ctx != nil && ctx.Done() != nil {
+		ctl = runctl.New(ctx, runctl.Budget{})
+	}
+	return EstimateCtl(g, m, cfg, ctl)
+}
+
+// EstimateCtl is Estimate under an externally owned controller (nil =
+// unbounded). Match/node budgets in the controller apply to the *inner*
+// exact mines and would bias the estimator; callers wanting an unbiased
+// partial estimate should pass a deadline/cancellation-only controller.
+func EstimateCtl(g *temporal.Graph, m *temporal.Motif, cfg Config, ctl *runctl.Controller) (Result, error) {
 	if cfg.Windows <= 0 {
 		return Result{}, fmt.Errorf("presto: Windows must be positive, got %d", cfg.Windows)
 	}
@@ -75,6 +104,12 @@ func Estimate(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) 
 	rng := newSampler(cfg.Seed)
 	var sum float64
 	for w := 0; w < cfg.Windows; w++ {
+		// Poll between windows: small windows may finish their inner mine
+		// before its first amortized checkpoint fires.
+		if ctl.Checkpoint(0, 0) {
+			res.Truncated = true
+			break
+		}
 		start := tMin - L + temporal.Timestamp(rng.Float64()*W)
 		end := start + L
 		sub := window(g, start, end)
@@ -85,7 +120,12 @@ func Estimate(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) 
 		}
 		// Exact mining inside the window, collecting per-occurrence spans.
 		probe := &spanProbe{g: sub}
-		mackey.Mine(sub, m, mackey.Options{Probe: probe})
+		if mres := mackey.Mine(sub, m, mackey.Options{Probe: probe, Ctl: ctl}); mres.Truncated {
+			// A window interrupted mid-mine has an incomplete occurrence
+			// set; keeping it would bias the estimate downward. Discard it.
+			res.Truncated = true
+			break
+		}
 		for _, dur := range probe.spans {
 			p := (float64(L) - float64(dur)) / W
 			if p <= 0 {
@@ -98,6 +138,13 @@ func Estimate(g *temporal.Graph, m *temporal.Motif, cfg Config) (Result, error) 
 			res.OccurrencesSeen++
 		}
 		res.WindowsRun++
+	}
+	if res.Truncated {
+		res.StopReason = ctl.Reason()
+		if res.WindowsRun > 0 {
+			res.Estimate = sum / float64(res.WindowsRun)
+		}
+		return res, nil
 	}
 	res.Estimate = sum / float64(cfg.Windows)
 	return res, nil

@@ -1,0 +1,157 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBudgetUnlimited(t *testing.T) {
+	if !(Budget{}).Unlimited() {
+		t.Fatal("zero Budget must be unlimited")
+	}
+	for _, b := range []Budget{
+		{Deadline: time.Now().Add(time.Hour)},
+		{MaxMatches: 1},
+		{MaxNodes: 1},
+	} {
+		if b.Unlimited() {
+			t.Fatalf("Budget %+v must not be unlimited", b)
+		}
+	}
+}
+
+// TestNilControllerIsNoOp: all methods must be nil-receiver safe so that
+// the miners' unbounded fast path (opts.Ctl == nil) needs no branches at
+// call sites.
+func TestNilControllerIsNoOp(t *testing.T) {
+	var c *Controller
+	if c.Stopped() {
+		t.Fatal("nil.Stopped() = true")
+	}
+	if c.Reason() != NotStopped {
+		t.Fatal("nil.Reason() != NotStopped")
+	}
+	if c.MatchBudgeted() {
+		t.Fatal("nil.MatchBudgeted() = true")
+	}
+	c.Stop(Canceled) // must not panic
+	if c.Checkpoint(100, 100) {
+		t.Fatal("nil.Checkpoint() = true")
+	}
+}
+
+func TestCheckpointContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, Budget{})
+	if c.Checkpoint(1, 1) {
+		t.Fatal("stopped before cancel")
+	}
+	cancel()
+	if !c.Checkpoint(1, 1) {
+		t.Fatal("not stopped after cancel")
+	}
+	if c.Reason() != Canceled {
+		t.Fatalf("reason = %v, want Canceled", c.Reason())
+	}
+	if !c.Stopped() {
+		t.Fatal("Stopped() = false after tripped checkpoint")
+	}
+}
+
+func TestCheckpointContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	c := New(ctx, Budget{})
+	if !c.Checkpoint(0, 0) {
+		t.Fatal("not stopped with expired context deadline")
+	}
+	if c.Reason() != DeadlineExceeded {
+		t.Fatalf("reason = %v, want DeadlineExceeded", c.Reason())
+	}
+}
+
+func TestCheckpointBudgetDeadline(t *testing.T) {
+	c := New(context.Background(), Budget{Deadline: time.Now().Add(-time.Second)})
+	if !c.Checkpoint(0, 0) {
+		t.Fatal("not stopped with expired budget deadline")
+	}
+	if c.Reason() != DeadlineExceeded {
+		t.Fatalf("reason = %v, want DeadlineExceeded", c.Reason())
+	}
+}
+
+func TestCheckpointMatchAndNodeBudgets(t *testing.T) {
+	c := New(context.Background(), Budget{MaxMatches: 10})
+	if c.Checkpoint(0, 9) {
+		t.Fatal("stopped below match budget")
+	}
+	if !c.Checkpoint(0, 1) {
+		t.Fatal("not stopped at match budget")
+	}
+	if c.Reason() != MatchBudget {
+		t.Fatalf("reason = %v, want MatchBudget", c.Reason())
+	}
+
+	c = New(context.Background(), Budget{MaxNodes: 5})
+	if c.Checkpoint(4, 0) {
+		t.Fatal("stopped below node budget")
+	}
+	if !c.Checkpoint(1, 0) {
+		t.Fatal("not stopped at node budget")
+	}
+	if c.Reason() != NodeBudget {
+		t.Fatalf("reason = %v, want NodeBudget", c.Reason())
+	}
+}
+
+// TestStopFirstReasonWins: once stopped, later Stop calls must not
+// overwrite the original reason — workers race to report, and the first
+// cause is the true one.
+func TestStopFirstReasonWins(t *testing.T) {
+	c := New(context.Background(), Budget{})
+	c.Stop(Failed)
+	c.Stop(Canceled)
+	if c.Reason() != Failed {
+		t.Fatalf("reason = %v, want Failed (first wins)", c.Reason())
+	}
+}
+
+func TestMatchBudgeted(t *testing.T) {
+	if New(context.Background(), Budget{}).MatchBudgeted() {
+		t.Fatal("MatchBudgeted without MaxMatches")
+	}
+	if !New(context.Background(), Budget{MaxMatches: 1}).MatchBudgeted() {
+		t.Fatal("!MatchBudgeted with MaxMatches set")
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	for r, want := range map[Reason]string{
+		NotStopped:       "not stopped",
+		Canceled:         "canceled",
+		DeadlineExceeded: "deadline exceeded",
+		MatchBudget:      "match budget exhausted",
+		NodeBudget:       "node budget exhausted",
+		Failed:           "worker failed",
+	} {
+		if r.String() != want {
+			t.Fatalf("Reason(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	err := error(&PanicError{Worker: 3, Root: 42, Value: "boom"})
+	for _, want := range []string{"worker 3", "root edge 42", "boom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatal("errors.As failed on *PanicError")
+	}
+}

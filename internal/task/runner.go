@@ -5,8 +5,25 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mint/internal/runctl"
 	"mint/internal/temporal"
 )
+
+// QueueResult is the outcome of a cancellable task-queue run.
+type QueueResult struct {
+	// Matches is the exact number of complete motif instances counted
+	// before the run finished or was stopped.
+	Matches int64
+	// Tasks counts processed task-loop steps (search, bookkeep, or
+	// backtrack) — the node-expansion unit the MaxNodes budget is charged
+	// in for the queue runners.
+	Tasks int64
+	// Truncated reports that the run stopped before draining the root
+	// list; Matches is then an exact partial count (a lower bound).
+	Truncated bool
+	// StopReason says why a truncated run stopped.
+	StopReason runctl.Reason
+}
 
 // Run mines the motif with the task-centric model executed synchronously
 // per context: each worker owns one Context, repeatedly pulls the next
@@ -15,19 +32,37 @@ import (
 // search→bookkeep/backtrack loop to tree exhaustion. It returns the exact
 // match count; property tests pin it to the Mackey miners and the oracle.
 func Run(g *temporal.Graph, m *temporal.Motif, workers int) int64 {
+	res, _ := RunCtl(g, m, workers, nil)
+	return res.Matches
+}
+
+// RunCtl is Run under a cancellation/budget controller (nil = unbounded).
+// A panicking worker is converted into a *runctl.PanicError carrying the
+// root edge ID of the tree it was expanding; the other workers stop
+// promptly and the partial count is returned alongside the error.
+func RunCtl(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Controller) (QueueResult, error) {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
 	var next atomic.Int64
-	var matches atomic.Int64
+	var matches, tasks atomic.Int64
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
 			var ctx Context
-			local := int64(0)
-			for {
+			p := poller{ctl: ctl}
+			defer func() {
+				if r := recover(); r != nil {
+					errs[wi] = &runctl.PanicError{Worker: wi, Root: int64(ctx.RootEG), Value: r}
+					ctl.Stop(runctl.Failed)
+					matches.Add(p.matches)
+					tasks.Add(p.tasks)
+				}
+			}()
+			for !p.stopped {
 				root := next.Add(1) - 1
 				if root >= int64(g.NumEdges()) {
 					break
@@ -35,22 +70,75 @@ func Run(g *temporal.Graph, m *temporal.Motif, workers int) int64 {
 				if !ctx.StartRoot(g, m, temporal.EdgeID(root)) {
 					continue
 				}
-				local += runTree(&ctx, g, m)
+				runTree(&ctx, g, m, &p)
 			}
-			matches.Add(local)
-		}()
+			p.flush()
+			matches.Add(p.matches)
+			tasks.Add(p.tasks)
+		}(wi)
 	}
 	wg.Wait()
-	return matches.Load()
+	res := QueueResult{Matches: matches.Load(), Tasks: tasks.Load()}
+	if ctl.Stopped() {
+		res.Truncated = true
+		res.StopReason = ctl.Reason()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
-// runTree drives one context from a freshly started root to exhaustion,
-// returning the number of complete motifs found. This loop is the
+// poller is the per-worker cooperative cancellation state: task and match
+// counts since the last flush into the shared controller, plus the latched
+// stop flag. One step() call per processed task keeps the amortized cost
+// at a local increment and compare.
+type poller struct {
+	ctl      *runctl.Controller
+	since    int32
+	stopped  bool
+	matches  int64 // total for this worker
+	tasks    int64 // total for this worker
+	flushedM int64
+	flushedT int64
+}
+
+// step records one processed task and polls the controller every
+// runctl.CheckInterval tasks. It reports whether the worker should stop.
+func (p *poller) step() bool {
+	p.tasks++
+	p.since++
+	if p.since >= runctl.CheckInterval {
+		p.flush()
+	}
+	return p.stopped
+}
+
+func (p *poller) flush() {
+	p.since = 0
+	if p.ctl == nil {
+		return
+	}
+	dt := p.tasks - p.flushedT
+	dm := p.matches - p.flushedM
+	p.flushedT = p.tasks
+	p.flushedM = p.matches
+	if p.ctl.Checkpoint(dt, dm) {
+		p.stopped = true
+	}
+}
+
+// runTree drives one context from a freshly started root to exhaustion (or
+// a stop request), accumulating matches into the poller. This loop is the
 // task-graph of Fig 4(a): Search spawns BookKeep or Backtrack; both spawn
 // Search until the tree is exhausted.
-func runTree(ctx *Context, g *temporal.Graph, m *temporal.Motif) int64 {
-	matches := int64(0)
+func runTree(ctx *Context, g *temporal.Graph, m *temporal.Motif, p *poller) {
 	for ctx.Busy {
+		if p.step() {
+			return
+		}
 		switch ctx.Type {
 		case Search:
 			if eG := ExecuteSearch(ctx, g, m); eG != temporal.InvalidEdge {
@@ -61,19 +149,21 @@ func runTree(ctx *Context, g *temporal.Graph, m *temporal.Motif) int64 {
 			}
 		case BookKeep:
 			if ctx.Bookkeep(g, m, ctx.Cursor) {
-				matches++
+				p.matches++
+				if p.ctl.MatchBudgeted() {
+					p.flush()
+				}
 				ctx.Type = Backtrack
 			} else {
 				ctx.Type = Search
 			}
 		case Backtrack:
 			if ctx.Backtrack(g, m) {
-				return matches // tree exhausted; context idle
+				return // tree exhausted; context idle
 			}
 			ctx.Type = Search
 		}
 	}
-	return matches
 }
 
 // queueTask is one unit of work flowing through the asynchronous queue
@@ -90,6 +180,18 @@ type queueTask struct {
 // in-flight search trees (the hardware analog: number of context-memory
 // instances).
 func RunQueue(g *temporal.Graph, m *temporal.Motif, workers, contexts int) int64 {
+	res, _ := RunQueueCtl(g, m, workers, contexts, nil)
+	return res.Matches
+}
+
+// RunQueueCtl is RunQueue under a cancellation/budget controller (nil =
+// unbounded). On a stop request the queue drains cleanly: every in-flight
+// context retires at its next dequeue, the queue closes once the last one
+// is accounted for, and the partial match count is returned with
+// Truncated=true. A panicking worker retires the offending context (so the
+// drain still terminates), stops the run, and surfaces as a
+// *runctl.PanicError carrying the context's root edge ID.
+func RunQueueCtl(g *temporal.Graph, m *temporal.Motif, workers, contexts int, ctl *runctl.Controller) (QueueResult, error) {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
@@ -98,8 +200,9 @@ func RunQueue(g *temporal.Graph, m *temporal.Motif, workers, contexts int) int64
 	}
 	n := int64(g.NumEdges())
 	var nextRoot atomic.Int64
-	var matches atomic.Int64
+	var matches, tasks atomic.Int64
 	var inflight atomic.Int64
+	errs := make([]error, workers)
 
 	queue := make(chan queueTask, contexts)
 
@@ -120,11 +223,24 @@ func RunQueue(g *temporal.Graph, m *temporal.Motif, workers, contexts int) int64
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
-			for t := range queue {
-				ctx := t.ctx
-				done := false
+			p := poller{ctl: ctl}
+			// processTask advances one context by one task, reporting
+			// whether the context retired. Panics are contained here so the
+			// drain protocol below keeps working.
+			processTask := func(ctx *Context) (done bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						errs[wi] = &runctl.PanicError{Worker: wi, Root: int64(ctx.RootEG), Value: r}
+						ctl.Stop(runctl.Failed)
+						p.stopped = true
+						done = true
+					}
+				}()
+				if p.step() {
+					return true // stop requested: retire the context
+				}
 				switch ctx.Type {
 				case Search:
 					if eG := ExecuteSearch(ctx, g, m); eG != temporal.InvalidEdge {
@@ -135,24 +251,30 @@ func RunQueue(g *temporal.Graph, m *temporal.Motif, workers, contexts int) int64
 					}
 				case BookKeep:
 					if ctx.Bookkeep(g, m, ctx.Cursor) {
-						matches.Add(1)
+						p.matches++
+						if p.ctl.MatchBudgeted() {
+							p.flush()
+						}
 						ctx.Type = Backtrack
 					} else {
 						ctx.Type = Search
 					}
 				case Backtrack:
 					if ctx.Backtrack(g, m) {
-						// Tree exhausted: recycle the context onto a new root.
-						if !seed(ctx) {
-							done = true
-						} else {
-							ctx.Type = Search
+						// Tree exhausted: recycle the context onto a new
+						// root (unless stopping).
+						if p.stopped || !seed(ctx) {
+							return true
 						}
+						ctx.Type = Search
 					} else {
 						ctx.Type = Search
 					}
 				}
-				if done {
+				return false
+			}
+			for t := range queue {
+				if processTask(t.ctx) {
 					if inflight.Add(-1) == 0 {
 						close(queue)
 					}
@@ -160,7 +282,10 @@ func RunQueue(g *temporal.Graph, m *temporal.Motif, workers, contexts int) int64
 					queue <- t
 				}
 			}
-		}()
+			p.flush()
+			matches.Add(p.matches)
+			tasks.Add(p.tasks)
+		}(wi)
 	}
 
 	// Seed the initial wave of contexts.
@@ -178,5 +303,15 @@ func RunQueue(g *temporal.Graph, m *temporal.Motif, workers, contexts int) int64
 		close(queue)
 	}
 	wg.Wait()
-	return matches.Load()
+	res := QueueResult{Matches: matches.Load(), Tasks: tasks.Load()}
+	if ctl.Stopped() {
+		res.Truncated = true
+		res.StopReason = ctl.Reason()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }

@@ -2,11 +2,22 @@ package temporal
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+)
+
+// maxSNAPNodes and maxSNAPEdges cap what ReadSNAP will load: NodeID and
+// EdgeID are int32, so a file with more distinct nodes (or more edge lines)
+// would silently wrap IDs and corrupt the graph. Erroring out with the
+// count is the only safe behavior.
+const (
+	maxSNAPNodes = math.MaxInt32
+	maxSNAPEdges = math.MaxInt32
 )
 
 // ReadSNAP parses a temporal graph in the SNAP temporal-network text
@@ -18,13 +29,16 @@ func ReadSNAP(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	remap := map[int64]NodeID{}
-	node := func(raw int64) NodeID {
+	node := func(raw int64) (NodeID, bool) {
 		if id, ok := remap[raw]; ok {
-			return id
+			return id, true
+		}
+		if len(remap) >= maxSNAPNodes {
+			return 0, false
 		}
 		id := NodeID(len(remap))
 		remap[raw] = id
-		return id
+		return id, true
 	}
 	var edges []Edge
 	lineNo := 0
@@ -50,10 +64,26 @@ func ReadSNAP(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("temporal: line %d: bad timestamp %q: %v", lineNo, f[2], err)
 		}
-		edges = append(edges, Edge{Src: node(src), Dst: node(dst), Time: Timestamp(ts)})
+		if len(edges) >= maxSNAPEdges {
+			return nil, fmt.Errorf("temporal: line %d: graph exceeds %d edges (EdgeID is int32)", lineNo, maxSNAPEdges)
+		}
+		s, ok := node(src)
+		if !ok {
+			return nil, fmt.Errorf("temporal: line %d: graph exceeds %d distinct nodes (NodeID is int32)", lineNo, maxSNAPNodes)
+		}
+		d, ok := node(dst)
+		if !ok {
+			return nil, fmt.Errorf("temporal: line %d: graph exceeds %d distinct nodes (NodeID is int32)", lineNo, maxSNAPNodes)
+		}
+		edges = append(edges, Edge{Src: s, Dst: d, Time: Timestamp(ts)})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The scanner stopped mid-file: report where. lineNo counts fully
+		// scanned lines, so the failing line is the next one.
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("temporal: line %d: line exceeds the 1 MiB scan buffer: %w", lineNo+1, err)
+		}
+		return nil, fmt.Errorf("temporal: line %d: read error: %w", lineNo+1, err)
 	}
 	return NewGraph(edges)
 }

@@ -1,0 +1,102 @@
+package temporal
+
+import (
+	"bufio"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReadSNAPRoundTrip(t *testing.T) {
+	in := "# comment\n% also a comment\n\n1 2 10\n2 3 20\n3 1 30\n"
+	g, err := ReadSNAP(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadSNAP: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d nodes, %d edges; want 3, 3", g.NumNodes(), g.NumEdges())
+	}
+	var sb strings.Builder
+	if err := WriteSNAP(&sb, g); err != nil {
+		t.Fatalf("WriteSNAP: %v", err)
+	}
+	g2, err := ReadSNAP(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadSNAP(round trip): %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadSNAPErrorsCarryLineNumber(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"too few fields", "1 2 10\n1 2\n", "line 2"},
+		{"bad src", "x 2 10\n", "line 1"},
+		{"bad dst", "1 y 10\n", "line 1"},
+		{"bad timestamp", "# header\n1 2 zzz\n", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSNAP(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadSNAPTokenTooLong: a line longer than the 1 MiB scan buffer must
+// surface as bufio.ErrTooLong wrapped with the line it occurred on, not a
+// bare scanner error (or worse, a silently truncated graph).
+func TestReadSNAPTokenTooLong(t *testing.T) {
+	long := strings.Repeat("9", 2<<20) // one 2 MiB token
+	in := "1 2 10\n" + long + " 2 10\n"
+	_, err := ReadSNAP(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("want error, got nil")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("error %q does not wrap bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not name line 2", err)
+	}
+}
+
+// FuzzReadSNAP: the loader must never panic on arbitrary input, and every
+// parse error must carry a line number so users can find the bad line in
+// multi-gigabyte dataset files.
+func FuzzReadSNAP(f *testing.F) {
+	f.Add("1 2 10\n2 3 20\n")
+	f.Add("# comment\n% comment\n\n1 2 10\n")
+	f.Add("1 2\n")
+	f.Add("a b c\n")
+	f.Add("1 2 10 extra fields ok\n")
+	f.Add("-1 2 10\n") // negative raw IDs are remapped, never rejected
+	f.Add("9223372036854775807 0 0\n")
+	f.Add("99999999999999999999 2 10\n") // overflows int64
+	f.Add("1\t2\t10\r\n")
+	f.Add(strings.Repeat("#", 4096) + "\n1 2 10")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadSNAP(strings.NewReader(in))
+		if err != nil {
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("error without line number: %q", err)
+			}
+			return
+		}
+		// A successfully parsed graph must be internally consistent.
+		if g.NumNodes() < 0 || g.NumEdges() < 0 {
+			t.Fatalf("negative shape: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+		}
+	})
+}
