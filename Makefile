@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race fuzz bench
+.PHONY: tier1 build vet test race fuzz bench bench-report
 
 tier1: build vet test race
 
@@ -27,3 +27,9 @@ fuzz:
 # Sequential hot-path benchmarks (the <2% regression budget lives here).
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkCoreMinerMotifs -benchtime=2x -count=5 .
+
+# Observability overhead report: M1–M4 sequential miner with the metrics
+# registry off and on; writes BENCH_obs.json and runs the <3% guard.
+bench-report:
+	$(GO) run ./cmd/benchreport -out BENCH_obs.json
+	$(GO) test ./internal/mackey/ -run=TestObsOverheadGuard -bench=BenchmarkSeqMinerObs -benchtime=1x -v

@@ -1,0 +1,105 @@
+// Command benchreport measures the observability layer's overhead on the
+// sequential miner's hot path and writes the result as machine-readable
+// JSON. For each evaluation motif M1–M4 it benchmarks mackey.Mine on the
+// same synthetic graph twice — registry detached and attached — and
+// records ns/op for both plus the on/off ratio. The miners fold their
+// private Stats into the registry once per run, so the ratio should sit
+// within noise of 1.0; TestObsOverheadGuard enforces <3% under -bench,
+// and the committed BENCH_obs.json is the reference the guard's budget
+// was set against.
+//
+// Usage:
+//
+//	benchreport [-out BENCH_obs.json] [-edges 6000] [-seed 99]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"mint/internal/mackey"
+	"mint/internal/obs"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+// benchRow is one motif's measurement.
+type benchRow struct {
+	Motif      string  `json:"motif"`
+	Matches    int64   `json:"matches"`
+	ObsOffNsOp int64   `json:"obs_off_ns_per_op"`
+	ObsOnNsOp  int64   `json:"obs_on_ns_per_op"`
+	Ratio      float64 `json:"overhead_ratio"`
+}
+
+// benchReport is the BENCH_obs.json payload.
+type benchReport struct {
+	Schema        string     `json:"schema"`
+	GeneratedUnix int64      `json:"generated_unix"`
+	GraphNodes    int        `json:"graph_nodes"`
+	GraphEdges    int        `json:"graph_edges"`
+	Rows          []benchRow `json:"benchmarks"`
+	GeomeanRatio  float64    `json:"geomean_overhead_ratio"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_obs.json", "output JSON path")
+	edges := flag.Int("edges", 6000, "synthetic graph edge count")
+	seed := flag.Int64("seed", 99, "graph generation seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g := testutil.RandomGraph(rng, 64, *edges, 20_000)
+
+	rep := benchReport{
+		Schema:        "mint.bench_obs/v1",
+		GeneratedUnix: time.Now().Unix(),
+		GraphNodes:    g.NumNodes(),
+		GraphEdges:    g.NumEdges(),
+	}
+	logRatio := 0.0
+	for _, m := range temporal.EvaluationMotifs(3600) {
+		var res mackey.Result
+		off := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res = mackey.Mine(g, m, mackey.Options{})
+			}
+		})
+		reg := obs.New("benchreport_" + m.Name)
+		on := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res = mackey.Mine(g, m, mackey.Options{Obs: reg})
+			}
+		})
+		row := benchRow{
+			Motif:      m.Name,
+			Matches:    res.Matches,
+			ObsOffNsOp: off.NsPerOp(),
+			ObsOnNsOp:  on.NsPerOp(),
+			Ratio:      float64(on.NsPerOp()) / float64(off.NsPerOp()),
+		}
+		logRatio += math.Log(row.Ratio)
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-4s off %10d ns/op   on %10d ns/op   ratio %.4f   matches %d\n",
+			row.Motif, row.ObsOffNsOp, row.ObsOnNsOp, row.Ratio, row.Matches)
+	}
+	rep.GeomeanRatio = math.Exp(logRatio / float64(len(rep.Rows)))
+	fmt.Printf("geomean overhead ratio: %.4f\n", rep.GeomeanRatio)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -8,6 +8,13 @@
 // prints a paper-style table to stdout and writes a CSV under -outdir.
 // SIGINT/SIGTERM stop the sweep between experiments: completed experiments
 // keep their output and the command reports which ones finished.
+//
+// Observability: every miner and simulator run feeds a shared metrics
+// registry. After each experiment the command prints a one-line summary
+// (matches, expansions, simulated cycles, wall time, truncation) from the
+// registry delta and writes the full delta as report_<name>.json under
+// -outdir. -obs.listen serves the live registry as expvar JSON plus pprof
+// while the sweep runs.
 package main
 
 import (
@@ -18,8 +25,10 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"mint/internal/experiments"
+	"mint/internal/obs"
 	"mint/internal/temporal"
 )
 
@@ -28,16 +37,29 @@ func main() {
 	outDir := flag.String("outdir", "results", "directory for CSV output (empty = skip)")
 	deltaSec := flag.Int64("delta", int64(temporal.DeltaHour), "motif time window δ in seconds")
 	quick := flag.Bool("quick", false, "shrink all sweeps (smoke test)")
+	obsListen := flag.String("obs.listen", "", "serve live metrics (expvar JSON + pprof) on this address while the sweep runs")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
+	reg := obs.New("experiments")
 	cfg := experiments.Default()
 	cfg.MaxEdges = *maxEdges
 	cfg.OutDir = *outDir
 	cfg.Delta = temporal.Timestamp(*deltaSec)
 	cfg.Quick = *quick
+	cfg.Obs = reg
+
+	if *obsListen != "" {
+		srv, err := obs.Serve(*obsListen, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/debug/vars\n", srv.Addr())
+		defer srv.Close()
+	}
 
 	runners := map[string]func(experiments.Config) error{
 		"table1":     experiments.Table1,
@@ -71,8 +93,19 @@ func main() {
 				summarize(done), strings.Join(remaining(args, len(done)), " "))
 			os.Exit(130)
 		}
+		prev := reg.Snapshot()
+		cpuPrev := obs.ProcessCPUSeconds()
+		start := time.Now()
 		if err := run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		delta := reg.Snapshot().Delta(prev)
+		sum := experiments.Summarize(strings.ToLower(name), delta, time.Since(start))
+		fmt.Println(sum.Line())
+		rep := experiments.Report(sum, delta, start.UnixNano(), obs.ProcessCPUSeconds()-cpuPrev)
+		if err := cfg.WriteReport(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "%s report: %v\n", name, err)
 			os.Exit(1)
 		}
 		done = append(done, name)

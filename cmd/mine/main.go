@@ -9,11 +9,18 @@
 // interrupted or budget-capped run prints its exact partial results
 // (flagged as truncated) instead of dying silently.
 //
+// Observability: -obs.listen starts an expvar/pprof HTTP server whose
+// /debug/vars document embeds a live snapshot of the run's metric
+// registry; -report writes a structured end-of-run RunReport JSON;
+// -trace dumps the span ring buffer in Chrome trace_event format
+// (loadable in chrome://tracing or ui.perfetto.dev).
+//
 // Usage:
 //
 //	mine -algo mackey -dataset wiki-talk -motif M1
 //	mine -algo presto -graph edges.txt -motifspec "A->B;B->A"
 //	mine -algo fallback -dataset wiki-talk -timeout 2s
+//	mine -algo mackey -dataset em -obs.listen :8080 -report out.json
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"mint/internal/datasets"
 	"mint/internal/gpumodel"
 	"mint/internal/mackey"
+	"mint/internal/obs"
 	"mint/internal/paranjape"
 	"mint/internal/presto"
 	"mint/internal/runctl"
@@ -49,6 +57,10 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	maxMatches := flag.Int64("maxmatches", 0, "stop after this many matches (0 = unlimited)")
 	maxNodes := flag.Int64("maxnodes", 0, "stop after this many search-tree node expansions (0 = unlimited)")
+	obsListen := flag.String("obs.listen", "", "serve expvar (/debug/vars) and pprof on this address (e.g. :8080 or :0)")
+	obsLinger := flag.Duration("obs.linger", 0, "keep the -obs.listen server alive this long after the run finishes")
+	reportPath := flag.String("report", "", "write the end-of-run RunReport JSON here")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event dump of the run's spans here")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the mining context: interrupted runs unwind
@@ -73,36 +85,59 @@ func main() {
 	fmt.Printf("graph: %d nodes, %d edges; motif %s = %s, δ=%ds; algo=%s\n",
 		g.NumNodes(), g.NumEdges(), m.Name, m, m.Delta, *algo)
 
+	// One registry and span tracer per process, attached to whichever
+	// engine the chosen algorithm runs. -obs.listen exposes the registry
+	// live (the snapshot folds sharded counters on every scrape).
+	reg := obs.New("mine")
+	tracer := obs.NewTracer(4096)
+	reg.Gauge("runctl.budget.max_matches").Set(*maxMatches)
+	reg.Gauge("runctl.budget.max_nodes").Set(*maxNodes)
+	if *obsListen != "" {
+		srv, err := obs.Serve(*obsListen, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving on http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr())
+	}
+	opts := mackey.Options{Workers: *workers, Obs: reg, Trace: tracer}
+
+	var oc outcome
 	start := time.Now()
 	switch *algo {
 	case "mackey":
-		res, err := mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: *workers}, budget)
+		res, err := mackey.MineParallelCtx(ctx, g, m, opts, budget)
 		if err != nil {
 			fatal(err)
 		}
+		oc = mineOutcome(res)
 		reportMine(res, start)
 	case "mackey-seq":
-		res := mackey.MineCtx(ctx, g, m, mackey.Options{}, budget)
+		res := mackey.MineCtx(ctx, g, m, mackey.Options{Obs: reg, Trace: tracer}, budget)
+		oc = mineOutcome(res)
 		reportMine(res, start)
 	case "mackey-memo":
-		res, err := mackey.MineParallelMemoCtx(ctx, g, m, mackey.Options{Workers: *workers}, budget)
+		res, err := mackey.MineParallelMemoCtx(ctx, g, m, opts, budget)
 		if err != nil {
 			fatal(err)
 		}
+		oc = mineOutcome(res)
 		reportMine(res, start)
 		fmt.Printf("memo: %d hits, %d entries skipped\n",
 			res.Stats.MemoHits, res.Stats.MemoSkippedEntries)
 	case "taskqueue":
-		res, err := task.RunQueueCtl(g, m, *workers, 0, runctl.New(ctx, budget))
+		res, err := task.RunQueueCtlObs(g, m, *workers, 0, runctl.New(ctx, budget), reg)
 		if err != nil {
 			fatal(err)
 		}
+		oc = outcome{matches: res.Matches, truncated: res.Truncated, reason: res.StopReason}
 		report(res.Matches, start)
 		if res.Truncated {
 			truncNote(res.StopReason)
 		}
 	case "paranjape":
 		res := paranjape.Count(g, m)
+		oc.matches = res.Matches
 		report(res.Matches, start)
 		fmt.Printf("static instances: %d (ratio %.1fx)\n", res.Stats.StaticInstances,
 			float64(res.Stats.StaticInstances)/float64(max64(res.Matches, 1)))
@@ -111,6 +146,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		oc = outcome{matches: int64(res.Estimate), truncated: res.Truncated, reason: res.StopReason}
 		fmt.Printf("estimate: %.1f motifs in %v (%d windows, %d edges processed)\n",
 			res.Estimate, time.Since(start), res.WindowsRun, res.EdgesProcessed)
 		if res.Truncated {
@@ -122,6 +158,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		oc.matches = st.Matches
 		fmt.Printf("temporal %d-cycles: %d in %v (%d walk steps; note: counts Cycle(%d), ignoring -motifspec shape)\n",
 			k, st.Matches, time.Since(start), st.WalksTried, k)
 	case "gpu":
@@ -129,6 +166,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		oc = outcome{matches: res.Matches, truncated: res.Truncated, reason: res.StopReason}
 		fmt.Printf("matches: %d; modeled GPU time %.6f s (latency %.6f, bandwidth %.6f); %d warp steps (%d divergent)\n",
 			res.Matches, res.Seconds, res.LatencySeconds, res.BandwidthSeconds,
 			res.WarpSteps, res.DivergentSteps)
@@ -140,10 +178,11 @@ func main() {
 			// Reserve a slice of the wall budget for the estimator.
 			budget.Deadline = start.Add(*timeout * 3 / 4)
 		}
-		res, err := fallback(ctx, g, m, *workers, budget, *windows)
+		res, err := fallback(ctx, g, m, opts, budget, *windows)
 		if err != nil {
 			fatal(err)
 		}
+		oc = outcome{matches: res.exactPartial, truncated: !res.exact, reason: res.reason}
 		switch {
 		case res.exact:
 			fmt.Printf("matches: %d (exact) in %v\n", res.exactPartial, time.Since(start))
@@ -157,6 +196,73 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -algo %q", *algo))
 	}
+
+	if *reportPath != "" {
+		rep := buildReport(*algo, g, m, *workers, *timeout, budget, start, oc, reg.Snapshot())
+		if *graphPath != "" {
+			rep.Graph.Name = *graphPath
+		} else {
+			rep.Graph.Name = *datasetName
+		}
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report: wrote %s\n", *reportPath)
+	}
+	if *tracePath != "" {
+		if err := tracer.WriteChromeTraceFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: wrote %s (%d spans retained)\n", *tracePath, len(tracer.Events()))
+	}
+	if *obsListen != "" && *obsLinger > 0 {
+		fmt.Printf("obs: lingering %v for scrapes\n", *obsLinger)
+		time.Sleep(*obsLinger)
+	}
+}
+
+// outcome is what the RunReport needs from whichever algorithm ran.
+type outcome struct {
+	matches   int64
+	truncated bool
+	reason    runctl.Reason
+}
+
+func mineOutcome(res mackey.Result) outcome {
+	return outcome{matches: res.Matches, truncated: res.Truncated, reason: res.StopReason}
+}
+
+// buildReport assembles the structured end-of-run report from the run
+// identity, the outcome, and the final registry snapshot.
+func buildReport(algo string, g *temporal.Graph, m *temporal.Motif, workers int,
+	timeout time.Duration, budget runctl.Budget, start time.Time, oc outcome, snap obs.Snapshot) *obs.RunReport {
+	rep := obs.NewRunReport("mine", algo)
+	rep.Graph = &obs.GraphInfo{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	rep.Motif = &obs.MotifInfo{
+		Name:         m.Name,
+		Spec:         m.String(),
+		Nodes:        m.NumNodes(),
+		Edges:        m.NumEdges(),
+		DeltaSeconds: int64(m.Delta),
+	}
+	rep.Workers = workers
+	if timeout > 0 || budget.MaxMatches > 0 || budget.MaxNodes > 0 {
+		rep.Budget = &obs.BudgetInfo{
+			WallSeconds: timeout.Seconds(),
+			MaxMatches:  budget.MaxMatches,
+			MaxNodes:    budget.MaxNodes,
+		}
+	}
+	rep.StartUnixNano = start.UnixNano()
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.CPUSeconds = obs.ProcessCPUSeconds()
+	rep.Matches = oc.matches
+	rep.Truncated = oc.truncated
+	if oc.truncated {
+		rep.StopReason = oc.reason.String()
+	}
+	rep.AttachSnapshot(snap)
+	return rep
 }
 
 // fallbackResult mirrors the library's CountWithFallback outcome with just
@@ -171,8 +277,8 @@ type fallbackResult struct {
 
 // fallback tries the exact parallel miner within budget and degrades to
 // the PRESTO estimator when it is cut short.
-func fallback(ctx context.Context, g *temporal.Graph, m *temporal.Motif, workers int, budget runctl.Budget, windows int) (fallbackResult, error) {
-	res, err := mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: workers}, budget)
+func fallback(ctx context.Context, g *temporal.Graph, m *temporal.Motif, opts mackey.Options, budget runctl.Budget, windows int) (fallbackResult, error) {
+	res, err := mackey.MineParallelCtx(ctx, g, m, opts, budget)
 	out := fallbackResult{exactPartial: res.Matches, reason: res.StopReason}
 	if err != nil {
 		return out, err

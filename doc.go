@@ -45,6 +45,18 @@
 // sampling estimate, turning a hard timeout into a usable (flagged)
 // approximate answer.
 //
+// # Observability
+//
+// internal/obs provides a zero-dependency metrics registry (sharded
+// counters, gauges, log2-bucket histograms), a bounded in-memory tracer,
+// and a machine-readable RunReport, threaded through the miners, the
+// task runtime, and the simulator. Instrumentation costs nothing when
+// detached and <3% on the sequential hot path when attached (engines
+// fold their private stats into the registry once per worker per run).
+// cmd/mine and cmd/experiments expose it as expvar JSON + pprof
+// (-obs.listen), RunReport JSON (-report), and Chrome trace_event dumps
+// (-trace); ProfileCtx surfaces per-motif truncation in MotifCount.
+//
 // Everything under internal/ is the implementation: one package per
 // subsystem (see DESIGN.md for the inventory and the per-experiment map).
 // The experiment harness that regenerates every table and figure of the

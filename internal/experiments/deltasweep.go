@@ -38,7 +38,7 @@ func DeltaSweep(cfg Config) error {
 		prevWork, prevK := 0.0, 0.0
 		for _, d := range deltas {
 			m := base.WithDelta(d)
-			res := mackey.Mine(g, m, mackey.Options{})
+			res := mackey.Mine(g, m, cfg.minerOpts())
 			work := float64(res.Stats.CandidateEdges + res.Stats.BookkeepTasks)
 			k := g.EdgesPerDelta(d)
 			expStr := "-"

@@ -26,6 +26,7 @@ import (
 	"mint/internal/mackey"
 	"mint/internal/memlayout"
 	hw "mint/internal/mint"
+	"mint/internal/obs"
 	"mint/internal/temporal"
 )
 
@@ -46,6 +47,12 @@ type Config struct {
 
 	// Quick shrinks every sweep for smoke tests.
 	Quick bool
+
+	// Obs, when non-nil, receives the counters of every miner and
+	// simulator run the experiments launch; the driver snapshots it
+	// around each experiment to print per-experiment summaries and write
+	// per-experiment RunReport JSONs.
+	Obs *obs.Registry
 
 	// WorkBudget caps the software work (candidate examinations +
 	// bookkeepings) of each simulated workload; datasets are re-scaled
@@ -160,7 +167,7 @@ func (c *Config) workloadScaled(spec datasets.Spec, m *temporal.Motif,
 		if err != nil {
 			return nil, err
 		}
-		res := mackey.Mine(g, m, mackey.Options{})
+		res := mackey.Mine(g, m, c.minerOpts())
 		work := res.Stats.CandidateEdges + res.Stats.BookkeepTasks
 		if work <= budget {
 			break
@@ -170,6 +177,12 @@ func (c *Config) workloadScaled(spec datasets.Spec, m *temporal.Motif,
 	}
 	c.workloads[key] = g
 	return g, nil
+}
+
+// minerOpts returns the baseline miner options with the experiment
+// registry attached (Probe stays per-call-site).
+func (c *Config) minerOpts() mackey.Options {
+	return mackey.Options{Obs: c.Obs}
 }
 
 // motifs returns the evaluation motifs M1–M4 at the configured δ.
@@ -205,13 +218,15 @@ func (c *Config) specs() []datasets.Spec {
 // band and DRAM bandwidth utilization above 60%, §VI-B/Fig 13).
 const CacheToWorkingSetRatio = 100
 
-// simConfig returns the Table II machine, shrunk under Quick.
+// simConfig returns the Table II machine, shrunk under Quick, with the
+// experiment registry attached.
 func (c *Config) simConfig() hw.Config {
 	cfg := hw.DefaultConfig()
 	if c.Quick {
 		cfg.PEs = 16
 		cfg.Cache.Banks = 8
 	}
+	cfg.Obs = c.Obs
 	return cfg
 }
 

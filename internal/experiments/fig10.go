@@ -29,7 +29,7 @@ func Fig10(cfg Config) error {
 				return err
 			}
 			var cpu mackey.Result
-			cpuSec := timeIt(func() { cpu = mackey.MineParallel(g, m, mackey.Options{}) })
+			cpuSec := timeIt(func() { cpu = mackey.MineParallel(g, m, cfg.minerOpts()) })
 
 			base := cfg.simConfigFor(g)
 			base.Memoize = false

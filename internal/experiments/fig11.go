@@ -37,8 +37,8 @@ func Fig11(cfg Config) error {
 			}
 			mintSec := mintRes.Seconds
 
-			cpuSec := timeIt(func() { mackey.MineParallel(g, m, mackey.Options{}) })
-			memoSec := timeIt(func() { mackey.MineParallelMemo(g, m, mackey.Options{}) })
+			cpuSec := timeIt(func() { mackey.MineParallel(g, m, cfg.minerOpts()) })
+			memoSec := timeIt(func() { mackey.MineParallelMemo(g, m, cfg.minerOpts()) })
 
 			parSec := -1.0
 			if m.Name == "M1" || m.Name == "M2" {

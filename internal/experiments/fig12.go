@@ -47,7 +47,7 @@ func Fig12(cfg Config) error {
 			if err != nil {
 				return nil, err
 			}
-			res := mackey.Mine(g, m, mackey.Options{})
+			res := mackey.Mine(g, m, cfg.minerOpts())
 			work := res.Stats.CandidateEdges + res.Stats.BookkeepTasks
 			if work <= budget {
 				break
@@ -79,7 +79,7 @@ func Fig12(cfg Config) error {
 				return err
 			}
 			var cpu mackey.Result
-			cpuSec := timeIt(func() { cpu = mackey.MineParallel(g, m, mackey.Options{}) })
+			cpuSec := timeIt(func() { cpu = mackey.MineParallel(g, m, cfg.minerOpts()) })
 
 			sg := staticmine.Build(g)
 			pattern := staticmine.FromMotif(m)

@@ -47,6 +47,7 @@ func Fig13(cfg Config) error {
 	for _, pe := range pes {
 		for _, mb := range cachesMB {
 			c := hw.DefaultConfig()
+			c.Obs = cfg.Obs
 			// Fewer banks than Table II so the scaled (100× smaller)
 			// capacities land on distinct set counts; bank count is not
 			// the swept variable.

@@ -94,7 +94,9 @@ func Fig7(cfg Config) error {
 		}
 		nodes := topOutDegreeNodes(g, 2)
 		probe := newUtilizationProbe(nodes, buckets, g.NumEdges())
-		mackey.Mine(g, m1, mackey.Options{Probe: probe})
+		opts := cfg.minerOpts()
+		opts.Probe = mackey.MultiProbe(probe, mackey.RegistryProbe(cfg.Obs))
+		mackey.Mine(g, m1, opts)
 		for i, node := range nodes {
 			series := probe.series(i)
 			label := fmt.Sprintf("m1_%s_node%d", name, i+1)

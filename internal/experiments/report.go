@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mint/internal/obs"
+)
+
+// Summary condenses one experiment's registry delta — everything the
+// miners and the simulator counted while that experiment ran — into the
+// headline numbers a human scans between tables: total matches found,
+// software expansions, simulated cycles, wall time, and whether any run
+// inside the experiment was truncated by a budget.
+type Summary struct {
+	Name       string
+	Wall       time.Duration
+	Matches    int64
+	Expansions int64
+	SimCycles  int64
+	Truncated  bool
+}
+
+// Summarize builds the Summary for one experiment from the snapshot
+// delta taken around it (reg.Snapshot().Delta(prev)).
+func Summarize(name string, delta obs.Snapshot, wall time.Duration) Summary {
+	return Summary{
+		Name: name,
+		Wall: wall,
+		Matches: delta.Counter("mackey.matches") +
+			delta.Counter("task.matches") +
+			delta.Counter("sim.matches"),
+		Expansions: delta.Counter("mackey.nodes_expanded"),
+		SimCycles:  delta.Counter("sim.cycles"),
+		Truncated: delta.Counter("mackey.truncated_runs")+
+			delta.Counter("task.truncated_runs")+
+			delta.Counter("sim.truncated_runs") > 0,
+	}
+}
+
+// Line renders the one-line per-experiment summary printed after each
+// experiment completes.
+func (s Summary) Line() string {
+	trunc := ""
+	if s.Truncated {
+		trunc = " truncated=yes"
+	}
+	return fmt.Sprintf("[obs] %-10s matches=%d expansions=%d sim_cycles=%d wall=%.2fs%s",
+		s.Name, s.Matches, s.Expansions, s.SimCycles, s.Wall.Seconds(), trunc)
+}
+
+// Report expands a Summary and its delta snapshot into a full RunReport
+// (schema mint.run_report/v1) carrying every counter, gauge, and
+// histogram the experiment produced. startUnixNano and cpuSeconds come
+// from the caller so the report covers exactly the experiment's span.
+func Report(s Summary, delta obs.Snapshot, startUnixNano int64, cpuSeconds float64) *obs.RunReport {
+	rep := obs.NewRunReport("experiments", s.Name)
+	rep.StartUnixNano = startUnixNano
+	rep.WallSeconds = s.Wall.Seconds()
+	rep.CPUSeconds = cpuSeconds
+	rep.Matches = s.Matches
+	rep.Truncated = s.Truncated
+	rep.AttachSnapshot(delta)
+	return rep
+}
+
+// WriteReport writes a per-experiment RunReport to
+// OutDir/report_<algo>.json; no-op when OutDir is empty.
+func (c *Config) WriteReport(rep *obs.RunReport) error {
+	if c.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.OutDir, 0o755); err != nil {
+		return err
+	}
+	return rep.WriteFile(filepath.Join(c.OutDir, "report_"+rep.Algo+".json"))
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mint/internal/obs"
+)
+
+// TestSummarizeAggregatesEngines: the summary must sum matches across
+// miner, task runtime, and simulator namespaces and flag truncation if
+// any engine truncated.
+func TestSummarizeAggregatesEngines(t *testing.T) {
+	reg := obs.New("exp_report_test")
+	reg.Counter("mackey.matches").Add(5)
+	reg.Counter("task.matches").Add(7)
+	reg.Counter("sim.matches").Add(11)
+	reg.Counter("mackey.nodes_expanded").Add(42)
+	reg.Counter("sim.cycles").Add(1000)
+	prev := reg.Snapshot()
+	reg.Counter("mackey.matches").Add(3)
+	reg.Counter("sim.truncated_runs").Add(1)
+
+	s := Summarize("fig99", reg.Snapshot().Delta(prev), 2*time.Second)
+	if s.Matches != 3 {
+		t.Errorf("delta matches = %d, want 3 (pre-existing counts must not leak in)", s.Matches)
+	}
+	if s.Expansions != 0 || s.SimCycles != 0 {
+		t.Errorf("expansions/cycles = %d/%d, want 0/0", s.Expansions, s.SimCycles)
+	}
+	if !s.Truncated {
+		t.Error("truncated run not reflected in summary")
+	}
+	line := s.Line()
+	for _, want := range []string{"fig99", "matches=3", "truncated=yes"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestWriteReportRoundTrip: the per-experiment report lands in OutDir
+// and reads back with the counters intact.
+func TestWriteReportRoundTrip(t *testing.T) {
+	reg := obs.New("exp_report_rt")
+	reg.Counter("mackey.matches").Add(9)
+	delta := reg.Snapshot().Delta(obs.Snapshot{})
+	s := Summarize("fig7", delta, time.Second)
+
+	cfg := Default()
+	cfg.OutDir = t.TempDir()
+	rep := Report(s, delta, 12345, 0.5)
+	if err := cfg.WriteReport(rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ReadRunReport(filepath.Join(cfg.OutDir, "report_fig7.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "experiments" || got.Algo != "fig7" || got.Matches != 9 {
+		t.Errorf("report round-trip = %q/%q/%d, want experiments/fig7/9", got.Tool, got.Algo, got.Matches)
+	}
+	if got.Counter("mackey.matches") != 9 {
+		t.Errorf("counter mackey.matches = %d, want 9", got.Counter("mackey.matches"))
+	}
+	if got.StartUnixNano != 12345 || got.CPUSeconds != 0.5 {
+		t.Errorf("start/cpu = %d/%v, want 12345/0.5", got.StartUnixNano, got.CPUSeconds)
+	}
+}

@@ -1,6 +1,8 @@
 package mackey
 
 import (
+	"time"
+
 	"mint/internal/runctl"
 	"mint/internal/temporal"
 )
@@ -26,8 +28,14 @@ func MineAlgorithm1(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 	for i := range a.g2m {
 		a.g2m[i] = temporal.InvalidNode
 	}
+	var start time.Time
+	if opts.Trace != nil {
+		start = time.Now()
+	}
 	a.run()
-	return a.finish()
+	res := a.finish()
+	publishRun(opts, 0, res, "mackey.algorithm1", start)
+	return res
 }
 
 type algo1 struct {
@@ -200,6 +208,7 @@ func (a *algo1) findNextMatchingEdge(eM int, cursor temporal.EdgeID) temporal.Ed
 		for id := int(cursor); id < a.g.NumEdges(); id++ {
 			e := a.g.Edges[id]
 			if e.Time > a.tPrime {
+				a.stats.TimePrunedScans++
 				break
 			}
 			a.stats.CandidateEdges++
@@ -222,6 +231,7 @@ func (a *algo1) findNextMatchingEdge(eM int, cursor temporal.EdgeID) temporal.Ed
 		id := list[i]
 		e := a.g.Edges[id]
 		if e.Time > a.tPrime {
+			a.stats.TimePrunedScans++
 			break
 		}
 		a.stats.CandidateEdges++

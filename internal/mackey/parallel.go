@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mint/internal/runctl"
 	"mint/internal/temporal"
@@ -63,14 +64,29 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 		chunk = 256
 	}
 
+	// Per-worker observability tallies, written only by the owning worker
+	// goroutine and read after wg.Wait(). Timing is collected only when an
+	// observer is attached so the uninstrumented run stays byte-identical.
+	observed := opts.Obs != nil || opts.Trace != nil
+	var runStart time.Time
+	if observed {
+		runStart = time.Now()
+	}
+
 	var cursor atomic.Int64
 	perWorker := make([]Stats, workers)
+	perChunks := make([]int64, workers)
+	perBusy := make([]time.Duration, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
+			var busyStart time.Time
+			if observed {
+				busyStart = time.Now()
+			}
 			w := newWorker(g, m, opts)
 			cur := int64(temporal.InvalidEdge)
 			defer func() {
@@ -79,6 +95,9 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 					ctl.Stop(runctl.Failed)
 					perWorker[wi] = w.stats
 				}
+				if observed {
+					perBusy[wi] = time.Since(busyStart)
+				}
 			}()
 		pull:
 			for {
@@ -86,6 +105,7 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 				if base >= int64(n) {
 					break
 				}
+				perChunks[wi]++
 				end := min(base+chunk, int64(n))
 				for root := base; root < end; root++ {
 					if w.stopped {
@@ -110,6 +130,34 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 		res.Truncated = true
 		res.StopReason = ctl.Reason()
 	}
+
+	// Fold each worker's counters into its own registry shard, plus the
+	// per-worker utilization distribution — a flat busy-time histogram
+	// with an idle tail is the work-stealing balance signal.
+	if opts.Obs != nil {
+		busyHist := opts.Obs.Histogram("mackey.worker_busy_ns")
+		nodesHist := opts.Obs.Histogram("mackey.worker_nodes")
+		for wi := range perWorker {
+			publishStats(opts.Obs, wi, perWorker[wi])
+			if perChunks[wi] > 0 {
+				opts.Obs.Counter("mackey.parallel.chunks").AddShard(wi, perChunks[wi])
+				opts.Obs.Counter("mackey.parallel.steals").AddShard(wi, perChunks[wi]-1)
+			}
+			busyHist.Observe(perBusy[wi].Nanoseconds())
+			nodesHist.Observe(perWorker[wi].NodesExpanded)
+		}
+		if res.Truncated {
+			opts.Obs.Counter("mackey.truncated_runs").Add(1)
+		}
+		publishController(opts.Obs, ctl)
+	}
+	if opts.Trace != nil {
+		for wi := range perBusy {
+			opts.Trace.Emit("mackey.worker", int32(wi), runStart, perBusy[wi])
+		}
+		opts.Trace.Emit("mackey.mine_parallel", -1, runStart, time.Since(runStart))
+	}
+
 	for _, err := range errs {
 		if err != nil {
 			return res, err

@@ -4,7 +4,9 @@ import (
 	"context"
 	"math"
 	"math/bits"
+	"time"
 
+	"mint/internal/obs"
 	"mint/internal/runctl"
 	"mint/internal/temporal"
 )
@@ -27,6 +29,15 @@ type Options struct {
 	// Workers poll it cooperatively every runctl.CheckInterval tree
 	// expansions, so the hot path stays within its regression budget.
 	Ctl *runctl.Controller
+
+	// Obs, when non-nil, receives the run's counters (folded once per
+	// worker at run end, sharded by worker index — see obs.go for the
+	// metric names). The mining hot path never touches it.
+	Obs *obs.Registry
+
+	// Trace, when non-nil, receives coarse spans (one per run plus one
+	// per parallel worker) in Chrome trace_event form.
+	Trace *obs.Tracer
 }
 
 // Result is the outcome of a mining run.
@@ -47,6 +58,10 @@ type Result struct {
 // Mine counts δ-temporal motif instances of m in g using the recursive
 // reference formulation of Mackey et al.'s chronological edge-driven DFS.
 func Mine(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
+	var start time.Time
+	if opts.Trace != nil {
+		start = time.Now()
+	}
 	w := newWorker(g, m, opts)
 	for root := 0; root < g.NumEdges(); root++ {
 		if w.stopped {
@@ -54,7 +69,9 @@ func Mine(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 		}
 		w.mineRoot(temporal.EdgeID(root))
 	}
-	return w.finish()
+	res := w.finish()
+	publishRun(opts, 0, res, "mackey.mine", start)
+	return res
 }
 
 // MineCtx is Mine bounded by a context and a resource budget. A truncated
@@ -258,6 +275,7 @@ func (w *worker) extend(depth int, last temporal.EdgeID, deadline temporal.Times
 		for id := int(last) + 1; id < w.g.NumEdges(); id++ {
 			e := w.g.Edges[id]
 			if e.Time > deadline {
+				w.stats.TimePrunedScans++
 				break
 			}
 			w.stats.CandidateEdges++
@@ -320,6 +338,7 @@ func (w *worker) scanList(list []temporal.EdgeID, out bool, node temporal.NodeID
 		id := list[i]
 		e := w.g.Edges[id]
 		if e.Time > deadline {
+			w.stats.TimePrunedScans++
 			break
 		}
 		w.stats.CandidateEdges++

@@ -77,6 +77,12 @@ type Stats struct {
 	// iterations for MineAlgorithm1) but deterministic for a given miner,
 	// graph, and motif, which is what makes truncation reproducible.
 	NodesExpanded int64
+
+	// TimePrunedScans counts candidate scans cut short by the δ-window
+	// deadline (the e.Time > t′ break) rather than by list exhaustion —
+	// the prune-reason breakdown the obs layer exports. At most one
+	// increment per scan, so the hot path pays a single untaken branch.
+	TimePrunedScans int64
 }
 
 // Add accumulates other into s; used to merge per-worker stats.
@@ -94,6 +100,7 @@ func (s *Stats) Add(other Stats) {
 	s.MemoSkippedEntries += other.MemoSkippedEntries
 	s.Branches += other.Branches
 	s.NodesExpanded += other.NodesExpanded
+	s.TimePrunedScans += other.TimePrunedScans
 }
 
 // Utilization returns the overall neighborhood-data utilization (Fig 7):
@@ -107,7 +114,9 @@ func (s *Stats) Utilization() float64 {
 
 // Probe receives fine-grained events during mining. All methods may be
 // called very frequently; implementations must be cheap. A nil Probe is
-// always legal.
+// always legal — everywhere, including inside MultiProbe — and the
+// miners' dispatch is nil-safe, so characterization hooks (Fig 2/Fig 7)
+// and live metrics can share one code path without enablement branches.
 type Probe interface {
 	// NeighborhoodAccess fires once per phase-1 candidate gathering over a
 	// node neighborhood. node is the graph node, out reports direction
@@ -121,4 +130,49 @@ type Probe interface {
 	// graph-edge indices in motif order. The slice is reused; copy to
 	// retain.
 	Match(edges []int32)
+}
+
+// NopProbe is an embeddable no-op Probe: embed it to implement only the
+// hooks a characterization cares about.
+type NopProbe struct{}
+
+// NeighborhoodAccess implements Probe as a no-op.
+func (NopProbe) NeighborhoodAccess(int32, bool, int, int, int32) {}
+
+// Match implements Probe as a no-op.
+func (NopProbe) Match([]int32) {}
+
+// MultiProbe fans every event out to several probes. Nil entries are
+// dropped, so callers can compose optional probes without branching:
+// MultiProbe(nil) and MultiProbe() return nil (no probe at all), and a
+// single survivor is returned unwrapped to keep dispatch direct.
+func MultiProbe(ps ...Probe) Probe {
+	kept := make(multiProbe, 0, len(ps))
+	for _, p := range ps {
+		if p != nil {
+			kept = append(kept, p)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return kept
+	}
+}
+
+type multiProbe []Probe
+
+func (m multiProbe) NeighborhoodAccess(node int32, out bool, listLen, filterPos int, rootEG int32) {
+	for _, p := range m {
+		p.NeighborhoodAccess(node, out, listLen, filterPos, rootEG)
+	}
+}
+
+func (m multiProbe) Match(edges []int32) {
+	for _, p := range m {
+		p.Match(edges)
+	}
 }

@@ -16,6 +16,7 @@ package mint
 import (
 	"mint/internal/cache"
 	"mint/internal/dram"
+	"mint/internal/obs"
 	"mint/internal/runctl"
 )
 
@@ -67,6 +68,15 @@ type Config struct {
 	// simulator's functional behavior against the instrumented software
 	// baseline, mirroring the paper's simulator verification (§VII-C).
 	Probe func(edges []int32)
+
+	// Obs, when non-nil, receives the simulation's counters and the
+	// per-PE occupancy histogram, published once when the run retires
+	// (see obs.go for the metric names). The cycle loop never touches it
+	// beyond a per-PE local tally.
+	Obs *obs.Registry
+
+	// Trace, when non-nil, receives a span covering the simulation.
+	Trace *obs.Tracer
 
 	// Cache is the shared on-chip cache geometry.
 	Cache cache.Config

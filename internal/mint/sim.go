@@ -3,6 +3,7 @@ package mint
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"mint/internal/cache"
 	"mint/internal/dram"
@@ -144,6 +145,11 @@ type simulator struct {
 	matches  int64
 	stats    SimStats
 	lastSeen int64 // latest wake observed: final cycle count
+
+	// peBusy tallies busy cycles per PE for the sim.pe.busy_cycles
+	// occupancy histogram; nil when no registry is attached, so the
+	// cycle loop pays only a nil check.
+	peBusy []int64
 }
 
 // calendar queue ---------------------------------------------------------
@@ -177,6 +183,13 @@ func (w *wheel) push(wake int64, pe int32, now int64) {
 
 // run drives the event loop to completion.
 func (s *simulator) run() (Result, error) {
+	var start time.Time
+	if s.cfg.Obs != nil || s.cfg.Trace != nil {
+		start = time.Now()
+	}
+	if s.cfg.Obs != nil {
+		s.peBusy = make([]int64, s.cfg.PEs)
+	}
 	s.pes = make([]pe, s.cfg.PEs)
 	s.lastGrant = -1 // first grant lands on cycle 0
 	w := &wheel{}
@@ -239,6 +252,9 @@ func (s *simulator) run() (Result, error) {
 			w.push(p.wake, pi, cycle)
 			if p.state != stIdle {
 				s.stats.BusyCycles += p.wake - cycle
+				if s.peBusy != nil {
+					s.peBusy[pi] += p.wake - cycle
+				}
 			}
 		}
 	}
@@ -261,6 +277,7 @@ func (s *simulator) run() (Result, error) {
 		res.Truncated = true
 		res.StopReason = s.ctl.Reason()
 	}
+	publishSim(s.cfg, res, s.peBusy, start)
 	return res, nil
 }
 

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// ProcessCPUSeconds returns 0 on platforms without rusage; RunReports
+// then simply omit cpu_seconds.
+func ProcessCPUSeconds() float64 { return 0 }

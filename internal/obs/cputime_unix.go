@@ -1,0 +1,19 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// ProcessCPUSeconds returns the process's consumed CPU time (user +
+// system) so RunReports can record CPU cost alongside wall time. Returns
+// 0 where the platform offers no cheap rusage.
+func ProcessCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// RunReportSchema identifies the RunReport JSON layout; bump on
+// incompatible changes so downstream tooling can dispatch.
+const RunReportSchema = "mint.run_report/v1"
+
+// GraphInfo identifies the mined graph.
+type GraphInfo struct {
+	Name  string `json:"name,omitempty"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+// MotifInfo identifies the mined motif.
+type MotifInfo struct {
+	Name string `json:"name,omitempty"`
+	// Spec is the compact edge-sequence syntax ("A->B; B->C; C->A").
+	Spec         string `json:"spec,omitempty"`
+	Nodes        int    `json:"nodes,omitempty"`
+	Edges        int    `json:"edges,omitempty"`
+	DeltaSeconds int64  `json:"delta_seconds,omitempty"`
+}
+
+// BudgetInfo records the resource bounds a run was launched with (all
+// zero = unlimited).
+type BudgetInfo struct {
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	MaxMatches  int64   `json:"max_matches,omitempty"`
+	MaxNodes    int64   `json:"max_nodes,omitempty"`
+}
+
+// RunReport is the machine-readable record of one mining or simulation
+// run: workload identity, budget and truncation state, wall/CPU time,
+// the headline result, and every counter/gauge/histogram the run
+// emitted. It is what `cmd/mine -report out.json` writes and what later
+// perf PRs diff their numbers against.
+type RunReport struct {
+	Schema string `json:"schema"`
+	// Tool names the producing command ("mine", "experiments", ...).
+	Tool string `json:"tool,omitempty"`
+	// Algo is the engine that ran ("mackey", "taskqueue", "sim", ...).
+	Algo string `json:"algo,omitempty"`
+
+	Graph   *GraphInfo  `json:"graph,omitempty"`
+	Motif   *MotifInfo  `json:"motif,omitempty"`
+	Workers int         `json:"workers,omitempty"`
+	Budget  *BudgetInfo `json:"budget,omitempty"`
+
+	StartUnixNano int64   `json:"start_unix_nano,omitempty"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	CPUSeconds    float64 `json:"cpu_seconds,omitempty"`
+
+	Matches    int64  `json:"matches"`
+	Truncated  bool   `json:"truncated"`
+	StopReason string `json:"stop_reason,omitempty"`
+
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// NewRunReport starts a report with the schema stamped and the given
+// tool/algo identity.
+func NewRunReport(tool, algo string) *RunReport {
+	return &RunReport{Schema: RunReportSchema, Tool: tool, Algo: algo}
+}
+
+// AttachSnapshot copies a registry snapshot's instruments into the
+// report (replacing any previously attached ones).
+func (r *RunReport) AttachSnapshot(s Snapshot) {
+	r.Counters = s.Counters
+	r.Gauges = s.Gauges
+	r.Histograms = s.Histograms
+}
+
+// Counter returns a counter value from the report (0 when absent).
+func (r *RunReport) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Counters[name]
+}
+
+// Marshal renders the report as indented JSON.
+func (r *RunReport) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (r *RunReport) WriteFile(path string) error {
+	data, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadRunReport parses a report written by WriteFile, checking the
+// schema tag.
+func ReadRunReport(path string) (*RunReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: parsing %s: %w", path, err)
+	}
+	if r.Schema != RunReportSchema {
+		return nil, fmt.Errorf("obs: %s has schema %q, want %q", path, r.Schema, RunReportSchema)
+	}
+	return &r, nil
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestRunReportRoundTrip marshals a fully populated report to disk,
+// reads it back, and requires exact equality — the schema must not lose
+// information (histogram buckets, budget, truncation state) in transit.
+func TestRunReportRoundTrip(t *testing.T) {
+	r := New("rt")
+	r.Counter("mackey.matches").Add(42)
+	r.Counter("mackey.nodes_expanded").AddShard(3, 1000)
+	r.Gauge("task.queue.inflight").Set(17)
+	r.Histogram("mackey.worker_busy_ns").Observe(1_500_000)
+	r.Histogram("mackey.worker_busy_ns").Observe(0)
+
+	rep := NewRunReport("mine", "mackey")
+	rep.Graph = &GraphInfo{Name: "email-eu", Nodes: 986, Edges: 6613}
+	rep.Motif = &MotifInfo{Name: "M1", Spec: "A->B; B->C; C->A", Nodes: 3, Edges: 3, DeltaSeconds: 3600}
+	rep.Workers = 4
+	rep.Budget = &BudgetInfo{WallSeconds: 2.5, MaxMatches: 100, MaxNodes: 1 << 20}
+	rep.StartUnixNano = 1722800000_000000000
+	rep.WallSeconds = 0.125
+	rep.CPUSeconds = 0.5
+	rep.Matches = 42
+	rep.Truncated = true
+	rep.StopReason = "node budget exhausted"
+	rep.AttachSnapshot(r.Snapshot())
+
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRunReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("round trip changed the report:\nwrote %+v\nread  %+v", rep, got)
+	}
+	if got.Counter("mackey.matches") != 42 || got.Counter("absent") != 0 {
+		t.Fatalf("counter accessor broken: %+v", got.Counters)
+	}
+}
+
+func TestReadRunReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"something/else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRunReport(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRunReport(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestProcessCPUSeconds(t *testing.T) {
+	// Burn a little CPU; the reading must be non-negative and monotone.
+	before := ProcessCPUSeconds()
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	after := ProcessCPUSeconds()
+	if before < 0 || after < before {
+		t.Fatalf("cpu time went backwards: %v -> %v", before, after)
+	}
+}

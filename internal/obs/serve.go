@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published guards against double expvar.Publish (which panics) when
+// several servers or tests publish registries with the same name.
+var published sync.Map // registry name -> struct{}
+
+// Publish exposes the registry's live snapshot as an expvar variable
+// under the registry's name, making it part of every /debug/vars dump.
+// Publishing the same name twice keeps the first binding.
+func Publish(r *Registry) {
+	if r == nil || r.Name() == "" {
+		return
+	}
+	if _, loaded := published.LoadOrStore(r.Name(), struct{}{}); loaded {
+		return
+	}
+	expvar.Publish(r.Name(), expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Server is a live observability endpoint: expvar-compatible JSON at
+// /debug/vars (the published registries folded on every request) plus
+// the full net/http/pprof suite at /debug/pprof/.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve publishes the given registries and starts an HTTP server on
+// addr (":0" picks a free port; query Addr for the binding). The server
+// runs until Close.
+func Serve(addr string, regs ...*Registry) (*Server, error) {
+	for _, r := range regs {
+		Publish(r)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the server's bound address ("127.0.0.1:41234").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

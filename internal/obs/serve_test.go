@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestServeExpvarSnapshot starts the observability server on a free
+// port, registers a live registry, and checks that /debug/vars serves
+// an expvar-compatible JSON document containing the registry snapshot
+// and that the pprof index responds.
+func TestServeExpvarSnapshot(t *testing.T) {
+	r := New("serve_test")
+	r.Counter("mackey.matches").Add(7)
+	r.Histogram("lat").Observe(3)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The counter keeps moving after publish; snapshots must be live.
+	r.Counter("mackey.matches").Add(5)
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar output not JSON: %v\n%s", err, body)
+	}
+	// expvar always publishes cmdline/memstats; ours must sit alongside.
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatal("expvar memstats missing — not an expvar endpoint?")
+	}
+	raw, ok := vars["serve_test"]
+	if !ok {
+		t.Fatalf("registry not published; vars: %s", body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("registry snapshot not parseable: %v", err)
+	}
+	if snap.Counter("mackey.matches") != 12 {
+		t.Fatalf("snapshot counter = %d, want 12 (live fold)", snap.Counter("mackey.matches"))
+	}
+	if snap.Histograms["lat"].Count != 1 {
+		t.Fatalf("histogram missing from snapshot: %+v", snap.Histograms)
+	}
+
+	pp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", pp.StatusCode)
+	}
+}
+
+// TestPublishTwiceIsSafe: expvar.Publish panics on duplicates; Publish
+// must absorb that.
+func TestPublishTwiceIsSafe(t *testing.T) {
+	r1 := New("dup_name")
+	r2 := New("dup_name")
+	Publish(r1)
+	Publish(r1)
+	Publish(r2) // same name, different registry: first binding wins
+	Publish(nil)
+	Publish(New("")) // anonymous registries are not publishable
+}

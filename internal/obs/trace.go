@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Event is one traced span: a named wall-clock interval attributed to a
+// worker (thread) id. Zero-duration events render as instants.
+type Event struct {
+	// Name labels the span ("mine.worker", "simulate", ...).
+	Name string `json:"name"`
+	// Worker is the logical thread the span belongs to (the Chrome
+	// trace "tid").
+	Worker int32 `json:"worker"`
+	// StartNS is the span start, in nanoseconds since the tracer's
+	// creation.
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the span duration in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+}
+
+// Tracer is a fixed-capacity ring buffer of Events. Emitting never
+// allocates and never blocks on I/O; when the ring wraps, the oldest
+// events are overwritten — the tracer is a flight recorder, not a log.
+// All methods are safe for concurrent use and on a nil receiver.
+type Tracer struct {
+	mu    sync.Mutex
+	base  time.Time
+	ring  []Event // fixed capacity; slot next-1 is the newest event
+	n     int     // number of valid events (≤ len(ring))
+	next  int     // next slot to overwrite
+	total int64
+}
+
+// NewTracer creates a tracer holding up to capacity events (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{base: time.Now(), ring: make([]Event, capacity)}
+}
+
+// Emit records a span that started at start and ran for dur. A nil
+// tracer drops the event, so call sites need no enablement branches.
+func (t *Tracer) Emit(name string, worker int32, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = Event{Name: name, Worker: worker,
+		StartNS: start.Sub(t.base).Nanoseconds(), DurNS: dur.Nanoseconds()}
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.total++
+}
+
+// Span emits an event covering start→now; use with defer:
+//
+//	defer tracer.Span("phase", 0, time.Now())
+func (t *Tracer) Span(name string, worker int32, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.Emit(name, worker, start, time.Since(start))
+}
+
+// Total returns how many events were ever emitted (including ones the
+// ring has since overwritten).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	if t.n == len(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring[:t.n]...)
+	}
+	return out
+}
+
+// WriteChromeTrace writes the retained events in the Chrome trace_event
+// JSON format (the "Trace Event Format" consumed by chrome://tracing and
+// https://ui.perfetto.dev): one complete ("X") event per span, with
+// microsecond timestamps and the worker id as the thread id.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range t.Events() {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		// ts/dur are microseconds; keep sub-µs precision as decimals.
+		_, err := fmt.Fprintf(bw, `{"name":%s,"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s}`,
+			strconv.Quote(ev.Name), ev.Worker,
+			formatMicros(ev.StartNS), formatMicros(ev.DurNS))
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTraceFile writes the Chrome trace dump to path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// formatMicros renders ns as a decimal microsecond count ("12.345").
+func formatMicros(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// timeNowForTest keeps obs_test free of a direct time import cycle.
+func timeNowForTest() time.Time { return time.Now() }
+
+func TestTracerRetainsInOrder(t *testing.T) {
+	tr := NewTracer(16)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		tr.Emit("ev", int32(i), base.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+	}
+	evs := tr.Events()
+	if len(evs) != 10 || tr.Total() != 10 {
+		t.Fatalf("events=%d total=%d", len(evs), tr.Total())
+	}
+	for i, ev := range evs {
+		if ev.Worker != int32(i) {
+			t.Fatalf("event %d out of order: worker=%d", i, ev.Worker)
+		}
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(16)
+	base := time.Now()
+	for i := 0; i < 40; i++ {
+		tr.Emit("ev", int32(i), base, 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want ring capacity 16", len(evs))
+	}
+	if tr.Total() != 40 {
+		t.Fatalf("total = %d, want 40", tr.Total())
+	}
+	// Oldest retained is event 24, newest is 39, in order.
+	for i, ev := range evs {
+		if ev.Worker != int32(24+i) {
+			t.Fatalf("slot %d holds worker %d, want %d", i, ev.Worker, 24+i)
+		}
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Span("span", int32(w), time.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != 800 {
+		t.Fatalf("total = %d, want 800", tr.Total())
+	}
+	if len(tr.Events()) != 64 {
+		t.Fatalf("retained %d, want 64", len(tr.Events()))
+	}
+}
+
+// TestChromeTraceFormat checks that the dump is valid JSON in the Trace
+// Event Format: a traceEvents array of complete ("X") events with
+// microsecond timestamps.
+func TestChromeTraceFormat(t *testing.T) {
+	tr := NewTracer(16)
+	base := time.Now()
+	tr.Emit("mine.worker", 3, base, 1500*time.Microsecond)
+	tr.Emit(`na"me`, 0, base.Add(2*time.Millisecond), 0) // quoting survives
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("traceEvents = %d, want 2", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "mine.worker" || ev.Ph != "X" || ev.Tid != 3 {
+		t.Fatalf("event mangled: %+v", ev)
+	}
+	if ev.Dur < 1499 || ev.Dur > 1501 {
+		t.Fatalf("dur = %v µs, want ~1500", ev.Dur)
+	}
+	if doc.TraceEvents[1].Name != `na"me` {
+		t.Fatalf("quoted name mangled: %q", doc.TraceEvents[1].Name)
+	}
+}

@@ -103,10 +103,11 @@ type Controller struct {
 	ctx    context.Context
 	budget Budget
 
-	stop    atomic.Bool
-	reason  atomic.Int32
-	nodes   atomic.Int64
-	matches atomic.Int64
+	stop     atomic.Bool
+	reason   atomic.Int32
+	nodes    atomic.Int64
+	matches  atomic.Int64
+	stopAtNS atomic.Int64 // wall clock (UnixNano) of the winning Stop
 }
 
 // New builds a Controller for one run. ctx may be nil (treated as
@@ -140,8 +141,32 @@ func (c *Controller) Stop(r Reason) {
 		return
 	}
 	if c.reason.CompareAndSwap(int32(NotStopped), int32(r)) {
+		c.stopAtNS.Store(time.Now().UnixNano())
 		c.stop.Store(true)
 	}
+}
+
+// StopTime returns the wall-clock instant the winning Stop fired. The
+// elapsed time from here to the run's return is the cancellation
+// latency the observability layer records (obs histogram
+// "runctl.cancel_latency_ns").
+func (c *Controller) StopTime() (time.Time, bool) {
+	if c == nil {
+		return time.Time{}, false
+	}
+	ns := c.stopAtNS.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// Budget returns the budget the controller was created with.
+func (c *Controller) Budget() Budget {
+	if c == nil {
+		return Budget{}
+	}
+	return c.budget
 }
 
 // Checkpoint is the amortized cooperative check every worker calls once

@@ -1,0 +1,55 @@
+package task
+
+import "mint/internal/obs"
+
+// Observability for the task runtime. Each worker's poller keeps local
+// task-type tallies (one increment per processed task — the same cost
+// class as the existing p.step() bookkeeping) and folds them into the
+// registry once, when the worker retires, under the worker's shard.
+//
+// Metric names:
+//
+//	task.tasks            all processed task-loop steps
+//	task.search_tasks     Search steps (Fig 4(a) task taxonomy)
+//	task.bookkeep_tasks   BookKeep steps
+//	task.backtrack_tasks  Backtrack steps
+//	task.matches          complete motif instances
+//	task.truncated_runs   runs stopped before draining the roots
+//
+// plus, for the asynchronous queue runner:
+//
+//	task.queue.depth      histogram of queue occupancy, sampled once
+//	                      per poller flush (every runctl.CheckInterval
+//	                      tasks per worker)
+//	task.queue.inflight   gauge of live contexts at the last sample
+//
+// The BookKeep/Backtrack ratio of the paper's workload characterization
+// is task.bookkeep_tasks / task.backtrack_tasks from one snapshot.
+
+// publishPoller folds one worker's tallies into reg under shard wi.
+// Safe with a nil registry.
+func publishPoller(reg *obs.Registry, wi int, p *poller) {
+	if reg == nil {
+		return
+	}
+	add := func(name string, v int64) {
+		if v != 0 {
+			reg.Counter(name).AddShard(wi, v)
+		}
+	}
+	add("task.tasks", p.tasks)
+	add("task.search_tasks", p.searches)
+	add("task.bookkeep_tasks", p.bookkeeps)
+	add("task.backtrack_tasks", p.backtracks)
+	add("task.matches", p.matches)
+}
+
+// publishQueueResult records run-level outcomes shared by both runners.
+func publishQueueResult(reg *obs.Registry, res QueueResult) {
+	if reg == nil {
+		return
+	}
+	if res.Truncated {
+		reg.Counter("task.truncated_runs").Add(1)
+	}
+}

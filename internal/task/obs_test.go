@@ -1,0 +1,107 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+
+	"mint/internal/obs"
+	"mint/internal/runctl"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+func obsTestInput() (*temporal.Graph, *temporal.Motif) {
+	rng := rand.New(rand.NewSource(21))
+	g := testutil.RandomGraph(rng, 12, 300, 400)
+	m := temporal.MustNewMotif("cycle3", 80, []temporal.MotifEdge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
+	return g, m
+}
+
+// TestRunCtlObsTaskBreakdown: the folded task-type counters must sum to
+// the returned Tasks total and the match counter must agree with the
+// match count.
+func TestRunCtlObsTaskBreakdown(t *testing.T) {
+	g, m := obsTestInput()
+	reg := obs.New("task_sync")
+	res, err := RunCtlObs(g, m, 3, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("task.tasks") != res.Tasks {
+		t.Errorf("task.tasks = %d, want %d", snap.Counter("task.tasks"), res.Tasks)
+	}
+	sum := snap.Counter("task.search_tasks") +
+		snap.Counter("task.bookkeep_tasks") +
+		snap.Counter("task.backtrack_tasks")
+	if sum != res.Tasks {
+		t.Errorf("task-type breakdown %d does not sum to total %d", sum, res.Tasks)
+	}
+	if snap.Counter("task.matches") != res.Matches {
+		t.Errorf("task.matches = %d, want %d", snap.Counter("task.matches"), res.Matches)
+	}
+	if snap.Counter("task.search_tasks") == 0 || snap.Counter("task.backtrack_tasks") == 0 {
+		t.Errorf("degenerate breakdown: %+v", snap.Counters)
+	}
+}
+
+// TestRunQueueCtlObsSamplesQueue: the asynchronous runner must record
+// queue-depth samples and the inflight gauge, and its counters must
+// match the synchronous runner's semantics.
+func TestRunQueueCtlObsSamplesQueue(t *testing.T) {
+	g, m := obsTestInput()
+	reg := obs.New("task_queue")
+	ctl := runctl.New(nil, runctl.Budget{})
+	res, err := RunQueueCtlObs(g, m, 3, 8, ctl, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("task.matches") != res.Matches {
+		t.Errorf("task.matches = %d, want %d", snap.Counter("task.matches"), res.Matches)
+	}
+	if snap.Counter("task.tasks") != res.Tasks {
+		t.Errorf("task.tasks = %d, want %d", snap.Counter("task.tasks"), res.Tasks)
+	}
+	depth, ok := snap.Histograms["task.queue.depth"]
+	if !ok || depth.Count == 0 {
+		t.Fatalf("no queue depth samples: %+v", snap.Histograms)
+	}
+	if _, ok := snap.Gauges["task.queue.inflight"]; !ok {
+		t.Error("inflight gauge missing")
+	}
+}
+
+// TestTaskTruncatedRunCounted: a budget stop must bump
+// task.truncated_runs exactly once per run.
+func TestTaskTruncatedRunCounted(t *testing.T) {
+	g, m := obsTestInput()
+	reg := obs.New("task_trunc")
+	ctl := runctl.New(nil, runctl.Budget{MaxNodes: 1})
+	res, err := RunCtlObs(g, m, 2, ctl, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("MaxNodes=1 run not truncated")
+	}
+	if got := reg.Snapshot().Counter("task.truncated_runs"); got != 1 {
+		t.Errorf("task.truncated_runs = %d, want 1", got)
+	}
+}
+
+// TestRunCtlNilRegistryUnchanged: the nil-registry wrappers must behave
+// exactly like the historical entry points.
+func TestRunCtlNilRegistryUnchanged(t *testing.T) {
+	g, m := obsTestInput()
+	want := Run(g, m, 2)
+	res, err := RunCtlObs(g, m, 2, nil, nil)
+	if err != nil || res.Matches != want {
+		t.Fatalf("RunCtlObs(nil reg) = %d (err %v), want %d", res.Matches, err, want)
+	}
+	qres, err := RunQueueCtlObs(g, m, 2, 4, nil, nil)
+	if err != nil || qres.Matches != want {
+		t.Fatalf("RunQueueCtlObs(nil reg) = %d (err %v), want %d", qres.Matches, err, want)
+	}
+}

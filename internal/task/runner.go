@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mint/internal/obs"
 	"mint/internal/runctl"
 	"mint/internal/temporal"
 )
@@ -41,6 +42,12 @@ func Run(g *temporal.Graph, m *temporal.Motif, workers int) int64 {
 // root edge ID of the tree it was expanding; the other workers stop
 // promptly and the partial count is returned alongside the error.
 func RunCtl(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Controller) (QueueResult, error) {
+	return RunCtlObs(g, m, workers, ctl, nil)
+}
+
+// RunCtlObs is RunCtl with the run's task-type tallies folded into reg
+// (nil disables observability at zero cost — see obs.go for the names).
+func RunCtlObs(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Controller, reg *obs.Registry) (QueueResult, error) {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
@@ -61,6 +68,7 @@ func RunCtl(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Contr
 					matches.Add(p.matches)
 					tasks.Add(p.tasks)
 				}
+				publishPoller(reg, wi, &p)
 			}()
 			for !p.stopped {
 				root := next.Add(1) - 1
@@ -83,6 +91,7 @@ func RunCtl(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Contr
 		res.Truncated = true
 		res.StopReason = ctl.Reason()
 	}
+	publishQueueResult(reg, res)
 	for _, err := range errs {
 		if err != nil {
 			return res, err
@@ -103,6 +112,18 @@ type poller struct {
 	tasks    int64 // total for this worker
 	flushedM int64
 	flushedT int64
+
+	// Task-type tallies (Fig 4(a) taxonomy), folded into the obs
+	// registry when the worker retires; always maintained — a local
+	// increment per task, same cost class as tasks++ above.
+	searches   int64
+	bookkeeps  int64
+	backtracks int64
+
+	// sample, when set, is called once per flush — an amortized hook the
+	// queue runner uses to record queue depth without touching the
+	// per-task path.
+	sample func()
 }
 
 // step records one processed task and polls the controller every
@@ -118,6 +139,9 @@ func (p *poller) step() bool {
 
 func (p *poller) flush() {
 	p.since = 0
+	if p.sample != nil {
+		p.sample()
+	}
 	if p.ctl == nil {
 		return
 	}
@@ -141,6 +165,7 @@ func runTree(ctx *Context, g *temporal.Graph, m *temporal.Motif, p *poller) {
 		}
 		switch ctx.Type {
 		case Search:
+			p.searches++
 			if eG := ExecuteSearch(ctx, g, m); eG != temporal.InvalidEdge {
 				ctx.Cursor = eG // bookkeep consumes the found edge
 				ctx.Type = BookKeep
@@ -148,6 +173,7 @@ func runTree(ctx *Context, g *temporal.Graph, m *temporal.Motif, p *poller) {
 				ctx.Type = Backtrack
 			}
 		case BookKeep:
+			p.bookkeeps++
 			if ctx.Bookkeep(g, m, ctx.Cursor) {
 				p.matches++
 				if p.ctl.MatchBudgeted() {
@@ -158,6 +184,7 @@ func runTree(ctx *Context, g *temporal.Graph, m *temporal.Motif, p *poller) {
 				ctx.Type = Search
 			}
 		case Backtrack:
+			p.backtracks++
 			if ctx.Backtrack(g, m) {
 				return // tree exhausted; context idle
 			}
@@ -192,6 +219,16 @@ func RunQueue(g *temporal.Graph, m *temporal.Motif, workers, contexts int) int64
 // drain still terminates), stops the run, and surfaces as a
 // *runctl.PanicError carrying the context's root edge ID.
 func RunQueueCtl(g *temporal.Graph, m *temporal.Motif, workers, contexts int, ctl *runctl.Controller) (QueueResult, error) {
+	return RunQueueCtlObs(g, m, workers, contexts, ctl, nil)
+}
+
+// RunQueueCtlObs is RunQueueCtl with observability: per-worker task
+// tallies fold into reg on retirement, and queue occupancy is sampled
+// into the task.queue.depth histogram (with the task.queue.inflight
+// gauge tracking live contexts) once per poller flush — amortized to
+// every runctl.CheckInterval tasks, never on the per-task path. A nil
+// reg disables all of it.
+func RunQueueCtlObs(g *temporal.Graph, m *temporal.Motif, workers, contexts int, ctl *runctl.Controller, reg *obs.Registry) (QueueResult, error) {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
@@ -205,6 +242,16 @@ func RunQueueCtl(g *temporal.Graph, m *temporal.Motif, workers, contexts int, ct
 	errs := make([]error, workers)
 
 	queue := make(chan queueTask, contexts)
+
+	var sample func()
+	if reg != nil {
+		depth := reg.Histogram("task.queue.depth")
+		live := reg.Gauge("task.queue.inflight")
+		sample = func() {
+			depth.Observe(int64(len(queue)))
+			live.Set(inflight.Load())
+		}
+	}
 
 	// seed pulls the next admissible root into ctx; returns false when the
 	// edge list is drained.
@@ -225,7 +272,8 @@ func RunQueueCtl(g *temporal.Graph, m *temporal.Motif, workers, contexts int, ct
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			p := poller{ctl: ctl}
+			p := poller{ctl: ctl, sample: sample}
+			defer func() { publishPoller(reg, wi, &p) }()
 			// processTask advances one context by one task, reporting
 			// whether the context retired. Panics are contained here so the
 			// drain protocol below keeps working.
@@ -243,6 +291,7 @@ func RunQueueCtl(g *temporal.Graph, m *temporal.Motif, workers, contexts int, ct
 				}
 				switch ctx.Type {
 				case Search:
+					p.searches++
 					if eG := ExecuteSearch(ctx, g, m); eG != temporal.InvalidEdge {
 						ctx.Cursor = eG
 						ctx.Type = BookKeep
@@ -250,6 +299,7 @@ func RunQueueCtl(g *temporal.Graph, m *temporal.Motif, workers, contexts int, ct
 						ctx.Type = Backtrack
 					}
 				case BookKeep:
+					p.bookkeeps++
 					if ctx.Bookkeep(g, m, ctx.Cursor) {
 						p.matches++
 						if p.ctl.MatchBudgeted() {
@@ -260,6 +310,7 @@ func RunQueueCtl(g *temporal.Graph, m *temporal.Motif, workers, contexts int, ct
 						ctx.Type = Search
 					}
 				case Backtrack:
+					p.backtracks++
 					if ctx.Backtrack(g, m) {
 						// Tree exhausted: recycle the context onto a new
 						// root (unless stopping).
@@ -308,6 +359,7 @@ func RunQueueCtl(g *temporal.Graph, m *temporal.Motif, workers, contexts int, ct
 		res.Truncated = true
 		res.StopReason = ctl.Reason()
 	}
+	publishQueueResult(reg, res)
 	for _, err := range errs {
 		if err != nil {
 			return res, err

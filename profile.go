@@ -1,6 +1,7 @@
 package mint
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -14,6 +15,13 @@ type MotifCount struct {
 	Motif   *Motif
 	Count   int64
 	Density float64 // count per thousand temporal edges
+
+	// Truncated marks a count cut short by the profile's context or
+	// budget; Count is then an exact lower bound for this motif, and
+	// StopReason says what fired. Motifs later in the list than the
+	// first truncation typically report StopCanceled immediately.
+	Truncated  bool
+	StopReason StopReason
 }
 
 // MotifLibrary returns a catalog of named small motifs — cycles, chains,
@@ -26,15 +34,42 @@ func MotifLibrary(delta Timestamp) []*Motif { return temporal.Library(delta) }
 // features than their static counterparts for network classification
 // (§II-B, citing Tu et al.), and per-node variants serve as features for
 // temporal graph learning. Counting runs the parallel exact miner per
-// motif; workers < 1 means GOMAXPROCS.
+// motif; workers < 1 means GOMAXPROCS. Profile is ProfileCtx with no
+// cancellation or budget; it panics on a worker failure (the historical
+// behavior).
 func Profile(g *Graph, motifs []*Motif, workers int) []MotifCount {
+	out, err := ProfileCtx(context.Background(), g, motifs, workers, Budget{})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ProfileCtx is Profile bounded by a context and a per-motif budget (the
+// Budget applies to each motif's mining run separately, so a MaxNodes cap
+// bounds the worst single motif, not the whole fingerprint). A motif cut
+// short is marked Truncated with its exact partial count — fingerprints
+// stay usable as lower bounds — and once the context itself is dead the
+// remaining motifs return immediately, each marked Truncated. A worker
+// failure aborts the profile and returns the error alongside the counts
+// finished so far (the offending motif's entry marks the failure).
+func ProfileCtx(ctx context.Context, g *Graph, motifs []*Motif, workers int, b Budget) ([]MotifCount, error) {
 	out := make([]MotifCount, len(motifs))
 	perK := 1000.0 / float64(max(1, g.NumEdges()))
 	for i, m := range motifs {
-		c := mackey.MineParallel(g, m, mackey.Options{Workers: workers}).Matches
-		out[i] = MotifCount{Motif: m, Count: c, Density: float64(c) * perK}
+		res, err := mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: workers}, b)
+		out[i] = MotifCount{
+			Motif:      m,
+			Count:      res.Matches,
+			Density:    float64(res.Matches) * perK,
+			Truncated:  res.Truncated,
+			StopReason: res.StopReason,
+		}
+		if err != nil {
+			return out[:i+1], err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // FingerprintDistance compares two motif fingerprints (over the same motif

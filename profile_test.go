@@ -1,6 +1,7 @@
 package mint
 
 import (
+	"context"
 	mrand "math/rand"
 	"testing"
 )
@@ -159,5 +160,58 @@ func TestLocalCountsSumConsistency(t *testing.T) {
 	// Each M1 occurrence touches exactly 3 distinct nodes.
 	if sum != 3*total {
 		t.Fatalf("local counts sum %d, want 3×%d", sum, total)
+	}
+}
+
+// TestProfileCtxBudgetTruncation: a tiny node budget must mark every
+// nontrivial motif truncated while keeping counts as exact lower bounds,
+// and the unbudgeted profile must stay untruncated.
+func TestProfileCtxBudgetTruncation(t *testing.T) {
+	g, err := Dataset("em", "", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifs := MotifLibrary(DeltaHour)
+	full, err := ProfileCtx(context.Background(), g, motifs, 2, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mc := range full {
+		if mc.Truncated {
+			t.Fatalf("%s: unbudgeted profile truncated (%v)", mc.Motif.Name, mc.StopReason)
+		}
+	}
+
+	tiny, err := ProfileCtx(context.Background(), g, motifs, 2, Budget{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncatedAny := false
+	for i, mc := range tiny {
+		if mc.Truncated {
+			truncatedAny = true
+			if mc.StopReason != StopNodeBudget {
+				t.Errorf("%s: stop reason %v, want node budget", mc.Motif.Name, mc.StopReason)
+			}
+		}
+		if mc.Count > full[i].Count {
+			t.Errorf("%s: truncated count %d exceeds full count %d", mc.Motif.Name, mc.Count, full[i].Count)
+		}
+	}
+	if !truncatedAny {
+		t.Fatal("MaxNodes=1 truncated nothing")
+	}
+
+	// A dead context truncates every motif without erroring.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead, err := ProfileCtx(ctx, g, motifs, 2, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mc := range dead {
+		if !mc.Truncated || mc.StopReason != StopCanceled {
+			t.Errorf("%s: dead-context run not marked canceled: %+v", mc.Motif.Name, mc)
+		}
 	}
 }
