@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race fuzz bench bench-report
+.PHONY: tier1 build vet test race fuzz bench bench-report bench-compare
 
 tier1: build vet test race
 
@@ -20,16 +20,30 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the SNAP loader (native Go fuzzing).
+# Short fuzz passes (native Go fuzzing): the SNAP loader and the motif
+# parser round trip.
 fuzz:
 	$(GO) test ./internal/temporal/ -run='^$$' -fuzz=FuzzReadSNAP -fuzztime=30s
+	$(GO) test ./internal/temporal/ -run='^$$' -fuzz=FuzzMotifParse -fuzztime=30s
 
 # Sequential hot-path benchmarks (the <2% regression budget lives here).
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkCoreMinerMotifs -benchtime=2x -count=5 .
 
 # Observability overhead report: M1–M4 sequential miner with the metrics
-# registry off and on; writes BENCH_obs.json and runs the <3% guard.
+# registry off and on; writes BENCH_obs.json and runs the <3% guard. Also
+# replays the hot-path A/B measurement against the committed
+# BENCH_hotpath.json and fails on a >10% speedup regression (ratios, not
+# absolute ns/op, so the guard holds across machines).
 bench-report:
 	$(GO) run ./cmd/benchreport -out BENCH_obs.json
 	$(GO) test ./internal/mackey/ -run=TestObsOverheadGuard -bench=BenchmarkSeqMinerObs -benchtime=1x -v
+	$(GO) run ./cmd/benchreport -hotpath -check
+
+# Hot-path before/after comparison: Baseline (pre-overhaul) vs optimized
+# (pooled state + window-cached searches) on M1–M4 over a seeded Table I
+# dataset sample; rewrites BENCH_hotpath.json with ns/op and allocs/op for
+# both sides. Run this to refresh the committed reference after deliberate
+# hot-path changes.
+bench-compare:
+	$(GO) run ./cmd/benchreport -hotpath -out BENCH_hotpath.json

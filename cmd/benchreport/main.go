@@ -1,16 +1,28 @@
-// Command benchreport measures the observability layer's overhead on the
-// sequential miner's hot path and writes the result as machine-readable
-// JSON. For each evaluation motif M1–M4 it benchmarks mackey.Mine on the
-// same synthetic graph twice — registry detached and attached — and
-// records ns/op for both plus the on/off ratio. The miners fold their
-// private Stats into the registry once per run, so the ratio should sit
-// within noise of 1.0; TestObsOverheadGuard enforces <3% under -bench,
-// and the committed BENCH_obs.json is the reference the guard's budget
-// was set against.
+// Command benchreport measures hot-path performance properties of the
+// sequential miner and writes them as machine-readable JSON.
+//
+// Default mode (observability overhead): for each evaluation motif M1–M4
+// it benchmarks mackey.Mine on the same synthetic graph twice — registry
+// detached and attached — and records ns/op for both plus the on/off
+// ratio. The miners fold their private Stats into the registry once per
+// run, so the ratio should sit within noise of 1.0; TestObsOverheadGuard
+// enforces <3% under -bench, and the committed BENCH_obs.json is the
+// reference the guard's budget was set against.
+//
+// Hot-path mode (-hotpath): A/B-benchmarks the pre-overhaul Baseline path
+// against the optimized path (pooled worker state, window-cached searches)
+// for M1–M4 on a seeded sample graph from the Table I dataset generator,
+// and writes BENCH_hotpath.json with ns/op, B/op, and allocs/op for both
+// sides plus per-motif speedups. With -check it instead compares a fresh
+// measurement against the committed BENCH_hotpath.json and exits non-zero
+// when any motif's speedup regressed by more than 10% — speedup ratios,
+// not absolute ns/op, so the guard is machine-independent.
 //
 // Usage:
 //
 //	benchreport [-out BENCH_obs.json] [-edges 6000] [-seed 99]
+//	benchreport -hotpath [-out BENCH_hotpath.json] [-dataset email-eu] [-scale 0.06]
+//	benchreport -hotpath -check [-out BENCH_hotpath.json]
 package main
 
 import (
@@ -23,13 +35,14 @@ import (
 	"testing"
 	"time"
 
+	"mint/internal/datasets"
 	"mint/internal/mackey"
 	"mint/internal/obs"
 	"mint/internal/temporal"
 	"mint/internal/testutil"
 )
 
-// benchRow is one motif's measurement.
+// benchRow is one motif's observability-overhead measurement.
 type benchRow struct {
 	Motif      string  `json:"motif"`
 	Matches    int64   `json:"matches"`
@@ -48,14 +61,63 @@ type benchReport struct {
 	GeomeanRatio  float64    `json:"geomean_overhead_ratio"`
 }
 
+// hotpathRow is one motif's Baseline-vs-optimized measurement.
+type hotpathRow struct {
+	Motif             string  `json:"motif"`
+	Matches           int64   `json:"matches"`
+	BaselineNsOp      int64   `json:"baseline_ns_per_op"`
+	OptimizedNsOp     int64   `json:"optimized_ns_per_op"`
+	Speedup           float64 `json:"speedup"`
+	BaselineAllocsOp  int64   `json:"baseline_allocs_per_op"`
+	OptimizedAllocsOp int64   `json:"optimized_allocs_per_op"`
+	BaselineBytesOp   int64   `json:"baseline_bytes_per_op"`
+	OptimizedBytesOp  int64   `json:"optimized_bytes_per_op"`
+}
+
+// hotpathReport is the BENCH_hotpath.json payload.
+type hotpathReport struct {
+	Schema         string       `json:"schema"`
+	GeneratedUnix  int64        `json:"generated_unix"`
+	Dataset        string       `json:"dataset"`
+	Scale          float64      `json:"scale"`
+	GraphNodes     int          `json:"graph_nodes"`
+	GraphEdges     int          `json:"graph_edges"`
+	Rows           []hotpathRow `json:"benchmarks"`
+	GeomeanSpeedup float64      `json:"geomean_speedup"`
+}
+
 func main() {
-	out := flag.String("out", "BENCH_obs.json", "output JSON path")
-	edges := flag.Int("edges", 6000, "synthetic graph edge count")
-	seed := flag.Int64("seed", 99, "graph generation seed")
+	out := flag.String("out", "", "output JSON path (default per mode)")
+	edges := flag.Int("edges", 6000, "synthetic graph edge count (obs mode)")
+	seed := flag.Int64("seed", 99, "graph generation seed (obs mode)")
+	hotpath := flag.Bool("hotpath", false, "measure Baseline vs optimized hot path instead of obs overhead")
+	check := flag.Bool("check", false, "with -hotpath: compare a fresh measurement against the committed report and fail on >10% speedup regression")
+	dataset := flag.String("dataset", "email-eu", "Table I dataset to sample (hotpath mode)")
+	scale := flag.Float64("scale", 0.06, "dataset edge-count scale (hotpath mode)")
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	g := testutil.RandomGraph(rng, 64, *edges, 20_000)
+	if *hotpath {
+		if *out == "" {
+			*out = "BENCH_hotpath.json"
+		}
+		if err := runHotpath(*out, *dataset, *scale, *check); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_obs.json"
+	}
+	if err := runObsReport(*out, *edges, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runObsReport(out string, edges int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	g := testutil.RandomGraph(rng, 64, edges, 20_000)
 
 	rep := benchReport{
 		Schema:        "mint.bench_obs/v1",
@@ -91,15 +153,139 @@ func main() {
 	}
 	rep.GeomeanRatio = math.Exp(logRatio / float64(len(rep.Rows)))
 	fmt.Printf("geomean overhead ratio: %.4f\n", rep.GeomeanRatio)
+	return writeJSON(out, rep)
+}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+// measureHotpath runs the Baseline/optimized A/B benchmark for M1–M4 on a
+// seeded sample of the named Table I dataset (nodes kept at full count so
+// the sample has realistic degree structure rather than the near-clique a
+// uniform shrink produces).
+func measureHotpath(dataset string, scale float64) (hotpathReport, error) {
+	spec, err := datasets.ByName(dataset)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return hotpathReport{}, err
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	g, err := datasets.GenerateWithNodeScale(spec, scale, 1.0)
+	if err != nil {
+		return hotpathReport{}, err
 	}
-	fmt.Printf("wrote %s\n", *out)
+	rep := hotpathReport{
+		Schema:        "mint.bench_hotpath/v1",
+		GeneratedUnix: time.Now().Unix(),
+		Dataset:       spec.Name,
+		Scale:         scale,
+		GraphNodes:    g.NumNodes(),
+		GraphEdges:    g.NumEdges(),
+	}
+	logSpeedup := 0.0
+	for _, m := range temporal.EvaluationMotifs(temporal.DeltaHour) {
+		var res mackey.Result
+		base := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res = mackey.Mine(g, m, mackey.Options{Baseline: true})
+			}
+		})
+		opt := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res = mackey.Mine(g, m, mackey.Options{})
+			}
+		})
+		row := hotpathRow{
+			Motif:             m.Name,
+			Matches:           res.Matches,
+			BaselineNsOp:      base.NsPerOp(),
+			OptimizedNsOp:     opt.NsPerOp(),
+			Speedup:           float64(base.NsPerOp()) / float64(opt.NsPerOp()),
+			BaselineAllocsOp:  base.AllocsPerOp(),
+			OptimizedAllocsOp: opt.AllocsPerOp(),
+			BaselineBytesOp:   base.AllocedBytesPerOp(),
+			OptimizedBytesOp:  opt.AllocedBytesPerOp(),
+		}
+		logSpeedup += math.Log(row.Speedup)
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-4s base %10d ns/op %5d allocs/op   opt %10d ns/op %5d allocs/op   speedup %.2fx   matches %d\n",
+			row.Motif, row.BaselineNsOp, row.BaselineAllocsOp,
+			row.OptimizedNsOp, row.OptimizedAllocsOp, row.Speedup, row.Matches)
+	}
+	rep.GeomeanSpeedup = math.Exp(logSpeedup / float64(len(rep.Rows)))
+	fmt.Printf("geomean speedup: %.2fx\n", rep.GeomeanSpeedup)
+	return rep, nil
+}
+
+func runHotpath(out, dataset string, scale float64, check bool) error {
+	if !check {
+		rep, err := measureHotpath(dataset, scale)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(out, rep); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	// Regression guard: re-measure with the committed report's own dataset
+	// parameters and compare speedup ratios. Ratios cancel the machine's
+	// absolute speed, so a slower CI box does not trip the guard — only a
+	// change that erodes the optimized path's advantage over Baseline does.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		return fmt.Errorf("benchreport: reading committed report: %w (generate one with -hotpath first)", err)
+	}
+	var committed hotpathReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("benchreport: parsing %s: %w", out, err)
+	}
+	if committed.Dataset != "" {
+		dataset = committed.Dataset
+	}
+	if committed.Scale > 0 {
+		scale = committed.Scale
+	}
+	fresh, err := measureHotpath(dataset, scale)
+	if err != nil {
+		return err
+	}
+	const tolerance = 0.9 // >10% speedup regression fails
+	failed := false
+	for _, fr := range fresh.Rows {
+		for _, cr := range committed.Rows {
+			if cr.Motif != fr.Motif {
+				continue
+			}
+			floor := cr.Speedup * tolerance
+			if fr.Speedup < floor {
+				failed = true
+				fmt.Fprintf(os.Stderr, "REGRESSION %s: speedup %.2fx < %.2fx (committed %.2fx - 10%%)\n",
+					fr.Motif, fr.Speedup, floor, cr.Speedup)
+			} else {
+				fmt.Printf("ok %s: speedup %.2fx (committed %.2fx, floor %.2fx)\n",
+					fr.Motif, fr.Speedup, cr.Speedup, floor)
+			}
+			if fr.OptimizedAllocsOp > cr.OptimizedAllocsOp {
+				failed = true
+				fmt.Fprintf(os.Stderr, "REGRESSION %s: %d allocs/op on the optimized path (committed %d)\n",
+					fr.Motif, fr.OptimizedAllocsOp, cr.OptimizedAllocsOp)
+			}
+		}
+	}
+	if failed {
+		return fmt.Errorf("benchreport: hot-path regression against committed %s", out)
+	}
+	fmt.Printf("hot-path guard passed against %s\n", out)
+	return nil
+}
+
+func writeJSON(out string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }

@@ -14,26 +14,14 @@ import (
 // cursor-driven backtracking loop (eG = eStack.pop() + 1). It is
 // functionally identical to Mine; property tests enforce the equivalence.
 func MineAlgorithm1(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
-	a := &algo1{
-		g:      g,
-		m:      m,
-		opts:   opts,
-		m2g:    make([]temporal.NodeID, m.NumNodes()),
-		g2m:    make([]temporal.NodeID, g.NumNodes()),
-		eCount: make([]int32, g.NumNodes()),
-	}
-	for i := range a.m2g {
-		a.m2g[i] = temporal.InvalidNode
-	}
-	for i := range a.g2m {
-		a.g2m[i] = temporal.InvalidNode
-	}
+	a := acquireAlgo1(g, m, opts)
 	var start time.Time
 	if opts.Trace != nil {
 		start = time.Now()
 	}
 	a.run()
 	res := a.finish()
+	a.release()
 	publishRun(opts, 0, res, "mackey.algorithm1", start)
 	return res
 }
@@ -47,6 +35,11 @@ type algo1 struct {
 	g2m    []temporal.NodeID
 	eCount []int32
 	eStack []temporal.EdgeID
+
+	// wc memoizes per-node filter bounds (see worker.wc); useCache is off
+	// for Baseline runs, which keep the plain binary search.
+	wc       temporal.WindowCache
+	useCache bool
 
 	tPrime temporal.Timestamp // t′: exclusive-inclusive end-time bound
 	rootEG temporal.EdgeID
@@ -76,6 +69,10 @@ func (a *algo1) checkpoint() {
 func (a *algo1) finish() Result {
 	truncated := a.stopped
 	a.checkpoint()
+	if a.useCache {
+		a.stats.SearchCacheHits = a.wc.Hits()
+		a.stats.SearchCacheMisses = a.wc.Misses()
+	}
 	res := Result{Matches: a.stats.Matches, Stats: a.stats, Truncated: truncated}
 	if truncated {
 		res.StopReason = a.opts.Ctl.Reason()
@@ -220,7 +217,12 @@ func (a *algo1) findNextMatchingEdge(eM int, cursor temporal.EdgeID) temporal.Ed
 		return temporal.InvalidEdge
 	}
 
-	start := temporal.SearchAfter(list, cursor-1)
+	var start int
+	if a.useCache {
+		start = a.wc.SearchAfter(list, out, node, cursor-1)
+	} else {
+		start = temporal.SearchAfter(list, cursor-1)
+	}
 	a.stats.BinarySearches++
 	a.stats.NeighborEntries += int64(len(list))
 	a.stats.NeighborEntriesUseful += int64(len(list) - start)

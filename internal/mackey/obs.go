@@ -34,6 +34,12 @@ import (
 //	mackey.truncated_runs           runs that stopped early
 //	mackey.parallel.chunks          root chunks pulled from the cursor
 //	mackey.parallel.steals          chunk pulls beyond a worker's first
+//	search.cache_hits               window-cache-served filter origins
+//	search.cache_misses             cold/backward window-cache queries
+//	pool.reuse                      workers recycled from the state pool
+//
+// (search.* and pool.* are shared hot-path names, not mackey.*: the task
+// runtime publishes the same counters so one dashboard covers both.)
 //
 // plus gauges runctl.nodes / runctl.matches (controller totals) and
 // histograms mackey.worker_busy_ns, mackey.worker_nodes (per-worker
@@ -64,6 +70,9 @@ func publishStats(reg *obs.Registry, shard int, s Stats) {
 	add("mackey.branches", s.Branches)
 	add("mackey.nodes_expanded", s.NodesExpanded)
 	add("mackey.scans_time_pruned", s.TimePrunedScans)
+	add("search.cache_hits", s.SearchCacheHits)
+	add("search.cache_misses", s.SearchCacheMisses)
+	add("pool.reuse", s.PoolReuse)
 }
 
 // publishRun records a completed run: the folded stats, the truncation

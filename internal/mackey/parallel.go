@@ -54,15 +54,16 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 		workers = max(1, n)
 	}
 
-	// Chunked dynamic scheduling: small enough chunks to balance the
-	// heavy-tailed tree sizes, large enough to keep cursor contention low.
-	chunk := int64(n / (workers * 16))
-	if chunk < 1 {
-		chunk = 1
-	}
-	if chunk > 256 {
-		chunk = 256
-	}
+	// Time-partitioned dynamic scheduling: the root space is pre-split
+	// into contiguous, timestamp-aligned edge ranges, and workers steal
+	// whole ranges through a shared atomic cursor. Ranges are small enough
+	// to balance the heavy-tailed tree sizes (like the previous flat
+	// chunking) but, because each range covers a half-open time interval,
+	// the roots a worker mines consecutively stay temporally adjacent —
+	// which is exactly what keeps its worker-local window cache advancing
+	// monotonically instead of thrashing.
+	bounds := partitionRoots(g, workers)
+	numChunks := int64(len(bounds) - 1)
 
 	// Per-worker observability tallies, written only by the owning worker
 	// goroutine and read after wg.Wait(). Timing is collected only when an
@@ -87,13 +88,20 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 			if observed {
 				busyStart = time.Now()
 			}
-			w := newWorker(g, m, opts)
+			w := acquireWorker(g, m, opts)
 			cur := int64(temporal.InvalidEdge)
+			panicked := false
 			defer func() {
 				if r := recover(); r != nil {
 					errs[wi] = &runctl.PanicError{Worker: wi, Root: cur, Value: r}
 					ctl.Stop(runctl.Failed)
+					panicked = true
 					perWorker[wi] = w.stats
+				}
+				if !panicked {
+					// A panicked worker's bindings are mid-tree; abandon it
+					// to the GC rather than pooling corrupt state.
+					w.release()
 				}
 				if observed {
 					perBusy[wi] = time.Since(busyStart)
@@ -101,21 +109,21 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 			}()
 		pull:
 			for {
-				base := cursor.Add(chunk) - chunk
-				if base >= int64(n) {
+				k := cursor.Add(1) - 1
+				if k >= numChunks {
 					break
 				}
 				perChunks[wi]++
-				end := min(base+chunk, int64(n))
-				for root := base; root < end; root++ {
+				for root := bounds[k]; root < bounds[k+1]; root++ {
 					if w.stopped {
 						break pull
 					}
-					cur = root
-					w.mineRoot(temporal.EdgeID(root))
+					cur = int64(root)
+					w.mineRoot(root)
 				}
 			}
 			w.checkpoint() // flush the tail of this worker's progress
+			w.foldCacheStats()
 			perWorker[wi] = w.stats
 		}(wi)
 	}
@@ -164,6 +172,36 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 		}
 	}
 	return res, nil
+}
+
+// partitionRoots splits the root space [0, NumEdges) into contiguous
+// chunk boundaries: chunk k is bounds[k]..bounds[k+1]. Target chunk size
+// matches the previous flat scheduling (n / (workers·16), clamped to
+// [1, 256] roots), but every boundary is snapped forward past timestamp
+// ties so each chunk covers a half-open time interval — a time partition
+// of the edge list, not just an index partition.
+func partitionRoots(g *temporal.Graph, workers int) []temporal.EdgeID {
+	n := g.NumEdges()
+	chunk := n / (workers * 16)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 256 {
+		chunk = 256
+	}
+	bounds := make([]temporal.EdgeID, 1, n/chunk+2)
+	bounds[0] = 0
+	for b := chunk; b < n; {
+		for b < n && g.Edges[b].Time == g.Edges[b-1].Time {
+			b++ // never split a timestamp tie across chunks
+		}
+		if b >= n {
+			break
+		}
+		bounds = append(bounds, temporal.EdgeID(b))
+		b += chunk
+	}
+	return append(bounds, temporal.EdgeID(n))
 }
 
 // MineMemo runs the sequential reference miner with software search index

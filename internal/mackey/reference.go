@@ -38,6 +38,12 @@ type Options struct {
 	// Trace, when non-nil, receives coarse spans (one per run plus one
 	// per parallel worker) in Chrome trace_event form.
 	Trace *obs.Tracer
+
+	// Baseline runs the pre-overhaul hot path: no worker pooling, no
+	// window-cached searches, closure-based candidate scans. It exists as
+	// the A/B reference for `make bench-compare` and as an extra engine in
+	// the differential harness; results are identical either way.
+	Baseline bool
 }
 
 // Result is the outcome of a mining run.
@@ -62,7 +68,7 @@ func Mine(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 	if opts.Trace != nil {
 		start = time.Now()
 	}
-	w := newWorker(g, m, opts)
+	w := acquireWorker(g, m, opts)
 	for root := 0; root < g.NumEdges(); root++ {
 		if w.stopped {
 			break
@@ -70,6 +76,7 @@ func Mine(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 		w.mineRoot(temporal.EdgeID(root))
 	}
 	res := w.finish()
+	w.release()
 	publishRun(opts, 0, res, "mackey.mine", start)
 	return res
 }
@@ -107,6 +114,14 @@ type worker struct {
 	g2m []temporal.NodeID // graph node -> motif node, -1 if unmapped
 	seq []temporal.EdgeID // matched graph edges in motif order (eStack)
 
+	// wc memoizes per-node phase-1 filter bounds across expansions and
+	// root tasks; worker-owned, so the parallel miners stay race-free.
+	wc temporal.WindowCache
+	// legacyScan routes candidate scans through the closure-based
+	// scanList: set for Baseline runs (the A/B reference) and for memoized
+	// runs (the memo table is its own, separately evaluated optimization).
+	legacyScan bool
+
 	rootEG temporal.EdgeID
 	stats  Stats
 
@@ -142,6 +157,7 @@ func (w *worker) checkpoint() {
 func (w *worker) finish() Result {
 	truncated := w.stopped
 	w.checkpoint()
+	w.foldCacheStats()
 	w.stopped = truncated
 	res := Result{Matches: w.stats.Matches, Stats: w.stats, Truncated: truncated}
 	if truncated {
@@ -150,22 +166,14 @@ func (w *worker) finish() Result {
 	return res
 }
 
-func newWorker(g *temporal.Graph, m *temporal.Motif, opts Options) *worker {
-	w := &worker{
-		g:    g,
-		m:    m,
-		opts: opts,
-		m2g:  make([]temporal.NodeID, m.NumNodes()),
-		g2m:  make([]temporal.NodeID, g.NumNodes()),
-		seq:  make([]temporal.EdgeID, 0, m.NumEdges()),
+// foldCacheStats snapshots the window cache's counters into Stats so one
+// Result (and the obs fold) carries them; a no-op when the cache is off.
+func (w *worker) foldCacheStats() {
+	if w.legacyScan {
+		return
 	}
-	for i := range w.m2g {
-		w.m2g[i] = temporal.InvalidNode
-	}
-	for i := range w.g2m {
-		w.g2m[i] = temporal.InvalidNode
-	}
-	return w
+	w.stats.SearchCacheHits = w.wc.Hits()
+	w.stats.SearchCacheMisses = w.wc.Misses()
 }
 
 // mineRoot expands the complete search tree rooted at matching motif edge
@@ -232,6 +240,43 @@ func (w *worker) extend(depth int, last temporal.EdgeID, deadline temporal.Times
 	uG := w.m2g[me.Src]
 	vG := w.m2g[me.Dst]
 
+	if uG == temporal.InvalidNode && vG == temporal.InvalidNode {
+		// Neither endpoint mapped (Algorithm 1 line 37): the search space
+		// is the whole remaining edge list. Only reachable for motifs whose
+		// edge sequence is not connected-prefix; kept for full generality.
+		for id := int(last) + 1; id < w.g.NumEdges(); id++ {
+			e := w.g.Edges[id]
+			if e.Time > deadline {
+				w.stats.TimePrunedScans++
+				break
+			}
+			w.stats.CandidateEdges++
+			w.stats.Branches++
+			if e.Src == e.Dst ||
+				w.g2m[e.Src] != temporal.InvalidNode ||
+				w.g2m[e.Dst] != temporal.InvalidNode {
+				continue
+			}
+			w.bind(me.Src, e.Src)
+			w.bind(me.Dst, e.Dst)
+			w.accept(depth, temporal.EdgeID(id), deadline)
+			w.unbind(me.Dst, e.Dst)
+			w.unbind(me.Src, e.Src)
+		}
+	} else if w.legacyScan {
+		w.extendLegacy(me, uG, vG, depth, last, deadline)
+	} else {
+		w.extendFast(me, uG, vG, depth, last, deadline)
+	}
+	w.stats.BacktrackTasks++
+}
+
+// extendLegacy dispatches the three neighborhood shapes through the
+// closure-based scanList — the pre-overhaul path, kept as the Baseline
+// A/B reference and as the host of the memo-table logic.
+func (w *worker) extendLegacy(me temporal.MotifEdge, uG, vG temporal.NodeID,
+	depth int, last temporal.EdgeID, deadline temporal.Timestamp) {
+
 	switch {
 	case uG != temporal.InvalidNode && vG != temporal.InvalidNode:
 		// Both endpoints mapped (Algorithm 1 line 31): scan the smaller of
@@ -267,32 +312,125 @@ func (w *worker) extend(depth int, last temporal.EdgeID, deadline temporal.Times
 					w.unbind(me.Src, e.Src)
 				}
 			})
+	}
+}
 
-	default:
-		// Neither endpoint mapped (line 37): the search space is the whole
-		// remaining edge list. Only reachable for motifs whose edge
-		// sequence is not connected-prefix; kept for full generality.
-		for id := int(last) + 1; id < w.g.NumEdges(); id++ {
-			e := w.g.Edges[id]
+// extendFast is extendLegacy with the dispatch devirtualized: the
+// structural predicate and endpoint rebinding are inlined into three
+// specialized candidate loops (no per-candidate closure calls), and the
+// phase-1 filter origin comes from the worker's window cache instead of a
+// fresh binary search. Same answers, same Stats accounting.
+func (w *worker) extendFast(me temporal.MotifEdge, uG, vG temporal.NodeID,
+	depth int, last temporal.EdgeID, deadline temporal.Timestamp) {
+
+	g := w.g
+	switch {
+	case uG != temporal.InvalidNode && vG != temporal.InvalidNode:
+		outList := g.OutEdges(uG)
+		inList := g.InEdges(vG)
+		if len(outList) <= len(inList) {
+			list := outList
+			start := w.scanStart(list, true, uG, last)
+			i := start
+			for ; i < len(list); i++ {
+				id := list[i]
+				e := g.Edges[id]
+				if e.Time > deadline {
+					w.stats.TimePrunedScans++
+					break
+				}
+				if e.Dst != vG {
+					continue
+				}
+				w.accept(depth, id, deadline)
+			}
+			w.chargeScan(i - start)
+		} else {
+			list := inList
+			start := w.scanStart(list, false, vG, last)
+			i := start
+			for ; i < len(list); i++ {
+				id := list[i]
+				e := g.Edges[id]
+				if e.Time > deadline {
+					w.stats.TimePrunedScans++
+					break
+				}
+				if e.Src != uG {
+					continue
+				}
+				w.accept(depth, id, deadline)
+			}
+			w.chargeScan(i - start)
+		}
+
+	case uG != temporal.InvalidNode:
+		list := g.OutEdges(uG)
+		start := w.scanStart(list, true, uG, last)
+		i := start
+		for ; i < len(list); i++ {
+			id := list[i]
+			e := g.Edges[id]
 			if e.Time > deadline {
 				w.stats.TimePrunedScans++
 				break
 			}
-			w.stats.CandidateEdges++
-			w.stats.Branches++
-			if e.Src == e.Dst ||
-				w.g2m[e.Src] != temporal.InvalidNode ||
-				w.g2m[e.Dst] != temporal.InvalidNode {
+			if w.g2m[e.Dst] != temporal.InvalidNode {
+				continue
+			}
+			w.bind(me.Dst, e.Dst)
+			w.accept(depth, id, deadline)
+			w.unbind(me.Dst, e.Dst)
+		}
+		w.chargeScan(i - start)
+
+	default: // vG mapped
+		list := g.InEdges(vG)
+		start := w.scanStart(list, false, vG, last)
+		i := start
+		for ; i < len(list); i++ {
+			id := list[i]
+			e := g.Edges[id]
+			if e.Time > deadline {
+				w.stats.TimePrunedScans++
+				break
+			}
+			if w.g2m[e.Src] != temporal.InvalidNode {
 				continue
 			}
 			w.bind(me.Src, e.Src)
-			w.bind(me.Dst, e.Dst)
-			w.accept(depth, temporal.EdgeID(id), deadline)
-			w.unbind(me.Dst, e.Dst)
+			w.accept(depth, id, deadline)
 			w.unbind(me.Src, e.Src)
 		}
+		w.chargeScan(i - start)
 	}
-	w.stats.BacktrackTasks++
+}
+
+// chargeScan charges n candidate-edge examinations in one shot. The fast
+// loops count locally and batch the charge after the scan instead of
+// incrementing two counters per candidate; the resulting Stats values are
+// identical to the per-candidate accounting of the legacy path (a scan
+// examines exactly the entries before the δ-deadline break).
+func (w *worker) chargeScan(n int) {
+	w.stats.CandidateEdges += int64(n)
+	w.stats.Branches += int64(n)
+}
+
+// scanStart computes the phase-1 filter origin for a neighborhood scan via
+// the window cache and charges the same accounting scanList does, so a
+// Baseline run and an optimized run report identical Stats.
+func (w *worker) scanStart(list []temporal.EdgeID, out bool, node temporal.NodeID, last temporal.EdgeID) int {
+	start := w.wc.SearchAfter(list, out, node, last)
+	w.stats.BinarySearches++
+	if n := len(list); n > 0 {
+		w.stats.Branches += int64(bits.Len(uint(n)))
+	}
+	w.stats.NeighborEntries += int64(len(list))
+	w.stats.NeighborEntriesUseful += int64(len(list) - start)
+	if w.opts.Probe != nil {
+		w.opts.Probe.NeighborhoodAccess(int32(node), out, len(list), start, int32(w.rootEG))
+	}
+	return start
 }
 
 // scanList is the shared phase-1/phase-2 candidate loop over one node

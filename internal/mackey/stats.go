@@ -83,6 +83,19 @@ type Stats struct {
 	// the prune-reason breakdown the obs layer exports. At most one
 	// increment per scan, so the hot path pays a single untaken branch.
 	TimePrunedScans int64
+
+	// SearchCacheHits counts phase-1 filter origins answered from the
+	// per-worker window cache (exact repeats plus monotone advances);
+	// SearchCacheMisses counts cold or backward-seeking queries that fell
+	// back to a (range-narrowed) binary search. Both are zero for Baseline
+	// and memoized runs, which bypass the cache.
+	SearchCacheHits   int64
+	SearchCacheMisses int64
+
+	// PoolReuse counts workers whose per-run state came from the
+	// allocation pool rather than a fresh allocation (at most one per
+	// worker per run); the steady-state value equals the worker count.
+	PoolReuse int64
 }
 
 // Add accumulates other into s; used to merge per-worker stats.
@@ -101,6 +114,9 @@ func (s *Stats) Add(other Stats) {
 	s.Branches += other.Branches
 	s.NodesExpanded += other.NodesExpanded
 	s.TimePrunedScans += other.TimePrunedScans
+	s.SearchCacheHits += other.SearchCacheHits
+	s.SearchCacheMisses += other.SearchCacheMisses
+	s.PoolReuse += other.PoolReuse
 }
 
 // Utilization returns the overall neighborhood-data utilization (Fig 7):

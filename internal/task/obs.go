@@ -15,6 +15,13 @@ import "mint/internal/obs"
 //	task.backtrack_tasks  Backtrack steps
 //	task.matches          complete motif instances
 //	task.truncated_runs   runs stopped before draining the roots
+//	search.cache_hits     window-cache-served phase-1 filter origins
+//	search.cache_misses   cold/backward window-cache queries
+//	pool.reuse            contexts recycled from the pool (queue runner)
+//
+// search.* and pool.* are deliberately not task.*-prefixed: the Mackey
+// miners publish the same hot-path names, so one dashboard query covers
+// the shared pooling/caching layer across engines.
 //
 // plus, for the asynchronous queue runner:
 //
@@ -42,6 +49,9 @@ func publishPoller(reg *obs.Registry, wi int, p *poller) {
 	add("task.bookkeep_tasks", p.bookkeeps)
 	add("task.backtrack_tasks", p.backtracks)
 	add("task.matches", p.matches)
+	add("search.cache_hits", p.cacheHits)
+	add("search.cache_misses", p.cacheMisses)
+	add("pool.reuse", p.poolReuse)
 }
 
 // publishQueueResult records run-level outcomes shared by both runners.

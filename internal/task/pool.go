@@ -1,0 +1,34 @@
+package task
+
+import "sync"
+
+// ctxPool recycles Contexts across runs. A Context is small (~200 B) but
+// the asynchronous queue runner seeds one per in-flight tree per run, and
+// sweep harnesses (the differential tests, benchreport, the Fig 10/11
+// experiments) launch thousands of runs back to back — pooling makes the
+// steady state allocation-free, matching the hardware model where context
+// memories are a fixed physical resource that is re-armed, not rebuilt.
+var ctxPool sync.Pool
+
+// GetContext returns an idle, reset Context, recycled from the pool when
+// possible. The second result reports whether the context was recycled —
+// the pool.reuse observability signal.
+func GetContext() (*Context, bool) {
+	if v := ctxPool.Get(); v != nil {
+		c := v.(*Context)
+		c.Reset()
+		return c, true
+	}
+	return &Context{}, false
+}
+
+// PutContext returns a context obtained from GetContext to the pool. The
+// caller must not retain the context afterwards. Contexts abandoned
+// mid-tree are fine to pool — GetContext resets before handing out — but
+// by convention callers drop contexts that panicked mid-transition, the
+// same abandon-on-panic policy the miners apply to pooled workers.
+func PutContext(c *Context) {
+	if c != nil {
+		ctxPool.Put(c)
+	}
+}

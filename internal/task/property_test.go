@@ -23,7 +23,7 @@ func TestContextAlwaysUnwindsClean(t *testing.T) {
 			if !ctx.StartRoot(g, m, temporal.EdgeID(root)) {
 				continue
 			}
-			runTree(&ctx, g, m, &poller{})
+			runTree(&ctx, g, m, &poller{}, temporal.NewWindowCache(g.NumNodes()))
 			if ctx.Busy || ctx.Depth != 0 || ctx.CAM.Size() != 0 {
 				t.Logf("seed %d root %d: dirty context %+v", seed, root, ctx)
 				return false

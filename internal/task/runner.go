@@ -60,6 +60,10 @@ func RunCtlObs(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Co
 		go func(wi int) {
 			defer wg.Done()
 			var ctx Context
+			// Worker-local window cache: contexts here never migrate, so
+			// every phase-1 filter origin this worker computes can reuse its
+			// own memoized bounds race-free.
+			wc := temporal.GetWindowCache(g.NumNodes())
 			p := poller{ctl: ctl}
 			defer func() {
 				if r := recover(); r != nil {
@@ -68,7 +72,9 @@ func RunCtlObs(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Co
 					matches.Add(p.matches)
 					tasks.Add(p.tasks)
 				}
+				p.cacheHits, p.cacheMisses = wc.Hits(), wc.Misses()
 				publishPoller(reg, wi, &p)
+				temporal.PutWindowCache(wc)
 			}()
 			for !p.stopped {
 				root := next.Add(1) - 1
@@ -78,7 +84,7 @@ func RunCtlObs(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Co
 				if !ctx.StartRoot(g, m, temporal.EdgeID(root)) {
 					continue
 				}
-				runTree(&ctx, g, m, &p)
+				runTree(&ctx, g, m, &p, wc)
 			}
 			p.flush()
 			matches.Add(p.matches)
@@ -120,6 +126,13 @@ type poller struct {
 	bookkeeps  int64
 	backtracks int64
 
+	// Hot-path reuse tallies, snapshotted at worker retirement: the
+	// worker's window-cache hit/miss totals and the number of pooled
+	// contexts it was handed (search.cache_* / pool.reuse).
+	cacheHits   int64
+	cacheMisses int64
+	poolReuse   int64
+
 	// sample, when set, is called once per flush — an amortized hook the
 	// queue runner uses to record queue depth without touching the
 	// per-task path.
@@ -158,7 +171,7 @@ func (p *poller) flush() {
 // a stop request), accumulating matches into the poller. This loop is the
 // task-graph of Fig 4(a): Search spawns BookKeep or Backtrack; both spawn
 // Search until the tree is exhausted.
-func runTree(ctx *Context, g *temporal.Graph, m *temporal.Motif, p *poller) {
+func runTree(ctx *Context, g *temporal.Graph, m *temporal.Motif, p *poller, wc *temporal.WindowCache) {
 	for ctx.Busy {
 		if p.step() {
 			return
@@ -166,7 +179,7 @@ func runTree(ctx *Context, g *temporal.Graph, m *temporal.Motif, p *poller) {
 		switch ctx.Type {
 		case Search:
 			p.searches++
-			if eG := ExecuteSearch(ctx, g, m); eG != temporal.InvalidEdge {
+			if eG := ExecuteSearchCached(ctx, g, m, wc); eG != temporal.InvalidEdge {
 				ctx.Cursor = eG // bookkeep consumes the found edge
 				ctx.Type = BookKeep
 			} else {
@@ -272,8 +285,18 @@ func RunQueueCtlObs(g *temporal.Graph, m *temporal.Motif, workers, contexts int,
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
+			// Contexts migrate between workers through the queue, but the
+			// window cache never travels with them: it stays pinned to this
+			// goroutine, so cached bounds are read and written by exactly
+			// one worker. (Hanging the cache off the Context instead would
+			// be a data race the moment a tree's tasks land on two workers.)
+			wc := temporal.GetWindowCache(g.NumNodes())
 			p := poller{ctl: ctl, sample: sample}
-			defer func() { publishPoller(reg, wi, &p) }()
+			defer func() {
+				p.cacheHits, p.cacheMisses = wc.Hits(), wc.Misses()
+				publishPoller(reg, wi, &p)
+				temporal.PutWindowCache(wc)
+			}()
 			// processTask advances one context by one task, reporting
 			// whether the context retired. Panics are contained here so the
 			// drain protocol below keeps working.
@@ -292,7 +315,7 @@ func RunQueueCtlObs(g *temporal.Graph, m *temporal.Motif, workers, contexts int,
 				switch ctx.Type {
 				case Search:
 					p.searches++
-					if eG := ExecuteSearch(ctx, g, m); eG != temporal.InvalidEdge {
+					if eG := ExecuteSearchCached(ctx, g, m, wc); eG != temporal.InvalidEdge {
 						ctx.Cursor = eG
 						ctx.Type = BookKeep
 					} else {
@@ -326,6 +349,9 @@ func RunQueueCtlObs(g *temporal.Graph, m *temporal.Motif, workers, contexts int,
 			}
 			for t := range queue {
 				if processTask(t.ctx) {
+					if errs[wi] == nil {
+						PutContext(t.ctx) // retired cleanly; recycle
+					}
 					if inflight.Add(-1) == 0 {
 						close(queue)
 					}
@@ -339,16 +365,25 @@ func RunQueueCtlObs(g *temporal.Graph, m *temporal.Motif, workers, contexts int,
 		}(wi)
 	}
 
-	// Seed the initial wave of contexts.
+	// Seed the initial wave of contexts from the pool; steady-state sweeps
+	// re-arm recycled contexts instead of allocating a fresh wave per run.
 	seeded := 0
+	var poolReuse int64
 	for i := 0; i < contexts; i++ {
-		ctx := &Context{}
+		ctx, reused := GetContext()
 		if !seed(ctx) {
+			PutContext(ctx)
 			break
+		}
+		if reused {
+			poolReuse++
 		}
 		seeded++
 		inflight.Add(1)
 		queue <- queueTask{ctx: ctx}
+	}
+	if reg != nil && poolReuse > 0 {
+		reg.Counter("pool.reuse").Add(poolReuse)
 	}
 	if seeded == 0 {
 		close(queue)

@@ -86,6 +86,43 @@ func ExecuteSearch(c *Context, g *temporal.Graph, m *temporal.Motif) temporal.Ed
 	return eG
 }
 
+// ExecuteSearchCached is ExecuteSearch with the phase-1 filter origin
+// served from a window cache instead of a fresh binary search. wc must be
+// owned exclusively by the calling goroutine (the runners keep one per
+// worker); a nil wc falls back to the uncached search, so callers can
+// thread an optional cache through one code path. Results are identical to
+// ExecuteSearch by the cache's contract.
+func ExecuteSearchCached(c *Context, g *temporal.Graph, m *temporal.Motif, wc *temporal.WindowCache) temporal.EdgeID {
+	if wc == nil {
+		return ExecuteSearch(c, g, m)
+	}
+	spec := PlanSearch(c, g, m)
+	if spec.Global {
+		for id := int(c.Cursor); id < g.NumEdges(); id++ {
+			e := g.Edges[id]
+			if e.Time > c.Deadline {
+				break
+			}
+			if ValidCandidate(c, spec, e) {
+				return temporal.EdgeID(id)
+			}
+		}
+		return temporal.InvalidEdge
+	}
+	start := wc.SearchAfter(spec.List, spec.Out, spec.Node, c.Cursor-1)
+	for i := start; i < len(spec.List); i++ {
+		id := spec.List[i]
+		e := g.Edges[id]
+		if e.Time > c.Deadline {
+			break
+		}
+		if ValidCandidate(c, spec, e) {
+			return id
+		}
+	}
+	return temporal.InvalidEdge
+}
+
 // SearchCost reports the work one search task performed, for the timing
 // models that replay task traces (the GPU SIMT model and the CPU CPI
 // stack).

@@ -63,10 +63,18 @@ func NewMotif(name string, delta Timestamp, edges []MotifEdge) (*Motif, error) {
 			maxNode = e.Dst
 		}
 	}
-	for u := NodeID(0); u <= maxNode; u++ {
-		if !seen[u] {
-			return nil, fmt.Errorf("temporal: motif %q skips node id %d", name, u)
+	// Contiguity: node IDs 0..maxNode must all appear. Comparing set size
+	// against the range size checks this in O(1) — a per-ID sweep would be
+	// O(maxNode) and turns adversarial inputs like "2147483647->0" into a
+	// multi-second stall (found by FuzzMotifParse).
+	if len(seen) != int(maxNode)+1 {
+		// Pigeonhole: with len(seen) distinct IDs, the first gap lies in
+		// 0..len(seen), so the report loop is O(edges) regardless of maxNode.
+		u := NodeID(0)
+		for seen[u] {
+			u++
 		}
+		return nil, fmt.Errorf("temporal: motif %q skips node id %d", name, u)
 	}
 	cp := make([]MotifEdge, len(edges))
 	copy(cp, edges)

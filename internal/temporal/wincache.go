@@ -1,0 +1,174 @@
+package temporal
+
+import "sync"
+
+// WindowCache memoizes per-node, per-direction time-window search bounds:
+// the result of the last SearchAfter over a node's neighbor-index list.
+// The mining hot paths ask the same question — "first entry of N(u) with
+// edge index > after" — over and over while a search tree expands, and the
+// `after` argument is monotonically non-decreasing across root tasks
+// (roots are generated in chronological order, and every filter inside a
+// tree uses an `after` at or beyond the tree's root). The cache exploits
+// that monotonicity: a repeated query is answered in O(1), a forward query
+// advances linearly from the cached position (falling back to a
+// range-narrowed binary search), and a backward query binary-searches only
+// the prefix below the cached position. The answer is always exactly
+// SearchAfter(list, after); only the work to compute it changes.
+//
+// A WindowCache is single-owner state: each mining worker keeps its own
+// (the parallel miners and the task runtime hand one to every worker
+// goroutine), so no synchronization appears on the hot path. Sharing one
+// cache between goroutines is a data race by construction — the
+// differential harness runs all engines under -race to keep it that way.
+type WindowCache struct {
+	out, in []winEntry
+	epoch   uint32
+
+	hits   int64
+	misses int64
+}
+
+// winEntry is one cached (after, pos) pair; epoch-stamped so Reset can
+// invalidate the whole cache in O(1).
+type winEntry struct {
+	epoch uint32
+	after EdgeID
+	pos   int32
+}
+
+// NewWindowCache returns a cache for a graph with numNodes nodes.
+func NewWindowCache(numNodes int) *WindowCache {
+	c := &WindowCache{}
+	c.Reset(numNodes)
+	return c
+}
+
+// Reset invalidates every entry and ensures capacity for numNodes nodes.
+// Invalidation is O(1) (an epoch bump) except when the epoch counter wraps
+// or the cache grows, so per-run reuse of a pooled cache costs nothing.
+func (c *WindowCache) Reset(numNodes int) {
+	if numNodes > len(c.out) {
+		c.out = make([]winEntry, numNodes)
+		c.in = make([]winEntry, numNodes)
+		c.epoch = 1
+	} else if c.epoch++; c.epoch == 0 {
+		for i := range c.out {
+			c.out[i] = winEntry{}
+		}
+		for i := range c.in {
+			c.in[i] = winEntry{}
+		}
+		c.epoch = 1
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// Hits reports queries answered from cached state (exact repeats and
+// monotone forward advances).
+func (c *WindowCache) Hits() int64 { return c.hits }
+
+// Misses reports queries that found no reusable state (cold entries and
+// backward seeks).
+func (c *WindowCache) Misses() int64 { return c.misses }
+
+// SearchAfter returns SearchAfter(list, after) for the neighbor-index list
+// of node in the given direction (out=true selects the outgoing list),
+// reusing and updating the node's cached bound. list must be the same
+// slice the graph owns for (node, direction); the cache never retains it.
+func (c *WindowCache) SearchAfter(list []EdgeID, out bool, node NodeID, after EdgeID) int {
+	e := &c.out[node]
+	if !out {
+		e = &c.in[node]
+	}
+	// Exact repeat: the overwhelmingly common case inside one search tree,
+	// kept small enough for the compiler to inline at every scan site.
+	if e.epoch == c.epoch && e.after == after {
+		c.hits++
+		return int(e.pos)
+	}
+	return c.searchSlow(e, list, after)
+}
+
+// searchSlow handles the non-repeat cases: cold entries, monotone forward
+// advances (galloping from the cached position, O(log gap)), and backward
+// seeks (binary search bounded above by the cached position).
+func (c *WindowCache) searchSlow(e *winEntry, list []EdgeID, after EdgeID) int {
+	var pos int
+	switch {
+	case e.epoch != c.epoch:
+		c.misses++
+		pos = searchAfterRange(list, 0, len(list), after)
+	case after > e.after:
+		c.hits++
+		pos = gallopAfter(list, int(e.pos), after)
+	default:
+		c.misses++
+		pos = searchAfterRange(list, 0, int(e.pos), after)
+	}
+	e.epoch = c.epoch
+	e.after = after
+	e.pos = int32(pos)
+	return pos
+}
+
+// gallopAfter returns the first index ≥ lo with list[index] > after, given
+// that the answer is at or beyond lo: exponential probes bracket the
+// answer, a binary search pins it. Cost is O(log gap) — never worse than
+// the full binary search it replaces, and ~1 compare for the tight
+// advances the mining loops produce.
+func gallopAfter(list []EdgeID, lo int, after EdgeID) int {
+	n := len(list)
+	if lo >= n || list[lo] > after {
+		return lo
+	}
+	prev, step := lo, 1
+	for {
+		next := prev + step
+		if next >= n {
+			return searchAfterRange(list, prev+1, n, after)
+		}
+		if list[next] > after {
+			return searchAfterRange(list, prev+1, next, after)
+		}
+		prev = next
+		step <<= 1
+	}
+}
+
+// searchAfterRange is SearchAfter restricted to list[lo:hi), hand-rolled so
+// the compiler can inline it (sort.Search's closure defeats inlining and
+// costs an indirect call per probe).
+func searchAfterRange(list []EdgeID, lo, hi int, after EdgeID) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid] <= after {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// wcPool recycles WindowCaches (and their O(numNodes) entry arrays) across
+// runs; see GetWindowCache.
+var wcPool = sync.Pool{}
+
+// GetWindowCache returns a reset WindowCache for numNodes nodes, reusing a
+// pooled instance when one is available so steady-state mining performs no
+// per-run cache allocations.
+func GetWindowCache(numNodes int) *WindowCache {
+	if v := wcPool.Get(); v != nil {
+		c := v.(*WindowCache)
+		c.Reset(numNodes)
+		return c
+	}
+	return NewWindowCache(numNodes)
+}
+
+// PutWindowCache returns a cache obtained from GetWindowCache to the pool.
+func PutWindowCache(c *WindowCache) {
+	if c != nil {
+		wcPool.Put(c)
+	}
+}

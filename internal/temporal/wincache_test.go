@@ -1,0 +1,106 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWindowCacheMatchesSearchAfter drives randomized query sequences —
+// including exact repeats, monotone advances past the linear-scan bound,
+// and backward seeks — against both search implementations and requires
+// bit-identical answers.
+func TestWindowCacheMatchesSearchAfter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		// A strictly increasing index list, like every per-node list.
+		n := rng.Intn(40)
+		list := make([]EdgeID, n)
+		next := EdgeID(0)
+		for i := range list {
+			next += EdgeID(1 + rng.Intn(5))
+			list[i] = next
+		}
+		c := NewWindowCache(4)
+		node := NodeID(rng.Intn(4))
+		out := rng.Intn(2) == 0
+		after := EdgeID(-1)
+		for q := 0; q < 50; q++ {
+			switch rng.Intn(4) {
+			case 0: // repeat
+			case 1: // small forward step
+				after += EdgeID(rng.Intn(3))
+			case 2: // jump past the linear-advance bound
+				after += EdgeID(rng.Intn(60))
+			default: // backward seek
+				after -= EdgeID(rng.Intn(20))
+				if after < -1 {
+					after = -1
+				}
+			}
+			want := SearchAfter(list, after)
+			got := c.SearchAfter(list, out, node, after)
+			if got != want {
+				t.Fatalf("trial %d query %d: cache=%d want=%d (after=%d list=%v)",
+					trial, q, got, want, after, list)
+			}
+		}
+		if c.Hits()+c.Misses() != 50 {
+			t.Fatalf("hits %d + misses %d != 50 queries", c.Hits(), c.Misses())
+		}
+	}
+}
+
+// TestWindowCacheResetInvalidates checks that Reset drops cached state (a
+// stale bound from a previous run must not leak into the next) and that a
+// pooled cache resized upward keeps answering correctly.
+func TestWindowCacheResetInvalidates(t *testing.T) {
+	list := []EdgeID{2, 4, 6, 8}
+	c := NewWindowCache(2)
+	if got := c.SearchAfter(list, true, 1, 5); got != 2 {
+		t.Fatalf("warm query = %d, want 2", got)
+	}
+	other := []EdgeID{10, 20, 30}
+	c.Reset(2)
+	if got := c.SearchAfter(other, true, 1, -1); got != 0 {
+		t.Fatalf("post-reset query = %d, want 0 (stale entry reused)", got)
+	}
+	c.Reset(8) // grow
+	if got := c.SearchAfter(other, false, 7, 15); got != 1 {
+		t.Fatalf("post-grow query = %d, want 1", got)
+	}
+	if c.Hits() != 0 || c.Misses() != 1 {
+		t.Fatalf("counters not reset: hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+// TestWindowCacheEpochWrap forces the uint32 epoch counter to wrap and
+// verifies no entry from an old epoch is ever trusted.
+func TestWindowCacheEpochWrap(t *testing.T) {
+	list := []EdgeID{1, 3, 5}
+	c := NewWindowCache(1)
+	c.SearchAfter(list, true, 0, 4) // cache pos=2 at epoch 1
+	c.epoch = ^uint32(0) - 1        // two bumps from wrapping
+	c.Reset(1)
+	c.Reset(1) // wraps: full clear back to epoch 1
+	if c.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", c.epoch)
+	}
+	if got := c.SearchAfter(list, true, 0, -1); got != 0 {
+		t.Fatalf("post-wrap query = %d, want 0", got)
+	}
+}
+
+func TestGetPutWindowCache(t *testing.T) {
+	c := GetWindowCache(16)
+	list := []EdgeID{5, 9}
+	if got := c.SearchAfter(list, true, 15, 6); got != 1 {
+		t.Fatalf("pooled cache query = %d, want 1", got)
+	}
+	PutWindowCache(c)
+	c2 := GetWindowCache(32) // may or may not be the same instance
+	if got := c2.SearchAfter(list, true, 15, -1); got != 0 {
+		t.Fatalf("recycled cache query = %d, want 0", got)
+	}
+	PutWindowCache(c2)
+	PutWindowCache(nil) // must not panic
+}

@@ -1,0 +1,81 @@
+package engines
+
+import (
+	"fmt"
+
+	"mint/internal/mackey"
+	"mint/internal/mint"
+	"mint/internal/task"
+	"mint/internal/temporal"
+)
+
+// Engine is one named motif-counting implementation under differential
+// test. Every engine in this repository — the recursive reference miner,
+// the iterative Algorithm 1 port, the memoized and parallel variants, the
+// task-centric runtimes, and the Mint simulator's functional layer — must
+// produce the exact same count for the same (graph, motif) input; the
+// differential harness drives them all from one table and diffs the
+// results against the brute-force oracle.
+//
+// Engines through which the hot-path overhaul routes (pooled worker state,
+// window-cached searches, time-partitioned parallel chunking) sit next to
+// their pre-overhaul Baseline twins, so any divergence introduced by the
+// optimized path is caught by construction, not by luck.
+type Engine struct {
+	// Name identifies the engine in test output, e.g. "mackey/parallel-4".
+	Name string
+	// Count returns the exact number of motif instances. Engines without a
+	// failure mode return a nil error unconditionally.
+	Count func(g *temporal.Graph, m *temporal.Motif) (int64, error)
+}
+
+// Engines returns the full engine table. The list deliberately spans every
+// axis the hot-path overhaul touched: optimized vs Baseline sequential
+// miners, the window-cached iterative miner, memoized runs (which keep the
+// legacy scan path), the time-partitioned parallel miner at 1/4/8 workers,
+// the synchronous and queue-mediated task runtimes (pooled contexts,
+// worker-local caches), and the cycle-level simulator's functional counts.
+func Engines() []Engine {
+	engines := []Engine{
+		{Name: "mackey/reference", Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+			return mackey.Mine(g, m, mackey.Options{}).Matches, nil
+		}},
+		{Name: "mackey/reference-baseline", Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+			return mackey.Mine(g, m, mackey.Options{Baseline: true}).Matches, nil
+		}},
+		{Name: "mackey/algorithm1", Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+			return mackey.MineAlgorithm1(g, m, mackey.Options{}).Matches, nil
+		}},
+		{Name: "mackey/algorithm1-baseline", Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+			return mackey.MineAlgorithm1(g, m, mackey.Options{Baseline: true}).Matches, nil
+		}},
+		{Name: "mackey/memo", Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+			return mackey.MineMemo(g, m, mackey.Options{}).Matches, nil
+		}},
+		{Name: "task/queue", Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+			res, err := task.RunQueueCtl(g, m, 4, 8, nil)
+			return res.Matches, err
+		}},
+		{Name: "mint/sim", Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+			cfg := mint.DefaultConfig()
+			cfg.PEs = 8 // small array keeps the cycle-level run fast
+			res, err := mint.Simulate(g, m, cfg)
+			return res.Matches, err
+		}},
+	}
+	for _, workers := range []int{1, 4, 8} {
+		engines = append(engines,
+			Engine{Name: fmt.Sprintf("mackey/parallel-%d", workers), Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+				return mackey.MineParallel(g, m, mackey.Options{Workers: workers}).Matches, nil
+			}},
+			Engine{Name: fmt.Sprintf("task/run-%d", workers), Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+				res, err := task.RunCtl(g, m, workers, nil)
+				return res.Matches, err
+			}},
+		)
+	}
+	engines = append(engines, Engine{Name: "mackey/parallel-memo-8", Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+		return mackey.MineParallelMemo(g, m, mackey.Options{Workers: 8}).Matches, nil
+	}})
+	return engines
+}
