@@ -19,15 +19,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"mint/internal/atomicio"
 	"mint/internal/experiments"
+	"mint/internal/faultinject"
 	"mint/internal/obs"
 	"mint/internal/temporal"
 )
@@ -37,6 +41,8 @@ func main() {
 	outDir := flag.String("outdir", "results", "directory for CSV output (empty = skip)")
 	deltaSec := flag.Int64("delta", int64(temporal.DeltaHour), "motif time window δ in seconds")
 	quick := flag.Bool("quick", false, "shrink all sweeps (smoke test)")
+	chaosSpec := flag.String("chaos", "", "fault-injection plan attached to every miner run, e.g. \"seed=1,error=0.01,sites=mackey\"")
+	resume := flag.Bool("resume", false, "skip experiments recorded as completed in <outdir>/sweep_state.json")
 	obsListen := flag.String("obs.listen", "", "serve live metrics (expvar JSON + pprof) on this address while the sweep runs")
 	flag.Parse()
 
@@ -50,6 +56,15 @@ func main() {
 	cfg.Delta = temporal.Timestamp(*deltaSec)
 	cfg.Quick = *quick
 	cfg.Obs = reg
+	if *chaosSpec != "" {
+		plan, err := faultinject.Parse(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Fault = plan
+		fmt.Fprintf(os.Stderr, "chaos: %s\n", plan)
+	}
 
 	if *obsListen != "" {
 		srv, err := obs.Serve(*obsListen, reg)
@@ -79,12 +94,33 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
+
+	// Sweep-level resume: completed experiment names are recorded
+	// (atomically) in <outdir>/sweep_state.json after each success, so an
+	// interrupted sweep restarted with -resume re-runs only what's left.
+	state := sweepState{Schema: sweepSchema}
+	statePath := ""
+	if *outDir != "" {
+		statePath = filepath.Join(*outDir, "sweep_state.json")
+	}
+	if *resume && statePath != "" {
+		if err := state.load(statePath); err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	var done []string
 	for _, name := range args {
 		run, ok := runners[strings.ToLower(name)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: all table1 table2 fig2 fig7 fig10 fig11 fig12 fig13 fig14 deltasweep\n", name)
 			os.Exit(2)
+		}
+		if *resume && state.completed(strings.ToLower(name)) {
+			fmt.Printf("%s: already completed (sweep_state.json); skipping\n", name)
+			done = append(done, name)
+			continue
 		}
 		// Stop between experiments on SIGINT/SIGTERM: what completed stays
 		// on disk, and we say how far we got.
@@ -109,7 +145,65 @@ func main() {
 			os.Exit(1)
 		}
 		done = append(done, name)
+		if statePath != "" {
+			state.markDone(strings.ToLower(name))
+			if err := state.save(statePath); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep state: %v\n", err)
+			}
+		}
 	}
+}
+
+// sweepSchema versions the sweep-state file; bump on layout changes.
+const sweepSchema = "mint.sweep_state/v1"
+
+// sweepState is the sweep's durable progress record. Writes go through
+// atomicio, so a kill mid-write leaves the previous good state intact.
+type sweepState struct {
+	Schema    string   `json:"schema"`
+	Completed []string `json:"completed"`
+}
+
+func (s *sweepState) load(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil // nothing to resume
+	}
+	if err != nil {
+		return err
+	}
+	var prev sweepState
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if prev.Schema != sweepSchema {
+		return fmt.Errorf("%s has schema %q, want %q", path, prev.Schema, sweepSchema)
+	}
+	s.Completed = prev.Completed
+	return nil
+}
+
+func (s *sweepState) completed(name string) bool {
+	for _, c := range s.Completed {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sweepState) markDone(name string) {
+	if !s.completed(name) {
+		s.Completed = append(s.Completed, name)
+	}
+}
+
+func (s *sweepState) save(path string) error {
+	data, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func summarize(done []string) string {

@@ -34,6 +34,7 @@ import (
 
 	"mint/internal/cyclemine"
 	"mint/internal/datasets"
+	"mint/internal/faultinject"
 	"mint/internal/gpumodel"
 	"mint/internal/mackey"
 	"mint/internal/obs"
@@ -57,6 +58,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	maxMatches := flag.Int64("maxmatches", 0, "stop after this many matches (0 = unlimited)")
 	maxNodes := flag.Int64("maxnodes", 0, "stop after this many search-tree node expansions (0 = unlimited)")
+	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=1,panic=0.01,error=0.02,sites=mackey\" (testing)")
+	checkpointPath := flag.String("checkpoint", "", "mackey: write crash-safe progress snapshots here (enables the supervised miner)")
+	resume := flag.Bool("resume", false, "mackey: resume from -checkpoint, skipping completed chunks")
 	obsListen := flag.String("obs.listen", "", "serve expvar (/debug/vars) and pprof on this address (e.g. :8080 or :0)")
 	obsLinger := flag.Duration("obs.linger", 0, "keep the -obs.listen server alive this long after the run finishes")
 	reportPath := flag.String("report", "", "write the end-of-run RunReport JSON here")
@@ -100,12 +104,42 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("obs: serving on http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr())
 	}
-	opts := mackey.Options{Workers: *workers, Obs: reg, Trace: tracer}
+	// One controller for the whole run: it carries the budget, the stop
+	// flag, and — when -chaos is set — the deterministic fault plan every
+	// engine's injection hooks roll against.
+	ctl := runctl.New(ctx, budget)
+	var plan *faultinject.Plan
+	if *chaosSpec != "" {
+		var err error
+		if plan, err = faultinject.Parse(*chaosSpec); err != nil {
+			fatal(err)
+		}
+		ctl.SetFaultPlan(plan)
+		fmt.Printf("chaos: %s\n", plan)
+	}
+	opts := mackey.Options{Workers: *workers, Obs: reg, Trace: tracer, Ctl: ctl}
 
 	var oc outcome
 	start := time.Now()
 	switch *algo {
 	case "mackey":
+		if *checkpointPath != "" || *resume {
+			res, err := mackey.MineParallelSupervised(ctx, g, m, opts, budget, mackey.SupervisorOptions{
+				CheckpointPath: *checkpointPath,
+				Resume:         *resume,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			oc = mineOutcome(res.Result)
+			reportMine(res.Result, start)
+			fmt.Printf("supervisor: %d/%d chunks done (%d resumed), %d retries, %d requeues\n",
+				res.ChunksDone, res.ChunksTotal, res.ChunksResumed, res.Retries, res.Requeues)
+			for _, p := range res.Poisoned {
+				fmt.Printf("supervisor: chunk %d POISONED after %d attempts: %s\n", p.Chunk, p.Attempts, p.Err)
+			}
+			break
+		}
 		res, err := mackey.MineParallelCtx(ctx, g, m, opts, budget)
 		if err != nil {
 			fatal(err)
@@ -113,7 +147,7 @@ func main() {
 		oc = mineOutcome(res)
 		reportMine(res, start)
 	case "mackey-seq":
-		res := mackey.MineCtx(ctx, g, m, mackey.Options{Obs: reg, Trace: tracer}, budget)
+		res := mackey.MineCtx(ctx, g, m, mackey.Options{Obs: reg, Trace: tracer, Ctl: ctl}, budget)
 		oc = mineOutcome(res)
 		reportMine(res, start)
 	case "mackey-memo":
@@ -126,7 +160,7 @@ func main() {
 		fmt.Printf("memo: %d hits, %d entries skipped\n",
 			res.Stats.MemoHits, res.Stats.MemoSkippedEntries)
 	case "taskqueue":
-		res, err := task.RunQueueCtlObs(g, m, *workers, 0, runctl.New(ctx, budget), reg)
+		res, err := task.RunQueueCtlObs(g, m, *workers, 0, ctl, reg)
 		if err != nil {
 			fatal(err)
 		}
@@ -197,6 +231,11 @@ func main() {
 		fatal(fmt.Errorf("unknown -algo %q", *algo))
 	}
 
+	if plan != nil {
+		if fired := plan.Fired(); len(fired) > 0 {
+			fmt.Printf("chaos: fired %v\n", fired)
+		}
+	}
 	if *reportPath != "" {
 		rep := buildReport(*algo, g, m, *workers, *timeout, budget, start, oc, reg.Snapshot())
 		if *graphPath != "" {

@@ -15,6 +15,7 @@ package mint
 import (
 	"context"
 
+	"mint/internal/faultinject"
 	"mint/internal/gpumodel"
 	"mint/internal/mackey"
 	hw "mint/internal/mint"
@@ -45,6 +46,8 @@ const (
 	StopNodeBudget = runctl.NodeBudget
 	// StopFailed: a worker failed and the run was aborted.
 	StopFailed = runctl.Failed
+	// StopFaultInjected: an injected chaos fault stopped the run.
+	StopFaultInjected = runctl.FaultInjected
 )
 
 // MineResult is the full outcome of an exact mining run: the match count,
@@ -120,6 +123,58 @@ func SimulateCtx(ctx context.Context, g *Graph, m *Motif, cfg SimConfig, b Budge
 // warp-step loop polls for cancellation between lockstep steps.
 func SimulateGPUCtx(ctx context.Context, g *Graph, m *Motif, cfg GPUConfig, b Budget) (GPUResult, error) {
 	return gpumodel.RunCtx(ctx, g, m, cfg, b)
+}
+
+// SupervisorConfig configures the fault-tolerant supervised miner:
+// per-chunk retry with capped exponential backoff, two-strike panic
+// quarantine, a stalled-worker watchdog, and crash-safe checkpointing.
+type SupervisorConfig = mackey.SupervisorOptions
+
+// SupervisedMineResult is a MineResult plus the supervisor's fault
+// ledger: poisoned chunks, retry/requeue counts, and chunk progress.
+type SupervisedMineResult = mackey.SupervisedResult
+
+// ChunkFault describes one chunk quarantined by the supervisor.
+type ChunkFault = mackey.ChunkFault
+
+// ChaosPlan is a deterministic, seedable fault-injection plan threaded
+// through every mining engine for robustness testing. Build one with
+// ParseChaosPlan; the same plan fires identically across runs regardless
+// of goroutine scheduling.
+type ChaosPlan = faultinject.Plan
+
+// ParseChaosPlan parses a fault-plan spec of the form
+// "seed=N,panic=P,delay=P,error=P,drop=P,delaydur=D,sites=PREFIX"
+// (all fields optional; rates are per-site-evaluation probabilities).
+func ParseChaosPlan(spec string) (*ChaosPlan, error) {
+	return faultinject.Parse(spec)
+}
+
+// CountSupervisedCtx mines under the fault-tolerant supervisor: failed
+// chunks are retried with backoff, repeatedly failing chunks are
+// quarantined into the result's Poisoned ledger (marking it Truncated)
+// instead of killing the run, and — with cfg.CheckpointPath set —
+// progress is checkpointed crash-safely. chaos may be nil; when set,
+// every engine hook rolls faults from it. The returned error is reserved
+// for setup failures (an unreadable or mismatched checkpoint).
+func CountSupervisedCtx(ctx context.Context, g *Graph, m *Motif, workers int,
+	b Budget, cfg SupervisorConfig, chaos *ChaosPlan) (SupervisedMineResult, error) {
+	ctl := runctl.New(ctx, b)
+	ctl.SetFaultPlan(chaos)
+	return mackey.MineParallelSupervised(ctx, g, m,
+		mackey.Options{Workers: workers, Ctl: ctl}, b, cfg)
+}
+
+// CountResumeCtx resumes an interrupted supervised run from the
+// checkpoint at path: chunks the snapshot records as completed are
+// skipped and their counts merged, so the final result is count-identical
+// to an uninterrupted run. A missing checkpoint starts fresh; a
+// checkpoint written for a different (graph, motif, partition) is
+// rejected with an error.
+func CountResumeCtx(ctx context.Context, g *Graph, m *Motif, workers int,
+	b Budget, path string) (SupervisedMineResult, error) {
+	return CountSupervisedCtx(ctx, g, m, workers, b,
+		SupervisorConfig{CheckpointPath: path, Resume: true}, nil)
 }
 
 // FallbackConfig configures CountWithFallback's exact→approximate

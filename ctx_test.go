@@ -3,6 +3,7 @@ package mint
 import (
 	"context"
 	"math/rand"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -192,5 +193,57 @@ func TestSimulateGPUCtxTruncates(t *testing.T) {
 	}
 	if !res.Truncated || res.StopReason != StopDeadline {
 		t.Fatalf("truncated=%v reason=%v, want DeadlineExceeded", res.Truncated, res.StopReason)
+	}
+}
+
+// TestCountSupervisedAndResumeCtx drives the public fault-tolerance API
+// end to end: a supervised run matches the plain count; a budget-killed
+// checkpointed run resumed via CountResumeCtx converges to the identical
+// count; and a chaos plan with scheduled transient errors is retried
+// away without truncation.
+func TestCountSupervisedAndResumeCtx(t *testing.T) {
+	g, m := denseTestGraph()
+	want := Count(g, m)
+	ctx := context.Background()
+
+	res, err := CountSupervisedCtx(ctx, g, m, 4, Budget{}, SupervisorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated || res.Matches != want {
+		t.Fatalf("CountSupervisedCtx = %d (truncated=%v), want %d", res.Matches, res.Truncated, want)
+	}
+
+	// Interrupt with a match budget, then resume without one.
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	part, err := CountSupervisedCtx(ctx, g, m, 2, Budget{MaxMatches: want / 3},
+		SupervisorConfig{CheckpointPath: path, CheckpointEvery: 1, CheckpointInterval: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Truncated {
+		t.Fatalf("budgeted phase was not truncated (matches=%d)", part.Matches)
+	}
+	resumed, err := CountResumeCtx(ctx, g, m, 4, Budget{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Truncated || resumed.Matches != want {
+		t.Fatalf("CountResumeCtx = %d (truncated=%v), want %d", resumed.Matches, resumed.Truncated, want)
+	}
+
+	// Transient chunk errors under a chaos plan: retried away, still exact.
+	plan, err := ParseChaosPlan("seed=3,error=0.1,sites=mackey.chunk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic, err := CountSupervisedCtx(ctx, g, m, 4, Budget{},
+		SupervisorConfig{MaxAttempts: 6}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaotic.Truncated || chaotic.Matches != want {
+		t.Fatalf("chaotic supervised run = %d (truncated=%v, poisoned=%d), want %d",
+			chaotic.Matches, chaotic.Truncated, len(chaotic.Poisoned), want)
 	}
 }

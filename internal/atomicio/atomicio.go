@@ -1,0 +1,54 @@
+// Package atomicio provides crash-safe file writes for every artifact the
+// repository persists: checkpoints, RunReport JSONs, experiment CSVs, and
+// sweep state. A run killed mid-write (the whole point of the chaos
+// harness) must never leave a torn or empty file where a previous good one
+// stood — readers see either the old contents or the new, nothing in
+// between.
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: the bytes are written to a
+// temporary file in the same directory, fsynced, and renamed over path.
+// On any error the temporary file is removed and path is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// Any failure past this point must not leave the temp file behind.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Make the rename itself durable. Directory fsync is best-effort:
+	// some platforms/filesystems reject opening directories for sync.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite: readers must see old-or-new, and no temp debris may
+	// survive a successful write.
+	if err := WriteFile(path, []byte("v2 longer"), 0o644); err != nil {
+		t.Fatalf("WriteFile overwrite: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2 longer" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries (temp file leaked?)", len(entries))
+	}
+}
+
+func TestWriteFileFailureLeavesOldContents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "missingdir", "out.json")
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatalf("expected error writing into missing directory")
+	}
+}

@@ -1,0 +1,125 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Nodes int64 `json:"nodes"`
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	bounds := []int64{0, 10, 20, 30}
+	w := NewWriter(path, "fp-1", bounds, 1)
+	if err := w.MarkDone(0, 5, payload{Nodes: 42}); err != nil {
+		t.Fatalf("MarkDone: %v", err)
+	}
+	if err := w.MarkDone(2, 7, nil); err != nil {
+		t.Fatalf("MarkDone: %v", err)
+	}
+	if err := w.MarkPoisoned(1, 2, "panic: boom"); err != nil {
+		t.Fatalf("MarkPoisoned: %v", err)
+	}
+
+	f, err := Load(path, "fp-1")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(f.Chunks) != 2 || len(f.Poisoned) != 1 {
+		t.Fatalf("loaded %d chunks, %d poisoned", len(f.Chunks), len(f.Poisoned))
+	}
+	done := f.Done()
+	if !done[0] || !done[2] || done[1] {
+		t.Fatalf("done set %v", done)
+	}
+	var pl payload
+	if err := json.Unmarshal(f.Chunks[0].Payload, &pl); err != nil {
+		t.Fatalf("chunk 0 payload: %v", err)
+	}
+	if f.Chunks[0].Matches != 5 || pl.Nodes != 42 {
+		t.Fatalf("chunk 0 = %+v payload %+v", f.Chunks[0], pl)
+	}
+	if len(f.Bounds) != 4 || f.Bounds[3] != 30 {
+		t.Fatalf("bounds %v", f.Bounds)
+	}
+
+	// Resumed-writer flushes must carry the prior chunks.
+	w2 := NewWriterFrom(path, f, 1)
+	if err := w2.MarkDone(1, 3, nil); err != nil {
+		t.Fatalf("MarkDone after resume: %v", err)
+	}
+	f2, err := Load(path, "fp-1")
+	if err != nil {
+		t.Fatalf("Load 2: %v", err)
+	}
+	if len(f2.Chunks) != 3 {
+		t.Fatalf("resumed snapshot has %d chunks, want 3", len(f2.Chunks))
+	}
+}
+
+func TestLoadRejectsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	w := NewWriter(path, "fp-A", []int64{0, 5}, 1)
+	if err := w.MarkDone(0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, "fp-B"); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("fingerprint mismatch not rejected: %v", err)
+	}
+	// Missing file: nothing to resume, not an error.
+	if f, err := Load(filepath.Join(dir, "absent.json"), "fp"); f != nil || err != nil {
+		t.Fatalf("missing file: got (%v, %v)", f, err)
+	}
+	// Wrong schema.
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, ""); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch not rejected: %v", err)
+	}
+	// Corrupt JSON (a torn non-atomic write) must error, not crash.
+	if err := os.WriteFile(path, []byte(`{"schema":"mint.checkpoint/v1",`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, ""); err == nil {
+		t.Fatalf("corrupt file accepted")
+	}
+	// Out-of-range chunk index.
+	if err := os.WriteFile(path, []byte(`{"schema":"mint.checkpoint/v1","bounds":[0,5],"chunks":[{"index":3}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, ""); err == nil || !strings.Contains(err.Error(), "bounds") {
+		t.Fatalf("out-of-range chunk accepted: %v", err)
+	}
+}
+
+func TestNilWriterIsNoOp(t *testing.T) {
+	var w *Writer
+	if err := w.MarkDone(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MarkPoisoned(0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashIntsStable(t *testing.T) {
+	a := HashInts([]int64{0, 10, 20})
+	b := HashInts([]int64{0, 10, 20})
+	c := HashInts([]int64{0, 10, 21})
+	if a != b {
+		t.Fatalf("hash not stable")
+	}
+	if a == c {
+		t.Fatalf("hash collision on adjacent inputs (suspicious)")
+	}
+}

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -22,11 +23,14 @@ import (
 	"path/filepath"
 	"time"
 
+	"mint/internal/atomicio"
 	"mint/internal/datasets"
+	"mint/internal/faultinject"
 	"mint/internal/mackey"
 	"mint/internal/memlayout"
 	hw "mint/internal/mint"
 	"mint/internal/obs"
+	"mint/internal/runctl"
 	"mint/internal/temporal"
 )
 
@@ -53,6 +57,12 @@ type Config struct {
 	// around each experiment to print per-experiment summaries and write
 	// per-experiment RunReport JSONs.
 	Obs *obs.Registry
+
+	// Fault, when non-nil, is a chaos plan attached to every miner run the
+	// experiments launch (via each run's controller). Injected faults
+	// truncate the affected run explicitly — used by the CI chaos job to
+	// prove the sweep degrades loudly, never silently.
+	Fault *faultinject.Plan
 
 	// WorkBudget caps the software work (candidate examinations +
 	// bookkeepings) of each simulated workload; datasets are re-scaled
@@ -180,9 +190,17 @@ func (c *Config) workloadScaled(spec datasets.Spec, m *temporal.Motif,
 }
 
 // minerOpts returns the baseline miner options with the experiment
-// registry attached (Probe stays per-call-site).
+// registry attached (Probe stays per-call-site). Under a chaos plan every
+// run gets its own controller carrying the plan, so injected faults
+// truncate that run explicitly rather than poisoning the whole sweep.
 func (c *Config) minerOpts() mackey.Options {
-	return mackey.Options{Obs: c.Obs}
+	opts := mackey.Options{Obs: c.Obs}
+	if c.Fault != nil {
+		ctl := runctl.New(nil, runctl.Budget{})
+		ctl.SetFaultPlan(c.Fault)
+		opts.Ctl = ctl
+	}
+	return opts
 }
 
 // motifs returns the evaluation motifs M1–M4 at the configured δ.
@@ -255,7 +273,10 @@ func scaledCacheBytes(g *temporal.Graph, fraction float64, minBytes int) int {
 	return bytes
 }
 
-// writeCSV emits rows (first row = header) to OutDir/name.csv.
+// writeCSV emits rows (first row = header) to OutDir/name.csv,
+// atomically: the CSV is rendered in memory and lands via temp-file +
+// fsync + rename, so a sweep killed mid-experiment never leaves a torn
+// half-table for plotting scripts to misread.
 func (c *Config) writeCSV(name string, rows [][]string) error {
 	if c.OutDir == "" {
 		return nil
@@ -263,21 +284,16 @@ func (c *Config) writeCSV(name string, rows [][]string) error {
 	if err := os.MkdirAll(c.OutDir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(c.OutDir, name+".csv"))
-	if err != nil {
-		return err
-	}
-	w := csv.NewWriter(f)
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
 	if err := w.WriteAll(rows); err != nil {
-		f.Close()
 		return err
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
 		return err
 	}
-	return f.Close()
+	return atomicio.WriteFile(filepath.Join(c.OutDir, name+".csv"), buf.Bytes(), 0o644)
 }
 
 // timeIt measures wall time of f.

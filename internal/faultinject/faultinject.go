@@ -1,0 +1,357 @@
+// Package faultinject provides the deterministic, seedable fault plan the
+// chaos harness threads through the mining engines. The paper's evaluation
+// runs hours-long exact sweeps (§VII); the production north star is a
+// service that survives worker crashes, stalls, and partial failures
+// mid-run. This package makes those failures reproducible: a Plan decides
+// — as a pure function of (seed, site, key, attempt) — whether a given
+// injection point fires and with which fault kind, so the same plan always
+// kills the same chunks, stalls the same workers, and drops the same queue
+// tasks, regardless of goroutine scheduling.
+//
+// Injection points are build-tag-free hooks: every hook site evaluates the
+// plan only when one is installed (a nil *Plan never fires and costs one
+// predictable branch), so production binaries carry no chaos overhead and
+// need no special build.
+//
+// The engines key their sites by stable work identifiers — the chunk index
+// in the parallel miner, the root edge in the task runtime, the poll stride
+// in the simulator — and fold the retry attempt number into the decision.
+// A fault that fires on attempt 0 of a chunk therefore may or may not fire
+// on attempt 1: retries re-roll, which is what lets the supervisor's
+// retry/quarantine machinery be exercised end to end.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+const (
+	// None: the site proceeds normally.
+	None Kind = iota
+	// Panic: the site panics with an *Injected value (simulating a worker
+	// crash); the engines' recover paths convert it into retry, quarantine,
+	// or an explicitly truncated result.
+	Panic
+	// Delay: the site sleeps for Plan.Delay (simulating a stalled worker);
+	// long enough delays trip the supervisor's watchdog.
+	Delay
+	// Error: the site fails cleanly with an *Injected error (simulating an
+	// I/O or transient failure); supervised chunks retry it, unsupervised
+	// runs stop with Reason FaultInjected.
+	Error
+	// Drop: the site discards its unit of work (simulating a lost queue
+	// task). Dropping work silently would corrupt counts, so every drop
+	// site must also stop the run with Reason FaultInjected.
+	Drop
+
+	numKinds = 5
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Injected is the panic value / error an injected fault carries. Recover
+// paths use IsInjected to distinguish chaos from genuine bugs: injected
+// panics convert into retries or truncation, real panics keep propagating
+// through the normal PanicError machinery.
+type Injected struct {
+	Kind    Kind
+	Site    string
+	Key     int64
+	Attempt int
+}
+
+// Error implements error.
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faultinject: %s at %s[key=%d attempt=%d]", e.Kind, e.Site, e.Key, e.Attempt)
+}
+
+// IsInjected reports whether a recovered panic value or error originates
+// from a fault plan.
+func IsInjected(v any) bool {
+	_, ok := v.(*Injected)
+	return ok
+}
+
+// Plan is one seeded chaos schedule. The zero value (and a nil *Plan)
+// never fires. Plans are immutable after construction and safe for
+// concurrent use; the per-kind fired counters are atomic.
+type Plan struct {
+	seed  uint64
+	rates [numKinds]float64 // probability per (site, key, attempt) evaluation
+	delay time.Duration     // duration of Delay faults
+
+	// scheduled forces specific hits: site -> key -> attempt -> kind.
+	// Used by tests that need an exact fault at an exact point (e.g. "chunk
+	// 5 panics on attempts 0 and 1 and must be quarantined").
+	scheduled map[string]map[int64]map[int]Kind
+
+	// sitePrefix, when non-empty, restricts rate-based faults to sites
+	// with this prefix (scheduled hits always apply).
+	sitePrefix string
+
+	fired [numKinds]atomic.Int64
+}
+
+// New returns a rate-based plan: each kind fires independently with its
+// given probability at every evaluated injection point. Delay faults sleep
+// for delay (default 1ms when zero).
+func New(seed int64, panicRate, delayRate, errorRate, dropRate float64, delay time.Duration) *Plan {
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	p := &Plan{seed: splitmix64(uint64(seed)), delay: delay}
+	p.rates[Panic] = panicRate
+	p.rates[Delay] = delayRate
+	p.rates[Error] = errorRate
+	p.rates[Drop] = dropRate
+	return p
+}
+
+// Schedule forces kind to fire at exactly (site, key, attempt); later
+// schedules at the same point win. Returns the plan for chaining.
+func (p *Plan) Schedule(site string, key int64, attempt int, kind Kind) *Plan {
+	if p.scheduled == nil {
+		p.scheduled = map[string]map[int64]map[int]Kind{}
+	}
+	bySite := p.scheduled[site]
+	if bySite == nil {
+		bySite = map[int64]map[int]Kind{}
+		p.scheduled[site] = bySite
+	}
+	byKey := bySite[key]
+	if byKey == nil {
+		byKey = map[int]Kind{}
+		bySite[key] = byKey
+	}
+	byKey[attempt] = kind
+	return p
+}
+
+// RestrictSites limits rate-based faults to sites carrying the given
+// prefix (e.g. "mackey." or "task.queue"). Scheduled hits are unaffected.
+func (p *Plan) RestrictSites(prefix string) *Plan {
+	p.sitePrefix = prefix
+	return p
+}
+
+// Delay returns the sleep duration of Delay faults.
+func (p *Plan) Delay() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.delay
+}
+
+// At evaluates the plan at one injection point. site names the hook
+// ("mackey.chunk", "task.root", ...), key is the stable identity of the
+// unit of work (chunk index, root edge, cycle stride), and attempt is the
+// retry ordinal (0 on first execution). The decision is a pure function of
+// (seed, site, key, attempt): the same plan fires identically on every
+// run, every worker interleaving, and every resume.
+//
+// A nil plan never fires.
+func (p *Plan) At(site string, key int64, attempt int) Kind {
+	if p == nil {
+		return None
+	}
+	if byKey, ok := p.scheduled[site]; ok {
+		if byAttempt, ok := byKey[key]; ok {
+			if k, ok := byAttempt[attempt]; ok {
+				p.fired[k].Add(1)
+				return k
+			}
+		}
+	}
+	if p.sitePrefix != "" && !strings.HasPrefix(site, p.sitePrefix) {
+		return None
+	}
+	h := p.seed
+	for i := 0; i < len(site); i++ {
+		h = splitmix64(h ^ uint64(site[i]))
+	}
+	h = splitmix64(h ^ uint64(key))
+	h = splitmix64(h ^ uint64(attempt))
+	// One uniform draw decides among the kinds by cumulative probability,
+	// so at most one kind fires per evaluation and per-kind rates compose.
+	u := float64(h>>11) / float64(1<<53)
+	for k := Kind(1); k < numKinds; k++ {
+		if p.rates[k] <= 0 {
+			continue
+		}
+		if u < p.rates[k] {
+			p.fired[k].Add(1)
+			return k
+		}
+		u -= p.rates[k]
+	}
+	return None
+}
+
+// Fire evaluates the plan at (site, key, attempt) and executes the fault:
+// Panic panics with *Injected, Delay sleeps, Error and Drop return the
+// *Injected as an error (the caller distinguishes them via Injected.Kind).
+// It returns nil when nothing fires. Hook sites that only need default
+// semantics call Fire; sites with custom drop handling call At.
+func (p *Plan) Fire(site string, key int64, attempt int) error {
+	switch k := p.At(site, key, attempt); k {
+	case None:
+		return nil
+	case Panic:
+		panic(&Injected{Kind: Panic, Site: site, Key: key, Attempt: attempt})
+	case Delay:
+		time.Sleep(p.delay)
+		return nil
+	default:
+		return &Injected{Kind: k, Site: site, Key: key, Attempt: attempt}
+	}
+}
+
+// Fired returns how many faults of each kind the plan has injected so far,
+// keyed by Kind.String(); kinds that never fired are omitted.
+func (p *Plan) Fired() map[string]int64 {
+	if p == nil {
+		return nil
+	}
+	out := map[string]int64{}
+	for k := Kind(1); k < numKinds; k++ {
+		if n := p.fired[k].Load(); n > 0 {
+			out[k.String()] = n
+		}
+	}
+	return out
+}
+
+// String summarizes the plan for logs and CLI echo.
+func (p *Plan) String() string {
+	if p == nil {
+		return "faultinject: none"
+	}
+	var parts []string
+	for k := Kind(1); k < numKinds; k++ {
+		if p.rates[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, p.rates[k]))
+		}
+	}
+	if p.delay != time.Millisecond && (p.rates[Delay] > 0 || len(parts) == 0) {
+		parts = append(parts, fmt.Sprintf("delaydur=%s", p.delay))
+	}
+	nsched := 0
+	for _, byKey := range p.scheduled {
+		for _, byAttempt := range byKey {
+			nsched += len(byAttempt)
+		}
+	}
+	if nsched > 0 {
+		parts = append(parts, fmt.Sprintf("scheduled=%d", nsched))
+	}
+	if p.sitePrefix != "" {
+		parts = append(parts, "sites="+p.sitePrefix)
+	}
+	sort.Strings(parts)
+	return "faultinject: " + strings.Join(parts, ",")
+}
+
+// Parse builds a Plan from the -chaos flag spec: comma-separated items of
+// the form
+//
+//	seed=N          decision seed (default 1)
+//	panic=P         panic probability per injection point
+//	delay=P         stall probability per injection point
+//	error=P         clean-failure probability per injection point
+//	drop=P          queue-drop probability per injection point
+//	delaydur=D      stall duration (Go duration syntax, default 1ms)
+//	sites=PREFIX    restrict rate faults to sites with this prefix
+//
+// e.g. "seed=7,panic=0.02,delay=0.01,delaydur=5ms,sites=mackey.".
+// An empty spec returns nil (no faults).
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	seed := int64(1)
+	var rates [numKinds]float64
+	delay := time.Millisecond
+	prefix := ""
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: bad spec item %q (want key=value)", item)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q: %v", v, err)
+			}
+			seed = n
+		case "panic", "delay", "error", "drop":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("faultinject: bad probability %q for %s (want [0,1])", v, k)
+			}
+			switch k {
+			case "panic":
+				rates[Panic] = p
+			case "delay":
+				rates[Delay] = p
+			case "error":
+				rates[Error] = p
+			case "drop":
+				rates[Drop] = p
+			}
+		case "delaydur":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("faultinject: bad delaydur %q", v)
+			}
+			delay = d
+		case "sites":
+			prefix = v
+		default:
+			return nil, fmt.Errorf("faultinject: unknown spec key %q", k)
+		}
+	}
+	p := New(seed, rates[Panic], rates[Delay], rates[Error], rates[Drop], delay)
+	if prefix != "" {
+		p.RestrictSites(prefix)
+	}
+	return p, nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fast, well-mixed 64-bit hash
+// step (Steele et al., "Fast splittable pseudorandom number generators").
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,167 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilPlanNeverFires pins the hook-site contract: a nil plan is free.
+func TestNilPlanNeverFires(t *testing.T) {
+	var p *Plan
+	if k := p.At("any", 0, 0); k != None {
+		t.Fatalf("nil plan fired %v", k)
+	}
+	if err := p.Fire("any", 0, 0); err != nil {
+		t.Fatalf("nil plan Fire returned %v", err)
+	}
+	if p.Fired() != nil {
+		t.Fatalf("nil plan reported fired faults")
+	}
+}
+
+// TestDeterminism: the decision is a pure function of (seed, site, key,
+// attempt) — two plans with the same seed agree everywhere; a different
+// seed disagrees somewhere.
+func TestDeterminism(t *testing.T) {
+	a := New(7, 0.1, 0.1, 0.1, 0.1, time.Millisecond)
+	b := New(7, 0.1, 0.1, 0.1, 0.1, time.Millisecond)
+	c := New(8, 0.1, 0.1, 0.1, 0.1, time.Millisecond)
+	diff := 0
+	for key := int64(0); key < 500; key++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			ka := a.At("mackey.chunk", key, attempt)
+			kb := b.At("mackey.chunk", key, attempt)
+			if ka != kb {
+				t.Fatalf("same seed diverged at key=%d attempt=%d: %v vs %v", key, attempt, ka, kb)
+			}
+			if ka != c.At("mackey.chunk", key, attempt) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatalf("different seeds produced identical schedules over 1500 points")
+	}
+}
+
+// TestRates: over many points, each kind fires in the right ballpark and
+// at most one kind fires per point (cumulative draw).
+func TestRates(t *testing.T) {
+	p := New(3, 0.05, 0.05, 0.05, 0.05, time.Millisecond)
+	counts := map[Kind]int{}
+	const n = 20000
+	for key := int64(0); key < n; key++ {
+		counts[p.At("site", key, 0)]++
+	}
+	for _, k := range []Kind{Panic, Delay, Error, Drop} {
+		got := float64(counts[k]) / n
+		if got < 0.03 || got > 0.07 {
+			t.Errorf("kind %v fired at rate %.4f, want ~0.05", k, got)
+		}
+	}
+	fired := p.Fired()
+	for _, k := range []Kind{Panic, Delay, Error, Drop} {
+		if fired[k.String()] != int64(counts[k]) {
+			t.Errorf("Fired[%v]=%d, counted %d", k, fired[k.String()], counts[k])
+		}
+	}
+}
+
+// TestAttemptReroll: folding the attempt into the key means a point that
+// fires on attempt 0 does not (usually) fire on every retry — the property
+// the supervisor's retry loop depends on.
+func TestAttemptReroll(t *testing.T) {
+	p := New(11, 0.5, 0, 0, 0, time.Millisecond)
+	cleared := 0
+	for key := int64(0); key < 200; key++ {
+		if p.At("s", key, 0) == Panic && p.At("s", key, 1) == None {
+			cleared++
+		}
+	}
+	if cleared == 0 {
+		t.Fatalf("no point that fired on attempt 0 cleared on attempt 1")
+	}
+}
+
+func TestScheduleAndFire(t *testing.T) {
+	p := New(1, 0, 0, 0, 0, time.Millisecond).
+		Schedule("mackey.chunk", 5, 0, Panic).
+		Schedule("mackey.chunk", 5, 1, Error).
+		Schedule("task.queue", 2, 0, Drop)
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("scheduled panic did not fire")
+			}
+			if !IsInjected(r) {
+				t.Fatalf("panic value %v is not *Injected", r)
+			}
+		}()
+		p.Fire("mackey.chunk", 5, 0)
+	}()
+
+	err := p.Fire("mackey.chunk", 5, 1)
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Kind != Error {
+		t.Fatalf("attempt 1: got %v, want injected Error", err)
+	}
+	if err := p.Fire("mackey.chunk", 5, 2); err != nil {
+		t.Fatalf("attempt 2: got %v, want clean", err)
+	}
+	if err := p.Fire("mackey.chunk", 4, 0); err != nil {
+		t.Fatalf("unscheduled key fired: %v", err)
+	}
+	if k := p.At("task.queue", 2, 0); k != Drop {
+		t.Fatalf("scheduled drop: got %v", k)
+	}
+}
+
+func TestRestrictSites(t *testing.T) {
+	p := New(5, 1, 0, 0, 0, time.Millisecond).RestrictSites("mackey.")
+	if k := p.At("task.root", 1, 0); k != None {
+		t.Fatalf("restricted plan fired at foreign site: %v", k)
+	}
+	if k := p.At("mackey.chunk", 1, 0); k != Panic {
+		t.Fatalf("restricted plan silent at matching site: %v", k)
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("seed=7,panic=0.02,delay=0.01,delaydur=5ms,error=0.1,drop=0.003,sites=mackey.")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Delay() != 5*time.Millisecond {
+		t.Errorf("delay = %v, want 5ms", p.Delay())
+	}
+	if p.sitePrefix != "mackey." {
+		t.Errorf("sitePrefix = %q", p.sitePrefix)
+	}
+	if got := p.rates[Panic]; got != 0.02 {
+		t.Errorf("panic rate = %v", got)
+	}
+	if p2, err := Parse(""); err != nil || p2 != nil {
+		t.Errorf("empty spec: got (%v, %v), want (nil, nil)", p2, err)
+	}
+	for _, bad := range []string{"panic", "panic=2", "seed=x", "delaydur=-1s", "bogus=1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseSameSeedSameSchedule: parsed plans with identical specs agree
+// point-for-point, which is what makes `-chaos` runs reproducible.
+func TestParseSameSeedSameSchedule(t *testing.T) {
+	spec := "seed=42,panic=0.05,error=0.05"
+	a, _ := Parse(spec)
+	b, _ := Parse(spec)
+	for key := int64(0); key < 300; key++ {
+		if a.At("x", key, 0) != b.At("x", key, 0) {
+			t.Fatalf("parsed plans diverged at key %d", key)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package mackey
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mint/internal/runctl"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+// TestParallelRandomizedCancelConsistency cancels parallel runs at
+// randomized points — from "before the first expansion" through "after
+// the run finished" — and requires every outcome to be consistent: a run
+// that was actually cut short reports Truncated with Reason Canceled and
+// a partial count that is a true lower bound on the full count; a run
+// the cancel missed reports the exact count untruncated. There is no
+// third state — a cancelled run must never return an untruncated partial
+// count or a count above the full one. The CI race job runs this under
+// -race, so the cancel path's interaction with the pooled worker state
+// and the shared stop flag is also proven race-free.
+func TestParallelRandomizedCancelConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := testutil.RandomGraph(rng, 24, 3000, 500)
+	m := temporal.M1(300)
+	full := Mine(g, m, Options{})
+	if full.Matches == 0 {
+		t.Fatal("test workload found no matches; cancellation has nothing to interrupt")
+	}
+
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	sawTruncated, sawComplete := false, false
+	for trial := 0; trial < trials; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		workers := 1 + rng.Intn(8)
+		// Spread cancel points from "before the first expansion" upward,
+		// and leave every fourth trial uncanceled so both truncated and
+		// complete outcomes occur regardless of host speed (the full run
+		// is ~10× slower under -race).
+		delay := time.Duration(rng.Intn(1500)) * time.Microsecond
+		switch {
+		case trial == 0:
+			cancel() // canceled before the run even starts
+		case trial%4 == 3:
+			// no cancel until the run has returned
+		default:
+			time.AfterFunc(delay, cancel)
+		}
+		res, err := MineParallelCtx(ctx, g, m, Options{Workers: workers}, runctl.Budget{})
+		cancel()
+		if err != nil {
+			t.Fatalf("trial %d: unexpected error: %v", trial, err)
+		}
+		if res.Truncated {
+			sawTruncated = true
+			if res.StopReason != runctl.Canceled {
+				t.Fatalf("trial %d: truncated with reason %v, want %v", trial, res.StopReason, runctl.Canceled)
+			}
+			if res.Matches < 0 || res.Matches > full.Matches {
+				t.Fatalf("trial %d: truncated count %d outside [0,%d]", trial, res.Matches, full.Matches)
+			}
+			if res.Stats.RootTasks > full.Stats.RootTasks {
+				t.Fatalf("trial %d: truncated roots %d exceed full run's %d",
+					trial, res.Stats.RootTasks, full.Stats.RootTasks)
+			}
+		} else {
+			sawComplete = true
+			if res.Matches != full.Matches {
+				t.Fatalf("trial %d: untruncated run counted %d, want %d", trial, res.Matches, full.Matches)
+			}
+		}
+	}
+	// The trial spread should exercise both sides; if it stops doing so the
+	// test has silently degenerated and the delays need retuning.
+	if !sawTruncated {
+		t.Error("no trial was truncated; increase workload size or lower cancel delays")
+	}
+	if !sawComplete {
+		t.Error("no trial completed; raise cancel delays")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mint/internal/faultinject"
 	"mint/internal/runctl"
 	"mint/internal/temporal"
 )
@@ -74,6 +75,7 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 		runStart = time.Now()
 	}
 
+	plan := ctl.FaultPlan()
 	var cursor atomic.Int64
 	perWorker := make([]Stats, workers)
 	perChunks := make([]int64, workers)
@@ -93,8 +95,16 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 			panicked := false
 			defer func() {
 				if r := recover(); r != nil {
-					errs[wi] = &runctl.PanicError{Worker: wi, Root: cur, Value: r}
-					ctl.Stop(runctl.Failed)
+					if inj, ok := r.(*faultinject.Injected); ok {
+						// Injected chaos panic: the plain parallel miner has
+						// no retry tier, so the run truncates — explicitly
+						// attributed, never silently short-counted.
+						errs[wi] = inj
+						ctl.Stop(runctl.FaultInjected)
+					} else {
+						errs[wi] = &runctl.PanicError{Worker: wi, Root: cur, Value: r}
+						ctl.Stop(runctl.Failed)
+					}
 					panicked = true
 					perWorker[wi] = w.stats
 				}
@@ -112,6 +122,16 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 				k := cursor.Add(1) - 1
 				if k >= numChunks {
 					break
+				}
+				if plan != nil {
+					// Chaos site "mackey.chunk": Error/Drop stop the run as
+					// FaultInjected; a Panic unwinds into the recover above.
+					// (The supervised variant retries these instead.)
+					if err := plan.Fire("mackey.chunk", k, 0); err != nil {
+						errs[wi] = err
+						ctl.Stop(runctl.FaultInjected)
+						break pull
+					}
 				}
 				perChunks[wi]++
 				for root := bounds[k]; root < bounds[k+1]; root++ {

@@ -46,7 +46,7 @@ func acquireWorker(g *temporal.Graph, m *temporal.Motif, opts Options) *worker {
 		w.seq = w.seq[:0]
 	}
 	if !w.legacyScan {
-		w.wc.Reset(g.NumNodes())
+		w.wc.ResetFor(g)
 	}
 	w.rootEG = 0
 	w.sinceCheck = 0
@@ -100,7 +100,7 @@ func acquireAlgo1(g *temporal.Graph, m *temporal.Motif, opts Options) *algo1 {
 		a.eStack = a.eStack[:0]
 	}
 	if a.useCache {
-		a.wc.Reset(g.NumNodes())
+		a.wc.ResetFor(g)
 	}
 	a.tPrime = 0
 	a.rootEG = 0

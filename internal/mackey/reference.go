@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"time"
 
+	"mint/internal/faultinject"
 	"mint/internal/obs"
 	"mint/internal/runctl"
 	"mint/internal/temporal"
@@ -69,11 +70,20 @@ func Mine(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 		start = time.Now()
 	}
 	w := acquireWorker(g, m, opts)
-	for root := 0; root < g.NumEdges(); root++ {
-		if w.stopped {
-			break
+	if plan := opts.Ctl.FaultPlan(); plan != nil {
+		for root := 0; root < g.NumEdges(); root++ {
+			if w.stopped {
+				break
+			}
+			w.mineRootChaos(plan, temporal.EdgeID(root))
 		}
-		w.mineRoot(temporal.EdgeID(root))
+	} else {
+		for root := 0; root < g.NumEdges(); root++ {
+			if w.stopped {
+				break
+			}
+			w.mineRoot(temporal.EdgeID(root))
+		}
 	}
 	res := w.finish()
 	w.release()
@@ -174,6 +184,29 @@ func (w *worker) foldCacheStats() {
 	}
 	w.stats.SearchCacheHits = w.wc.Hits()
 	w.stats.SearchCacheMisses = w.wc.Misses()
+}
+
+// mineRootChaos is mineRoot under the run's fault plan (site
+// "mackey.root", keyed by root edge ID). The sequential miner has no
+// retry tier, so any injected fault — panic, error, or drop — stops the
+// run with Reason FaultInjected: the partial count is explicitly
+// Truncated, never silently short. Non-injected panics propagate.
+func (w *worker) mineRootChaos(plan *faultinject.Plan, root temporal.EdgeID) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !faultinject.IsInjected(r) {
+				panic(r)
+			}
+			w.opts.Ctl.Stop(runctl.FaultInjected)
+			w.stopped = true
+		}
+	}()
+	if err := plan.Fire("mackey.root", int64(root), 0); err != nil {
+		w.opts.Ctl.Stop(runctl.FaultInjected)
+		w.stopped = true
+		return
+	}
+	w.mineRoot(root)
 }
 
 // mineRoot expands the complete search tree rooted at matching motif edge

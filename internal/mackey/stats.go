@@ -119,6 +119,31 @@ func (s *Stats) Add(other Stats) {
 	s.PoolReuse += other.PoolReuse
 }
 
+// Sub returns s minus other, field-wise — the inverse of Add. The
+// supervisor uses it to isolate one chunk's contribution from a worker's
+// cumulative tally (snapshot before, subtract after).
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Matches:               s.Matches - other.Matches,
+		RootTasks:             s.RootTasks - other.RootTasks,
+		SearchTasks:           s.SearchTasks - other.SearchTasks,
+		BookkeepTasks:         s.BookkeepTasks - other.BookkeepTasks,
+		BacktrackTasks:        s.BacktrackTasks - other.BacktrackTasks,
+		CandidateEdges:        s.CandidateEdges - other.CandidateEdges,
+		NeighborEntries:       s.NeighborEntries - other.NeighborEntries,
+		NeighborEntriesUseful: s.NeighborEntriesUseful - other.NeighborEntriesUseful,
+		BinarySearches:        s.BinarySearches - other.BinarySearches,
+		MemoHits:              s.MemoHits - other.MemoHits,
+		MemoSkippedEntries:    s.MemoSkippedEntries - other.MemoSkippedEntries,
+		Branches:              s.Branches - other.Branches,
+		NodesExpanded:         s.NodesExpanded - other.NodesExpanded,
+		TimePrunedScans:       s.TimePrunedScans - other.TimePrunedScans,
+		SearchCacheHits:       s.SearchCacheHits - other.SearchCacheHits,
+		SearchCacheMisses:     s.SearchCacheMisses - other.SearchCacheMisses,
+		PoolReuse:             s.PoolReuse - other.PoolReuse,
+	}
+}
+
 // Utilization returns the overall neighborhood-data utilization (Fig 7):
 // the fraction of streamed neighbor entries that survive the time filter.
 func (s *Stats) Utilization() float64 {

@@ -7,6 +7,7 @@ import (
 
 	"mint/internal/cache"
 	"mint/internal/dram"
+	"mint/internal/faultinject"
 	"mint/internal/mackey"
 	"mint/internal/memlayout"
 	"mint/internal/runctl"
@@ -209,6 +210,20 @@ func (s *simulator) run() (Result, error) {
 		// cycle stride, flushing functional progress (bookkeeping tasks as
 		// node expansions) so deadline and budget checks can fire.
 		if s.ctl != nil && cycle&(runctl.CheckInterval-1) == 0 {
+			if plan := s.ctl.FaultPlan(); plan != nil {
+				// Chaos site "mint.cycle", keyed by poll ordinal so the
+				// decision is a pure function of simulated time. Any
+				// injected fault truncates the simulation as FaultInjected
+				// with exact partial stats.
+				if err := fireCycleFault(plan, cycle/runctl.CheckInterval); err != nil {
+					s.ctl.Stop(runctl.FaultInjected)
+					truncated = true
+					if cycle > s.lastSeen {
+						s.lastSeen = cycle
+					}
+					break
+				}
+			}
 			dn := s.stats.BookkeepTasks - flushedNodes
 			dm := s.matches - flushedMatches
 			flushedNodes, flushedMatches = s.stats.BookkeepTasks, s.matches
@@ -611,6 +626,23 @@ func (s *simulator) entriesLeftInLine(spec task.SearchSpec, pos int) int {
 	line := uint64(s.cfg.Cache.LineBytes)
 	next := (addr/line + 1) * line
 	return int((next - addr) / memlayout.EntryBytes)
+}
+
+// fireCycleFault evaluates the simulator's chaos site, converting an
+// injected panic into an error — the event loop has no per-PE blast
+// radius to contain, so every fault kind maps to a clean truncation.
+// Non-injected panics propagate.
+func fireCycleFault(plan *faultinject.Plan, poll int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			inj, ok := r.(*faultinject.Injected)
+			if !ok {
+				panic(r)
+			}
+			err = inj
+		}
+	}()
+	return plan.Fire("mint.cycle", poll, 0)
 }
 
 func maxInt64(a, b int64) int64 {

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"mint/internal/atomicio"
 )
 
 // RunReportSchema identifies the RunReport JSON layout; bump on
@@ -92,13 +94,15 @@ func (r *RunReport) Marshal() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
 
-// WriteFile writes the report as indented JSON to path.
+// WriteFile writes the report as indented JSON to path, atomically
+// (temp file + fsync + rename): a crash mid-write can never leave a torn
+// report behind for downstream tooling to choke on.
 func (r *RunReport) WriteFile(path string) error {
 	data, err := r.Marshal()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicio.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // ReadRunReport parses a report written by WriteFile, checking the

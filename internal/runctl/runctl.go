@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"mint/internal/faultinject"
 )
 
 // CheckInterval is the number of search-tree node expansions between two
@@ -72,6 +74,11 @@ const (
 	NodeBudget
 	// Failed: a worker failed (panicked) and the run was aborted.
 	Failed
+	// FaultInjected: an injected chaos fault (error or queue drop) stopped
+	// the run. Distinct from Failed so chaos-test truncations are
+	// attributable in reports; the soundness contract is the same — the
+	// partial counts are exact lower bounds.
+	FaultInjected
 )
 
 // String implements fmt.Stringer.
@@ -89,6 +96,8 @@ func (r Reason) String() string {
 		return "node budget exhausted"
 	case Failed:
 		return "worker failed"
+	case FaultInjected:
+		return "fault injected"
 	default:
 		return fmt.Sprintf("Reason(%d)", int32(r))
 	}
@@ -108,6 +117,11 @@ type Controller struct {
 	nodes    atomic.Int64
 	matches  atomic.Int64
 	stopAtNS atomic.Int64 // wall clock (UnixNano) of the winning Stop
+
+	// fault is the run's chaos plan (nil outside chaos runs). It rides on
+	// the Controller because every long-running engine already threads one
+	// — the injection hooks need no new plumbing and stay build-tag-free.
+	fault *faultinject.Plan
 }
 
 // New builds a Controller for one run. ctx may be nil (treated as
@@ -159,6 +173,23 @@ func (c *Controller) StopTime() (time.Time, bool) {
 		return time.Time{}, false
 	}
 	return time.Unix(0, ns), true
+}
+
+// SetFaultPlan installs a chaos fault plan on the controller. Call before
+// handing the controller to workers; the plan itself is concurrency-safe.
+func (c *Controller) SetFaultPlan(p *faultinject.Plan) {
+	if c != nil {
+		c.fault = p
+	}
+}
+
+// FaultPlan returns the run's chaos plan, or nil. Engines evaluate it at
+// their injection sites; a nil controller or nil plan costs one branch.
+func (c *Controller) FaultPlan() *faultinject.Plan {
+	if c == nil {
+		return nil
+	}
+	return c.fault
 }
 
 // Budget returns the budget the controller was created with.

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mint/internal/faultinject"
 	"mint/internal/obs"
 	"mint/internal/runctl"
 	"mint/internal/temporal"
@@ -51,6 +52,7 @@ func RunCtlObs(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Co
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
+	plan := ctl.FaultPlan()
 	var next atomic.Int64
 	var matches, tasks atomic.Int64
 	errs := make([]error, workers)
@@ -63,12 +65,17 @@ func RunCtlObs(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Co
 			// Worker-local window cache: contexts here never migrate, so
 			// every phase-1 filter origin this worker computes can reuse its
 			// own memoized bounds race-free.
-			wc := temporal.GetWindowCache(g.NumNodes())
+			wc := temporal.GetWindowCacheFor(g)
 			p := poller{ctl: ctl}
 			defer func() {
 				if r := recover(); r != nil {
-					errs[wi] = &runctl.PanicError{Worker: wi, Root: int64(ctx.RootEG), Value: r}
-					ctl.Stop(runctl.Failed)
+					if inj, ok := r.(*faultinject.Injected); ok {
+						errs[wi] = inj
+						ctl.Stop(runctl.FaultInjected)
+					} else {
+						errs[wi] = &runctl.PanicError{Worker: wi, Root: int64(ctx.RootEG), Value: r}
+						ctl.Stop(runctl.Failed)
+					}
 					matches.Add(p.matches)
 					tasks.Add(p.tasks)
 				}
@@ -80,6 +87,15 @@ func RunCtlObs(g *temporal.Graph, m *temporal.Motif, workers int, ctl *runctl.Co
 				root := next.Add(1) - 1
 				if root >= int64(g.NumEdges()) {
 					break
+				}
+				if plan != nil {
+					// Chaos site "task.root": Error/Drop truncate the run as
+					// FaultInjected; a Panic unwinds into the recover above.
+					if err := plan.Fire("task.root", root, 0); err != nil {
+						errs[wi] = err
+						ctl.Stop(runctl.FaultInjected)
+						break
+					}
 				}
 				if !ctx.StartRoot(g, m, temporal.EdgeID(root)) {
 					continue
@@ -249,6 +265,7 @@ func RunQueueCtlObs(g *temporal.Graph, m *temporal.Motif, workers, contexts int,
 		contexts = workers * 4
 	}
 	n := int64(g.NumEdges())
+	plan := ctl.FaultPlan()
 	var nextRoot atomic.Int64
 	var matches, tasks atomic.Int64
 	var inflight atomic.Int64
@@ -290,7 +307,7 @@ func RunQueueCtlObs(g *temporal.Graph, m *temporal.Motif, workers, contexts int,
 			// goroutine, so cached bounds are read and written by exactly
 			// one worker. (Hanging the cache off the Context instead would
 			// be a data race the moment a tree's tasks land on two workers.)
-			wc := temporal.GetWindowCache(g.NumNodes())
+			wc := temporal.GetWindowCacheFor(g)
 			p := poller{ctl: ctl, sample: sample}
 			defer func() {
 				p.cacheHits, p.cacheMisses = wc.Hits(), wc.Misses()
@@ -347,7 +364,46 @@ func RunQueueCtlObs(g *temporal.Graph, m *temporal.Motif, workers, contexts int,
 				}
 				return false
 			}
+			// dropTask evaluates the "task.queue" chaos site on a dequeued
+			// task. A Drop (or Error/Panic) verdict loses the task's whole
+			// in-flight tree, so soundness requires stopping the run as
+			// FaultInjected — the partial count stays an explicit lower
+			// bound, never a silent undercount.
+			dropTask := func(ctx *Context) bool {
+				if plan == nil {
+					return false
+				}
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							inj, ok := r.(*faultinject.Injected)
+							if !ok {
+								panic(r)
+							}
+							err = inj
+						}
+					}()
+					return plan.Fire("task.queue", int64(ctx.RootEG), 0)
+				}()
+				if err != nil {
+					if errs[wi] == nil {
+						errs[wi] = err
+					}
+					ctl.Stop(runctl.FaultInjected)
+					return true
+				}
+				return false
+			}
 			for t := range queue {
+				if dropTask(t.ctx) {
+					// The dropped context's tree is incomplete; abandon it
+					// (mid-tree state is not worth pooling) but keep the
+					// drain protocol's inflight accounting intact.
+					if inflight.Add(-1) == 0 {
+						close(queue)
+					}
+					continue
+				}
 				if processTask(t.ctx) {
 					if errs[wi] == nil {
 						PutContext(t.ctx) // retired cleanly; recycle

@@ -227,18 +227,37 @@ func (g *Graph) EdgesPerDelta(delta Timestamp) float64 {
 	return float64(g.NumEdges()) * float64(delta) / float64(span)
 }
 
-// Validate checks internal invariants: edges sorted by time, adjacency
-// lists consistent and index-sorted. It is used by property tests and the
-// loaders; normal construction through NewGraph always satisfies it.
+// Validate checks internal invariants: endpoint IDs within the node
+// range, adjacency tables sized to the node count, edges sorted by time,
+// and adjacency lists in-range, consistent, and index-sorted. It is used
+// by property tests and runs after every loader (ReadSNAP), so a
+// corrupted or hand-built graph fails loudly here instead of as an
+// index panic — or a silent wrong count — deep inside a miner.
 func (g *Graph) Validate() error {
-	for i := 1; i < len(g.Edges); i++ {
-		if g.Edges[i].Time < g.Edges[i-1].Time {
+	n := g.numNodes
+	if n < 0 {
+		return fmt.Errorf("temporal: negative node count %d", n)
+	}
+	if len(g.Out) != n || len(g.In) != n {
+		return fmt.Errorf("temporal: adjacency tables sized %d/%d for %d nodes",
+			len(g.Out), len(g.In), n)
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Src < 0 || int(e.Src) >= n || e.Dst < 0 || int(e.Dst) >= n {
+			return fmt.Errorf("temporal: edge %d endpoints (%d -> %d) outside node range [0,%d)",
+				i, e.Src, e.Dst, n)
+		}
+		if i > 0 && e.Time < g.Edges[i-1].Time {
 			return fmt.Errorf("temporal: edges out of time order at %d", i)
 		}
 	}
 	seenOut := 0
 	for u, l := range g.Out {
 		for i, id := range l {
+			if id < 0 || int(id) >= len(g.Edges) {
+				return fmt.Errorf("temporal: out list of node %d has edge id %d outside [0,%d)", u, id, len(g.Edges))
+			}
 			if i > 0 && l[i-1] >= id {
 				return fmt.Errorf("temporal: out list of node %d not strictly increasing", u)
 			}
@@ -254,6 +273,9 @@ func (g *Graph) Validate() error {
 	seenIn := 0
 	for v, l := range g.In {
 		for i, id := range l {
+			if id < 0 || int(id) >= len(g.Edges) {
+				return fmt.Errorf("temporal: in list of node %d has edge id %d outside [0,%d)", v, id, len(g.Edges))
+			}
 			if i > 0 && l[i-1] >= id {
 				return fmt.Errorf("temporal: in list of node %d not strictly increasing", v)
 			}

@@ -85,7 +85,17 @@ func ReadSNAP(r io.Reader) (*Graph, error) {
 		}
 		return nil, fmt.Errorf("temporal: line %d: read error: %w", lineNo+1, err)
 	}
-	return NewGraph(edges)
+	g, err := NewGraph(edges)
+	if err != nil {
+		return nil, err
+	}
+	// Loaded data crosses a trust boundary that NewGraph's own callers
+	// don't: check every structural invariant now so corruption surfaces
+	// as a load error, not a miner panic or a silently wrong count.
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("temporal: loaded graph fails validation: %w", err)
+	}
+	return g, nil
 }
 
 // LoadSNAPFile reads a SNAP-format temporal graph from a file path.

@@ -1,6 +1,9 @@
 package temporal
 
-import "sync"
+import (
+	"sync"
+	"unsafe"
+)
 
 // WindowCache memoizes per-node, per-direction time-window search bounds:
 // the result of the last SearchAfter over a node's neighbor-index list.
@@ -23,6 +26,17 @@ import "sync"
 type WindowCache struct {
 	out, in []winEntry
 	epoch   uint32
+
+	// Graph identity (pointer + edge count) the cache was last reset for.
+	// Cached positions are only meaningful against the adjacency lists
+	// that produced them, so ResetFor hard-clears — rather than merely
+	// epoch-bumps — when a pooled cache resurfaces under a different
+	// graph. Stored as a uintptr so a pooled cache never pins a retired
+	// graph in memory; a recycled address is disambiguated by the edge
+	// count, and a false match is harmless anyway (the epoch bump has
+	// already invalidated every entry — identity is defense in depth).
+	boundGraph uintptr
+	boundEdges int
 
 	hits   int64
 	misses int64
@@ -61,6 +75,30 @@ func (c *WindowCache) Reset(numNodes int) {
 		c.epoch = 1
 	}
 	c.hits, c.misses = 0, 0
+}
+
+// ResetFor is Reset bound to a graph identity: it ensures capacity for
+// g's nodes and invalidates every entry, hard-clearing (rather than
+// epoch-bumping) when the cache last served a different graph. Cached
+// positions index a specific graph's adjacency lists, so a pooled cache
+// resurfacing under a new graph must never be able to serve them — even
+// if a future epoch bug (wraparound, a skipped bump) slips in. All pool
+// and worker reuse paths go through this method.
+func (c *WindowCache) ResetFor(g *Graph) {
+	id := uintptr(unsafe.Pointer(g))
+	edges := g.NumEdges()
+	if c.boundGraph != id || c.boundEdges != edges {
+		for i := range c.out {
+			c.out[i] = winEntry{}
+		}
+		for i := range c.in {
+			c.in[i] = winEntry{}
+		}
+		c.epoch = 0 // Reset bumps to 1; zeroed entries stay invalid
+		c.boundGraph = id
+		c.boundEdges = edges
+	}
+	c.Reset(g.NumNodes())
 }
 
 // Hits reports queries answered from cached state (exact repeats and
@@ -164,6 +202,22 @@ func GetWindowCache(numNodes int) *WindowCache {
 		return c
 	}
 	return NewWindowCache(numNodes)
+}
+
+// GetWindowCacheFor returns a reset WindowCache bound to g, reusing a
+// pooled instance when one is available. Unlike GetWindowCache it
+// records the graph identity (pointer + edge count), so a cache recycled
+// across graphs is hard-cleared instead of trusting the epoch stamp
+// alone. Mining workers should prefer this over GetWindowCache.
+func GetWindowCacheFor(g *Graph) *WindowCache {
+	var c *WindowCache
+	if v := wcPool.Get(); v != nil {
+		c = v.(*WindowCache)
+	} else {
+		c = &WindowCache{}
+	}
+	c.ResetFor(g)
+	return c
 }
 
 // PutWindowCache returns a cache obtained from GetWindowCache to the pool.

@@ -104,3 +104,96 @@ func TestGetPutWindowCache(t *testing.T) {
 	PutWindowCache(c2)
 	PutWindowCache(nil) // must not panic
 }
+
+// TestWindowCacheGraphSwap is the regression test for pooled-cache
+// staleness across graphs: a cache used on graph A, returned to the
+// pool, and handed out for graph B must answer from B's adjacency —
+// never from positions cached against A — even when both graphs have
+// the same node count, so Reset takes the O(1) epoch-bump path rather
+// than reallocating.
+func TestWindowCacheGraphSwap(t *testing.T) {
+	ga, err := NewGraph([]Edge{
+		{0, 1, 10}, {0, 1, 20}, {0, 1, 30}, {1, 2, 40}, {2, 0, 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := NewGraph([]Edge{
+		{0, 2, 5}, {2, 1, 15}, {0, 2, 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.NumNodes() != gb.NumNodes() {
+		t.Fatalf("test wants equal node counts, got %d vs %d", ga.NumNodes(), gb.NumNodes())
+	}
+
+	c := GetWindowCacheFor(ga)
+	for u := NodeID(0); int(u) < ga.NumNodes(); u++ {
+		c.SearchAfter(ga.Out[u], true, u, 0)
+		c.SearchAfter(ga.In[u], false, u, 1)
+	}
+	PutWindowCache(c)
+
+	c2 := GetWindowCacheFor(gb)
+	for u := NodeID(0); int(u) < gb.NumNodes(); u++ {
+		for _, after := range []EdgeID{-1, 0, 1, 2} {
+			if got, want := c2.SearchAfter(gb.Out[u], true, u, after), SearchAfter(gb.Out[u], after); got != want {
+				t.Fatalf("out[%d] after=%d: cache=%d want=%d (stale entry from previous graph)", u, after, got, want)
+			}
+			if got, want := c2.SearchAfter(gb.In[u], false, u, after), SearchAfter(gb.In[u], after); got != want {
+				t.Fatalf("in[%d] after=%d: cache=%d want=%d (stale entry from previous graph)", u, after, got, want)
+			}
+		}
+	}
+	PutWindowCache(c2)
+}
+
+// TestWindowCacheResetForIdentity pins the ResetFor contract: reuse on
+// the same graph stays an O(1) epoch bump, while a different graph
+// identity (pointer or edge count) hard-clears every entry so no stale
+// position can survive even a hypothetical epoch bug.
+func TestWindowCacheResetForIdentity(t *testing.T) {
+	ga, err := NewGraph([]Edge{{0, 1, 1}, {1, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := NewGraph([]Edge{{0, 1, 1}, {1, 0, 2}, {0, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := &WindowCache{}
+	c.ResetFor(ga)
+	c.SearchAfter(ga.Out[0], true, 0, 0)
+	if c.out[0].epoch != c.epoch {
+		t.Fatal("expected a live cached entry after the first query")
+	}
+
+	// Same graph: cheap invalidation, entries left behind but unstamped.
+	epochBefore := c.epoch
+	c.ResetFor(ga)
+	if c.epoch != epochBefore+1 {
+		t.Fatalf("same-graph ResetFor epoch = %d, want %d (O(1) bump)", c.epoch, epochBefore+1)
+	}
+
+	// Different graph: every entry must be physically cleared.
+	c.SearchAfter(ga.Out[0], true, 0, 0)
+	c.ResetFor(gb)
+	for i := range c.out {
+		if c.out[i] != (winEntry{}) {
+			t.Fatalf("out[%d] = %+v after cross-graph ResetFor, want zero", i, c.out[i])
+		}
+	}
+	for i := range c.in {
+		if c.in[i] != (winEntry{}) {
+			t.Fatalf("in[%d] = %+v after cross-graph ResetFor, want zero", i, c.in[i])
+		}
+	}
+	if c.epoch != 1 {
+		t.Fatalf("epoch after cross-graph ResetFor = %d, want 1", c.epoch)
+	}
+	if got, want := c.SearchAfter(gb.Out[0], true, 0, 1), SearchAfter(gb.Out[0], EdgeID(1)); got != want {
+		t.Fatalf("post-swap query = %d, want %d", got, want)
+	}
+}
