@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race fuzz bench bench-report bench-compare
+.PHONY: tier1 build vet test race fuzz bench bench-report bench-compare serve-check
 
 tier1: build vet test race
 
@@ -19,6 +19,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Serving-layer verification: the full mintd suite under -race —
+# admission/breaker/registry units, endpoint contracts, the chaos soak
+# (every response exact, loudly degraded, or cleanly shed), and the
+# in-process + subprocess SIGTERM drain tests.
+serve-check:
+	$(GO) test -race -count=1 ./internal/server/... ./cmd/mintd/
 
 # Short fuzz passes (native Go fuzzing): the SNAP loader and the motif
 # parser round trip.

@@ -2,6 +2,7 @@ package mint
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"mint/internal/cyclemine"
@@ -63,6 +64,23 @@ func M1(delta Timestamp) *Motif { return temporal.M1(delta) }
 func M2(delta Timestamp) *Motif { return temporal.M2(delta) }
 func M3(delta Timestamp) *Motif { return temporal.M3(delta) }
 func M4(delta Timestamp) *Motif { return temporal.M4(delta) }
+
+// EvaluationMotifs returns M1–M4 at the given δ, in paper order.
+func EvaluationMotifs(delta Timestamp) []*Motif { return temporal.EvaluationMotifs(delta) }
+
+// MotifByName resolves a named evaluation motif ("M1".."M4") at δ — the
+// lookup serving layers use for motif fields in requests.
+func MotifByName(name string, delta Timestamp) (*Motif, error) {
+	for _, m := range temporal.EvaluationMotifs(delta) {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("mint: unknown motif %q (want M1..M4)", name)
+}
+
+// LoadSNAPFile reads a temporal graph in SNAP text format from a file.
+func LoadSNAPFile(path string) (*Graph, error) { return temporal.LoadSNAPFile(path) }
 
 // Count returns the exact number of δ-temporal motif instances of m in g,
 // using the sequential chronological edge-driven algorithm of Mackey et

@@ -73,7 +73,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/debug/vars\n", srv.Addr())
-		defer srv.Close()
+		// Drain rather than hard-close so a scrape racing process exit
+		// still completes (bounded).
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			srv.Shutdown(sctx) //nolint:errcheck // best-effort at exit
+		}()
 	}
 
 	runners := map[string]func(experiments.Config) error{

@@ -101,7 +101,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		// Drain, don't yank: the listener closes immediately but an
+		// in-flight /debug/vars scrape gets a bounded grace to finish.
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			srv.Shutdown(sctx) //nolint:errcheck // best-effort at exit
+		}()
 		fmt.Printf("obs: serving on http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr())
 	}
 	// One controller for the whole run: it carries the budget, the stop

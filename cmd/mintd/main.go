@@ -1,0 +1,170 @@
+// Command mintd is the long-lived temporal-motif mining service: the
+// serving layer over the exact miner, the PRESTO estimator, and the
+// fault-tolerant supervisor.
+//
+// Endpoints (JSON over HTTP):
+//
+//	POST /v1/count      — motif count: exact within budget, degraded
+//	                      ("degraded": true, engine "presto") past it
+//	POST /v1/enumerate  — concrete matches, bounded and paginated
+//	POST /v1/profile    — M1–M4 profile of a dataset
+//	GET  /healthz       — liveness (always 200 while the process runs)
+//	GET  /readyz        — readiness (503 once draining)
+//	GET  /debug/vars    — live expvar metrics; /debug/pprof/ alongside
+//
+// Robustness model: a bounded admission queue sheds excess load with
+// 429 + Retry-After (low-priority traffic first); every request runs
+// under a budget derived from its own timeout clamped by server caps;
+// repeated panics or injected faults trip a per-(dataset, motif)
+// circuit breaker that routes the workload to the sampling path until
+// it cools down; SIGTERM/SIGINT starts a graceful drain — readiness
+// flips, the queue empties, in-flight requests finish (or checkpoint,
+// for supervised requests) inside -drain-timeout, the obs report is
+// flushed, and the process exits 0.
+//
+// Usage:
+//
+//	mintd -listen :7465
+//	mintd -listen :7465 -scale 0.05 -inflight 8 -queue 32 -max-timeout 30s
+//	curl -s localhost:7465/v1/count -d '{"dataset":"wiki-talk","motif":"M1"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mint"
+	"mint/internal/obs"
+	"mint/internal/runctl"
+	"mint/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":7465", "serve the mining API on this address")
+	obsListen := flag.String("obs.listen", "", "serve a second expvar/pprof listener on this address (the main listener already exposes /debug/*)")
+	dataDir := flag.String("datadir", "", "directory with real SNAP dataset files (<name>.txt); synthetic generation otherwise")
+	scale := flag.Float64("scale", 0.01, "synthetic dataset scale (0,1]")
+	workers := flag.Int("workers", 0, "per-request mining parallelism (0 = GOMAXPROCS)")
+	inflight := flag.Int("inflight", 0, "max concurrently mining requests (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max waiting requests before load shedding (0 = 4x inflight)")
+	maxWait := flag.Duration("max-wait", 10*time.Second, "max time one request may wait in the admission queue")
+	defaultTimeout := flag.Duration("default-timeout", 10*time.Second, "budget for requests that send no timeout")
+	maxTimeout := flag.Duration("max-timeout", time.Minute, "hard cap on any request's timeout")
+	maxNodes := flag.Int64("max-nodes", 0, "hard cap on per-request search-tree expansions (0 = none)")
+	enumLimit := flag.Int("enumerate-max-limit", 1000, "max matches per enumerate page")
+	registryMax := flag.Int64("registry-max-bytes", 1<<30, "dataset cache watermark in bytes (0 = unbounded)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that trip a workload breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker degrades its workload")
+	checkpointDir := flag.String("checkpoint-dir", "", "enable supervised requests; checkpoints land here")
+	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=1,panic=0.01,sites=mackey\" (testing)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight requests after SIGTERM before their contexts are canceled")
+	reportPath := flag.String("report", "", "write the end-of-life RunReport JSON here on drain")
+	flag.Parse()
+
+	reg := obs.New("mintd")
+	cfg := server.Config{
+		DataDir:          *dataDir,
+		Scale:            *scale,
+		Workers:          *workers,
+		RegistryMaxBytes: *registryMax,
+		Caps: runctl.Caps{
+			DefaultTimeout: *defaultTimeout,
+			MaxTimeout:     *maxTimeout,
+			MaxNodes:       *maxNodes,
+		},
+		Admission: server.AdmissionConfig{
+			MaxInflight: *inflight,
+			MaxQueue:    *queue,
+			MaxWait:     *maxWait,
+		},
+		Breaker: server.BreakerConfig{
+			Threshold: *breakerThreshold,
+			Cooldown:  *breakerCooldown,
+		},
+		EnumerateMaxLimit: *enumLimit,
+		CheckpointDir:     *checkpointDir,
+		Obs:               reg,
+	}
+	if *chaosSpec != "" {
+		plan, err := mint.ParseChaosPlan(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Chaos = plan
+		fmt.Printf("mintd: chaos enabled: %s\n", plan)
+	}
+	srv := server.New(cfg)
+
+	// One mux: the API plus the obs debug endpoints, so a single port
+	// serves traffic, health, metrics, and profiles.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	obs.AttachDebug(mux, reg)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+	fmt.Printf("mintd: serving on http://%s (try /readyz, /debug/vars)\n", ln.Addr())
+
+	// Optional second listener, e.g. metrics on an internal-only port.
+	var obsSrv *obs.Server
+	if *obsListen != "" {
+		obsSrv, err = obs.Serve(*obsListen, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mintd: obs listener on http://%s/debug/vars\n", obsSrv.Addr())
+	}
+
+	// Wait for the drain signal.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	fmt.Printf("mintd: %s received, draining (grace %v)\n", sig, *drainTimeout)
+
+	// Drain ladder: stop admitting and finish (or checkpoint) in-flight
+	// work, then close the listeners, then flush the report. The order
+	// matters: readiness must flip before the listener dies so load
+	// balancers stop routing here, and the report must be last so it
+	// sees the drain counters.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "mintd: drain:", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "mintd: http shutdown:", err)
+	}
+	if err := obsSrv.Shutdown(shutCtx); err != nil { // nil-safe
+		fmt.Fprintln(os.Stderr, "mintd: obs shutdown:", err)
+	}
+	if *reportPath != "" {
+		if err := srv.BuildReport().WriteFile(*reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "mintd: report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mintd: report flushed to %s\n", *reportPath)
+	}
+	fmt.Println("mintd: drained, exiting")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mintd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,312 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"syscall"
+	"testing"
+	"time"
+
+	"mint"
+	"mint/internal/checkpoint"
+	"mint/internal/datasets"
+)
+
+// buildMintd compiles the mintd binary into dir and returns its path.
+func buildMintd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "mintd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+var servingRe = regexp.MustCompile(`serving on http://(\S+)`)
+
+// TestSIGTERMDrain is the end-to-end drain check on the real binary: a
+// supervised request is mid-flight when the process takes SIGTERM. The
+// server must exit 0 within the drain deadline, flush its RunReport,
+// and leave the client with either a complete exact answer or a loudly
+// truncated one whose checkpoint replays to the oracle count.
+func TestSIGTERMDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: builds a binary and runs a subprocess")
+	}
+	dir := t.TempDir()
+	bin := buildMintd(t, dir)
+	ckptDir := filepath.Join(dir, "ckpt")
+	if err := os.Mkdir(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	reportPath := filepath.Join(dir, "report.json")
+
+	// Every chunk sleeps 100ms, so the synthetic email-eu workload
+	// (~13 chunks at -workers 1) outlives the 1s drain grace by design.
+	cmd := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-workers", "1",
+		"-scale", "0.01",
+		"-checkpoint-dir", ckptDir,
+		"-report", reportPath,
+		"-chaos", "seed=1,delay=1.0,delaydur=100ms,sites=mackey.chunk",
+		"-drain-timeout", "1s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // backstop; normal path reaps via Wait
+
+	// The binary prints its bound address once the listener is up.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if m := servingRe.FindStringSubmatch(sc.Text()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("mintd never reported its listen address: %v", sc.Err())
+	}
+	go func() { // keep draining stdout so the child never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+	base := "http://" + addr
+
+	waitReady(t, base)
+
+	// Fire the slow supervised request and leave it in flight.
+	type result struct {
+		status int
+		resp   map[string]any
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		var r result
+		body, _ := json.Marshal(map[string]any{
+			"dataset": "email-eu", "motif": "M1", "supervised": true,
+			"timeout_ms": 60_000,
+		})
+		resp, err := http.Post(base+"/v1/count", "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.err = err
+		} else {
+			r.status = resp.StatusCode
+			r.err = json.NewDecoder(resp.Body).Decode(&r.resp)
+			resp.Body.Close()
+		}
+		done <- r
+	}()
+
+	// SIGTERM only after the checkpoint holds completed chunks, so the
+	// drain provably interrupts real work.
+	var ckptPath string
+	deadline := time.Now().Add(30 * time.Second)
+	for ckptPath == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("supervised request never produced a checkpoint with completed chunks")
+		}
+		time.Sleep(20 * time.Millisecond)
+		paths, _ := filepath.Glob(filepath.Join(ckptDir, "*.ckpt"))
+		for _, p := range paths {
+			if f, err := checkpoint.Load(p, ""); err == nil && f != nil && len(f.Chunks) >= 2 {
+				ckptPath = p
+			}
+		}
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The process must exit cleanly within the drain deadline (1s grace
+	// + HTTP shutdown + report flush; 15s is a generous ceiling).
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("mintd exited with error after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("mintd did not exit within 15s of SIGTERM")
+	}
+
+	// The report must have been flushed with the drain recorded.
+	rep, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("no report flushed on drain: %v", err)
+	}
+	if !bytes.Contains(rep, []byte("server.drain_done")) {
+		t.Errorf("report does not record the drain:\n%s", rep)
+	}
+
+	// The in-flight client must have gotten an honest answer.
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed outright: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request status %d, want 200 (body %v)", r.status, r.resp)
+	}
+
+	// Oracle: the same synthetic dataset the server loaded.
+	spec, err := datasets.ByName("email-eu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := datasets.Load(spec, "", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mint.M1(mint.DeltaHour)
+	want := mint.Count(g, m)
+
+	if exact, _ := r.resp["exact"].(bool); exact {
+		if got := int64(r.resp["count"].(float64)); got != want {
+			t.Fatalf("exact response count %d, oracle %d", got, want)
+		}
+		return
+	}
+	if truncated, _ := r.resp["truncated"].(bool); !truncated {
+		t.Fatalf("interrupted response neither exact nor truncated: %v", r.resp)
+	}
+	ckpt, _ := r.resp["checkpoint"].(string)
+	if ckpt == "" {
+		t.Fatalf("truncated supervised response has no checkpoint: %v", r.resp)
+	}
+	res, err := mint.CountResumeCtx(context.Background(), g, m, 4, mint.Budget{}, ckpt)
+	if err != nil {
+		t.Fatalf("resume from %s: %v", ckpt, err)
+	}
+	if res.Truncated || res.Matches != want {
+		t.Fatalf("resumed run: matches=%d truncated=%v, oracle %d", res.Matches, res.Truncated, want)
+	}
+	t.Logf("drain interrupted the request; checkpoint %s resumed to %d (oracle %d)", filepath.Base(ckpt), res.Matches, want)
+}
+
+// waitReady polls /readyz until the server answers 200.
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became ready: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestReadyzFlipsBeforeExit double-checks the drain ordering from the
+// outside: after SIGTERM the readiness probe must refuse before the
+// listener dies, so load balancers stop routing to a draining replica.
+func TestReadyzFlipsBeforeExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: builds a binary and runs a subprocess")
+	}
+	dir := t.TempDir()
+	bin := buildMintd(t, dir)
+	// The chunk delay keeps the held request alive through the drain
+	// window so the listener survives long enough to observe readiness.
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-drain-timeout", "5s",
+		"-workers", "1", "-scale", "0.01",
+		"-chaos", "seed=1,delay=1.0,delaydur=50ms,sites=mackey.chunk")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // backstop
+
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if m := servingRe.FindStringSubmatch(sc.Text()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("mintd never reported its listen address")
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	base := "http://" + addr
+	waitReady(t, base)
+
+	// Hold one slow-ish request so the listener survives the drain long
+	// enough to observe the flipped readiness.
+	hold := make(chan struct{})
+	go func() {
+		defer close(hold)
+		body, _ := json.Marshal(map[string]any{
+			"dataset": "email-eu", "motif": "M1", "timeout_ms": 3000,
+		})
+		resp, err := http.Post(base+"/v1/count", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the request enter the server
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			break // listener gone: drain finished
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			flipped = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	<-hold
+	if !flipped {
+		t.Error("readiness never flipped to 503 during drain")
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("mintd exited with error after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("mintd did not exit within 15s of SIGTERM")
+	}
+}

@@ -19,10 +19,20 @@ import (
 	"mint/internal/gpumodel"
 	"mint/internal/mackey"
 	hw "mint/internal/mint"
+	"mint/internal/obs"
 	"mint/internal/presto"
 	"mint/internal/runctl"
 	"mint/internal/task"
 )
+
+// ObsRegistry is the observability registry engines report into; see
+// internal/obs. Serving layers pass one through FallbackConfig.Obs (and
+// attach it to their HTTP debug endpoints) to attribute traffic to
+// engines.
+type ObsRegistry = obs.Registry
+
+// NewObsRegistry creates a named observability registry.
+func NewObsRegistry(name string) *ObsRegistry { return obs.New(name) }
 
 // Budget bounds the resources a mining run may consume: a wall-clock
 // Deadline, a MaxMatches cap, and a MaxNodes cap on expanded search-tree
@@ -102,6 +112,17 @@ func CountTaskQueueCtx(ctx context.Context, g *Graph, m *Motif, workers, context
 // reused across calls; copy it to retain.
 func EnumerateCtx(ctx context.Context, g *Graph, m *Motif, b Budget, visit func(edges []int32)) MineResult {
 	return mackey.MineCtx(ctx, g, m, mackey.Options{Probe: enumProbe{visit}}, b)
+}
+
+// EnumerateChaosCtx is EnumerateCtx with a fault-injection plan
+// installed on the run's controller (nil chaos behaves exactly like
+// EnumerateCtx). An injected fault stops the enumeration loudly:
+// Truncated=true with StopFaultInjected, matches streamed so far intact
+// — the serving layer's "never silently wrong" contract depends on it.
+func EnumerateChaosCtx(ctx context.Context, g *Graph, m *Motif, b Budget, chaos *ChaosPlan, visit func(edges []int32)) MineResult {
+	ctl := runctl.New(ctx, b)
+	ctl.SetFaultPlan(chaos)
+	return mackey.MineCtx(ctx, g, m, mackey.Options{Probe: enumProbe{visit}, Ctl: ctl}, b)
 }
 
 // EstimateApproxCtx is EstimateApprox with cancellation: the sampler
@@ -189,7 +210,26 @@ type FallbackConfig struct {
 	// Approx configures the PRESTO estimator used when the exact attempt
 	// is cut short. The zero value means DefaultApproxConfig().
 	Approx ApproxConfig
+	// Chaos, when non-nil, installs a fault-injection plan on the exact
+	// stage's controller (the estimator stage has no injection sites), so
+	// robustness tests exercise the degradation ladder deterministically.
+	Chaos *ChaosPlan
+	// Obs, when non-nil, receives per-engine outcome counters
+	// (fallback.exact / fallback.presto / fallback.partial), so serving
+	// layers can see which engine is actually answering traffic.
+	Obs *obs.Registry
 }
+
+// Engines a FallbackResult can report in its Engine field.
+const (
+	// EngineExact: the exact parallel miner completed within budget.
+	EngineExact = "exact"
+	// EnginePresto: the PRESTO sampling estimator produced the answer.
+	EnginePresto = "presto"
+	// EnginePartial: neither completed; Count is the exact stage's
+	// partial lower bound.
+	EnginePartial = "partial"
+)
 
 // FallbackResult is CountWithFallback's outcome.
 type FallbackResult struct {
@@ -201,6 +241,9 @@ type FallbackResult struct {
 	Exact bool
 	// Approximate reports that Count is the sampling estimate.
 	Approximate bool
+	// Engine names the engine that produced Count: EngineExact,
+	// EnginePresto, or EnginePartial.
+	Engine string
 	// ExactPartial is the exact miner's (possibly partial) match count;
 	// always a valid lower bound on the true count.
 	ExactPartial int64
@@ -220,29 +263,38 @@ func CountWithFallback(ctx context.Context, g *Graph, m *Motif, cfg FallbackConf
 	if cfg.Approx.Windows == 0 {
 		cfg.Approx = DefaultApproxConfig()
 	}
-	res, err := mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: cfg.Workers}, cfg.Budget)
-	out := FallbackResult{ExactResult: res, ExactPartial: res.Matches}
+	ctl := runctl.New(ctx, cfg.Budget)
+	ctl.SetFaultPlan(cfg.Chaos)
+	res, err := mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: cfg.Workers, Ctl: ctl}, cfg.Budget)
+	out := FallbackResult{ExactResult: res, ExactPartial: res.Matches, Engine: EnginePartial}
 	if err != nil {
+		cfg.Obs.Counter("fallback.error").Add(1)
 		return out, err
 	}
 	if !res.Truncated {
 		out.Exact = true
+		out.Engine = EngineExact
 		out.Count = float64(res.Matches)
+		cfg.Obs.Counter("fallback.exact").Add(1)
 		return out, nil
 	}
 	ares, err := presto.EstimateCtx(ctx, g, m, cfg.Approx)
 	out.ApproxResult = ares
 	if err != nil {
+		cfg.Obs.Counter("fallback.error").Add(1)
 		return out, err
 	}
 	if ares.WindowsRun == 0 {
 		// The context died before a single window completed: the partial
 		// exact count is the only usable answer.
 		out.Count = float64(res.Matches)
+		cfg.Obs.Counter("fallback.partial").Add(1)
 		return out, nil
 	}
 	out.Approximate = true
+	out.Engine = EnginePresto
 	out.Count = ares.Estimate
+	cfg.Obs.Counter("fallback.presto").Add(1)
 	// The exact partial count is a proven lower bound; on heavy-tailed
 	// graphs a small window sample can estimate below it. Never report an
 	// answer we already know is too low.

@@ -135,6 +135,56 @@ func TestCountWithFallbackApproximatePath(t *testing.T) {
 	}
 }
 
+// TestCountWithFallbackEngineAttribution: every fallback outcome names
+// the engine that answered and bumps the matching obs counter, so a
+// serving layer can prove from metrics which path traffic took.
+func TestCountWithFallbackEngineAttribution(t *testing.T) {
+	g, m := denseTestGraph()
+	reg := NewObsRegistry("fallback_test")
+
+	res, err := CountWithFallback(context.Background(), g, m, FallbackConfig{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != EngineExact {
+		t.Fatalf("Engine = %q, want %q", res.Engine, EngineExact)
+	}
+	if got := reg.Counter("fallback.exact").Value(); got != 1 {
+		t.Fatalf("fallback.exact = %d, want 1", got)
+	}
+
+	cfg := FallbackConfig{
+		Budget: Budget{MaxNodes: 1},
+		Approx: ApproxConfig{Windows: 4, C: 1.25, Seed: 3},
+		Obs:    reg,
+	}
+	res, err = CountWithFallback(context.Background(), g, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != EnginePresto {
+		t.Fatalf("Engine = %q, want %q", res.Engine, EnginePresto)
+	}
+	if got := reg.Counter("fallback.presto").Value(); got != 1 {
+		t.Fatalf("fallback.presto = %d, want 1", got)
+	}
+
+	// A context that is already dead before the estimator can run a
+	// single window leaves only the partial lower bound.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = CountWithFallback(ctx, g, m, FallbackConfig{Budget: Budget{MaxNodes: 1}, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != EnginePartial {
+		t.Fatalf("Engine = %q, want %q", res.Engine, EnginePartial)
+	}
+	if got := reg.Counter("fallback.partial").Value(); got != 1 {
+		t.Fatalf("fallback.partial = %d, want 1", got)
+	}
+}
+
 func TestEstimateApproxCtxCanceled(t *testing.T) {
 	g, m := denseTestGraph()
 	ctx, cancel := context.WithCancel(context.Background())

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -25,6 +26,23 @@ func Publish(r *Registry) {
 	expvar.Publish(r.Name(), expvar.Func(func() any { return r.Snapshot() }))
 }
 
+// AttachDebug publishes the registries and mounts the observability
+// endpoints — expvar-compatible JSON at /debug/vars and the full
+// net/http/pprof suite at /debug/pprof/ — on an existing mux, so a
+// long-lived server (mintd) can expose them on its own listener instead
+// of running a second one.
+func AttachDebug(mux *http.ServeMux, regs ...*Registry) {
+	for _, r := range regs {
+		Publish(r)
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // Server is a live observability endpoint: expvar-compatible JSON at
 // /debug/vars (the published registries folded on every request) plus
 // the full net/http/pprof suite at /debug/pprof/.
@@ -35,18 +53,10 @@ type Server struct {
 
 // Serve publishes the given registries and starts an HTTP server on
 // addr (":0" picks a free port; query Addr for the binding). The server
-// runs until Close.
+// runs until Close or Shutdown.
 func Serve(addr string, regs ...*Registry) (*Server, error) {
-	for _, r := range regs {
-		Publish(r)
-	}
 	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	AttachDebug(mux, regs...)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -59,5 +69,17 @@ func Serve(addr string, regs ...*Registry) (*Server, error) {
 // Addr returns the server's bound address ("127.0.0.1:41234").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Close stops the server immediately, dropping in-flight scrapes.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown closes the listener and then waits for in-flight scrapes to
+// finish (bounded by ctx) — the drain-path counterpart of Close, so a
+// process exiting cleanly never yanks a half-written /debug/vars
+// response or leaks the listener. Safe to call after Close. Nil-safe:
+// callers that may not have started a server can call it untested.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"testing"
+	"time"
 )
 
 // TestServeExpvarSnapshot starts the observability server on a free
@@ -64,6 +66,32 @@ func TestServeExpvarSnapshot(t *testing.T) {
 	pp.Body.Close()
 	if pp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof index status %d", pp.StatusCode)
+	}
+}
+
+// TestServeShutdown: Shutdown closes the listener (new connections are
+// refused) and returns cleanly; a second Shutdown and a nil-receiver
+// Shutdown are both no-ops.
+func TestServeShutdown(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", New("shutdown_test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/debug/vars"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+	if err := srv.Shutdown(ctx); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Shutdown(ctx); err != nil {
+		t.Fatalf("nil Shutdown: %v", err)
 	}
 }
 

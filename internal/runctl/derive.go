@@ -1,0 +1,87 @@
+package runctl
+
+// Server-side budget derivation. A serving layer cannot trust the
+// budgets clients ask for: an unbounded request would pin a worker pool
+// forever, and a too-generous one starves the admission queue behind it.
+// Caps describes the server's hard ceilings; DeriveBudget folds a
+// client's requested bounds into them so every admitted request carries
+// a budget the operator has signed off on, regardless of what the
+// client sent.
+
+import "time"
+
+// Caps are a server's per-request resource ceilings. Zero fields mean
+// "no cap" for that dimension, except DefaultTimeout which is the
+// timeout applied when the client requests none (so a server with caps
+// never runs an unbounded request by accident).
+type Caps struct {
+	// DefaultTimeout bounds requests that ask for no timeout at all.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps the client-requested timeout from above.
+	MaxTimeout time.Duration
+	// MaxMatches and MaxNodes clamp the corresponding Budget fields.
+	MaxMatches int64
+	MaxNodes   int64
+}
+
+// minPositive returns the smaller of two bounds where 0 means
+// "unbounded": the result is 0 only when both are.
+func minPositive(a, b int64) int64 {
+	switch {
+	case a <= 0:
+		return b
+	case b <= 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+// DeriveBudget builds the effective Budget for one admitted request:
+// the client's requested timeout and match/node bounds (zero = none
+// requested) intersected with the server's caps, anchored at now.
+//
+// The timeout rules: a requested timeout is clamped to Caps.MaxTimeout;
+// no requested timeout means Caps.DefaultTimeout (clamped the same
+// way); if neither yields a positive duration the budget carries no
+// deadline. Match and node bounds take the tighter of the request and
+// the cap.
+func DeriveBudget(now time.Time, clientTimeout time.Duration, want Budget, caps Caps) Budget {
+	b := Budget{
+		MaxMatches: minPositive(want.MaxMatches, caps.MaxMatches),
+		MaxNodes:   minPositive(want.MaxNodes, caps.MaxNodes),
+	}
+	timeout := clientTimeout
+	if timeout <= 0 {
+		timeout = caps.DefaultTimeout
+	}
+	if caps.MaxTimeout > 0 && (timeout <= 0 || timeout > caps.MaxTimeout) {
+		timeout = caps.MaxTimeout
+	}
+	if timeout > 0 {
+		b.Deadline = now.Add(timeout)
+	}
+	// A client-supplied absolute deadline (rare; the HTTP layer speaks
+	// timeouts) still participates: keep the earlier of the two.
+	if !want.Deadline.IsZero() && (b.Deadline.IsZero() || want.Deadline.Before(b.Deadline)) {
+		b.Deadline = want.Deadline
+	}
+	return b
+}
+
+// TimeoutFrom returns the wall-clock headroom the budget leaves from
+// now (0 when the budget has no deadline; a negative remainder clamps
+// to a minimal positive duration so contexts built from it expire
+// immediately rather than never).
+func TimeoutFrom(now time.Time, b Budget) time.Duration {
+	if b.Deadline.IsZero() {
+		return 0
+	}
+	d := b.Deadline.Sub(now)
+	if d <= 0 {
+		return time.Nanosecond
+	}
+	return d
+}

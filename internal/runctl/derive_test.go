@@ -1,0 +1,82 @@
+package runctl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeriveBudgetTimeouts(t *testing.T) {
+	now := time.Unix(1000, 0)
+	caps := Caps{DefaultTimeout: 5 * time.Second, MaxTimeout: 30 * time.Second}
+
+	cases := []struct {
+		name   string
+		client time.Duration
+		want   time.Duration
+	}{
+		{"none requested uses default", 0, 5 * time.Second},
+		{"in range passes through", 10 * time.Second, 10 * time.Second},
+		{"over cap clamps", time.Hour, 30 * time.Second},
+	}
+	for _, tc := range cases {
+		b := DeriveBudget(now, tc.client, Budget{}, caps)
+		if got := b.Deadline.Sub(now); got != tc.want {
+			t.Errorf("%s: deadline headroom = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDeriveBudgetNoCapsNoTimeout(t *testing.T) {
+	b := DeriveBudget(time.Unix(1000, 0), 0, Budget{}, Caps{})
+	if !b.Deadline.IsZero() {
+		t.Errorf("no caps, no request: deadline = %v, want zero", b.Deadline)
+	}
+	if !b.Unlimited() {
+		t.Errorf("derived budget should be unlimited, got %+v", b)
+	}
+}
+
+func TestDeriveBudgetUncappedServerHonorsClient(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := DeriveBudget(now, 7*time.Second, Budget{}, Caps{})
+	if got := b.Deadline.Sub(now); got != 7*time.Second {
+		t.Errorf("deadline headroom = %v, want 7s", got)
+	}
+}
+
+func TestDeriveBudgetMatchNodeCaps(t *testing.T) {
+	caps := Caps{MaxMatches: 100, MaxNodes: 1000}
+	b := DeriveBudget(time.Now(), 0, Budget{MaxMatches: 50, MaxNodes: 5000}, caps)
+	if b.MaxMatches != 50 {
+		t.Errorf("MaxMatches = %d, want tighter client bound 50", b.MaxMatches)
+	}
+	if b.MaxNodes != 1000 {
+		t.Errorf("MaxNodes = %d, want cap 1000", b.MaxNodes)
+	}
+	b = DeriveBudget(time.Now(), 0, Budget{}, caps)
+	if b.MaxMatches != 100 || b.MaxNodes != 1000 {
+		t.Errorf("unrequested bounds should fall back to caps, got %+v", b)
+	}
+}
+
+func TestDeriveBudgetClientAbsoluteDeadlineWins(t *testing.T) {
+	now := time.Unix(1000, 0)
+	early := now.Add(2 * time.Second)
+	b := DeriveBudget(now, 10*time.Second, Budget{Deadline: early}, Caps{MaxTimeout: time.Minute})
+	if !b.Deadline.Equal(early) {
+		t.Errorf("deadline = %v, want earlier client deadline %v", b.Deadline, early)
+	}
+}
+
+func TestTimeoutFrom(t *testing.T) {
+	now := time.Unix(1000, 0)
+	if d := TimeoutFrom(now, Budget{}); d != 0 {
+		t.Errorf("no deadline: TimeoutFrom = %v, want 0", d)
+	}
+	if d := TimeoutFrom(now, Budget{Deadline: now.Add(3 * time.Second)}); d != 3*time.Second {
+		t.Errorf("TimeoutFrom = %v, want 3s", d)
+	}
+	if d := TimeoutFrom(now, Budget{Deadline: now.Add(-time.Second)}); d != time.Nanosecond {
+		t.Errorf("expired deadline: TimeoutFrom = %v, want 1ns", d)
+	}
+}

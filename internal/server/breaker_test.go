@@ -1,0 +1,107 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// testBreaker returns a breaker group on an injected clock; advance the
+// returned *time.Time to move it.
+func testBreaker(cfg BreakerConfig) (*breakerGroup, *time.Time) {
+	now := time.Unix(1_000_000, 0)
+	b := newBreakerGroup(cfg, nil)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Minute})
+	const key = "wiki-talk/M1"
+
+	for i := 0; i < 2; i++ {
+		b.Record(key, false)
+		if got := b.Acquire(key); got != Allow {
+			t.Fatalf("after %d failures: decision %v, want Allow", i+1, got)
+		}
+	}
+	b.Record(key, false)
+	if got := b.Acquire(key); got != Degrade {
+		t.Fatalf("after threshold failures: decision %v, want Degrade", got)
+	}
+	if !b.Open(key) {
+		t.Error("Open() = false for a tripped key")
+	}
+	if b.Open("other/M2") {
+		t.Error("tripping one key opened another")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Minute})
+	const key = "stack-overflow/M3"
+
+	b.Record(key, false)
+	b.Record(key, true) // interleaved success: consecutive count resets
+	b.Record(key, false)
+	if got := b.Acquire(key); got != Allow {
+		t.Fatalf("non-consecutive failures tripped the breaker: %v", got)
+	}
+}
+
+func TestBreakerHalfOpenTrialCloses(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{Threshold: 1, Cooldown: 30 * time.Second})
+	const key = "email-eu/M1"
+
+	b.Record(key, false) // trip
+	if got := b.Acquire(key); got != Degrade {
+		t.Fatalf("open breaker: decision %v, want Degrade", got)
+	}
+
+	*now = now.Add(31 * time.Second) // cooldown over
+	if got := b.Acquire(key); got != Trial {
+		t.Fatalf("after cooldown: decision %v, want Trial", got)
+	}
+	// While the probe is in flight everyone else still degrades.
+	if got := b.Acquire(key); got != Degrade {
+		t.Fatalf("during trial: decision %v, want Degrade", got)
+	}
+
+	b.Record(key, true) // probe succeeded: closed
+	if got := b.Acquire(key); got != Allow {
+		t.Fatalf("after successful trial: decision %v, want Allow", got)
+	}
+	if b.Open(key) {
+		t.Error("Open() = true after the breaker closed")
+	}
+}
+
+func TestBreakerHalfOpenTrialFailureReopens(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{Threshold: 1, Cooldown: 30 * time.Second})
+	const key = "reddit/M4"
+
+	b.Record(key, false)
+	*now = now.Add(31 * time.Second)
+	if got := b.Acquire(key); got != Trial {
+		t.Fatalf("after cooldown: decision %v, want Trial", got)
+	}
+	b.Record(key, false) // probe failed: straight back to open
+	if got := b.Acquire(key); got != Degrade {
+		t.Fatalf("after failed trial: decision %v, want Degrade", got)
+	}
+	// A full fresh cooldown applies from the failed probe.
+	*now = now.Add(29 * time.Second)
+	if got := b.Acquire(key); got != Degrade {
+		t.Fatalf("mid second cooldown: decision %v, want Degrade", got)
+	}
+	*now = now.Add(2 * time.Second)
+	if got := b.Acquire(key); got != Trial {
+		t.Fatalf("after second cooldown: decision %v, want Trial", got)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.normalized()
+	if cfg.Threshold != 3 || cfg.Cooldown != 30*time.Second {
+		t.Errorf("normalized zero config = %+v, want Threshold 3, Cooldown 30s", cfg)
+	}
+}

@@ -1,0 +1,546 @@
+package server
+
+// HTTP surface of mintd. Each mining endpoint runs the same ladder:
+// decode → admission (shed early, honestly) → budget derivation →
+// dataset registry → breaker routing → engine → response with explicit
+// exactness/degradation/truncation markers.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"mint"
+	"mint/internal/runctl"
+)
+
+// API request/response shapes -------------------------------------------
+
+// CountRequest asks for a motif count on a registered dataset.
+type CountRequest struct {
+	// Dataset names a Table I dataset ("wiki-talk", "wt", ...).
+	Dataset string `json:"dataset"`
+	// Motif names an evaluation motif (M1..M4); MotifSpec, when set,
+	// wins and carries the compact syntax ("A->B;B->C;C->A").
+	Motif     string `json:"motif,omitempty"`
+	MotifSpec string `json:"motif_spec,omitempty"`
+	// DeltaSeconds is the motif window δ (0 = one hour).
+	DeltaSeconds int64 `json:"delta_seconds,omitempty"`
+	// TimeoutMS is the client's wall-clock budget; the server clamps it
+	// to its own caps.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxMatches / MaxNodes tighten the derived budget further.
+	MaxMatches int64 `json:"max_matches,omitempty"`
+	MaxNodes   int64 `json:"max_nodes,omitempty"`
+	// Priority is "low", "normal" (default), or "high" — the
+	// load-shedding tier, not a scheduling weight.
+	Priority string `json:"priority,omitempty"`
+	// Supervised runs the fault-tolerant checkpointing miner; requires
+	// the server to be configured with a checkpoint directory.
+	Supervised bool `json:"supervised,omitempty"`
+}
+
+// CountResponse is the answer. Exactly one of these holds: Exact
+// (engine "exact"), Degraded (engine "presto", estimate), or Truncated
+// (partial lower bound, stop reason named).
+type CountResponse struct {
+	Count    float64 `json:"count"`
+	Exact    bool    `json:"exact"`
+	Degraded bool    `json:"degraded"`
+	// Engine names the producer: "exact", "presto", or "partial".
+	Engine     string `json:"engine"`
+	Truncated  bool   `json:"truncated,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
+	// ExactPartial is the exact stage's partial count — always a valid
+	// lower bound, even on degraded answers.
+	ExactPartial int64 `json:"exact_partial"`
+	// Checkpoint is the server-side checkpoint path of a supervised
+	// request (resume evidence after a drain).
+	Checkpoint string  `json:"checkpoint,omitempty"`
+	WallMS     float64 `json:"wall_ms"`
+}
+
+// EnumerateRequest asks for concrete matches, paginated.
+type EnumerateRequest struct {
+	Dataset      string `json:"dataset"`
+	Motif        string `json:"motif,omitempty"`
+	MotifSpec    string `json:"motif_spec,omitempty"`
+	DeltaSeconds int64  `json:"delta_seconds,omitempty"`
+	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
+	Priority     string `json:"priority,omitempty"`
+	// Limit is the page size (required; clamped to the server cap).
+	Limit int `json:"limit"`
+	// PageToken resumes a previous enumeration (opaque; returned as
+	// NextPageToken). Enumeration order is deterministic, so a token is
+	// stable across requests.
+	PageToken string `json:"page_token,omitempty"`
+}
+
+// EnumerateResponse carries one page of matches (each match is the
+// motif-ordered list of graph edge IDs).
+type EnumerateResponse struct {
+	Matches       [][]int32 `json:"matches"`
+	NextPageToken string    `json:"next_page_token,omitempty"`
+	Truncated     bool      `json:"truncated,omitempty"`
+	StopReason    string    `json:"stop_reason,omitempty"`
+	WallMS        float64   `json:"wall_ms"`
+}
+
+// ProfileRequest asks for the M1–M4 motif profile of a dataset.
+type ProfileRequest struct {
+	Dataset      string `json:"dataset"`
+	DeltaSeconds int64  `json:"delta_seconds,omitempty"`
+	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
+	Priority     string `json:"priority,omitempty"`
+}
+
+// ProfileEntry is one motif's row in a profile.
+type ProfileEntry struct {
+	Motif      string  `json:"motif"`
+	Spec       string  `json:"spec"`
+	Count      int64   `json:"count"`
+	Density    float64 `json:"density"`
+	Truncated  bool    `json:"truncated,omitempty"`
+	StopReason string  `json:"stop_reason,omitempty"`
+}
+
+// ProfileResponse is the full profile.
+type ProfileResponse struct {
+	Profile []ProfileEntry `json:"profile"`
+	WallMS  float64        `json:"wall_ms"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// Routing ----------------------------------------------------------------
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/count", s.instrument("count", s.handleCount))
+	s.mux.HandleFunc("POST /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
+	s.mux.HandleFunc("POST /v1/profile", s.instrument("profile", s.handleProfile))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+}
+
+// instrument wraps a mining handler with in-flight registration,
+// per-endpoint metrics, and a panic backstop (a handler bug becomes a
+// 500 and a counter, never a dead process).
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		done, ok := s.beginRequest()
+		if !ok {
+			s.obs.Counter("http." + name + ".rejected_draining").Add(1)
+			writeError(w, http.StatusServiceUnavailable, "server is draining", RetryAfterSeconds(30*time.Second))
+			return
+		}
+		defer done()
+		start := time.Now()
+		s.obs.Counter("http." + name + ".requests").Add(1)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.obs.Counter("http." + name + ".panics").Add(1)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec), 0)
+			}
+			s.obs.Histogram("http." + name + ".latency_ns").Observe(int64(time.Since(start)))
+		}()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone = nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, status, ErrorResponse{Error: msg, RetryAfterSeconds: retryAfter})
+}
+
+// admit runs the admission ladder and writes the shed/timeout responses
+// itself; a nil release means the response is already written.
+func (s *Server) admit(w http.ResponseWriter, ctx context.Context, priority string, endpoint string) (func(), bool) {
+	pri, err := ParsePriority(priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return nil, false
+	}
+	release, err := s.adm.Acquire(ctx, pri)
+	if err == nil {
+		return release, true
+	}
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		s.obs.Counter("http." + endpoint + ".shed").Add(1)
+		writeError(w, http.StatusTooManyRequests, err.Error(), RetryAfterSeconds(shed.RetryAfter))
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(30*time.Second))
+	default: // queue timeout or client context expiry
+		s.obs.Counter("http." + endpoint + ".queue_timeout").Add(1)
+		writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(s.adm.RetryAfter()))
+	}
+	return nil, false
+}
+
+// loadWorkload resolves the dataset and motif; it writes its own error
+// responses (400 for caller mistakes, 503 for environment failures).
+func (s *Server) loadWorkload(w http.ResponseWriter, ctx context.Context, dataset, motifName, motifSpec string, deltaSeconds int64) (*mint.Graph, *mint.Motif, bool) {
+	if dataset == "" {
+		writeError(w, http.StatusBadRequest, "dataset is required", 0)
+		return nil, nil, false
+	}
+	delta := mint.Timestamp(deltaSeconds)
+	if delta <= 0 {
+		delta = mint.DeltaHour
+	}
+	var m *mint.Motif
+	var err error
+	if motifSpec != "" {
+		m, err = mint.ParseMotif("custom", delta, motifSpec)
+	} else {
+		name := motifName
+		if name == "" {
+			name = "M1"
+		}
+		m, err = mint.MotifByName(name, delta)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return nil, nil, false
+	}
+	g, err := s.data.Get(ctx, dataset)
+	if err != nil {
+		if errors.Is(err, ErrUnknownDataset) {
+			writeError(w, http.StatusBadRequest, err.Error(), 0)
+		} else {
+			writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(5*time.Second))
+		}
+		return nil, nil, false
+	}
+	return g, m, true
+}
+
+// workloadKey is the breaker key: dataset × motif class. Named motifs
+// class by name; custom specs by their canonical edge syntax, so two
+// spellings of one motif share a breaker.
+func workloadKey(dataset string, m *mint.Motif) string {
+	if m.Name != "" && m.Name != "custom" {
+		return dataset + "/" + m.Name
+	}
+	return dataset + "/custom:" + m.String()
+}
+
+// budgetFor derives the request's budget and mining context. The
+// returned exact budget leaves a quarter of the wall headroom for the
+// estimator stage, mirroring the CLI fallback split.
+func (s *Server) budgetFor(ctx context.Context, timeoutMS, maxMatches, maxNodes int64) (mineCtx context.Context, cancel func(), full, exact runctl.Budget) {
+	now := time.Now()
+	full = runctl.DeriveBudget(now, time.Duration(timeoutMS)*time.Millisecond,
+		runctl.Budget{MaxMatches: maxMatches, MaxNodes: maxNodes}, s.cfg.Caps)
+	exact = full
+	if headroom := runctl.TimeoutFrom(now, full); headroom > 0 {
+		exact.Deadline = now.Add(headroom * 3 / 4)
+		mineCtx, cancel = context.WithDeadline(ctx, full.Deadline)
+		return mineCtx, cancel, full, exact
+	}
+	return ctx, func() {}, full, exact
+}
+
+// Handlers ---------------------------------------------------------------
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req CountRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	ctx, cleanup := s.requestCtx(r)
+	defer cleanup()
+	release, ok := s.admit(w, ctx, req.Priority, "count")
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	mineCtx, cancel, _, exactBudget := s.budgetFor(ctx, req.TimeoutMS, req.MaxMatches, req.MaxNodes)
+	defer cancel()
+	g, m, ok := s.loadWorkload(w, mineCtx, req.Dataset, req.Motif, req.MotifSpec, req.DeltaSeconds)
+	if !ok {
+		return
+	}
+	key := workloadKey(req.Dataset, m)
+
+	if req.Supervised {
+		s.handleCountSupervised(w, mineCtx, g, m, key, exactBudget, start)
+		return
+	}
+
+	decision := s.brk.Acquire(key)
+	if decision == Degrade {
+		s.serveDegraded(w, mineCtx, g, m, start)
+		return
+	}
+	res, err := mint.CountWithFallback(mineCtx, g, m, mint.FallbackConfig{
+		Budget:  exactBudget,
+		Workers: s.cfg.Workers,
+		Chaos:   s.cfg.Chaos,
+		Obs:     s.obs,
+	})
+	if err != nil || res.ExactResult.StopReason == mint.StopFaultInjected {
+		// A panic or injected fault is breaker evidence even when the
+		// estimator still salvaged an answer.
+		s.brk.Record(key, false)
+	} else {
+		s.brk.Record(key, true)
+	}
+	if err != nil {
+		// The exact engine died (worker panic). Serve the degraded path
+		// rather than surfacing an opaque 500: the client gets an
+		// explicit estimate or a clean 503.
+		s.obs.Counter("server.exact_failed").Add(1)
+		s.serveDegraded(w, mineCtx, g, m, start)
+		return
+	}
+	writeJSON(w, http.StatusOK, countResponse(res, start))
+}
+
+// countResponse maps a FallbackResult onto the wire contract.
+func countResponse(res mint.FallbackResult, start time.Time) CountResponse {
+	out := CountResponse{
+		Count:        res.Count,
+		Exact:        res.Exact,
+		Degraded:     res.Approximate,
+		Engine:       res.Engine,
+		ExactPartial: res.ExactPartial,
+		WallMS:       float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if !res.Exact && !res.Approximate {
+		out.Truncated = true
+		out.StopReason = res.ExactResult.StopReason.String()
+	}
+	return out
+}
+
+// serveDegraded is the breaker-open (or exact-engine-failed) path: the
+// fallback ladder with a token exact budget, so the answer comes from
+// PRESTO unless the workload is trivially small. Every success is
+// marked "degraded" unless the tiny exact attempt actually completed.
+func (s *Server) serveDegraded(w http.ResponseWriter, ctx context.Context, g *mint.Graph, m *mint.Motif, start time.Time) {
+	s.obs.Counter("server.degraded_served").Add(1)
+	res, err := mint.CountWithFallback(ctx, g, m, mint.FallbackConfig{
+		// One checkpoint quantum of exact work: enough to answer tiny
+		// workloads exactly, cheap enough to not matter when it truncates.
+		Budget:  runctl.Budget{MaxNodes: runctl.CheckInterval},
+		Workers: 1,
+		Obs:     s.obs,
+	})
+	if err != nil {
+		s.obs.Counter("server.degraded_failed").Add(1)
+		writeError(w, http.StatusServiceUnavailable,
+			"degraded path failed: "+err.Error(), RetryAfterSeconds(s.adm.RetryAfter()))
+		return
+	}
+	writeJSON(w, http.StatusOK, countResponse(res, start))
+}
+
+// handleCountSupervised runs the checkpointing miner so a drain (or
+// crash) mid-request leaves resumable evidence instead of lost work.
+func (s *Server) handleCountSupervised(w http.ResponseWriter, ctx context.Context, g *mint.Graph, m *mint.Motif, key string, b runctl.Budget, start time.Time) {
+	if s.cfg.CheckpointDir == "" {
+		writeError(w, http.StatusBadRequest, "supervised requests need a server checkpoint dir (-checkpoint-dir)", 0)
+		return
+	}
+	path := filepath.Join(s.cfg.CheckpointDir,
+		fmt.Sprintf("req-%d-%s.ckpt", s.reqSeq.Add(1), sanitizeKey(key)))
+	res, err := mint.CountSupervisedCtx(ctx, g, m, s.cfg.Workers, b,
+		mint.SupervisorConfig{CheckpointPath: path}, s.cfg.Chaos)
+	if err != nil {
+		s.brk.Record(key, false)
+		writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(s.adm.RetryAfter()))
+		return
+	}
+	s.brk.Record(key, res.StopReason != mint.StopFaultInjected && len(res.Poisoned) == 0)
+	out := CountResponse{
+		Count:        float64(res.Matches),
+		Exact:        !res.Truncated,
+		Engine:       mint.EngineExact,
+		ExactPartial: res.Matches,
+		Checkpoint:   path,
+		WallMS:       float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if res.Truncated {
+		out.Engine = mint.EnginePartial
+		out.Truncated = true
+		out.StopReason = res.StopReason.String()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	var req EnumerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	if req.Limit <= 0 {
+		writeError(w, http.StatusBadRequest, "limit must be positive", 0)
+		return
+	}
+	if req.Limit > s.cfg.EnumerateMaxLimit {
+		req.Limit = s.cfg.EnumerateMaxLimit
+	}
+	offset := int64(0)
+	if req.PageToken != "" {
+		var err error
+		offset, err = strconv.ParseInt(req.PageToken, 10, 64)
+		if err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, "malformed page_token", 0)
+			return
+		}
+	}
+	ctx, cleanup := s.requestCtx(r)
+	defer cleanup()
+	release, ok := s.admit(w, ctx, req.Priority, "enumerate")
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	mineCtx, cancel, full, _ := s.budgetFor(ctx, req.TimeoutMS, 0, 0)
+	defer cancel()
+	g, m, ok := s.loadWorkload(w, mineCtx, req.Dataset, req.Motif, req.MotifSpec, req.DeltaSeconds)
+	if !ok {
+		return
+	}
+	key := workloadKey(req.Dataset, m)
+	if s.brk.Acquire(key) == Degrade {
+		// Enumeration has no sampling fallback: shed cleanly while the
+		// breaker cools down rather than burn a slot on a likely panic.
+		s.obs.Counter("server.enumerate_degraded_unavailable").Add(1)
+		writeError(w, http.StatusServiceUnavailable,
+			"workload breaker open and enumeration has no degraded mode", RetryAfterSeconds(s.adm.RetryAfter()))
+		return
+	}
+
+	// Pagination rides the deterministic chronological search order: the
+	// budget stops the walk at offset+limit matches, and the first
+	// offset are skipped as they stream by.
+	b := full
+	b.MaxMatches = offset + int64(req.Limit)
+	matches := make([][]int32, 0, req.Limit)
+	var seen int64
+	res := mint.EnumerateChaosCtx(mineCtx, g, m, b, s.cfg.Chaos, func(edges []int32) {
+		seen++
+		if seen <= offset {
+			return
+		}
+		if int64(len(matches)) < int64(req.Limit) {
+			matches = append(matches, append([]int32(nil), edges...))
+		}
+	})
+	s.brk.Record(key, res.StopReason != mint.StopFaultInjected)
+	out := EnumerateResponse{
+		Matches: matches,
+		WallMS:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	switch {
+	case res.Truncated && res.StopReason == mint.StopMatchBudget:
+		// The page filled: not a truncation, just the next page.
+		out.NextPageToken = strconv.FormatInt(offset+int64(len(matches)), 10)
+	case res.Truncated:
+		out.Truncated = true
+		out.StopReason = res.StopReason.String()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req ProfileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	ctx, cleanup := s.requestCtx(r)
+	defer cleanup()
+	release, ok := s.admit(w, ctx, req.Priority, "profile")
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	mineCtx, cancel, full, _ := s.budgetFor(ctx, req.TimeoutMS, 0, 0)
+	defer cancel()
+	g, _, ok := s.loadWorkload(w, mineCtx, req.Dataset, "M1", "", req.DeltaSeconds)
+	if !ok {
+		return
+	}
+	delta := mint.Timestamp(req.DeltaSeconds)
+	if delta <= 0 {
+		delta = mint.DeltaHour
+	}
+	counts, err := mint.ProfileCtx(mineCtx, g, mint.EvaluationMotifs(delta), s.cfg.Workers, full)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(s.adm.RetryAfter()))
+		return
+	}
+	out := ProfileResponse{WallMS: float64(time.Since(start).Microseconds()) / 1000}
+	for _, c := range counts {
+		e := ProfileEntry{
+			Motif:     c.Motif.Name,
+			Spec:      c.Motif.String(),
+			Count:     c.Count,
+			Density:   c.Density,
+			Truncated: c.Truncated,
+		}
+		if c.Truncated {
+			e.StopReason = c.StopReason.String()
+		}
+		out.Profile = append(out.Profile, e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Health -----------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ready",
+		"queued":   s.adm.queued.Load(),
+		"datasets": s.data.Names(),
+	})
+}
+
+// sanitizeKey makes a workload key filesystem-safe for checkpoint names.
+func sanitizeKey(key string) string {
+	out := make([]rune, 0, len(key))
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,231 @@
+// Package server is mintd's serving core: a long-lived HTTP/JSON facade
+// over the mining engines with the robustness ladder the one-shot CLIs
+// never needed — bounded admission with priority-aware load shedding,
+// per-request budgets derived from client deadlines and server caps,
+// per-(dataset, motif-class) circuit breakers that degrade to the
+// exact→PRESTO fallback path, a single-flight LRU dataset registry, and
+// graceful drain that finishes or checkpoints in-flight work before the
+// process exits.
+//
+// The response contract is the serving-layer restatement of the engine
+// truncation contract: every answer is exact, loudly degraded
+// ("degraded": true, engine named), loudly truncated (stop reason
+// named), or a clean 429/503 — never silently wrong.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mint"
+	"mint/internal/datasets"
+	"mint/internal/obs"
+	"mint/internal/runctl"
+	"mint/internal/server/registry"
+)
+
+// ErrUnknownDataset marks loader failures caused by the dataset name
+// (not the environment); the HTTP layer maps it to 400 instead of 503.
+var ErrUnknownDataset = errors.New("unknown dataset")
+
+// Config assembles a Server. The zero value plus defaults serves the
+// six Table I datasets as scaled synthetic graphs.
+type Config struct {
+	// DataDir, when set, lets the default loader read real SNAP files
+	// (<name>.txt) instead of generating synthetic graphs.
+	DataDir string
+	// Scale is the synthetic dataset scale for the default loader
+	// ((0,1]; 0 means 0.01 — the quick-serving operating point).
+	Scale float64
+	// Loader overrides dataset resolution entirely (tests, custom
+	// corpora). When nil, the datasets package serves Table I names.
+	Loader registry.Loader
+	// RegistryMaxBytes is the dataset cache watermark (0 = unbounded).
+	RegistryMaxBytes int64
+
+	// Workers is per-request mining parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Caps bounds every admitted request's budget.
+	Caps runctl.Caps
+	// Admission bounds the front door.
+	Admission AdmissionConfig
+	// Breaker shapes the per-workload circuit breakers.
+	Breaker BreakerConfig
+	// EnumerateMaxLimit caps one enumerate page (0 = 1000).
+	EnumerateMaxLimit int
+	// CheckpointDir enables supervised counting: requests with
+	// "supervised": true checkpoint under this directory and drain can
+	// cut them short without losing completed chunks.
+	CheckpointDir string
+	// Chaos, when non-nil, threads a deterministic fault plan through
+	// every engine (robustness testing).
+	Chaos *mint.ChaosPlan
+	// Obs receives all server metrics (nil: metrics are dropped).
+	Obs *obs.Registry
+}
+
+// Server is the serving core. Create with New, mount Handler, and call
+// Drain exactly once on the way out.
+type Server struct {
+	cfg   Config
+	obs   *obs.Registry
+	data  *registry.Registry
+	adm   *admission
+	brk   *breakerGroup
+	mux   *http.ServeMux
+	start time.Time
+
+	// runCtx is canceled when drain runs out of patience; every request
+	// context is tied to it, so cancellation reaches the engines'
+	// cooperative checkpoints.
+	runCtx     context.Context
+	cancelRuns context.CancelFunc
+
+	// stateMu serializes the draining flip against in-flight Add, so
+	// Drain's Wait can never race a late registration.
+	stateMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	reqSeq atomic.Int64 // distinguishes per-request checkpoint files
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.01
+	}
+	if cfg.EnumerateMaxLimit <= 0 {
+		cfg.EnumerateMaxLimit = 1000
+	}
+	loader := cfg.Loader
+	if loader == nil {
+		loader = datasetLoader(cfg.DataDir, cfg.Scale)
+	}
+	s := &Server{
+		cfg:   cfg,
+		obs:   cfg.Obs,
+		start: time.Now(),
+		adm:   newAdmission(cfg.Admission, cfg.Obs),
+		brk:   newBreakerGroup(cfg.Breaker, cfg.Obs),
+	}
+	s.data = registry.New(registry.Options{
+		Loader:   loader,
+		MaxBytes: cfg.RegistryMaxBytes,
+		Obs:      cfg.Obs,
+	})
+	s.runCtx, s.cancelRuns = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// datasetLoader is the default Loader: Table I names resolved through
+// the datasets package (real SNAP files under dir when present,
+// deterministic synthetic generation otherwise).
+func datasetLoader(dir string, scale float64) registry.Loader {
+	return func(ctx context.Context, name string) (*mint.Graph, error) {
+		spec, err := datasets.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnknownDataset, err)
+		}
+		return datasets.Load(spec, dir, scale)
+	}
+}
+
+// Handler returns the server's HTTP handler (the API routes plus
+// /healthz, /readyz; mount obs.AttachDebug alongside for /debug/*).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Datasets exposes the dataset registry (readiness reporting, tests).
+func (s *Server) Datasets() *registry.Registry { return s.data }
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.draining
+}
+
+// beginRequest registers one in-flight API request; it fails once drain
+// has begun. The returned func must be deferred.
+func (s *Server) beginRequest() (func(), bool) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.draining {
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return s.inflight.Done, true
+}
+
+// Drain gracefully winds the server down: stop admitting (readyz flips
+// to 503, queued waiters bounce with ErrDraining), let in-flight
+// requests finish until ctx expires, then cancel their run contexts —
+// the engines unwind cooperatively, supervised requests flushing their
+// checkpoints — and wait for the stragglers. Safe to call once; the
+// HTTP listener shutdown and obs flush are the caller's (mintd's) job,
+// in that order after Drain returns.
+func (s *Server) Drain(ctx context.Context) error {
+	s.stateMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.stateMu.Unlock()
+	if already {
+		return errors.New("server: Drain called twice")
+	}
+	s.obs.Counter("server.drain_started").Add(1)
+	s.adm.stop()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	graceful := true
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Patience exhausted: cancel the runs. Cooperative cancellation
+		// reaches every engine within one runctl.CheckInterval, so this
+		// second wait is bounded by microseconds of mining plus response
+		// serialization.
+		graceful = false
+		s.obs.Counter("server.drain_forced").Add(1)
+		s.cancelRuns()
+		<-done
+	}
+	if graceful {
+		s.cancelRuns() // release the AfterFunc watchers
+	}
+	s.obs.Counter("server.drain_done").Add(1)
+	return nil
+}
+
+// BuildReport assembles the end-of-life RunReport mintd flushes on
+// exit: uptime, the full metric state, and the serving identity.
+func (s *Server) BuildReport() *obs.RunReport {
+	rep := obs.NewRunReport("mintd", "serve")
+	rep.StartUnixNano = s.start.UnixNano()
+	rep.WallSeconds = time.Since(s.start).Seconds()
+	rep.CPUSeconds = obs.ProcessCPUSeconds()
+	rep.AttachSnapshot(s.obs.Snapshot())
+	return rep
+}
+
+// requestCtx ties an HTTP request context to the server's run lifetime:
+// cancel fires when either the client goes away or drain forces runs
+// down. The cleanup func must be deferred.
+func (s *Server) requestCtx(r *http.Request) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.runCtx, cancel)
+	return ctx, func() {
+		stop()
+		cancel()
+	}
+}

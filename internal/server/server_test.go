@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"mint"
+	"mint/internal/runctl"
+	"mint/internal/server/registry"
+	"mint/internal/testutil"
+)
+
+// Shared fixture: two small deterministic graphs behind a map-backed
+// Loader, so endpoint tests compare against the in-process oracle
+// without touching the datasets package.
+
+const testDelta = 500
+
+func testGraphs() map[string]*mint.Graph {
+	return map[string]*mint.Graph{
+		"g1": testutil.RandomGraph(rand.New(rand.NewSource(1)), 24, 600, 2000),
+		"g2": testutil.RandomGraph(rand.New(rand.NewSource(2)), 12, 150, 1500),
+	}
+}
+
+func graphLoader(graphs map[string]*mint.Graph) registry.Loader {
+	return func(_ context.Context, name string) (*mint.Graph, error) {
+		g, ok := graphs[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+		}
+		return g, nil
+	}
+}
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server, map[string]*mint.Graph) {
+	t.Helper()
+	graphs := testGraphs()
+	cfg := Config{
+		Loader: graphLoader(graphs),
+		Caps:   runctl.Caps{DefaultTimeout: 10 * time.Second, MaxTimeout: 30 * time.Second},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, graphs
+}
+
+// postJSON posts req to url and decodes the response body into out
+// (which may be nil when only the status matters).
+func postJSON(t *testing.T, url string, req, out any) (int, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+func TestCountEndpointExact(t *testing.T) {
+	_, ts, graphs := newTestServer(t, nil)
+	want := mint.Count(graphs["g1"], mint.M1(testDelta))
+
+	var resp CountResponse
+	status, _ := postJSON(t, ts.URL+"/v1/count",
+		CountRequest{Dataset: "g1", Motif: "M1", DeltaSeconds: testDelta}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200", status)
+	}
+	if !resp.Exact || resp.Degraded || resp.Truncated {
+		t.Fatalf("markers = %+v, want exact and nothing else", resp)
+	}
+	if resp.Engine != mint.EngineExact {
+		t.Errorf("engine = %q, want %q", resp.Engine, mint.EngineExact)
+	}
+	if int64(resp.Count) != want {
+		t.Errorf("count = %v, want %d", resp.Count, want)
+	}
+	if resp.ExactPartial != want {
+		t.Errorf("exact_partial = %d, want %d", resp.ExactPartial, want)
+	}
+}
+
+func TestCountEndpointDegradesLoudlyUnderTightBudget(t *testing.T) {
+	// A one-node exact budget cannot finish; the response must carry the
+	// estimate with degraded=true and the engine named — never a silent
+	// partial count presented as the answer.
+	_, ts, _ := newTestServer(t, nil)
+
+	var resp CountResponse
+	status, _ := postJSON(t, ts.URL+"/v1/count",
+		CountRequest{Dataset: "g1", Motif: "M1", DeltaSeconds: testDelta, MaxNodes: 1}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200", status)
+	}
+	if resp.Exact {
+		t.Fatal("a MaxNodes=1 request claimed exactness")
+	}
+	if !resp.Degraded && !resp.Truncated {
+		t.Fatalf("inexact answer with no degraded/truncated marker: %+v", resp)
+	}
+	if resp.Degraded && resp.Engine != mint.EnginePresto {
+		t.Errorf("degraded answer names engine %q, want %q", resp.Engine, mint.EnginePresto)
+	}
+}
+
+func TestEnumeratePaginationCoversAllMatches(t *testing.T) {
+	_, ts, graphs := newTestServer(t, nil)
+	m := mint.M1(testDelta)
+	var want [][]int32
+	mint.Enumerate(graphs["g2"], m, func(edges []int32) {
+		want = append(want, append([]int32(nil), edges...))
+	})
+	if len(want) == 0 {
+		t.Fatal("oracle found no matches; the test would be vacuous")
+	}
+	limit := len(want)/3 + 1 // ~4 pages
+
+	var got [][]int32
+	token := ""
+	for page := 0; ; page++ {
+		if page > len(want)+2 {
+			t.Fatal("pagination never terminated")
+		}
+		var resp EnumerateResponse
+		status, _ := postJSON(t, ts.URL+"/v1/enumerate", EnumerateRequest{
+			Dataset: "g2", Motif: "M1", DeltaSeconds: testDelta,
+			Limit: limit, PageToken: token,
+		}, &resp)
+		if status != http.StatusOK {
+			t.Fatalf("page %d: status %d, want 200", page, status)
+		}
+		if resp.Truncated {
+			t.Fatalf("page %d truncated (%s); budget should only stop at page boundaries", page, resp.StopReason)
+		}
+		if len(resp.Matches) > limit {
+			t.Fatalf("page %d has %d matches, limit %d", page, len(resp.Matches), limit)
+		}
+		got = append(got, resp.Matches...)
+		if resp.NextPageToken == "" {
+			break
+		}
+		token = resp.NextPageToken
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paginated enumeration diverged from oracle: got %d matches, want %d", len(got), len(want))
+	}
+}
+
+func TestEnumerateLimitClamped(t *testing.T) {
+	_, ts, _ := newTestServer(t, func(cfg *Config) { cfg.EnumerateMaxLimit = 5 })
+	var resp EnumerateResponse
+	status, _ := postJSON(t, ts.URL+"/v1/enumerate",
+		EnumerateRequest{Dataset: "g1", Motif: "M1", DeltaSeconds: testDelta, Limit: 10_000}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200", status)
+	}
+	if len(resp.Matches) > 5 {
+		t.Errorf("server returned %d matches past its page cap of 5", len(resp.Matches))
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	_, ts, graphs := newTestServer(t, nil)
+	var resp ProfileResponse
+	status, _ := postJSON(t, ts.URL+"/v1/profile",
+		ProfileRequest{Dataset: "g2", DeltaSeconds: testDelta}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200", status)
+	}
+	if len(resp.Profile) != 4 {
+		t.Fatalf("profile has %d rows, want 4 (M1..M4)", len(resp.Profile))
+	}
+	for i, e := range resp.Profile {
+		wantName := fmt.Sprintf("M%d", i+1)
+		if e.Motif != wantName {
+			t.Errorf("row %d motif = %q, want %q", i, e.Motif, wantName)
+		}
+		if e.Truncated {
+			t.Errorf("row %s truncated (%s) on a tiny graph", e.Motif, e.StopReason)
+			continue
+		}
+		m, err := mint.MotifByName(wantName, testDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := mint.Count(graphs["g2"], m); e.Count != want {
+			t.Errorf("%s count = %d, want %d", e.Motif, e.Count, want)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"missing dataset", "/v1/count", CountRequest{Motif: "M1"}},
+		{"unknown dataset", "/v1/count", CountRequest{Dataset: "nope", Motif: "M1"}},
+		{"unknown motif", "/v1/count", CountRequest{Dataset: "g1", Motif: "M9"}},
+		{"bad motif spec", "/v1/count", CountRequest{Dataset: "g1", MotifSpec: "not a spec"}},
+		{"bad priority", "/v1/count", CountRequest{Dataset: "g1", Motif: "M1", Priority: "urgent"}},
+		{"supervised without dir", "/v1/count", CountRequest{Dataset: "g1", Motif: "M1", Supervised: true}},
+		{"zero limit", "/v1/enumerate", EnumerateRequest{Dataset: "g1", Motif: "M1"}},
+		{"malformed page token", "/v1/enumerate", EnumerateRequest{Dataset: "g1", Motif: "M1", Limit: 5, PageToken: "xyz"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e ErrorResponse
+			status, _ := postJSON(t, ts.URL+tc.path, tc.body, &e)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (error %q)", status, e.Error)
+			}
+			if e.Error == "" {
+				t.Error("400 with an empty error message")
+			}
+		})
+	}
+}
+
+func TestHealthzReadyzAndDrainFlip(t *testing.T) {
+	s, ts, _ := newTestServer(t, nil)
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("draining /healthz = %d, want 200 (process is still alive)", got)
+	}
+	status, _ := postJSON(t, ts.URL+"/v1/count",
+		CountRequest{Dataset: "g1", Motif: "M1"}, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("draining /v1/count = %d, want 503", status)
+	}
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("second Drain succeeded; want an error")
+	}
+}
+
+func TestChaosTripsBreakerAndNeverLies(t *testing.T) {
+	// Every exact attempt hits an injected fault, so responses must come
+	// back degraded (estimator salvage) and after Threshold failures the
+	// workload breaker must be open, routing to the chaos-free path.
+	plan, err := mint.ParseChaosPlan("seed=1,error=1.0,sites=mackey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts, graphs := newTestServer(t, func(cfg *Config) {
+		cfg.Chaos = plan
+		cfg.Breaker = BreakerConfig{Threshold: 2, Cooldown: time.Minute}
+	})
+	want := mint.Count(graphs["g1"], mint.M1(testDelta))
+
+	for i := 0; i < 4; i++ {
+		var resp CountResponse
+		status, _ := postJSON(t, ts.URL+"/v1/count",
+			CountRequest{Dataset: "g1", Motif: "M1", DeltaSeconds: testDelta}, &resp)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200", i, status)
+		}
+		// The honesty contract: an exact claim must match the oracle;
+		// anything else must be loudly marked.
+		switch {
+		case resp.Exact:
+			if int64(resp.Count) != want {
+				t.Fatalf("request %d: exact=true count=%v, oracle %d", i, resp.Count, want)
+			}
+		case resp.Degraded:
+			if resp.Engine != mint.EnginePresto {
+				t.Errorf("request %d: degraded with engine %q", i, resp.Engine)
+			}
+		case !resp.Truncated:
+			t.Fatalf("request %d: inexact, undegraded, untruncated: %+v", i, resp)
+		}
+	}
+	if !s.brk.Open("g1/M1") {
+		t.Error("breaker never opened despite every exact attempt faulting")
+	}
+}
