@@ -24,8 +24,12 @@ race:
 # admission/breaker/registry units, endpoint contracts, the chaos soak
 # (every response exact, loudly degraded, or cleanly shed), and the
 # in-process + subprocess SIGTERM drain tests.
+# Serving suite: worker core (admission, breakers, registry, chaos
+# soak), the scatter-gather coordinator (internal/server/gather, covered
+# by the ... wildcard), shard planning, and the binary-level drain and
+# coordinator end-to-end tests.
 serve-check:
-	$(GO) test -race -count=1 ./internal/server/... ./cmd/mintd/
+	$(GO) test -race -count=1 ./internal/server/... ./internal/shard/ ./cmd/mintd/
 
 # Short fuzz passes (native Go fuzzing): the SNAP loader and the motif
 # parser round trip.

@@ -58,7 +58,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	maxMatches := flag.Int64("maxmatches", 0, "stop after this many matches (0 = unlimited)")
 	maxNodes := flag.Int64("maxnodes", 0, "stop after this many search-tree node expansions (0 = unlimited)")
-	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=1,panic=0.01,error=0.02,sites=mackey\" (testing)")
+	chaosSpec := flag.String("chaos", "", "fault-injection plan: comma-separated seed=N, panic=P, delay=P, error=P, drop=P (probabilities in [0,1]), delaydur=DUR, sites=PREFIX; sites: mackey.chunk, mackey.root, task.root, task.queue, mint.cycle; e.g. \"seed=1,panic=0.01,error=0.02,delaydur=5ms,sites=mackey\" (testing)")
 	checkpointPath := flag.String("checkpoint", "", "mackey: write crash-safe progress snapshots here (enables the supervised miner)")
 	resume := flag.Bool("resume", false, "mackey: resume from -checkpoint, skipping completed chunks")
 	obsListen := flag.String("obs.listen", "", "serve expvar (/debug/vars) and pprof on this address (e.g. :8080 or :0)")
@@ -77,6 +77,17 @@ func main() {
 		defer tcancel()
 	}
 	budget := runctl.Budget{MaxMatches: *maxMatches, MaxNodes: *maxNodes}
+
+	// Validate the chaos spec before the (possibly minutes-long) dataset
+	// load: a typo in item 3 of a long plan should fail at startup with
+	// the item named, not after the graph is in memory.
+	var plan *faultinject.Plan
+	if *chaosSpec != "" {
+		var perr error
+		if plan, perr = faultinject.Parse(*chaosSpec); perr != nil {
+			fatal(perr)
+		}
+	}
 
 	g, err := loadGraph(*graphPath, *datasetName, *scale)
 	if err != nil {
@@ -114,12 +125,7 @@ func main() {
 	// flag, and — when -chaos is set — the deterministic fault plan every
 	// engine's injection hooks roll against.
 	ctl := runctl.New(ctx, budget)
-	var plan *faultinject.Plan
-	if *chaosSpec != "" {
-		var err error
-		if plan, err = faultinject.Parse(*chaosSpec); err != nil {
-			fatal(err)
-		}
+	if plan != nil {
 		ctl.SetFaultPlan(plan)
 		fmt.Printf("chaos: %s\n", plan)
 	}

@@ -22,10 +22,19 @@
 // for supervised requests) inside -drain-timeout, the obs report is
 // flushed, and the process exits 0.
 //
+// Coordinator mode (-coordinator -shards=<url,...>) turns the process
+// into a scatter-gather front: requests are partitioned into δ-aware
+// per-shard root windows, fanned out over worker mintd processes with
+// bounded retries, hedged stragglers, and per-shard circuit breakers,
+// and merged under the same response contract — a dead shard makes the
+// merged answer loudly partial (missing shards named), never silently
+// short. /readyz reflects shard quorum.
+//
 // Usage:
 //
 //	mintd -listen :7465
 //	mintd -listen :7465 -scale 0.05 -inflight 8 -queue 32 -max-timeout 30s
+//	mintd -listen :7464 -coordinator -shards http://h1:7465,http://h2:7465,http://h3:7465
 //	curl -s localhost:7465/v1/count -d '{"dataset":"wiki-talk","motif":"M1"}'
 package main
 
@@ -37,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,7 +54,17 @@ import (
 	"mint/internal/obs"
 	"mint/internal/runctl"
 	"mint/internal/server"
+	"mint/internal/server/gather"
 )
+
+// serving is the common surface of the two process modes (worker
+// server.Server, coordinator gather.Coordinator): the drain ladder at
+// the bottom of main drives either through it.
+type serving interface {
+	Handler() http.Handler
+	Drain(ctx context.Context) error
+	BuildReport() *obs.RunReport
+}
 
 func main() {
 	listen := flag.String("listen", ":7465", "serve the mining API on this address")
@@ -66,41 +86,93 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=1,panic=0.01,sites=mackey\" (testing)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight requests after SIGTERM before their contexts are canceled")
 	reportPath := flag.String("report", "", "write the end-of-life RunReport JSON here on drain")
+	coordinator := flag.Bool("coordinator", false, "run as a scatter-gather coordinator over -shards instead of mining locally")
+	shards := flag.String("shards", "", "comma-separated worker base URLs for -coordinator mode")
+	shardAttempts := flag.Int("shard-attempts", 3, "coordinator: max attempts per shard call")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: duplicate a shard call after this long without a response (0 = no hedging)")
+	quorum := flag.Int("quorum", 0, "coordinator: healthy shards readyz requires (0 = majority)")
+	sliced := flag.Bool("sliced", false, "coordinator: workers each serve only their own δ-aware data slice")
+	mergeMargin := flag.Duration("merge-margin", 200*time.Millisecond, "coordinator: wall headroom reserved from shard deadlines for the merge")
 	flag.Parse()
 
 	reg := obs.New("mintd")
-	cfg := server.Config{
-		DataDir:          *dataDir,
-		Scale:            *scale,
-		Workers:          *workers,
-		RegistryMaxBytes: *registryMax,
-		Caps: runctl.Caps{
-			DefaultTimeout: *defaultTimeout,
-			MaxTimeout:     *maxTimeout,
-			MaxNodes:       *maxNodes,
-		},
-		Admission: server.AdmissionConfig{
-			MaxInflight: *inflight,
-			MaxQueue:    *queue,
-			MaxWait:     *maxWait,
-		},
-		Breaker: server.BreakerConfig{
-			Threshold: *breakerThreshold,
-			Cooldown:  *breakerCooldown,
-		},
-		EnumerateMaxLimit: *enumLimit,
-		CheckpointDir:     *checkpointDir,
-		Obs:               reg,
-	}
-	if *chaosSpec != "" {
-		plan, err := mint.ParseChaosPlan(*chaosSpec)
+	var srv serving
+	if *coordinator {
+		var urls []string
+		for _, u := range strings.Split(*shards, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			fatal(fmt.Errorf("-coordinator needs -shards=<url,url,...>"))
+		}
+		if *chaosSpec != "" {
+			fatal(fmt.Errorf("-chaos injects faults into mining engines; the coordinator has none — set it on the workers"))
+		}
+		c, err := gather.New(gather.Config{
+			Shards:      urls,
+			MaxAttempts: *shardAttempts,
+			HedgeAfter:  *hedgeAfter,
+			Quorum:      *quorum,
+			Sliced:      *sliced,
+			MergeMargin: *mergeMargin,
+			Caps: runctl.Caps{
+				DefaultTimeout: *defaultTimeout,
+				MaxTimeout:     *maxTimeout,
+				MaxNodes:       *maxNodes,
+			},
+			Admission: server.AdmissionConfig{
+				MaxInflight: *inflight,
+				MaxQueue:    *queue,
+				MaxWait:     *maxWait,
+			},
+			Breaker: server.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+			},
+			EnumerateMaxLimit: *enumLimit,
+			Obs:               reg,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		cfg.Chaos = plan
-		fmt.Printf("mintd: chaos enabled: %s\n", plan)
+		fmt.Printf("mintd: coordinator over %d shards: %s\n", len(urls), strings.Join(urls, ", "))
+		srv = c
+	} else {
+		cfg := server.Config{
+			DataDir:          *dataDir,
+			Scale:            *scale,
+			Workers:          *workers,
+			RegistryMaxBytes: *registryMax,
+			Caps: runctl.Caps{
+				DefaultTimeout: *defaultTimeout,
+				MaxTimeout:     *maxTimeout,
+				MaxNodes:       *maxNodes,
+			},
+			Admission: server.AdmissionConfig{
+				MaxInflight: *inflight,
+				MaxQueue:    *queue,
+				MaxWait:     *maxWait,
+			},
+			Breaker: server.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+			},
+			EnumerateMaxLimit: *enumLimit,
+			CheckpointDir:     *checkpointDir,
+			Obs:               reg,
+		}
+		if *chaosSpec != "" {
+			plan, err := mint.ParseChaosPlan(*chaosSpec)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Chaos = plan
+			fmt.Printf("mintd: chaos enabled: %s\n", plan)
+		}
+		srv = server.New(cfg)
 	}
-	srv := server.New(cfg)
 
 	// One mux: the API plus the obs debug endpoints, so a single port
 	// serves traffic, health, metrics, and profiles.

@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -200,6 +201,139 @@ func TestSIGTERMDrain(t *testing.T) {
 		t.Fatalf("resumed run: matches=%d truncated=%v, oracle %d", res.Matches, res.Truncated, want)
 	}
 	t.Logf("drain interrupted the request; checkpoint %s resumed to %d (oracle %d)", filepath.Base(ckpt), res.Matches, want)
+}
+
+// startMintd launches one mintd process and scans its stdout for the
+// bound address. The returned cleanup kills the process (backstop; the
+// test may have terminated it already).
+func startMintd(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() }) //nolint:errcheck // backstop
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if m := servingRe.FindStringSubmatch(sc.Text()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("mintd %v never reported its listen address: %v", args, sc.Err())
+	}
+	go func() { // keep draining stdout so the child never blocks
+		for sc.Scan() {
+		}
+	}()
+	return cmd, "http://" + addr
+}
+
+// TestCoordinatorEndToEnd runs the README topology on real binaries:
+// three worker processes and a -coordinator front. The healthy cluster
+// must merge bit-identical to the single-process oracle; after one
+// worker is SIGKILLed the merged answer must be loudly partial, naming
+// the dead shard — never silently short.
+func TestCoordinatorEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: builds a binary and runs four subprocesses")
+	}
+	dir := t.TempDir()
+	bin := buildMintd(t, dir)
+
+	var urls []string
+	var workers []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		cmd, base := startMintd(t, bin, "-listen", "127.0.0.1:0", "-workers", "1", "-scale", "0.01")
+		workers = append(workers, cmd)
+		urls = append(urls, base)
+		waitReady(t, base)
+	}
+	_, coord := startMintd(t, bin,
+		"-listen", "127.0.0.1:0",
+		"-coordinator", "-shards", strings.Join(urls, ","),
+		"-shard-attempts", "2",
+	)
+	waitReady(t, coord)
+
+	postCount := func() (int, map[string]any) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{
+			"dataset": "email-eu", "motif": "M1", "timeout_ms": 30_000,
+		})
+		resp, err := http.Post(coord+"/v1/count", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return resp.StatusCode, out
+	}
+
+	spec, err := datasets.ByName("email-eu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := datasets.Load(spec, "", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := mint.Count(g, mint.M1(mint.DeltaHour))
+
+	status, out := postCount()
+	if status != http.StatusOK {
+		t.Fatalf("healthy count: status %d (%v)", status, out)
+	}
+	if exact, _ := out["exact"].(bool); !exact {
+		t.Fatalf("healthy 3-shard count not exact: %v", out)
+	}
+	if got := int64(out["count"].(float64)); got != oracle {
+		t.Fatalf("healthy merge count %d, single-process oracle %d", got, oracle)
+	}
+
+	// Kill a worker outright; the merged answer must name it missing.
+	dead := urls[1]
+	if err := workers[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	workers[1].Wait() //nolint:errcheck // reaping a SIGKILLed child
+	status, out = postCount()
+	if status != http.StatusOK {
+		t.Fatalf("post-kill count: status %d (%v)", status, out)
+	}
+	if exact, _ := out["exact"].(bool); exact {
+		t.Fatalf("post-kill count claims exact — silently wrong: %v", out)
+	}
+	if truncated, _ := out["truncated"].(bool); !truncated {
+		t.Fatalf("post-kill count not marked truncated: %v", out)
+	}
+	partial, _ := out["partial"].(map[string]any)
+	if partial == nil {
+		t.Fatalf("post-kill count has no partial marker: %v", out)
+	}
+	missing, _ := partial["missing_shards"].([]any)
+	found := false
+	for _, m := range missing {
+		if m == dead {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("partial marker does not name the killed shard %s: %v", dead, out)
+	}
+	if got := int64(out["count"].(float64)); got > oracle {
+		t.Fatalf("partial count %d exceeds oracle %d — not a lower bound", got, oracle)
+	}
 }
 
 // waitReady polls /readyz until the server answers 200.

@@ -120,9 +120,43 @@ func EnumerateCtx(ctx context.Context, g *Graph, m *Motif, b Budget, visit func(
 // Truncated=true with StopFaultInjected, matches streamed so far intact
 // — the serving layer's "never silently wrong" contract depends on it.
 func EnumerateChaosCtx(ctx context.Context, g *Graph, m *Motif, b Budget, chaos *ChaosPlan, visit func(edges []int32)) MineResult {
+	return EnumerateChaosRootsCtx(ctx, g, m, b, chaos, nil, visit)
+}
+
+// EnumerateChaosRootsCtx is EnumerateChaosCtx restricted to instances
+// whose root (earliest) edge falls in the half-open timestamp window
+// roots (nil = unrestricted). Enumeration order within the window is
+// the same deterministic chronological search order, so concatenating
+// the streams of adjacent windows reproduces the global order — the
+// property the scatter-gather coordinator's merged pagination rests on.
+func EnumerateChaosRootsCtx(ctx context.Context, g *Graph, m *Motif, b Budget, chaos *ChaosPlan, roots *RootWindow, visit func(edges []int32)) MineResult {
 	ctl := runctl.New(ctx, b)
 	ctl.SetFaultPlan(chaos)
-	return mackey.MineCtx(ctx, g, m, mackey.Options{Probe: enumProbe{visit}, Ctl: ctl}, b)
+	return mackey.MineCtx(ctx, g, m,
+		mackey.Options{Probe: enumProbe{visit}, Ctl: ctl, Roots: rootRangeFor(g, roots)}, b)
+}
+
+// RootWindow restricts a mining run to motif instances rooted in the
+// half-open timestamp window [Start, End): the instance's first
+// (earliest) motif edge must have Start <= time < End. Later motif
+// edges are unrestricted — a window that straddles End still counts,
+// as long as its root is inside — so runs over disjoint adjacent
+// windows partition the instance set exactly: summing their counts
+// reproduces the unrestricted count with no dedup step. This is the
+// ownership rule the δ-aware shard partition is built on.
+type RootWindow struct {
+	Start Timestamp
+	End   Timestamp
+}
+
+// rootRangeFor lifts a timestamp window onto the engine's root index
+// range via binary search on the time-sorted edge list.
+func rootRangeFor(g *Graph, w *RootWindow) *mackey.RootRange {
+	if w == nil {
+		return nil
+	}
+	lo, hi := g.EdgeRange(w.Start, w.End)
+	return &mackey.RootRange{Lo: lo, Hi: hi}
 }
 
 // EstimateApproxCtx is EstimateApprox with cancellation: the sampler
@@ -218,6 +252,13 @@ type FallbackConfig struct {
 	// (fallback.exact / fallback.presto / fallback.partial), so serving
 	// layers can see which engine is actually answering traffic.
 	Obs *obs.Registry
+	// Roots restricts the count to instances rooted in this timestamp
+	// window (nil = whole graph). Root-windowed requests never fall back
+	// to the PRESTO estimator — the sampler estimates the whole graph,
+	// not a root slice, and a silently mis-scoped estimate is exactly
+	// what the response contract forbids. A truncated windowed run
+	// returns its exact partial lower bound (EnginePartial) instead.
+	Roots *RootWindow
 }
 
 // Engines a FallbackResult can report in its Engine field.
@@ -265,7 +306,8 @@ func CountWithFallback(ctx context.Context, g *Graph, m *Motif, cfg FallbackConf
 	}
 	ctl := runctl.New(ctx, cfg.Budget)
 	ctl.SetFaultPlan(cfg.Chaos)
-	res, err := mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: cfg.Workers, Ctl: ctl}, cfg.Budget)
+	res, err := mackey.MineParallelCtx(ctx, g, m,
+		mackey.Options{Workers: cfg.Workers, Ctl: ctl, Roots: rootRangeFor(g, cfg.Roots)}, cfg.Budget)
 	out := FallbackResult{ExactResult: res, ExactPartial: res.Matches, Engine: EnginePartial}
 	if err != nil {
 		cfg.Obs.Counter("fallback.error").Add(1)
@@ -276,6 +318,13 @@ func CountWithFallback(ctx context.Context, g *Graph, m *Motif, cfg FallbackConf
 		out.Engine = EngineExact
 		out.Count = float64(res.Matches)
 		cfg.Obs.Counter("fallback.exact").Add(1)
+		return out, nil
+	}
+	if cfg.Roots != nil {
+		// No estimator for root-windowed subqueries (see FallbackConfig.
+		// Roots): the exact partial lower bound is the honest answer.
+		out.Count = float64(res.Matches)
+		cfg.Obs.Counter("fallback.partial").Add(1)
 		return out, nil
 	}
 	ares, err := presto.EstimateCtx(ctx, g, m, cfg.Approx)

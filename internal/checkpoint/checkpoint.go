@@ -211,6 +211,16 @@ func (w *Writer) flushLocked() error {
 	return atomicio.WriteFile(w.path, append(data, '\n'), 0o644)
 }
 
+// Fingerprint renders a domain-tagged identity string from a slice of
+// ints: "<domain>/<16 hex digits>". Two callers share it: the
+// supervisor's run fingerprints (binding a checkpoint to its graph,
+// motif, and partition) and the sharding layer's dataset-identity
+// fingerprints (letting a scatter-gather coordinator refuse to merge
+// counts from shards that are not serving the same data).
+func Fingerprint(domain string, ints []int64) string {
+	return fmt.Sprintf("%s/%016x", domain, HashInts(ints))
+}
+
 // HashInts folds a slice of ints into a stable 64-bit FNV-1a digest;
 // used to bind chunk boundaries into run fingerprints.
 func HashInts(xs []int64) uint64 {

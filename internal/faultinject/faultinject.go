@@ -297,26 +297,28 @@ func Parse(spec string) (*Plan, error) {
 	var rates [numKinds]float64
 	delay := time.Millisecond
 	prefix := ""
-	for _, item := range strings.Split(spec, ",") {
+	for i, item := range strings.Split(spec, ",") {
 		item = strings.TrimSpace(item)
 		if item == "" {
 			continue
 		}
+		// Errors name the 1-based item position so a long spec pasted into
+		// a flag fails with "item 3" instead of a mid-run surprise.
 		k, v, ok := strings.Cut(item, "=")
 		if !ok {
-			return nil, fmt.Errorf("faultinject: bad spec item %q (want key=value)", item)
+			return nil, fmt.Errorf("faultinject: spec item %d %q: want key=value", i+1, item)
 		}
 		switch k {
 		case "seed":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("faultinject: bad seed %q: %v", v, err)
+				return nil, fmt.Errorf("faultinject: spec item %d: bad seed %q: %v", i+1, v, err)
 			}
 			seed = n
 		case "panic", "delay", "error", "drop":
 			p, err := strconv.ParseFloat(v, 64)
 			if err != nil || p < 0 || p > 1 {
-				return nil, fmt.Errorf("faultinject: bad probability %q for %s (want [0,1])", v, k)
+				return nil, fmt.Errorf("faultinject: spec item %d: bad probability %q for %s (want [0,1])", i+1, v, k)
 			}
 			switch k {
 			case "panic":
@@ -331,13 +333,13 @@ func Parse(spec string) (*Plan, error) {
 		case "delaydur":
 			d, err := time.ParseDuration(v)
 			if err != nil || d <= 0 {
-				return nil, fmt.Errorf("faultinject: bad delaydur %q", v)
+				return nil, fmt.Errorf("faultinject: spec item %d: bad delaydur %q", i+1, v)
 			}
 			delay = d
 		case "sites":
 			prefix = v
 		default:
-			return nil, fmt.Errorf("faultinject: unknown spec key %q", k)
+			return nil, fmt.Errorf("faultinject: spec item %d: unknown key %q (want seed/panic/delay/error/drop/delaydur/sites)", i+1, k)
 		}
 	}
 	p := New(seed, rates[Panic], rates[Delay], rates[Error], rates[Drop], delay)

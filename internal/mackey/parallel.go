@@ -50,7 +50,8 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
-	n := g.NumEdges()
+	lo, hi := opts.rootSpan(g.NumEdges())
+	n := hi - lo
 	if workers > n {
 		workers = max(1, n)
 	}
@@ -63,7 +64,7 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 	// the roots a worker mines consecutively stay temporally adjacent —
 	// which is exactly what keeps its worker-local window cache advancing
 	// monotonically instead of thrashing.
-	bounds := partitionRoots(g, workers)
+	bounds := partitionRootsRange(g, workers, temporal.EdgeID(lo), temporal.EdgeID(hi))
 	numChunks := int64(len(bounds) - 1)
 
 	// Per-worker observability tallies, written only by the owning worker
@@ -201,7 +202,18 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 // ties so each chunk covers a half-open time interval — a time partition
 // of the edge list, not just an index partition.
 func partitionRoots(g *temporal.Graph, workers int) []temporal.EdgeID {
-	n := g.NumEdges()
+	return partitionRootsRange(g, workers, 0, temporal.EdgeID(g.NumEdges()))
+}
+
+// partitionRootsRange is partitionRoots restricted to the half-open root
+// index range [lo, hi) — the same chunk sizing and tie-snapping, applied
+// within the range. The sharding layer hands each worker process one
+// such range; this keeps the in-process scheduler identical inside it.
+func partitionRootsRange(g *temporal.Graph, workers int, lo, hi temporal.EdgeID) []temporal.EdgeID {
+	n := int(hi - lo)
+	if n < 0 {
+		n = 0
+	}
 	chunk := n / (workers * 16)
 	if chunk < 1 {
 		chunk = 1
@@ -210,18 +222,18 @@ func partitionRoots(g *temporal.Graph, workers int) []temporal.EdgeID {
 		chunk = 256
 	}
 	bounds := make([]temporal.EdgeID, 1, n/chunk+2)
-	bounds[0] = 0
-	for b := chunk; b < n; {
-		for b < n && g.Edges[b].Time == g.Edges[b-1].Time {
+	bounds[0] = lo
+	for b := int(lo) + chunk; b < int(hi); {
+		for b < int(hi) && g.Edges[b].Time == g.Edges[b-1].Time {
 			b++ // never split a timestamp tie across chunks
 		}
-		if b >= n {
+		if b >= int(hi) {
 			break
 		}
 		bounds = append(bounds, temporal.EdgeID(b))
 		b += chunk
 	}
-	return append(bounds, temporal.EdgeID(n))
+	return append(bounds, hi)
 }
 
 // MineMemo runs the sequential reference miner with software search index

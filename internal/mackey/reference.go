@@ -45,6 +45,38 @@ type Options struct {
 	// the A/B reference for `make bench-compare` and as an extra engine in
 	// the differential harness; results are identical either way.
 	Baseline bool
+
+	// Roots, when non-nil, restricts the run to root edges in the
+	// half-open index range [Roots.Lo, Roots.Hi). Motif instances are
+	// counted iff their root (earliest) edge lies in the range; later
+	// motif edges may come from anywhere in the graph, so restricted runs
+	// over disjoint ranges sum exactly to the unrestricted count. This is
+	// the engine-level hook behind the δ-aware shard partition.
+	Roots *RootRange
+}
+
+// RootRange is a half-open range of root edge indices, [Lo, Hi).
+type RootRange struct {
+	Lo, Hi temporal.EdgeID
+}
+
+// rootSpan resolves the effective root index range for a graph with n
+// edges: the whole space when Roots is nil, the clamped range otherwise.
+func (o *Options) rootSpan(n int) (lo, hi int) {
+	if o.Roots == nil {
+		return 0, n
+	}
+	lo, hi = int(o.Roots.Lo), int(o.Roots.Hi)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }
 
 // Result is the outcome of a mining run.
@@ -70,15 +102,16 @@ func Mine(g *temporal.Graph, m *temporal.Motif, opts Options) Result {
 		start = time.Now()
 	}
 	w := acquireWorker(g, m, opts)
+	lo, hi := opts.rootSpan(g.NumEdges())
 	if plan := opts.Ctl.FaultPlan(); plan != nil {
-		for root := 0; root < g.NumEdges(); root++ {
+		for root := lo; root < hi; root++ {
 			if w.stopped {
 				break
 			}
 			w.mineRootChaos(plan, temporal.EdgeID(root))
 		}
 	} else {
-		for root := 0; root < g.NumEdges(); root++ {
+		for root := lo; root < hi; root++ {
 			if w.stopped {
 				break
 			}

@@ -146,7 +146,7 @@ func fingerprintFor(g *temporal.Graph, m *temporal.Motif, bounds []temporal.Edge
 	for _, b := range bounds {
 		ints = append(ints, int64(b))
 	}
-	return fmt.Sprintf("mackey/%016x", checkpoint.HashInts(ints))
+	return checkpoint.Fingerprint("mackey", ints)
 }
 
 // attempt is one unit of queued work: mine chunk under attempt ordinal seq

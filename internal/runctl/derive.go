@@ -71,6 +71,32 @@ func DeriveBudget(now time.Time, clientTimeout time.Duration, want Budget, caps 
 	return b
 }
 
+// SplitBudget divides one derived budget across an n-way parallel
+// fan-out (the scatter-gather coordinator's per-shard budgets). The
+// count budgets — MaxMatches, MaxNodes — are resource caps, so each
+// shard gets a ceil(1/n) slice: total spend across the cluster stays
+// within the single-request cap the operator signed off on. The wall
+// deadline is NOT divided: shards run concurrently, so each keeps the
+// full deadline minus margin, a slice of wall-clock headroom the
+// coordinator reserves for its own merge and response serialization
+// (margin <= 0 keeps the deadline untouched).
+func SplitBudget(b Budget, n int, margin time.Duration) Budget {
+	if n < 1 {
+		n = 1
+	}
+	out := b
+	if b.MaxMatches > 0 {
+		out.MaxMatches = (b.MaxMatches + int64(n) - 1) / int64(n)
+	}
+	if b.MaxNodes > 0 {
+		out.MaxNodes = (b.MaxNodes + int64(n) - 1) / int64(n)
+	}
+	if !b.Deadline.IsZero() && margin > 0 {
+		out.Deadline = b.Deadline.Add(-margin)
+	}
+	return out
+}
+
 // TimeoutFrom returns the wall-clock headroom the budget leaves from
 // now (0 when the budget has no deadline; a negative remainder clamps
 // to a minimal positive duration so contexts built from it expire

@@ -80,3 +80,31 @@ func TestTimeoutFrom(t *testing.T) {
 		t.Errorf("expired deadline: TimeoutFrom = %v, want 1ns", d)
 	}
 }
+
+func TestSplitBudget(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := Budget{Deadline: now.Add(10 * time.Second), MaxMatches: 100, MaxNodes: 7}
+
+	s := SplitBudget(b, 3, time.Second)
+	if s.MaxMatches != 34 { // ceil(100/3)
+		t.Errorf("MaxMatches = %d, want 34", s.MaxMatches)
+	}
+	if s.MaxNodes != 3 { // ceil(7/3)
+		t.Errorf("MaxNodes = %d, want 3", s.MaxNodes)
+	}
+	// The deadline is shaved by the merge margin, not divided by n.
+	if got := s.Deadline.Sub(now); got != 9*time.Second {
+		t.Errorf("deadline headroom = %v, want 9s", got)
+	}
+
+	// Unlimited dimensions stay unlimited; n<1 is treated as 1.
+	s = SplitBudget(Budget{}, 0, time.Second)
+	if !s.Unlimited() {
+		t.Errorf("splitting the zero budget produced bounds: %+v", s)
+	}
+	// Zero margin leaves the deadline untouched.
+	s = SplitBudget(b, 2, 0)
+	if !s.Deadline.Equal(b.Deadline) {
+		t.Errorf("zero margin moved the deadline: %v != %v", s.Deadline, b.Deadline)
+	}
+}

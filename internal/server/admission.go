@@ -102,10 +102,13 @@ var ErrQueueTimeout = errors.New("timed out waiting for an execution slot")
 // ErrDraining is returned once the server has begun graceful drain.
 var ErrDraining = errors.New("server is draining")
 
-// admission is the runtime state: a token channel for the concurrency
-// bound, an atomic waiter count for the queue bound, and an EWMA of
-// service time feeding the Retry-After estimate.
-type admission struct {
+// Admission is the runtime state of the bounded front door: a token
+// channel for the concurrency bound, an atomic waiter count for the
+// queue bound, and an EWMA of service time feeding the Retry-After
+// estimate. It is exported so the scatter-gather coordinator (package
+// gather) can run the same front door without duplicating the shedding
+// policy.
+type Admission struct {
 	cfg    AdmissionConfig
 	tokens chan struct{}
 	queued atomic.Int64
@@ -119,9 +122,9 @@ type admission struct {
 	obs      *obs.Registry
 }
 
-func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
+func NewAdmission(cfg AdmissionConfig, reg *obs.Registry) *Admission {
 	cfg = cfg.normalized()
-	a := &admission{cfg: cfg, tokens: make(chan struct{}, cfg.MaxInflight), drainCh: make(chan struct{}), obs: reg}
+	a := &Admission{cfg: cfg, tokens: make(chan struct{}, cfg.MaxInflight), drainCh: make(chan struct{}), obs: reg}
 	for i := 0; i < cfg.MaxInflight; i++ {
 		a.tokens <- struct{}{}
 	}
@@ -131,7 +134,7 @@ func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
 // queueLimit is the waiter bound for one priority tier: high uses the
 // whole queue, normal three quarters, low half (always at least 1 so a
 // configured queue never becomes a hard refusal for one tier).
-func (a *admission) queueLimit(pri Priority) int64 {
+func (a *Admission) queueLimit(pri Priority) int64 {
 	q := a.cfg.MaxQueue
 	var l int
 	switch pri {
@@ -151,7 +154,7 @@ func (a *admission) queueLimit(pri Priority) int64 {
 // RetryAfter estimates when a shed client should come back: the current
 // backlog (waiters + a full in-flight set) times the service-time EWMA,
 // divided across the worker slots, clamped to [1s, 60s].
-func (a *admission) RetryAfter() time.Duration {
+func (a *Admission) RetryAfter() time.Duration {
 	svc := time.Duration(a.svcNanos.Load())
 	if svc <= 0 {
 		svc = time.Second // cold start: no completions observed yet
@@ -167,9 +170,27 @@ func (a *admission) RetryAfter() time.Duration {
 	return d
 }
 
-// stop flips the admission layer into drain mode: every waiter wakes
+// CombineRetryAfter is the Retry-After a scatter-gather coordinator
+// should surface when shedding: the max of its own EWMA-derived
+// estimate and the worst Retry-After its shards have recently reported.
+// Fabricating a purely local estimate would be a lie under shard
+// overload — the coordinator's own queue can be empty while every shard
+// behind it is shedding with 30s hints, and a client told "1s" would
+// just bounce off the shards again. Taking the max keeps the hint
+// honest in both directions; the shard-reported value is trusted as-is
+// (it came from the overloaded party's own EWMA), clamped only against
+// going below the local floor.
+func (a *Admission) CombineRetryAfter(shardWorst time.Duration) time.Duration {
+	own := a.RetryAfter()
+	if shardWorst > own {
+		return shardWorst
+	}
+	return own
+}
+
+// Stop flips the admission layer into drain mode: every waiter wakes
 // with ErrDraining and every later Acquire fails fast.
-func (a *admission) stop() {
+func (a *Admission) Stop() {
 	if a.draining.CompareAndSwap(false, true) {
 		close(a.drainCh)
 	}
@@ -181,7 +202,7 @@ func (a *admission) stop() {
 // (server shutting down), or the context's own error. The release
 // function feeds the service-time EWMA, so hold it for exactly the
 // mining span.
-func (a *admission) Acquire(ctx context.Context, pri Priority) (release func(), err error) {
+func (a *Admission) Acquire(ctx context.Context, pri Priority) (release func(), err error) {
 	if a.draining.Load() {
 		a.obs.Counter("admission.rejected_draining").Add(1)
 		return nil, ErrDraining
@@ -232,7 +253,7 @@ func (a *admission) Acquire(ctx context.Context, pri Priority) (release func(), 
 
 // observeService folds one completed request's wall time into the EWMA
 // (α = 0.2) behind the Retry-After estimate.
-func (a *admission) observeService(d time.Duration) {
+func (a *Admission) observeService(d time.Duration) {
 	a.obs.Histogram("admission.service_ns").Observe(int64(d))
 	for {
 		old := a.svcNanos.Load()

@@ -10,7 +10,7 @@ import (
 
 // holdToken acquires the admission layer's only execution slot and
 // returns its release func, failing the test if admission refuses.
-func holdToken(t *testing.T, a *admission) func() {
+func holdToken(t *testing.T, a *Admission) func() {
 	t.Helper()
 	release, err := a.Acquire(context.Background(), PriorityHigh)
 	if err != nil {
@@ -22,7 +22,7 @@ func holdToken(t *testing.T, a *admission) func() {
 // parkWaiters starts n goroutines blocked in Acquire and waits until the
 // admission layer has counted them all as queued. The returned func
 // reaps them (they must have been released or bounced by then).
-func parkWaiters(t *testing.T, a *admission, n int, pri Priority) func() {
+func parkWaiters(t *testing.T, a *Admission, n int, pri Priority) func() {
 	t.Helper()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -46,7 +46,7 @@ func parkWaiters(t *testing.T, a *admission, n int, pri Priority) func() {
 }
 
 func TestAcquireShedsWhenQueueFull(t *testing.T) {
-	a := newAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 2, MaxWait: 5 * time.Second}, nil)
+	a := NewAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 2, MaxWait: 5 * time.Second}, nil)
 	release := holdToken(t, a)
 	reap := parkWaiters(t, a, 2, PriorityHigh)
 
@@ -70,7 +70,7 @@ func TestAcquireShedsLowPriorityFirst(t *testing.T) {
 	// MaxQueue 4: high may queue 4, normal 3, low 2. With two waiters
 	// already parked, a low request is shed while a normal one still
 	// queues (proven by it timing out in the queue, not shedding).
-	a := newAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 4, MaxWait: 5 * time.Second}, nil)
+	a := NewAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 4, MaxWait: 5 * time.Second}, nil)
 	release := holdToken(t, a)
 	reap := parkWaiters(t, a, 2, PriorityHigh)
 
@@ -95,7 +95,7 @@ func TestAcquireShedsLowPriorityFirst(t *testing.T) {
 }
 
 func TestAcquireQueueTimeout(t *testing.T) {
-	a := newAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 4, MaxWait: 25 * time.Millisecond}, nil)
+	a := NewAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 4, MaxWait: 25 * time.Millisecond}, nil)
 	release := holdToken(t, a)
 	defer release()
 
@@ -113,7 +113,7 @@ func TestAcquireQueueTimeout(t *testing.T) {
 }
 
 func TestStopWakesWaitersAndRefusesNewWork(t *testing.T) {
-	a := newAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 4, MaxWait: time.Minute}, nil)
+	a := NewAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 4, MaxWait: time.Minute}, nil)
 	release := holdToken(t, a)
 
 	got := make(chan error, 1)
@@ -129,7 +129,7 @@ func TestStopWakesWaitersAndRefusesNewWork(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	a.stop()
+	a.Stop()
 	select {
 	case err := <-got:
 		if !errors.Is(err, ErrDraining) {
@@ -141,12 +141,12 @@ func TestStopWakesWaitersAndRefusesNewWork(t *testing.T) {
 	if _, err := a.Acquire(context.Background(), PriorityHigh); !errors.Is(err, ErrDraining) {
 		t.Fatalf("post-stop Acquire: got %v, want ErrDraining", err)
 	}
-	a.stop() // second stop must be a no-op, not a double close
+	a.Stop() // second stop must be a no-op, not a double close
 	release()
 }
 
 func TestReleaseIsIdempotent(t *testing.T) {
-	a := newAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 1, MaxWait: time.Second}, nil)
+	a := NewAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 1, MaxWait: time.Second}, nil)
 	release := holdToken(t, a)
 	release()
 	release() // must not return a second token
@@ -163,7 +163,7 @@ func TestReleaseIsIdempotent(t *testing.T) {
 }
 
 func TestRetryAfterClamped(t *testing.T) {
-	a := newAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 4}, nil)
+	a := NewAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 4}, nil)
 	if got := a.RetryAfter(); got < time.Second {
 		t.Errorf("cold RetryAfter = %v, want >= 1s", got)
 	}
@@ -173,5 +173,34 @@ func TestRetryAfterClamped(t *testing.T) {
 	}
 	if got := RetryAfterSeconds(1500 * time.Millisecond); got != 2 {
 		t.Errorf("RetryAfterSeconds(1.5s) = %d, want 2 (round up)", got)
+	}
+}
+
+// TestCombineRetryAfter: the coordinator's Retry-After under shedding
+// is the max of its own EWMA-derived estimate and the worst
+// shard-reported value — never a fabricated local number when the
+// shards behind it are telling clients to back off for longer.
+func TestCombineRetryAfter(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 4}, nil)
+	defer a.Stop()
+	// Seed the EWMA: the first observation sets it exactly.
+	a.observeService(5 * time.Second)
+	if own := a.RetryAfter(); own != 5*time.Second {
+		t.Fatalf("seeded RetryAfter = %v, want 5s", own)
+	}
+
+	cases := []struct {
+		name       string
+		shardWorst time.Duration
+		want       time.Duration
+	}{
+		{"no shard report falls back to own EWMA", 0, 5 * time.Second},
+		{"shard report below own is floored at own", 2 * time.Second, 5 * time.Second},
+		{"worst shard report wins over own", 30 * time.Second, 30 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := a.CombineRetryAfter(tc.shardWorst); got != tc.want {
+			t.Errorf("%s: CombineRetryAfter(%v) = %v, want %v", tc.name, tc.shardWorst, got, tc.want)
+		}
 	}
 }

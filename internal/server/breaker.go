@@ -59,10 +59,10 @@ type breakerState struct {
 	trial     bool      // a half-open probe is in flight
 }
 
-// breakerGroup manages the per-key breakers. All methods are safe for
+// BreakerGroup manages the per-key breakers. All methods are safe for
 // concurrent use; the map grows one small struct per distinct workload
 // key, which is bounded by the dataset × motif-class cross product.
-type breakerGroup struct {
+type BreakerGroup struct {
 	cfg BreakerConfig
 	now func() time.Time // injectable clock for tests
 	obs *obs.Registry
@@ -71,12 +71,12 @@ type breakerGroup struct {
 	states map[string]*breakerState
 }
 
-func newBreakerGroup(cfg BreakerConfig, reg *obs.Registry) *breakerGroup {
-	return &breakerGroup{cfg: cfg.normalized(), now: time.Now, obs: reg, states: map[string]*breakerState{}}
+func NewBreakerGroup(cfg BreakerConfig, reg *obs.Registry) *BreakerGroup {
+	return &BreakerGroup{cfg: cfg.normalized(), now: time.Now, obs: reg, states: map[string]*breakerState{}}
 }
 
 // Acquire returns the routing decision for key right now.
-func (b *breakerGroup) Acquire(key string) Decision {
+func (b *BreakerGroup) Acquire(key string) Decision {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st := b.states[key]
@@ -96,7 +96,7 @@ func (b *breakerGroup) Acquire(key string) Decision {
 // Record reports the outcome of an Allow or Trial request. A success
 // closes the breaker (resetting history); a failure counts toward the
 // threshold and re-opens a half-open breaker immediately.
-func (b *breakerGroup) Record(key string, ok bool) {
+func (b *BreakerGroup) Record(key string, ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st := b.states[key]
@@ -130,7 +130,7 @@ func (b *breakerGroup) Record(key string, ok bool) {
 
 // Open reports whether key currently routes to the degraded path
 // (open and still cooling down), for readiness introspection and tests.
-func (b *breakerGroup) Open(key string) bool {
+func (b *BreakerGroup) Open(key string) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st := b.states[key]

@@ -7,9 +7,9 @@ import (
 
 // testBreaker returns a breaker group on an injected clock; advance the
 // returned *time.Time to move it.
-func testBreaker(cfg BreakerConfig) (*breakerGroup, *time.Time) {
+func testBreaker(cfg BreakerConfig) (*BreakerGroup, *time.Time) {
 	now := time.Unix(1_000_000, 0)
-	b := newBreakerGroup(cfg, nil)
+	b := NewBreakerGroup(cfg, nil)
 	b.now = func() time.Time { return now }
 	return b, &now
 }

@@ -1,0 +1,1060 @@
+// Package gather is mintd's scatter-gather coordinator: an HTTP facade
+// that partitions one mining request into δ-aware per-shard root
+// windows (package shard), fans it out over worker mintd processes,
+// and merges the answers under the same response contract the single
+// process serves — every merged answer is exact, loudly degraded,
+// loudly truncated, or a clean 429/503, never silently wrong.
+//
+// The merge needs no dedup step: shard i's request carries the owned
+// root window [b_i, b_i+1) and the engine's RootWindow restriction
+// guarantees disjoint instance sets, so counts are plain sums and
+// concatenated enumeration pages preserve the global chronological
+// order. Failure semantics are the point of the layer:
+//
+//   - Range assignment is fixed 1:1 over the configured shard list, so
+//     a dead or breaker-open shard means its root window goes unmined
+//     and the merged response says so: Truncated with stop reason
+//     "shard_unavailable" and Partial naming the missing shards — a
+//     loud lower bound, never a silently short total.
+//   - Shard calls get bounded retries with capped backoff, and (when
+//     HedgeAfter is set) a hedged duplicate once the first copy looks
+//     like a straggler; first response wins.
+//   - Per-shard circuit breakers stop the coordinator from burning its
+//     deadline on a shard that has been failing; an open breaker is a
+//     missing shard, reported like any other.
+//   - Identity before arithmetic: the coordinator fingerprints every
+//     shard (the /v1/datasetinfo endpoint) and refuses to merge counts
+//     from shards whose fingerprints disagree — two workers serving
+//     different data under one dataset name must be a 502, not a sum.
+//   - Retry-After hints stay honest under shard overload: a shed at
+//     the coordinator reports the max of its own estimate and the
+//     worst Retry-After its shards recently returned.
+package gather
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mint"
+	"mint/internal/obs"
+	"mint/internal/runctl"
+	"mint/internal/server"
+	"mint/internal/shard"
+)
+
+// StopShardUnavailable is the merged stop reason when one or more
+// shards' owned root windows could not be mined.
+const StopShardUnavailable = "shard_unavailable"
+
+// maxResponseBytes bounds one shard response body (an enumerate page of
+// the maximum limit fits comfortably).
+const maxResponseBytes = 64 << 20
+
+// Config assembles a Coordinator. Zero fields take defaults noted
+// per-field.
+type Config struct {
+	// Shards are the worker base URLs ("http://host:port"). Order is
+	// load-bearing: plan range i is always served by Shards[i], so a
+	// stable shard list gives deterministic assignment across restarts.
+	Shards []string
+	// Client issues shard requests (default: a client with no overall
+	// timeout — per-request contexts carry the deadlines).
+	Client *http.Client
+	// MaxAttempts bounds tries per shard call (default 3).
+	MaxAttempts int
+	// RetryBase / RetryCap shape the capped-exponential retry backoff
+	// (defaults 50ms / 1s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// HedgeAfter, when positive, launches a duplicate shard request
+	// after this long without a response; the first answer wins. Keep it
+	// near the shard's p99 — hedging the median doubles load for nothing.
+	// Zero disables hedging.
+	HedgeAfter time.Duration
+	// Breaker shapes the per-shard circuit breakers.
+	Breaker server.BreakerConfig
+	// Admission bounds the coordinator's own front door.
+	Admission server.AdmissionConfig
+	// Caps bounds every admitted request's budget before splitting.
+	Caps runctl.Caps
+	// Quorum is the healthy-shard count readyz requires (default:
+	// majority of Shards).
+	Quorum int
+	// Sliced declares that each worker serves only its own data slice
+	// (produced by shard.Slice) instead of the full dataset. The
+	// coordinator then derives owned windows from the workers' actual
+	// time extents, skips the fingerprint-agreement check (slices are
+	// *supposed* to differ), and refuses to enumerate (slice-local edge
+	// IDs are not globally meaningful). The operator must slice with a
+	// δ at least as large as any query δ — the coordinator cannot
+	// verify slice self-sufficiency remotely.
+	Sliced bool
+	// MergeMargin is wall-clock headroom reserved from each shard's
+	// deadline for the coordinator's own merge and serialization
+	// (default 200ms).
+	MergeMargin time.Duration
+	// EnumerateMaxLimit caps one merged enumerate page (default 1000).
+	EnumerateMaxLimit int
+	// ProbeTimeout bounds one readyz shard health probe (default 500ms).
+	ProbeTimeout time.Duration
+	// Obs receives coordinator metrics (nil: dropped).
+	Obs *obs.Registry
+}
+
+func (c Config) normalized() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = time.Second
+	}
+	if c.Quorum < 1 {
+		c.Quorum = len(c.Shards)/2 + 1
+	}
+	if c.MergeMargin <= 0 {
+		c.MergeMargin = 200 * time.Millisecond
+	}
+	if c.EnumerateMaxLimit <= 0 {
+		c.EnumerateMaxLimit = 1000
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	for i, s := range c.Shards {
+		c.Shards[i] = strings.TrimRight(s, "/")
+	}
+	return c
+}
+
+// Coordinator is the scatter-gather serving core. Create with New,
+// mount Handler, call Drain exactly once on the way out.
+type Coordinator struct {
+	cfg Config
+	obs *obs.Registry
+	adm *server.Admission
+	brk *server.BreakerGroup
+	mux *http.ServeMux
+
+	start time.Time
+
+	runCtx     context.Context
+	cancelRuns context.CancelFunc
+
+	stateMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// shardRetryUntil is the worst shard-reported Retry-After deadline
+	// (unix nanos) seen recently; it keeps coordinator shed hints honest
+	// when the overload lives behind the fan-out (CombineRetryAfter).
+	shardRetryUntil atomic.Int64
+
+	// infos caches each shard's DatasetInfoResponse per dataset.
+	// Datasets are immutable for a process lifetime, so a fingerprint
+	// fetched once stays valid; a shard that later dies keeps its cached
+	// identity and is reported missing rather than silently re-planned
+	// around.
+	infoMu sync.Mutex
+	infos  map[string]map[string]*server.DatasetInfoResponse
+}
+
+// New builds a Coordinator from cfg.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("gather: at least one shard URL is required")
+	}
+	c := &Coordinator{
+		cfg:   cfg.normalized(),
+		obs:   cfg.Obs,
+		start: time.Now(),
+		adm:   server.NewAdmission(cfg.Admission, cfg.Obs),
+		brk:   server.NewBreakerGroup(cfg.Breaker, cfg.Obs),
+		infos: map[string]map[string]*server.DatasetInfoResponse{},
+	}
+	c.runCtx, c.cancelRuns = context.WithCancel(context.Background())
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/count", c.instrument("count", c.handleCount))
+	c.mux.HandleFunc("POST /v1/enumerate", c.instrument("enumerate", c.handleEnumerate))
+	c.mux.HandleFunc("POST /v1/profile", c.instrument("profile", c.handleProfile))
+	c.mux.HandleFunc("POST /v1/datasetinfo", c.instrument("datasetinfo", c.handleDatasetInfo))
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /readyz", c.handleReadyz)
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Draining reports whether drain has begun.
+func (c *Coordinator) Draining() bool {
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
+	return c.draining
+}
+
+// Drain winds the coordinator down exactly like server.Drain: stop
+// admitting, let in-flight fan-outs finish until ctx expires, then
+// cancel them (shard calls abort via their request contexts) and wait.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.stateMu.Lock()
+	already := c.draining
+	c.draining = true
+	c.stateMu.Unlock()
+	if already {
+		return errors.New("gather: Drain called twice")
+	}
+	c.obs.Counter("gather.drain_started").Add(1)
+	c.adm.Stop()
+	done := make(chan struct{})
+	go func() {
+		c.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		c.cancelRuns()
+	case <-ctx.Done():
+		c.obs.Counter("gather.drain_forced").Add(1)
+		c.cancelRuns()
+		<-done
+	}
+	c.obs.Counter("gather.drain_done").Add(1)
+	return nil
+}
+
+// BuildReport assembles the end-of-life RunReport mintd flushes on exit.
+func (c *Coordinator) BuildReport() *obs.RunReport {
+	rep := obs.NewRunReport("mintd", "coordinate")
+	rep.StartUnixNano = c.start.UnixNano()
+	rep.WallSeconds = time.Since(c.start).Seconds()
+	rep.CPUSeconds = obs.ProcessCPUSeconds()
+	rep.AttachSnapshot(c.obs.Snapshot())
+	return rep
+}
+
+// HTTP plumbing ----------------------------------------------------------
+
+func (c *Coordinator) beginRequest() (func(), bool) {
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
+	if c.draining {
+		return nil, false
+	}
+	c.inflight.Add(1)
+	return c.inflight.Done, true
+}
+
+func (c *Coordinator) requestCtx(r *http.Request) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(c.runCtx, cancel)
+	return ctx, func() {
+		stop()
+		cancel()
+	}
+}
+
+func (c *Coordinator) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		done, ok := c.beginRequest()
+		if !ok {
+			writeError(w, http.StatusServiceUnavailable, "coordinator is draining", server.RetryAfterSeconds(30*time.Second))
+			return
+		}
+		defer done()
+		start := time.Now()
+		c.obs.Counter("gather." + name + ".requests").Add(1)
+		defer func() {
+			if rec := recover(); rec != nil {
+				c.obs.Counter("gather." + name + ".panics").Add(1)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec), 0)
+			}
+			c.obs.Histogram("gather." + name + ".latency_ns").Observe(int64(time.Since(start)))
+		}()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone = nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, status, server.ErrorResponse{Error: msg, RetryAfterSeconds: retryAfter})
+}
+
+// admit runs the coordinator's own admission ladder; shed responses
+// carry the combined (own ∨ worst-shard) Retry-After.
+func (c *Coordinator) admit(w http.ResponseWriter, ctx context.Context, priority string) (func(), bool) {
+	pri, err := server.ParsePriority(priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return nil, false
+	}
+	release, err := c.adm.Acquire(ctx, pri)
+	if err == nil {
+		return release, true
+	}
+	var shed *server.ShedError
+	switch {
+	case errors.As(err, &shed):
+		c.obs.Counter("gather.shed").Add(1)
+		ra := c.adm.CombineRetryAfter(c.shardWorstRetry())
+		if shed.RetryAfter > ra {
+			ra = shed.RetryAfter
+		}
+		writeError(w, http.StatusTooManyRequests, err.Error(), server.RetryAfterSeconds(ra))
+	case errors.Is(err, server.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error(), server.RetryAfterSeconds(30*time.Second))
+	default:
+		writeError(w, http.StatusServiceUnavailable, err.Error(),
+			server.RetryAfterSeconds(c.adm.CombineRetryAfter(c.shardWorstRetry())))
+	}
+	return nil, false
+}
+
+// Shard RPC --------------------------------------------------------------
+
+// shardError is a non-2xx shard response.
+type shardError struct {
+	status     int
+	msg        string
+	retryAfter int
+}
+
+func (e *shardError) Error() string {
+	return fmt.Sprintf("shard returned %d: %s", e.status, e.msg)
+}
+
+// retryable says whether a failed attempt is worth repeating: transport
+// errors and overload/5xx are; other 4xx mean the request itself is
+// wrong and will be wrong again.
+func retryable(err error) bool {
+	var se *shardError
+	if errors.As(err, &se) {
+		return se.status == http.StatusTooManyRequests || se.status >= 500
+	}
+	return true
+}
+
+// noteShardRetryAfter folds one shard-reported Retry-After into the
+// worst-deadline tracker behind CombineRetryAfter.
+func (c *Coordinator) noteShardRetryAfter(d time.Duration) {
+	dl := time.Now().Add(d).UnixNano()
+	for {
+		old := c.shardRetryUntil.Load()
+		if old >= dl || c.shardRetryUntil.CompareAndSwap(old, dl) {
+			return
+		}
+	}
+}
+
+// shardWorstRetry is the remaining worst shard-reported Retry-After.
+func (c *Coordinator) shardWorstRetry() time.Duration {
+	if d := time.Until(time.Unix(0, c.shardRetryUntil.Load())); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// errBreakerOpen marks a shard skipped because its breaker is open.
+var errBreakerOpen = errors.New("shard breaker open")
+
+// call POSTs in to one shard with bounded retries, capped backoff, and
+// (when configured) hedging, decoding the 200 body into out. The
+// shard's breaker gates the call and records its outcome.
+func (c *Coordinator) call(ctx context.Context, shardURL, path string, in, out any) error {
+	if c.brk.Acquire(shardURL) == server.Degrade {
+		c.obs.Counter("gather.breaker_skip").Add(1)
+		return fmt.Errorf("%s: %w", shardURL, errBreakerOpen)
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		c.brk.Record(shardURL, true) // our bug, not shard health evidence
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.obs.Counter("gather.retry").Add(1)
+			select {
+			case <-time.After(runctl.Backoff(attempt-1, c.cfg.RetryBase, c.cfg.RetryCap)):
+			case <-ctx.Done():
+				c.brk.Record(shardURL, false)
+				return ctx.Err()
+			}
+		}
+		err := c.attempt(ctx, shardURL, path, body, out)
+		if err == nil {
+			c.brk.Record(shardURL, true)
+			return nil
+		}
+		lastErr = err
+		var se *shardError
+		if errors.As(err, &se) && se.retryAfter > 0 {
+			c.noteShardRetryAfter(time.Duration(se.retryAfter) * time.Second)
+		}
+		if !retryable(err) {
+			// The shard answered (it is healthy); the request is bad.
+			c.brk.Record(shardURL, true)
+			return err
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.brk.Record(shardURL, false)
+	return fmt.Errorf("%s%s: %w", shardURL, path, lastErr)
+}
+
+// attempt issues one shard request, hedging a duplicate after
+// cfg.HedgeAfter without a response. First answer wins; the cancel on
+// return reclaims the loser.
+func (c *Coordinator) attempt(ctx context.Context, shardURL, path string, body []byte, out any) error {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type reply struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan reply, 2)
+	do := func() {
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, shardURL+path, bytes.NewReader(body))
+		if err != nil {
+			ch <- reply{err: err}
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.cfg.Client.Do(req)
+		if err != nil {
+			ch <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		if err != nil {
+			ch <- reply{err: err}
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			var er server.ErrorResponse
+			_ = json.Unmarshal(data, &er)
+			msg := er.Error
+			if msg == "" {
+				msg = resp.Status
+			}
+			ch <- reply{err: &shardError{status: resp.StatusCode, msg: msg, retryAfter: er.RetryAfterSeconds}}
+			return
+		}
+		ch <- reply{data: data}
+	}
+	go do()
+	pending := 1
+	var timerC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(c.cfg.HedgeAfter)
+		defer t.Stop()
+		timerC = t.C
+	}
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				return json.Unmarshal(r.data, out)
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if pending == 0 {
+				return firstErr
+			}
+			timerC = nil // one copy already failed; await the other
+		case <-timerC:
+			timerC = nil
+			pending++
+			c.obs.Counter("gather.hedged").Add(1)
+			go do()
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Planning ---------------------------------------------------------------
+
+// shardInfo fetches (and caches forever) one shard's identity for a
+// dataset.
+func (c *Coordinator) shardInfo(ctx context.Context, shardURL, dataset string) (*server.DatasetInfoResponse, error) {
+	c.infoMu.Lock()
+	m := c.infos[dataset]
+	if m == nil {
+		m = map[string]*server.DatasetInfoResponse{}
+		c.infos[dataset] = m
+	}
+	info := m[shardURL]
+	c.infoMu.Unlock()
+	if info != nil {
+		return info, nil
+	}
+	var out server.DatasetInfoResponse
+	if err := c.call(ctx, shardURL, "/v1/datasetinfo", server.DatasetInfoRequest{Dataset: dataset}, &out); err != nil {
+		return nil, err
+	}
+	c.infoMu.Lock()
+	c.infos[dataset][shardURL] = &out
+	c.infoMu.Unlock()
+	return &out, nil
+}
+
+// queryPlan is one request's fan-out: ranges[i] is the owned root
+// window served by urls[i]; ok[i] is false when the shard could not
+// even be identified (its window is missing from the start).
+type queryPlan struct {
+	ranges []shard.Range
+	urls   []string
+	ok     []bool
+}
+
+// missingUpfront lists the shards already known unusable.
+func (qp *queryPlan) missingUpfront() []string {
+	var out []string
+	for i, ok := range qp.ok {
+		if !ok {
+			out = append(out, qp.urls[i])
+		}
+	}
+	return out
+}
+
+// planError classifies planning failures for the HTTP layer.
+type planError struct {
+	status int
+	msg    string
+}
+
+func (e *planError) Error() string { return e.msg }
+
+// planFor identifies every shard and computes the fan-out for one
+// (dataset, δ) query.
+func (c *Coordinator) planFor(ctx context.Context, dataset string, delta mint.Timestamp) (*queryPlan, error) {
+	n := len(c.cfg.Shards)
+	infos := make([]*server.DatasetInfoResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, u := range c.cfg.Shards {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			infos[i], errs[i] = c.shardInfo(ctx, u, dataset)
+		}(i, u)
+	}
+	wg.Wait()
+	// A 400 is about the request (unknown dataset), not shard health:
+	// bounce it to the client unchanged.
+	for _, err := range errs {
+		var se *shardError
+		if errors.As(err, &se) && se.status == http.StatusBadRequest {
+			return nil, &planError{status: http.StatusBadRequest, msg: se.msg}
+		}
+	}
+
+	if c.cfg.Sliced {
+		return c.planSliced(infos, errs)
+	}
+
+	// Full-data mode: every identified shard must serve the same bytes.
+	fp, span := "", shard.Range{}
+	firstOK := -1
+	for i, info := range infos {
+		if info == nil {
+			continue
+		}
+		if firstOK < 0 {
+			firstOK = i
+			fp = info.Fingerprint
+			span = shard.Range{Start: mint.Timestamp(info.MinTS), End: mint.Timestamp(info.MaxTS)}
+			continue
+		}
+		if info.Fingerprint != fp {
+			return nil, &planError{status: http.StatusBadGateway, msg: fmt.Sprintf(
+				"shard data mismatch for dataset %q: %s serves %s but %s serves %s — refusing to merge",
+				dataset, c.cfg.Shards[firstOK], fp, c.cfg.Shards[i], info.Fingerprint)}
+		}
+	}
+	if firstOK < 0 {
+		msg := fmt.Sprintf("no shard could describe dataset %q", dataset)
+		for i, err := range errs {
+			if err != nil {
+				msg += fmt.Sprintf("; %s: %v", c.cfg.Shards[i], err)
+				break
+			}
+		}
+		return nil, &planError{status: http.StatusServiceUnavailable, msg: msg}
+	}
+	p := shard.New(span.Start, span.End, n, delta)
+	qp := &queryPlan{ranges: p.Ranges}
+	for i := range p.Ranges {
+		qp.urls = append(qp.urls, c.cfg.Shards[i])
+		qp.ok = append(qp.ok, infos[i] != nil)
+	}
+	return qp, nil
+}
+
+// planSliced derives owned windows from the workers' actual time
+// extents: shard k (ordered by its slice's first timestamp) owns
+// [minTS_k, minTS_k+1), the last through maxTS+1. The reconstructed
+// boundaries may sit later than the slicer's cuts, but only across
+// stretches holding no edges — no roots live there, so the windows
+// still partition the instance set exactly. Every shard must be
+// identifiable at least once (cached thereafter): a never-seen shard's
+// window cannot be reconstructed, and folding it into a neighbour that
+// does not hold its data would silently undercount — the one failure
+// mode this layer exists to prevent.
+func (c *Coordinator) planSliced(infos []*server.DatasetInfoResponse, errs []error) (*queryPlan, error) {
+	for i, info := range infos {
+		if info == nil {
+			return nil, &planError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf(
+				"sliced coordinator cannot plan: shard %s never identified (%v)", c.cfg.Shards[i], errs[i])}
+		}
+	}
+	order := make([]int, len(infos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return infos[order[a]].MinTS < infos[order[b]].MinTS })
+	qp := &queryPlan{}
+	for k, idx := range order {
+		start := mint.Timestamp(infos[idx].MinTS)
+		var end mint.Timestamp
+		if k+1 < len(order) {
+			end = mint.Timestamp(infos[order[k+1]].MinTS)
+		} else {
+			end = mint.Timestamp(infos[idx].MaxTS) + 1
+		}
+		if end <= start {
+			end = start + 1
+		}
+		qp.ranges = append(qp.ranges, shard.Range{Start: start, End: end})
+		qp.urls = append(qp.urls, c.cfg.Shards[idx])
+		qp.ok = append(qp.ok, true)
+	}
+	return qp, nil
+}
+
+// planningDelta mirrors the worker's δ default so the coordinator's
+// partition matches what the shards will mine.
+func planningDelta(deltaSeconds int64) mint.Timestamp {
+	if deltaSeconds <= 0 {
+		return mint.DeltaHour
+	}
+	return mint.Timestamp(deltaSeconds)
+}
+
+func (c *Coordinator) writePlanError(w http.ResponseWriter, err error) {
+	var pe *planError
+	if errors.As(err, &pe) {
+		ra := 0
+		if pe.status == http.StatusServiceUnavailable {
+			ra = server.RetryAfterSeconds(c.adm.CombineRetryAfter(c.shardWorstRetry()))
+		}
+		writeError(w, pe.status, pe.msg, ra)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, err.Error(),
+		server.RetryAfterSeconds(c.adm.CombineRetryAfter(c.shardWorstRetry())))
+}
+
+// Count ------------------------------------------------------------------
+
+func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req server.CountRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	if req.Supervised {
+		writeError(w, http.StatusBadRequest, "supervised is not supported in coordinator mode", 0)
+		return
+	}
+	if req.RootWindow != nil {
+		writeError(w, http.StatusBadRequest, "root_window is assigned by the coordinator; query a worker directly to restrict roots", 0)
+		return
+	}
+	ctx, cleanup := c.requestCtx(r)
+	defer cleanup()
+	release, ok := c.admit(w, ctx, req.Priority)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	full := runctl.DeriveBudget(start, time.Duration(req.TimeoutMS)*time.Millisecond,
+		runctl.Budget{MaxMatches: req.MaxMatches, MaxNodes: req.MaxNodes}, c.cfg.Caps)
+	mineCtx, cancel := ctx, func() {}
+	if !full.Deadline.IsZero() {
+		mineCtx, cancel = context.WithDeadline(ctx, full.Deadline)
+	}
+	defer cancel()
+
+	qp, err := c.planFor(mineCtx, req.Dataset, planningDelta(req.DeltaSeconds))
+	if err != nil {
+		c.writePlanError(w, err)
+		return
+	}
+	n := len(qp.ranges)
+	per := runctl.SplitBudget(full, n, c.cfg.MergeMargin)
+
+	results := make([]*server.CountResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range qp.ranges {
+		if !qp.ok[i] {
+			errs[i] = errBreakerOpen
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sreq := server.CountRequest{
+				Dataset:      req.Dataset,
+				Motif:        req.Motif,
+				MotifSpec:    req.MotifSpec,
+				DeltaSeconds: req.DeltaSeconds,
+				TimeoutMS:    shardTimeoutMS(per),
+				MaxMatches:   per.MaxMatches,
+				MaxNodes:     per.MaxNodes,
+				Priority:     req.Priority,
+				RootWindow:   &server.TimeWindow{StartTS: int64(qp.ranges[i].Start), EndTS: int64(qp.ranges[i].End)},
+			}
+			var out server.CountResponse
+			if err := c.call(mineCtx, qp.urls[i], "/v1/count", sreq, &out); err != nil {
+				c.obs.Counter("gather.shard_failed").Add(1)
+				errs[i] = err
+				return
+			}
+			results[i] = &out
+		}(i)
+	}
+	wg.Wait()
+
+	// A shard that answered 400 is reporting a malformed fan-out request
+	// (bad motif spec, usually): that is the client's error, not a
+	// missing shard.
+	for _, err := range errs {
+		var se *shardError
+		if errors.As(err, &se) && se.status == http.StatusBadRequest {
+			writeError(w, http.StatusBadRequest, se.msg, 0)
+			return
+		}
+	}
+
+	out := server.CountResponse{Engine: mint.EngineExact, Exact: true}
+	var missing []string
+	for i, res := range results {
+		if res == nil {
+			missing = append(missing, qp.urls[i])
+			continue
+		}
+		out.Count += res.Count
+		out.ExactPartial += res.ExactPartial
+		if res.Degraded {
+			out.Degraded = true
+		}
+		if res.Truncated {
+			out.Truncated = true
+			if out.StopReason == "" {
+				out.StopReason = res.StopReason
+			}
+		}
+	}
+	if len(missing) == n {
+		writeError(w, http.StatusServiceUnavailable, "all shards unavailable",
+			server.RetryAfterSeconds(c.adm.CombineRetryAfter(c.shardWorstRetry())))
+		return
+	}
+	if len(missing) > 0 {
+		c.obs.Counter("gather.partial_merge").Add(1)
+		out.Truncated = true
+		out.StopReason = StopShardUnavailable
+		out.Partial = &server.PartialInfo{MissingShards: missing, Bound: "lower"}
+	}
+	switch {
+	case out.Degraded:
+		// A shard answered with an estimate mixed into exact sums; the
+		// merged engine is neither — name the blend honestly.
+		out.Exact = false
+		out.Engine = "mixed"
+	case out.Truncated:
+		out.Exact = false
+		out.Engine = mint.EnginePartial
+	}
+	out.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, out)
+}
+
+// shardTimeoutMS converts a split budget's deadline into the per-shard
+// request timeout (0 = let the shard apply its own default).
+func shardTimeoutMS(per runctl.Budget) int64 {
+	if per.Deadline.IsZero() {
+		return 0
+	}
+	ms := time.Until(per.Deadline).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// Enumerate --------------------------------------------------------------
+
+// Merged page tokens are "shardIdx:innerToken" — the shard the walk
+// stopped in plus that shard's own resumption token.
+func parseMergedToken(tok string, n int) (int, string, error) {
+	if tok == "" {
+		return 0, "", nil
+	}
+	idxs, inner, found := strings.Cut(tok, ":")
+	if !found {
+		return 0, "", errors.New("malformed page_token")
+	}
+	idx, err := strconv.Atoi(idxs)
+	if err != nil || idx < 0 || idx >= n {
+		return 0, "", errors.New("malformed page_token")
+	}
+	return idx, inner, nil
+}
+
+func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	var req server.EnumerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	if c.cfg.Sliced {
+		writeError(w, http.StatusNotImplemented,
+			"enumerate is not supported on a sliced deployment: slice-local edge IDs are not globally meaningful", 0)
+		return
+	}
+	if req.RootWindow != nil {
+		writeError(w, http.StatusBadRequest, "root_window is assigned by the coordinator; query a worker directly to restrict roots", 0)
+		return
+	}
+	if req.Limit <= 0 {
+		writeError(w, http.StatusBadRequest, "limit must be positive", 0)
+		return
+	}
+	if req.Limit > c.cfg.EnumerateMaxLimit {
+		req.Limit = c.cfg.EnumerateMaxLimit
+	}
+	ctx, cleanup := c.requestCtx(r)
+	defer cleanup()
+	release, ok := c.admit(w, ctx, req.Priority)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	full := runctl.DeriveBudget(start, time.Duration(req.TimeoutMS)*time.Millisecond, runctl.Budget{}, c.cfg.Caps)
+	mineCtx, cancel := ctx, func() {}
+	if !full.Deadline.IsZero() {
+		mineCtx, cancel = context.WithDeadline(ctx, full.Deadline)
+	}
+	defer cancel()
+
+	qp, err := c.planFor(mineCtx, req.Dataset, planningDelta(req.DeltaSeconds))
+	if err != nil {
+		c.writePlanError(w, err)
+		return
+	}
+	n := len(qp.ranges)
+	shardIdx, inner, err := parseMergedToken(req.PageToken, n)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	per := runctl.SplitBudget(full, 1, c.cfg.MergeMargin) // sequential walk: full wall per shard
+
+	// Walk shards in range order: within one shard the worker streams
+	// the deterministic chronological order, and ranges are ordered by
+	// root timestamp, so concatenation reproduces the global order.
+	out := server.EnumerateResponse{Matches: [][]int32{}}
+	for shardIdx < n && len(out.Matches) < req.Limit {
+		if !qp.ok[shardIdx] {
+			out.Truncated = true
+			out.StopReason = StopShardUnavailable
+			out.Partial = &server.PartialInfo{MissingShards: []string{qp.urls[shardIdx]}, Bound: "lower"}
+			break
+		}
+		sreq := server.EnumerateRequest{
+			Dataset:      req.Dataset,
+			Motif:        req.Motif,
+			MotifSpec:    req.MotifSpec,
+			DeltaSeconds: req.DeltaSeconds,
+			TimeoutMS:    shardTimeoutMS(per),
+			Priority:     req.Priority,
+			Limit:        req.Limit - len(out.Matches),
+			PageToken:    inner,
+			RootWindow:   &server.TimeWindow{StartTS: int64(qp.ranges[shardIdx].Start), EndTS: int64(qp.ranges[shardIdx].End)},
+		}
+		var sres server.EnumerateResponse
+		if err := c.call(mineCtx, qp.urls[shardIdx], "/v1/enumerate", sreq, &sres); err != nil {
+			var se *shardError
+			if errors.As(err, &se) && se.status == http.StatusBadRequest {
+				writeError(w, http.StatusBadRequest, se.msg, 0)
+				return
+			}
+			c.obs.Counter("gather.shard_failed").Add(1)
+			// The walk cannot skip a shard without breaking the global
+			// order; stop here, loudly.
+			out.Truncated = true
+			out.StopReason = StopShardUnavailable
+			out.Partial = &server.PartialInfo{MissingShards: []string{qp.urls[shardIdx]}, Bound: "lower"}
+			break
+		}
+		out.Matches = append(out.Matches, sres.Matches...)
+		if sres.Truncated && sres.NextPageToken == "" {
+			// A real truncation (wall/node budget), not a filled page.
+			out.Truncated = true
+			out.StopReason = sres.StopReason
+			break
+		}
+		if sres.NextPageToken != "" {
+			inner = sres.NextPageToken
+			if len(out.Matches) >= req.Limit {
+				out.NextPageToken = fmt.Sprintf("%d:%s", shardIdx, inner)
+				break
+			}
+			continue
+		}
+		shardIdx++
+		inner = ""
+		if shardIdx < n && len(out.Matches) >= req.Limit {
+			out.NextPageToken = fmt.Sprintf("%d:", shardIdx)
+			break
+		}
+	}
+	out.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Profile / info / health -------------------------------------------------
+
+func (c *Coordinator) handleProfile(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotImplemented,
+		"profile is not supported in coordinator mode; issue per-motif counts instead", 0)
+}
+
+// handleDatasetInfo reports the (verified-identical) dataset identity in
+// full-data mode; sliced deployments have no single identity to report.
+func (c *Coordinator) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
+	var req server.DatasetInfoRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	if c.cfg.Sliced {
+		writeError(w, http.StatusNotImplemented, "datasetinfo is per-slice on a sliced deployment; query workers directly", 0)
+		return
+	}
+	ctx, cleanup := c.requestCtx(r)
+	defer cleanup()
+	qp, err := c.planFor(ctx, req.Dataset, mint.DeltaHour)
+	if err != nil {
+		c.writePlanError(w, err)
+		return
+	}
+	for i := range qp.urls {
+		if !qp.ok[i] {
+			continue
+		}
+		if info, err := c.shardInfo(ctx, qp.urls[i], req.Dataset); err == nil {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+	}
+	writeError(w, http.StatusServiceUnavailable, "no shard available", 0)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz live-probes every shard's /healthz and reports ready only
+// when a quorum answers: a coordinator whose fan-outs would all come
+// back partial should not receive traffic a load balancer could send to
+// a healthier peer.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if c.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.ProbeTimeout)
+	defer cancel()
+	status := make([]string, len(c.cfg.Shards))
+	var healthy atomic.Int64
+	var wg sync.WaitGroup
+	for i, u := range c.cfg.Shards {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/healthz", nil)
+			if err != nil {
+				status[i] = "unreachable"
+				return
+			}
+			resp, err := c.cfg.Client.Do(req)
+			if err != nil {
+				status[i] = "unreachable"
+				return
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				status[i] = "ok"
+				healthy.Add(1)
+			} else {
+				status[i] = fmt.Sprintf("status %d", resp.StatusCode)
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	shards := map[string]string{}
+	for i, u := range c.cfg.Shards {
+		shards[u] = status[i]
+	}
+	body := map[string]any{
+		"healthy": healthy.Load(),
+		"quorum":  c.cfg.Quorum,
+		"shards":  shards,
+	}
+	if int(healthy.Load()) >= c.cfg.Quorum {
+		body["status"] = "ready"
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	body["status"] = "below quorum"
+	writeJSON(w, http.StatusServiceUnavailable, body)
+}

@@ -43,6 +43,31 @@ type CountRequest struct {
 	// Supervised runs the fault-tolerant checkpointing miner; requires
 	// the server to be configured with a checkpoint directory.
 	Supervised bool `json:"supervised,omitempty"`
+	// RootWindow restricts the count to motif instances whose root
+	// (earliest) edge timestamp falls in this half-open window. The
+	// scatter-gather coordinator uses it to assign each shard its owned
+	// slice of the root space; restricted requests never degrade to the
+	// sampling estimator (it cannot scope an estimate to a root window).
+	RootWindow *TimeWindow `json:"root_window,omitempty"`
+}
+
+// TimeWindow is a half-open timestamp window [start_ts, end_ts) in
+// dataset time units.
+type TimeWindow struct {
+	StartTS int64 `json:"start_ts"`
+	EndTS   int64 `json:"end_ts"`
+}
+
+// PartialInfo marks a merged scatter-gather answer assembled without
+// every shard: the count is the sum over the shards that responded — a
+// loud lower bound, never a silently wrong total.
+type PartialInfo struct {
+	// MissingShards names the shards (by URL) whose owned root windows
+	// are not included in the merged count.
+	MissingShards []string `json:"missing_shards"`
+	// Bound says which side the reported count bounds the true answer
+	// from; summing exact/truncated shard counts always yields "lower".
+	Bound string `json:"bound"`
 }
 
 // CountResponse is the answer. Exactly one of these holds: Exact
@@ -63,6 +88,9 @@ type CountResponse struct {
 	// request (resume evidence after a drain).
 	Checkpoint string  `json:"checkpoint,omitempty"`
 	WallMS     float64 `json:"wall_ms"`
+	// Partial is set only on merged scatter-gather responses whose
+	// fan-out lost shards; single-process servers never set it.
+	Partial *PartialInfo `json:"partial,omitempty"`
 }
 
 // EnumerateRequest asks for concrete matches, paginated.
@@ -79,6 +107,9 @@ type EnumerateRequest struct {
 	// NextPageToken). Enumeration order is deterministic, so a token is
 	// stable across requests.
 	PageToken string `json:"page_token,omitempty"`
+	// RootWindow restricts enumeration to instances rooted in this
+	// half-open window (scatter-gather fan-out; see CountRequest).
+	RootWindow *TimeWindow `json:"root_window,omitempty"`
 }
 
 // EnumerateResponse carries one page of matches (each match is the
@@ -89,6 +120,27 @@ type EnumerateResponse struct {
 	Truncated     bool      `json:"truncated,omitempty"`
 	StopReason    string    `json:"stop_reason,omitempty"`
 	WallMS        float64   `json:"wall_ms"`
+	// Partial: see CountResponse.Partial.
+	Partial *PartialInfo `json:"partial,omitempty"`
+}
+
+// DatasetInfoRequest asks a worker to describe the data it serves under
+// a dataset name — the coordinator's pre-merge identity check.
+type DatasetInfoRequest struct {
+	Dataset string `json:"dataset"`
+}
+
+// DatasetInfoResponse reports the dataset's shape, time extent, and
+// identity fingerprint. Two workers whose fingerprints differ are not
+// serving the same data, and a coordinator must refuse to merge their
+// counts.
+type DatasetInfoResponse struct {
+	Dataset     string `json:"dataset"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+	MinTS       int64  `json:"min_ts"`
+	MaxTS       int64  `json:"max_ts"`
+	Fingerprint string `json:"fingerprint"`
 }
 
 // ProfileRequest asks for the M1–M4 motif profile of a dataset.
@@ -127,6 +179,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/count", s.instrument("count", s.handleCount))
 	s.mux.HandleFunc("POST /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
 	s.mux.HandleFunc("POST /v1/profile", s.instrument("profile", s.handleProfile))
+	s.mux.HandleFunc("POST /v1/datasetinfo", s.instrument("datasetinfo", s.handleDatasetInfo))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 }
@@ -197,10 +250,12 @@ func (s *Server) admit(w http.ResponseWriter, ctx context.Context, priority stri
 
 // loadWorkload resolves the dataset and motif; it writes its own error
 // responses (400 for caller mistakes, 503 for environment failures).
-func (s *Server) loadWorkload(w http.ResponseWriter, ctx context.Context, dataset, motifName, motifSpec string, deltaSeconds int64) (*mint.Graph, *mint.Motif, bool) {
+// The dataset comes back pinned in the registry (eviction cannot race
+// the mining run); the caller must defer the returned release.
+func (s *Server) loadWorkload(w http.ResponseWriter, ctx context.Context, dataset, motifName, motifSpec string, deltaSeconds int64) (*mint.Graph, *mint.Motif, func(), bool) {
 	if dataset == "" {
 		writeError(w, http.StatusBadRequest, "dataset is required", 0)
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	delta := mint.Timestamp(deltaSeconds)
 	if delta <= 0 {
@@ -219,18 +274,26 @@ func (s *Server) loadWorkload(w http.ResponseWriter, ctx context.Context, datase
 	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	g, err := s.data.Get(ctx, dataset)
+	g, release, err := s.data.Checkout(ctx, dataset)
 	if err != nil {
 		if errors.Is(err, ErrUnknownDataset) {
 			writeError(w, http.StatusBadRequest, err.Error(), 0)
 		} else {
 			writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(5*time.Second))
 		}
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	return g, m, true
+	return g, m, release, true
+}
+
+// rootWindowFor maps the wire-level root window onto the engine's.
+func rootWindowFor(tw *TimeWindow) *mint.RootWindow {
+	if tw == nil {
+		return nil
+	}
+	return &mint.RootWindow{Start: mint.Timestamp(tw.StartTS), End: mint.Timestamp(tw.EndTS)}
 }
 
 // workloadKey is the breaker key: dataset × motif class. Named motifs
@@ -277,20 +340,26 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mineCtx, cancel, _, exactBudget := s.budgetFor(ctx, req.TimeoutMS, req.MaxMatches, req.MaxNodes)
 	defer cancel()
-	g, m, ok := s.loadWorkload(w, mineCtx, req.Dataset, req.Motif, req.MotifSpec, req.DeltaSeconds)
+	g, m, releaseData, ok := s.loadWorkload(w, mineCtx, req.Dataset, req.Motif, req.MotifSpec, req.DeltaSeconds)
 	if !ok {
 		return
 	}
+	defer releaseData()
 	key := workloadKey(req.Dataset, m)
+	roots := rootWindowFor(req.RootWindow)
 
 	if req.Supervised {
+		if roots != nil {
+			writeError(w, http.StatusBadRequest, "root_window is not supported with supervised", 0)
+			return
+		}
 		s.handleCountSupervised(w, mineCtx, g, m, key, exactBudget, start)
 		return
 	}
 
 	decision := s.brk.Acquire(key)
 	if decision == Degrade {
-		s.serveDegraded(w, mineCtx, g, m, start)
+		s.serveDegraded(w, mineCtx, g, m, roots, start)
 		return
 	}
 	res, err := mint.CountWithFallback(mineCtx, g, m, mint.FallbackConfig{
@@ -298,6 +367,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		Workers: s.cfg.Workers,
 		Chaos:   s.cfg.Chaos,
 		Obs:     s.obs,
+		Roots:   roots,
 	})
 	if err != nil || res.ExactResult.StopReason == mint.StopFaultInjected {
 		// A panic or injected fault is breaker evidence even when the
@@ -311,7 +381,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		// rather than surfacing an opaque 500: the client gets an
 		// explicit estimate or a clean 503.
 		s.obs.Counter("server.exact_failed").Add(1)
-		s.serveDegraded(w, mineCtx, g, m, start)
+		s.serveDegraded(w, mineCtx, g, m, roots, start)
 		return
 	}
 	writeJSON(w, http.StatusOK, countResponse(res, start))
@@ -338,7 +408,10 @@ func countResponse(res mint.FallbackResult, start time.Time) CountResponse {
 // fallback ladder with a token exact budget, so the answer comes from
 // PRESTO unless the workload is trivially small. Every success is
 // marked "degraded" unless the tiny exact attempt actually completed.
-func (s *Server) serveDegraded(w http.ResponseWriter, ctx context.Context, g *mint.Graph, m *mint.Motif, start time.Time) {
+// Root-windowed requests (scatter-gather fan-out) never reach PRESTO —
+// the fallback layer returns the exact partial lower bound instead,
+// because an estimate cannot be scoped to a root window.
+func (s *Server) serveDegraded(w http.ResponseWriter, ctx context.Context, g *mint.Graph, m *mint.Motif, roots *mint.RootWindow, start time.Time) {
 	s.obs.Counter("server.degraded_served").Add(1)
 	res, err := mint.CountWithFallback(ctx, g, m, mint.FallbackConfig{
 		// One checkpoint quantum of exact work: enough to answer tiny
@@ -346,6 +419,7 @@ func (s *Server) serveDegraded(w http.ResponseWriter, ctx context.Context, g *mi
 		Budget:  runctl.Budget{MaxNodes: runctl.CheckInterval},
 		Workers: 1,
 		Obs:     s.obs,
+		Roots:   roots,
 	})
 	if err != nil {
 		s.obs.Counter("server.degraded_failed").Add(1)
@@ -421,10 +495,11 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mineCtx, cancel, full, _ := s.budgetFor(ctx, req.TimeoutMS, 0, 0)
 	defer cancel()
-	g, m, ok := s.loadWorkload(w, mineCtx, req.Dataset, req.Motif, req.MotifSpec, req.DeltaSeconds)
+	g, m, releaseData, ok := s.loadWorkload(w, mineCtx, req.Dataset, req.Motif, req.MotifSpec, req.DeltaSeconds)
 	if !ok {
 		return
 	}
+	defer releaseData()
 	key := workloadKey(req.Dataset, m)
 	if s.brk.Acquire(key) == Degrade {
 		// Enumeration has no sampling fallback: shed cleanly while the
@@ -442,7 +517,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	b.MaxMatches = offset + int64(req.Limit)
 	matches := make([][]int32, 0, req.Limit)
 	var seen int64
-	res := mint.EnumerateChaosCtx(mineCtx, g, m, b, s.cfg.Chaos, func(edges []int32) {
+	res := mint.EnumerateChaosRootsCtx(mineCtx, g, m, b, s.cfg.Chaos, rootWindowFor(req.RootWindow), func(edges []int32) {
 		seen++
 		if seen <= offset {
 			return
@@ -483,10 +558,11 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mineCtx, cancel, full, _ := s.budgetFor(ctx, req.TimeoutMS, 0, 0)
 	defer cancel()
-	g, _, ok := s.loadWorkload(w, mineCtx, req.Dataset, "M1", "", req.DeltaSeconds)
+	g, _, releaseData, ok := s.loadWorkload(w, mineCtx, req.Dataset, "M1", "", req.DeltaSeconds)
 	if !ok {
 		return
 	}
+	defer releaseData()
 	delta := mint.Timestamp(req.DeltaSeconds)
 	if delta <= 0 {
 		delta = mint.DeltaHour
@@ -509,6 +585,48 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 			e.StopReason = c.StopReason.String()
 		}
 		out.Profile = append(out.Profile, e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDatasetInfo reports the shape, time extent, and identity
+// fingerprint of a served dataset. A scatter-gather coordinator calls it
+// once per worker before fanning out: the span feeds the shard plan and
+// the fingerprints must agree before any merge (two workers serving
+// different data under one name must fail the fan-out loudly, not sum
+// into a silently wrong count). It skips admission — it mines nothing
+// and must stay answerable under load so coordinators can plan.
+func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
+	var req DatasetInfoRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "dataset is required", 0)
+		return
+	}
+	ctx, cleanup := s.requestCtx(r)
+	defer cleanup()
+	g, release, err := s.data.Checkout(ctx, req.Dataset)
+	if err != nil {
+		if errors.Is(err, ErrUnknownDataset) {
+			writeError(w, http.StatusBadRequest, err.Error(), 0)
+		} else {
+			writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(5*time.Second))
+		}
+		return
+	}
+	defer release()
+	out := DatasetInfoResponse{
+		Dataset:     req.Dataset,
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		Fingerprint: s.fingerprintOf(req.Dataset, g),
+	}
+	if n := g.NumEdges(); n > 0 {
+		out.MinTS = int64(g.Edges[0].Time)
+		out.MaxTS = int64(g.Edges[n-1].Time)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -72,6 +72,12 @@ type entry struct {
 	bytes int64
 	// lastUse orders eviction; guarded by the registry mutex.
 	lastUse int64
+	// pins counts Checkout holders actively mining this dataset; guarded
+	// by the registry mutex. A pinned entry is never evicted: the graph
+	// is resident anyway (the miner holds it), so evicting would only
+	// make the watermark accounting lie and force a pointless reload for
+	// the next request.
+	pins int
 }
 
 // Registry is the cache. All methods are safe for concurrent use.
@@ -115,6 +121,48 @@ func GraphBytes(g *temporal.Graph) int64 {
 // own context). A failed flight is not negatively cached — the next Get
 // starts a fresh one.
 func (r *Registry) Get(ctx context.Context, name string) (*temporal.Graph, error) {
+	g, _, err := r.get(ctx, name)
+	return g, err
+}
+
+// Checkout is Get plus a pin: the returned release func must be called
+// when the caller stops mining the graph (defer it). While pinned the
+// entry is exempt from LRU eviction, so a burst of loads for other
+// datasets cannot push an actively-mined dataset out from under its
+// in-flight runs — the graph itself is immutable and GC-safe either
+// way, but an evicted-while-mined entry makes the resident-bytes
+// watermark undercount reality and forces the next request for the same
+// name to reload a graph that is still in memory. Release is idempotent.
+func (r *Registry) Checkout(ctx context.Context, name string) (*temporal.Graph, func(), error) {
+	g, e, err := r.get(ctx, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.mu.Lock()
+	pinned := r.entries[name] == e
+	if pinned {
+		e.pins++
+	}
+	r.mu.Unlock()
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			if !pinned {
+				return
+			}
+			r.mu.Lock()
+			e.pins--
+			// Unpinning may reopen eviction room the watermark has been
+			// waiting for; settle it now rather than on the next load.
+			r.evictLocked(nil)
+			r.mu.Unlock()
+		})
+	}
+	return g, release, nil
+}
+
+// get resolves name to its graph and cache entry.
+func (r *Registry) get(ctx context.Context, name string) (*temporal.Graph, *entry, error) {
 	o := r.opts.Obs
 	for {
 		r.mu.Lock()
@@ -129,7 +177,7 @@ func (r *Registry) Get(ctx context.Context, name string) (*temporal.Graph, error
 					e.lastUse = r.useSeq
 					r.mu.Unlock()
 					o.Counter("registry.hit").Add(1)
-					return e.g, nil
+					return e.g, e, nil
 				}
 				// A failed entry is being torn down; retry the lookup.
 				delete(r.entries, name)
@@ -143,18 +191,19 @@ func (r *Registry) Get(ctx context.Context, name string) (*temporal.Graph, error
 			select {
 			case <-e.ready:
 				if e.err != nil {
-					return nil, e.err
+					return nil, nil, e.err
 				}
 				r.touch(e)
-				return e.g, nil
+				return e.g, e, nil
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, nil, ctx.Err()
 			}
 		}
 		e = &entry{name: name, ready: make(chan struct{})}
 		r.entries[name] = e
 		r.mu.Unlock()
-		return r.load(ctx, e)
+		g, err := r.load(ctx, e)
+		return g, e, err
 	}
 }
 
@@ -218,7 +267,9 @@ func (r *Registry) load(ctx context.Context, e *entry) (*temporal.Graph, error) 
 // evictLocked drops least-recently-used landed entries (never keep, the
 // entry just loaded) until the resident estimate fits the watermark.
 // In-flight entries are skipped: evicting a flight would strand its
-// joiners.
+// joiners. Pinned entries (Checkout holders still mining) are skipped
+// too — the watermark is a protection limit and may be transiently
+// exceeded while every resident graph is actively in use.
 func (r *Registry) evictLocked(keep *entry) {
 	if r.opts.MaxBytes <= 0 {
 		return
@@ -226,7 +277,7 @@ func (r *Registry) evictLocked(keep *entry) {
 	for r.bytes > r.opts.MaxBytes {
 		var victim *entry
 		for _, e := range r.entries {
-			if e == keep || !landed(e) {
+			if e == keep || e.pins > 0 || !landed(e) {
 				continue
 			}
 			if victim == nil || e.lastUse < victim.lastUse {

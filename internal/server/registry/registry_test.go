@@ -221,3 +221,95 @@ func TestConcurrentDistinctNames(t *testing.T) {
 		t.Fatalf("entries = %d, want 8", reg.Len())
 	}
 }
+
+// TestCheckoutPinBlocksEviction is the evict-during-mine regression: a
+// dataset checked out by an in-flight mining request must survive the
+// LRU pass that a burst of other loads triggers, and become evictable
+// again once released.
+func TestCheckoutPinBlocksEviction(t *testing.T) {
+	mkGraph := func(name string) *temporal.Graph { return testGraph(int64(len(name)), 400) }
+	oneSize := GraphBytes(mkGraph("a"))
+	reg := New(Options{
+		MaxBytes: oneSize + oneSize/2, // room for one graph, not two
+		Loader: func(ctx context.Context, name string) (*temporal.Graph, error) {
+			return mkGraph(name), nil
+		},
+		Obs: obs.New(""),
+	})
+	ctx := context.Background()
+
+	ga, release, err := reg.Checkout(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga == nil {
+		t.Fatal("Checkout returned nil graph")
+	}
+	// "b" landing would normally evict LRU "a"; the pin must block it
+	// (the watermark transiently overshoots instead of lying).
+	if _, err := reg.Get(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	cached := map[string]bool{}
+	for _, n := range reg.Names() {
+		cached[n] = true
+	}
+	if !cached["a"] {
+		t.Fatalf("pinned dataset evicted mid-mine; cached = %v", reg.Names())
+	}
+
+	// Released (idempotently), "a" is LRU and fair game again.
+	release()
+	release()
+	if _, err := reg.Get(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	cached = map[string]bool{}
+	for _, n := range reg.Names() {
+		cached[n] = true
+	}
+	if cached["a"] {
+		t.Fatalf("released dataset not evicted under pressure; cached = %v", reg.Names())
+	}
+	if cached["c"] != true {
+		t.Fatalf("latest load missing; cached = %v", reg.Names())
+	}
+}
+
+// TestCheckoutConcurrentMiningUnderPressure: many goroutines check out
+// and "mine" a dataset while other loads churn the watermark; under
+// -race this shakes the pin accounting, and every checkout must see a
+// usable graph.
+func TestCheckoutConcurrentMiningUnderPressure(t *testing.T) {
+	mkGraph := func(name string) *temporal.Graph { return testGraph(int64(len(name)), 300) }
+	reg := New(Options{
+		MaxBytes: GraphBytes(mkGraph("hot")) + 1,
+		Loader: func(ctx context.Context, name string) (*temporal.Graph, error) {
+			return mkGraph(name), nil
+		},
+	})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				g, release, err := reg.Checkout(ctx, "hot")
+				if err != nil {
+					t.Errorf("checkout: %v", err)
+					return
+				}
+				if g.NumEdges() == 0 {
+					t.Error("checked-out graph is empty")
+				}
+				// Churn the cache while the pin is held.
+				if _, err := reg.Get(ctx, fmt.Sprintf("cold-%d-%d", i, j)); err != nil {
+					t.Errorf("churn load: %v", err)
+				}
+				release()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

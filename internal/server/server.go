@@ -27,6 +27,7 @@ import (
 	"mint/internal/obs"
 	"mint/internal/runctl"
 	"mint/internal/server/registry"
+	"mint/internal/shard"
 )
 
 // ErrUnknownDataset marks loader failures caused by the dataset name
@@ -75,8 +76,8 @@ type Server struct {
 	cfg   Config
 	obs   *obs.Registry
 	data  *registry.Registry
-	adm   *admission
-	brk   *breakerGroup
+	adm   *Admission
+	brk   *BreakerGroup
 	mux   *http.ServeMux
 	start time.Time
 
@@ -93,6 +94,34 @@ type Server struct {
 	inflight sync.WaitGroup
 
 	reqSeq atomic.Int64 // distinguishes per-request checkpoint files
+
+	// fps caches per-dataset identity fingerprints: shard.Fingerprint is
+	// a full O(edges) scan and datasetinfo is called per fan-out, so
+	// compute once per loaded graph. Keyed by graph pointer — a reloaded
+	// (evicted, re-fetched) graph is a new pointer and re-fingerprints.
+	fpMu sync.Mutex
+	fps  map[*mint.Graph]string
+}
+
+// fingerprintOf returns the cached identity fingerprint for a loaded
+// graph, computing it on first sight.
+func (s *Server) fingerprintOf(dataset string, g *mint.Graph) string {
+	s.fpMu.Lock()
+	fp, ok := s.fps[g]
+	s.fpMu.Unlock()
+	if ok {
+		return fp
+	}
+	fp = shard.Fingerprint(g)
+	s.fpMu.Lock()
+	if len(s.fps) >= 128 {
+		// Evicted-and-reloaded graphs leave dead pointers behind; reset
+		// rather than grow without bound (recompute is cheap at this rate).
+		s.fps = map[*mint.Graph]string{}
+	}
+	s.fps[g] = fp
+	s.fpMu.Unlock()
+	return fp
 }
 
 // New builds a Server from cfg.
@@ -111,8 +140,9 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		obs:   cfg.Obs,
 		start: time.Now(),
-		adm:   newAdmission(cfg.Admission, cfg.Obs),
-		brk:   newBreakerGroup(cfg.Breaker, cfg.Obs),
+		adm:   NewAdmission(cfg.Admission, cfg.Obs),
+		brk:   NewBreakerGroup(cfg.Breaker, cfg.Obs),
+		fps:   map[*mint.Graph]string{},
 	}
 	s.data = registry.New(registry.Options{
 		Loader:   loader,
@@ -180,7 +210,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		return errors.New("server: Drain called twice")
 	}
 	s.obs.Counter("server.drain_started").Add(1)
-	s.adm.stop()
+	s.adm.Stop()
 
 	done := make(chan struct{})
 	go func() {

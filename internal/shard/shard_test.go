@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"mint/internal/mackey"
+	"mint/internal/temporal"
+	"mint/internal/testutil"
+)
+
+// countWindow mines g restricted to roots in window w and returns the
+// match count — the per-shard unit of the scatter-gather merge.
+func countWindow(g *temporal.Graph, m *temporal.Motif, w Range) int64 {
+	lo, hi := g.EdgeRange(w.Start, w.End)
+	res := mackey.Mine(g, m, mackey.Options{Roots: &mackey.RootRange{Lo: lo, Hi: hi}})
+	return res.Matches
+}
+
+func TestNewPlanShapes(t *testing.T) {
+	cases := []struct {
+		name           string
+		minT, maxT     temporal.Timestamp
+		shards         int
+		delta          temporal.Timestamp
+		wantShards     int
+		skipDeltaCheck bool
+	}{
+		{name: "delta fits thirds", minT: 0, maxT: 99, shards: 3, delta: 30, wantShards: 3},
+		{name: "delta over a third merges to two", minT: 0, maxT: 99, shards: 3, delta: 40, wantShards: 2},
+		{name: "delta over the whole span merges to one", minT: 0, maxT: 99, shards: 3, delta: 1000, wantShards: 1},
+		{name: "more shards than timestamps", minT: 0, maxT: 2, shards: 8, delta: 0, wantShards: 3},
+		{name: "single timestamp", minT: 5, maxT: 5, shards: 4, delta: 10, wantShards: 1},
+		{name: "zero shards treated as one", minT: 0, maxT: 9, shards: 0, delta: 0, wantShards: 1},
+		{name: "inverted span degenerates to one", minT: 9, maxT: 0, shards: 2, delta: 0, wantShards: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(tc.minT, tc.maxT, tc.shards, tc.delta)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if p.NumShards() != tc.wantShards {
+				t.Fatalf("NumShards = %d, want %d (ranges %v)", p.NumShards(), tc.wantShards, p.Ranges)
+			}
+			// Coverage: the windows tile [minT, maxT+1) exactly.
+			maxT := tc.maxT
+			if maxT < tc.minT {
+				maxT = tc.minT
+			}
+			if p.Ranges[0].Start != tc.minT || p.Ranges[len(p.Ranges)-1].End != maxT+1 {
+				t.Fatalf("plan covers [%d, %d), want [%d, %d)",
+					p.Ranges[0].Start, p.Ranges[len(p.Ranges)-1].End, tc.minT, maxT+1)
+			}
+		})
+	}
+}
+
+// TestOwnershipDedupEdgeCases is the δ-overlap dedup table: for each
+// constructed edge-time layout, the per-shard root-windowed counts must
+// sum exactly to the unrestricted count — instances rooted on a shard
+// boundary timestamp, under duplicate timestamps straddling the cut, and
+// with δ wider than a shard's span all have exactly one owner.
+func TestOwnershipDedupEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := testutil.RandomGraph(rng, 10, 300, 100) // dense: ~3 edges per tick, ties guaranteed
+
+	cases := []struct {
+		name   string
+		edges  func() []temporal.Edge
+		shards int
+		delta  temporal.Timestamp
+	}{
+		{
+			name:   "roots exactly on the boundary timestamp",
+			shards: 2,
+			delta:  20,
+			edges: func() []temporal.Edge {
+				// Two shards over the base span put the cut mid-span; pin
+				// extra edges exactly there so boundary roots exist.
+				p := PlanForGraph(base, 2, 20)
+				cut := p.Ranges[1].Start
+				es := append([]temporal.Edge(nil), base.Edges...)
+				for i := 0; i < 6; i++ {
+					es = append(es, temporal.Edge{Src: temporal.NodeID(i), Dst: temporal.NodeID(i + 1), Time: cut})
+				}
+				return es
+			},
+		},
+		{
+			name:   "duplicate timestamps straddling the cut",
+			shards: 3,
+			delta:  10,
+			edges: func() []temporal.Edge {
+				p := PlanForGraph(base, 3, 10)
+				cut := p.Ranges[1].Start
+				es := append([]temporal.Edge(nil), base.Edges...)
+				// A burst of equal and near-equal timestamps around the cut,
+				// including inter-node edges that root cross-cut instances.
+				for _, dt := range []temporal.Timestamp{-1, -1, 0, 0, 0, 0, 1, 1} {
+					s := temporal.NodeID(rng.Intn(10))
+					d := temporal.NodeID(rng.Intn(10))
+					if s == d {
+						d = (d + 1) % 10
+					}
+					es = append(es, temporal.Edge{Src: s, Dst: d, Time: cut + dt})
+				}
+				return es
+			},
+		},
+		{
+			name:   "delta wider than a shard span forces merge",
+			shards: 5,
+			delta:  60, // span 100 / 5 = 20 < 60: must merge down to one
+			edges:  func() []temporal.Edge { return base.Edges },
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := temporal.MustNewGraph(tc.edges())
+			p := PlanForGraph(g, tc.shards, tc.delta)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			for _, mname := range []*temporal.Motif{temporal.M1(tc.delta), temporal.M2(tc.delta)} {
+				oracle := mackey.Mine(g, mname, mackey.Options{}).Matches
+				var sum int64
+				var roots int
+				for i := 0; i < p.NumShards(); i++ {
+					w := p.Owned(i)
+					lo, hi := g.EdgeRange(w.Start, w.End)
+					roots += int(hi - lo)
+					sum += countWindow(g, mname, w)
+				}
+				if roots != g.NumEdges() {
+					t.Errorf("%s: shards own %d roots, graph has %d — ownership not a partition",
+						mname.Name, roots, g.NumEdges())
+				}
+				if sum != oracle {
+					t.Errorf("%s: shard counts sum to %d, oracle %d — boundary instances double-counted or lost",
+						mname.Name, sum, oracle)
+				}
+			}
+		})
+	}
+}
+
+// TestSliceSelfSufficiency proves the δ-overlap data rule: a worker
+// holding only its DataRange slice (owned window widened forward by δ)
+// counts its owned window identically to a worker holding the full
+// graph. Run across motif sizes and several δ values, including one
+// that triggers the merge rule.
+func TestSliceSelfSufficiency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testutil.RandomGraph(rng, 16, 500, 2000)
+
+	for _, delta := range []temporal.Timestamp{100, 500, 900} {
+		p := PlanForGraph(g, 3, delta)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("delta=%d: Validate: %v", delta, err)
+		}
+		for _, m := range temporal.EvaluationMotifs(delta) {
+			oracle := mackey.Mine(g, m, mackey.Options{}).Matches
+			var sum int64
+			for i := 0; i < p.NumShards(); i++ {
+				sub, _, err := Slice(g, p.DataRange(i))
+				if err != nil {
+					t.Fatalf("Slice: %v", err)
+				}
+				sum += countWindow(sub, m, p.Owned(i))
+			}
+			if sum != oracle {
+				t.Errorf("delta=%d %s: sliced shard counts sum to %d, full-graph oracle %d",
+					delta, m.Name, sum, oracle)
+			}
+		}
+	}
+}
+
+func TestFingerprintDetectsDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testutil.RandomGraph(rng, 12, 200, 500)
+	fp := Fingerprint(g)
+	if fp2 := Fingerprint(g); fp2 != fp {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", fp, fp2)
+	}
+	// Same shape, one timestamp nudged: must differ.
+	es := append([]temporal.Edge(nil), g.Edges...)
+	es[100].Time++
+	if Fingerprint(temporal.MustNewGraph(es)) == fp {
+		t.Error("fingerprint unchanged after perturbing an edge timestamp")
+	}
+	// A slice of the dataset is not the dataset.
+	sub, _, err := Slice(g, Range{Start: 0, End: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(sub) == fp {
+		t.Error("fingerprint of a slice equals the full dataset's")
+	}
+}

@@ -140,6 +140,21 @@ func (g *Graph) TimeSpan() Timestamp {
 	return g.Edges[len(g.Edges)-1].Time - g.Edges[0].Time
 }
 
+// EdgeRange returns the half-open edge-index range [lo, hi) of edges
+// whose timestamp t satisfies start <= t < end. Because Edges is sorted
+// by time, the range is contiguous; it is empty (lo == hi) when no edge
+// falls in the window. This is the timestamp→EdgeID lift the sharding
+// layer uses to turn a root time window into a root index window.
+func (g *Graph) EdgeRange(start, end Timestamp) (lo, hi EdgeID) {
+	n := len(g.Edges)
+	l := sort.Search(n, func(i int) bool { return g.Edges[i].Time >= start })
+	h := sort.Search(n, func(i int) bool { return g.Edges[i].Time >= end })
+	if h < l {
+		h = l
+	}
+	return EdgeID(l), EdgeID(h)
+}
+
 // SearchAfter returns the position of the first entry in list whose edge
 // index is strictly greater than after. Because per-node lists are sorted
 // by edge index, this is the software binary search the paper's baselines
