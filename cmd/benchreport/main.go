@@ -2,12 +2,14 @@
 // sequential miner and writes them as machine-readable JSON.
 //
 // Default mode (observability overhead): for each evaluation motif M1–M4
-// it benchmarks mackey.Mine on the same synthetic graph twice — registry
-// detached and attached — and records ns/op for both plus the on/off
-// ratio. The miners fold their private Stats into the registry once per
-// run, so the ratio should sit within noise of 1.0; TestObsOverheadGuard
-// enforces <3% under -bench, and the committed BENCH_obs.json is the
-// reference the guard's budget was set against.
+// it benchmarks mackey.Mine on the same synthetic graph three times —
+// registry detached, registry attached, and registry plus trace-tagged
+// span recording (the serving layer's per-request configuration) — and
+// records ns/op for all plus the on/off and trace/off ratios. The miners
+// fold their private Stats into the registry once per run, so the ratios
+// should sit within noise of 1.0; TestObsOverheadGuard enforces <3%
+// under -bench for both configurations, and the committed BENCH_obs.json
+// is the reference the guard's budget was set against.
 //
 // Hot-path mode (-hotpath): A/B-benchmarks the pre-overhaul Baseline path
 // against the optimized path (pooled worker state, window-cached searches)
@@ -26,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,17 +41,22 @@ import (
 	"mint/internal/datasets"
 	"mint/internal/mackey"
 	"mint/internal/obs"
+	"mint/internal/runctl"
 	"mint/internal/temporal"
 	"mint/internal/testutil"
 )
 
 // benchRow is one motif's observability-overhead measurement.
 type benchRow struct {
-	Motif      string  `json:"motif"`
-	Matches    int64   `json:"matches"`
-	ObsOffNsOp int64   `json:"obs_off_ns_per_op"`
-	ObsOnNsOp  int64   `json:"obs_on_ns_per_op"`
+	Motif      string `json:"motif"`
+	Matches    int64  `json:"matches"`
+	ObsOffNsOp int64  `json:"obs_off_ns_per_op"`
+	ObsOnNsOp  int64  `json:"obs_on_ns_per_op"`
+	// TraceNsOp measures the serving configuration: registry attached
+	// plus a ring tracer recording trace-tagged spans.
+	TraceNsOp  int64   `json:"trace_on_ns_per_op"`
 	Ratio      float64 `json:"overhead_ratio"`
+	TraceRatio float64 `json:"trace_overhead_ratio"`
 }
 
 // benchReport is the BENCH_obs.json payload.
@@ -57,8 +65,9 @@ type benchReport struct {
 	GeneratedUnix int64      `json:"generated_unix"`
 	GraphNodes    int        `json:"graph_nodes"`
 	GraphEdges    int        `json:"graph_edges"`
-	Rows          []benchRow `json:"benchmarks"`
-	GeomeanRatio  float64    `json:"geomean_overhead_ratio"`
+	Rows              []benchRow `json:"benchmarks"`
+	GeomeanRatio      float64    `json:"geomean_overhead_ratio"`
+	GeomeanTraceRatio float64    `json:"geomean_trace_overhead_ratio"`
 }
 
 // hotpathRow is one motif's Baseline-vs-optimized measurement.
@@ -125,7 +134,7 @@ func runObsReport(out string, edges int, seed int64) error {
 		GraphNodes:    g.NumNodes(),
 		GraphEdges:    g.NumEdges(),
 	}
-	logRatio := 0.0
+	logRatio, logTraceRatio := 0.0, 0.0
 	for _, m := range temporal.EvaluationMotifs(3600) {
 		var res mackey.Result
 		off := testing.Benchmark(func(b *testing.B) {
@@ -139,20 +148,34 @@ func runObsReport(out string, edges int, seed int64) error {
 				res = mackey.Mine(g, m, mackey.Options{Obs: reg})
 			}
 		})
+		// Serving configuration: the per-request tracer and the
+		// trace-tagged controller mintd's handlers attach.
+		ctl := runctl.New(context.Background(), runctl.Budget{})
+		ctl.SetTraceID(obs.NewTraceContext().TraceID)
+		tr := obs.NewTracer(128)
+		traced := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res = mackey.Mine(g, m, mackey.Options{Obs: reg, Trace: tr, Ctl: ctl})
+			}
+		})
 		row := benchRow{
 			Motif:      m.Name,
 			Matches:    res.Matches,
 			ObsOffNsOp: off.NsPerOp(),
 			ObsOnNsOp:  on.NsPerOp(),
+			TraceNsOp:  traced.NsPerOp(),
 			Ratio:      float64(on.NsPerOp()) / float64(off.NsPerOp()),
+			TraceRatio: float64(traced.NsPerOp()) / float64(off.NsPerOp()),
 		}
 		logRatio += math.Log(row.Ratio)
+		logTraceRatio += math.Log(row.TraceRatio)
 		rep.Rows = append(rep.Rows, row)
-		fmt.Printf("%-4s off %10d ns/op   on %10d ns/op   ratio %.4f   matches %d\n",
-			row.Motif, row.ObsOffNsOp, row.ObsOnNsOp, row.Ratio, row.Matches)
+		fmt.Printf("%-4s off %10d ns/op   on %10d ns/op   traced %10d ns/op   ratio %.4f   trace ratio %.4f   matches %d\n",
+			row.Motif, row.ObsOffNsOp, row.ObsOnNsOp, row.TraceNsOp, row.Ratio, row.TraceRatio, row.Matches)
 	}
 	rep.GeomeanRatio = math.Exp(logRatio / float64(len(rep.Rows)))
-	fmt.Printf("geomean overhead ratio: %.4f\n", rep.GeomeanRatio)
+	rep.GeomeanTraceRatio = math.Exp(logTraceRatio / float64(len(rep.Rows)))
+	fmt.Printf("geomean overhead ratio: %.4f   geomean trace ratio: %.4f\n", rep.GeomeanRatio, rep.GeomeanTraceRatio)
 	return writeJSON(out, rep)
 }
 

@@ -125,6 +125,9 @@ func main() {
 	// flag, and — when -chaos is set — the deterministic fault plan every
 	// engine's injection hooks roll against.
 	ctl := runctl.New(ctx, budget)
+	// Tag the run with a trace id so -trace dumps use the same span
+	// schema the serving layer merges across processes.
+	ctl.SetTraceID(obs.NewTraceContext().TraceID)
 	if plan != nil {
 		ctl.SetFaultPlan(plan)
 		fmt.Printf("chaos: %s\n", plan)

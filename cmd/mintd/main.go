@@ -10,7 +10,16 @@
 //	POST /v1/profile    — M1–M4 profile of a dataset
 //	GET  /healthz       — liveness (always 200 while the process runs)
 //	GET  /readyz        — readiness (503 once draining)
+//	GET  /metrics       — Prometheus text exposition of the obs registry
 //	GET  /debug/vars    — live expvar metrics; /debug/pprof/ alongside
+//	GET  /debug/trace/<id> — one request's merged Chrome trace
+//
+// Every request carries a distributed trace: an incoming traceparent or
+// X-Request-ID is honored (else an id is minted), echoed on X-Trace-Id
+// (shed and drain responses included), propagated on coordinator→shard
+// calls, and retrievable as a merged cross-process Chrome trace from
+// /debug/trace/<id>. Requests with "explain": true get the span tree
+// inline. -access-log writes one JSON line per request.
 //
 // Robustness model: a bounded admission queue sheds excess load with
 // 429 + Retry-After (low-priority traffic first); every request runs
@@ -42,6 +51,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -93,7 +103,23 @@ func main() {
 	quorum := flag.Int("quorum", 0, "coordinator: healthy shards readyz requires (0 = majority)")
 	sliced := flag.Bool("sliced", false, "coordinator: workers each serve only their own δ-aware data slice")
 	mergeMargin := flag.Duration("merge-margin", 200*time.Millisecond, "coordinator: wall headroom reserved from shard deadlines for the merge")
+	accessLog := flag.String("access-log", "", "write one JSON access-log line per request here (\"-\" = stdout)")
+	traceCap := flag.Int("trace-capacity", 256, "recent request traces retained for /debug/trace/<id>")
 	flag.Parse()
+
+	var alogW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		alogW = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		alogW = f
+	}
 
 	reg := obs.New("mintd")
 	var srv serving
@@ -133,6 +159,8 @@ func main() {
 			},
 			EnumerateMaxLimit: *enumLimit,
 			Obs:               reg,
+			AccessLog:         alogW,
+			TraceCapacity:     *traceCap,
 		})
 		if err != nil {
 			fatal(err)
@@ -162,6 +190,8 @@ func main() {
 			EnumerateMaxLimit: *enumLimit,
 			CheckpointDir:     *checkpointDir,
 			Obs:               reg,
+			AccessLog:         alogW,
+			TraceCapacity:     *traceCap,
 		}
 		if *chaosSpec != "" {
 			plan, err := mint.ParseChaosPlan(*chaosSpec)

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -18,6 +19,7 @@ import (
 	"mint"
 	"mint/internal/checkpoint"
 	"mint/internal/datasets"
+	"mint/internal/obs"
 )
 
 // buildMintd compiles the mintd binary into dir and returns its path.
@@ -263,7 +265,7 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 	)
 	waitReady(t, coord)
 
-	postCount := func() (int, map[string]any) {
+	postCount := func() (int, map[string]any, http.Header) {
 		t.Helper()
 		body, _ := json.Marshal(map[string]any{
 			"dataset": "email-eu", "motif": "M1", "timeout_ms": 30_000,
@@ -277,7 +279,7 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatalf("decode: %v", err)
 		}
-		return resp.StatusCode, out
+		return resp.StatusCode, out, resp.Header
 	}
 
 	spec, err := datasets.ByName("email-eu")
@@ -290,7 +292,7 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 	}
 	oracle := mint.Count(g, mint.M1(mint.DeltaHour))
 
-	status, out := postCount()
+	status, out, hdr := postCount()
 	if status != http.StatusOK {
 		t.Fatalf("healthy count: status %d (%v)", status, out)
 	}
@@ -301,13 +303,70 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 		t.Fatalf("healthy merge count %d, single-process oracle %d", got, oracle)
 	}
 
+	// Observability on the live topology: the coordinator must serve the
+	// merged distributed trace for the request it just answered, and its
+	// /metrics exposition must lint clean.
+	traceID := hdr.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("coordinator response carries no X-Trace-Id")
+	}
+	resp, err := http.Get(coord + "/debug/trace/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&trace)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace dump status %d", resp.StatusCode)
+	}
+	if decErr != nil {
+		t.Fatalf("trace dump is not Chrome trace JSON: %v", decErr)
+	}
+	pids := map[int]bool{}
+	sawShardSpan := false
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		pids[ev.Pid] = true
+		if ev.Name == "http.count" {
+			sawShardSpan = true
+		}
+	}
+	if len(pids) != 4 || !sawShardSpan {
+		t.Fatalf("merged trace should cover coordinator + 3 shard processes with shard-side spans, got %d pids (shard span %v)", len(pids), sawShardSpan)
+	}
+
+	resp, err = http.Get(coord + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || readErr != nil {
+		t.Fatalf("/metrics status %d err %v", resp.StatusCode, readErr)
+	}
+	if _, err := obs.LintPrometheus(string(metricsText)); err != nil {
+		t.Fatalf("coordinator /metrics fails exposition lint: %v", err)
+	}
+	if !bytes.Contains(metricsText, []byte("mintd_gather_count_requests")) {
+		t.Fatalf("coordinator /metrics missing fan-out counters:\n%s", metricsText)
+	}
+
 	// Kill a worker outright; the merged answer must name it missing.
 	dead := urls[1]
 	if err := workers[1].Process.Kill(); err != nil {
 		t.Fatal(err)
 	}
 	workers[1].Wait() //nolint:errcheck // reaping a SIGKILLed child
-	status, out = postCount()
+	status, out, _ = postCount()
 	if status != http.StatusOK {
 		t.Fatalf("post-kill count: status %d (%v)", status, out)
 	}

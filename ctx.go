@@ -259,6 +259,12 @@ type FallbackConfig struct {
 	// what the response contract forbids. A truncated windowed run
 	// returns its exact partial lower bound (EnginePartial) instead.
 	Roots *RootWindow
+	// Trace, when non-nil, receives the exact stage's engine spans
+	// (per-run and per-worker busy intervals); see internal/obs.Tracer.
+	Trace *obs.Tracer
+	// TraceID tags emitted spans with the request's distributed trace id
+	// so cross-process trace assembly can attribute them.
+	TraceID string
 }
 
 // Engines a FallbackResult can report in its Engine field.
@@ -306,8 +312,10 @@ func CountWithFallback(ctx context.Context, g *Graph, m *Motif, cfg FallbackConf
 	}
 	ctl := runctl.New(ctx, cfg.Budget)
 	ctl.SetFaultPlan(cfg.Chaos)
+	ctl.SetTraceID(cfg.TraceID)
 	res, err := mackey.MineParallelCtx(ctx, g, m,
-		mackey.Options{Workers: cfg.Workers, Ctl: ctl, Roots: rootRangeFor(g, cfg.Roots)}, cfg.Budget)
+		mackey.Options{Workers: cfg.Workers, Ctl: ctl, Roots: rootRangeFor(g, cfg.Roots),
+			Trace: cfg.Trace}, cfg.Budget)
 	out := FallbackResult{ExactResult: res, ExactPartial: res.Matches, Engine: EnginePartial}
 	if err != nil {
 		cfg.Obs.Counter("fallback.error").Add(1)

@@ -88,7 +88,7 @@ func publishRun(opts Options, shard int, res Result, span string, start time.Tim
 		publishController(opts.Obs, opts.Ctl)
 	}
 	if opts.Trace != nil {
-		opts.Trace.Emit(span, int32(shard), start, time.Since(start))
+		opts.Trace.EmitTagged(span, opts.Ctl.TraceID(), int32(shard), start, time.Since(start))
 	}
 }
 

@@ -1,12 +1,14 @@
 package mackey
 
 import (
+	"context"
 	"flag"
 	"math/rand"
 	"testing"
 	"time"
 
 	"mint/internal/obs"
+	"mint/internal/runctl"
 	"mint/internal/temporal"
 	"mint/internal/testutil"
 )
@@ -56,7 +58,9 @@ func minMineTime(g *temporal.Graph, m *temporal.Motif, opts Options, rounds int)
 }
 
 // TestObsOverheadGuard fails if attaching a registry and tracer slows
-// the sequential miner by more than 3%. It runs only under
+// the sequential miner by more than 3% — in either the bare-metrics
+// configuration or the serving configuration (trace-tagged controller,
+// the way mintd's handlers run every request). It runs only under
 // `go test -bench` (any pattern): tier-1 test runs must never flake on
 // machine noise, so the guard is opt-in alongside the benchmarks —
 // exercised by `make bench-report`.
@@ -68,18 +72,28 @@ func TestObsOverheadGuard(t *testing.T) {
 	g, m := benchInput()
 	reg := obs.New("guard")
 	tr := obs.NewTracer(1024)
+	ctl := runctl.New(context.Background(), runctl.Budget{})
+	ctl.SetTraceID(obs.NewTraceContext().TraceID)
+	traced := Options{Obs: reg, Trace: tr, Ctl: ctl}
 
 	// Warm up caches and the scheduler, then interleave-measure.
 	Mine(g, m, Options{})
 	Mine(g, m, Options{Obs: reg, Trace: tr})
+	Mine(g, m, traced)
 
 	const rounds = 7
 	off := minMineTime(g, m, Options{}, rounds)
 	on := minMineTime(g, m, Options{Obs: reg, Trace: tr}, rounds)
+	traceOn := minMineTime(g, m, traced, rounds)
 	ratio := float64(on) / float64(off)
-	t.Logf("obs off %v, on %v, ratio %.4f", off, on, ratio)
+	traceRatio := float64(traceOn) / float64(off)
+	t.Logf("obs off %v, on %v, traced %v, ratio %.4f, trace ratio %.4f", off, on, traceOn, ratio, traceRatio)
 	if ratio > 1.03 {
 		t.Fatalf("observability overhead %.2f%% exceeds the 3%% budget (off %v, on %v)",
 			(ratio-1)*100, off, on)
+	}
+	if traceRatio > 1.03 {
+		t.Fatalf("tracing overhead %.2f%% exceeds the 3%% budget (off %v, traced %v)",
+			(traceRatio-1)*100, off, traceOn)
 	}
 }

@@ -181,10 +181,11 @@ func MineParallelCtx(ctx context.Context, g *temporal.Graph, m *temporal.Motif, 
 		publishController(opts.Obs, ctl)
 	}
 	if opts.Trace != nil {
+		traceID := ctl.TraceID()
 		for wi := range perBusy {
-			opts.Trace.Emit("mackey.worker", int32(wi), runStart, perBusy[wi])
+			opts.Trace.EmitTagged("mackey.worker", traceID, int32(wi), runStart, perBusy[wi])
 		}
-		opts.Trace.Emit("mackey.mine_parallel", -1, runStart, time.Since(runStart))
+		opts.Trace.EmitTagged("mackey.mine_parallel", traceID, -1, runStart, time.Since(runStart))
 	}
 
 	for _, err := range errs {

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// AccessRecord is one structured access-log line: the request's trace
+// identity, route, outcome, and the loud-degradation markers the
+// response contract guarantees (shed / degraded / partial / truncated
+// are never silent, so they are never absent from the log either).
+type AccessRecord struct {
+	Time      string  `json:"ts"`
+	TraceID   string  `json:"trace_id"`
+	Route     string  `json:"route"`
+	Status    int     `json:"status"`
+	Priority  string  `json:"priority,omitempty"`
+	Outcome   string  `json:"outcome"`
+	Shed      bool    `json:"shed,omitempty"`
+	Degraded  bool    `json:"degraded,omitempty"`
+	Partial   bool    `json:"partial,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+// AccessLogger writes one JSON line per request to an io.Writer.
+// Concurrent-safe; nil-safe (a nil logger drops records).
+type AccessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewAccessLogger wraps w; returns nil (logging disabled) when w is nil.
+func NewAccessLogger(w io.Writer) *AccessLogger {
+	if w == nil {
+		return nil
+	}
+	return &AccessLogger{w: w}
+}
+
+// Log writes rec as one JSON line, stamping Time if unset.
+func (l *AccessLogger) Log(rec AccessRecord) {
+	if l == nil {
+		return
+	}
+	if rec.Time == "" {
+		rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b) //nolint:errcheck // best-effort log line
+	l.mu.Unlock()
+}

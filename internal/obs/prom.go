@@ -1,0 +1,384 @@
+package obs
+
+// Dependency-free Prometheus text-exposition rendering of obs
+// registries. Instrument names use dotted mint conventions
+// ("admission.queued", "http.count.latency_ns"); metric names sanitize
+// dots to underscores and prefix the registry name. Labeled series are
+// encoded in the instrument key itself via Labeled ("breaker.state" +
+// {workload="g1/M1"} → key `breaker.state{workload="g1/M1"}`), so the
+// same key appears verbatim in /debug/vars and as a labeled series on
+// /metrics — the two views agree by construction.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Labeled builds an instrument key carrying Prometheus-style labels:
+// Labeled("breaker.state", "workload", "g1/M1") →
+// `breaker.state{workload="g1/M1"}`. Label values are escaped per the
+// exposition format. kv must alternate key, value; an odd tail is
+// dropped.
+func Labeled(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// splitKey separates an instrument key into its base name and label
+// block ("" when unlabeled).
+func splitKey(key string) (base, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+// promName sanitizes a dotted instrument name into a legal Prometheus
+// metric name, prefixed with the registry name when present.
+func promName(registry, base string) string {
+	var b strings.Builder
+	if registry != "" {
+		b.WriteString(sanitizeMetric(registry))
+		b.WriteByte('_')
+	}
+	b.WriteString(sanitizeMetric(base))
+	return b.String()
+}
+
+func sanitizeMetric(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// series is one (labels, value-source) pair within a metric family.
+type series struct {
+	labels string
+	key    string
+}
+
+// WritePrometheus renders the snapshots in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, log2 histograms as cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. Families are emitted in sorted name order with
+// one HELP/TYPE header each.
+func WritePrometheus(w io.Writer, snaps ...Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, snap := range snaps {
+		if err := writeSnapshot(bw, snap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSnapshot(bw *bufio.Writer, snap Snapshot) error {
+	type family struct {
+		name   string
+		typ    string
+		series []series
+	}
+	fams := map[string]*family{}
+	collect := func(keys map[string]int64, typ string) {
+		for key := range keys {
+			base, labels := splitKey(key)
+			name := promName(snap.Name, base)
+			f := fams[name]
+			if f == nil {
+				f = &family{name: name, typ: typ}
+				fams[name] = f
+			}
+			f.series = append(f.series, series{labels: labels, key: key})
+		}
+	}
+	collect(snap.Counters, "counter")
+	collect(snap.Gauges, "gauge")
+	for key := range snap.Histograms {
+		base, labels := splitKey(key)
+		name := promName(snap.Name, base)
+		f := fams[name]
+		if f == nil {
+			f = &family{name: name, typ: "histogram"}
+			fams[name] = f
+		}
+		f.series = append(f.series, series{labels: labels, key: key})
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		base, _ := splitKey(f.series[0].key)
+		if _, err := fmt.Fprintf(bw, "# HELP %s mint instrument %q\n# TYPE %s %s\n",
+			name, base, name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			switch f.typ {
+			case "counter":
+				err = writeSample(bw, name, s.labels, "", snap.Counters[s.key])
+			case "gauge":
+				err = writeSample(bw, name, s.labels, "", snap.Gauges[s.key])
+			case "histogram":
+				err = writeHistogram(bw, name, s.labels, snap.Histograms[s.key])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample emits one sample line; extra is an additional label pair
+// (already rendered, e.g. `le="1024"`) appended to labels.
+func writeSample(bw *bufio.Writer, name, labels, extra string, v int64) error {
+	lb := labels
+	if extra != "" {
+		if lb != "" {
+			lb += ","
+		}
+		lb += extra
+	}
+	if lb != "" {
+		_, err := fmt.Fprintf(bw, "%s{%s} %d\n", name, lb, v)
+		return err
+	}
+	_, err := fmt.Fprintf(bw, "%s %d\n", name, v)
+	return err
+}
+
+// writeHistogram renders a log2 histogram as cumulative buckets: each
+// populated bucket [lo, hi] contributes an `le="<hi>"` sample holding
+// the count of observations ≤ hi, followed by `le="+Inf"`, `_sum`, and
+// `_count`. Buckets are cumulative in Lo order (BucketRange is
+// monotonic).
+func writeHistogram(bw *bufio.Writer, name, labels string, h HistogramSnapshot) error {
+	buckets := append([]Bucket(nil), h.Buckets...)
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].Lo < buckets[j].Lo })
+	var cum int64
+	for _, b := range buckets {
+		cum += b.N
+		le := `le="` + strconv.FormatInt(b.Hi, 10) + `"`
+		if err := writeSample(bw, name+"_bucket", labels, le, cum); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(bw, name+"_bucket", labels, `le="+Inf"`, h.Count); err != nil {
+		return err
+	}
+	if err := writeSample(bw, name+"_sum", labels, "", h.Sum); err != nil {
+		return err
+	}
+	return writeSample(bw, name+"_count", labels, "", h.Count)
+}
+
+// MetricsHandler serves the registries' live snapshots in Prometheus
+// text format.
+func MetricsHandler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snaps := make([]Snapshot, 0, len(regs))
+		for _, reg := range regs {
+			snaps = append(snaps, reg.Snapshot())
+		}
+		_ = WritePrometheus(w, snaps...)
+	})
+}
+
+// LintPrometheus validates text in the exposition format strictly
+// enough to catch rendering bugs: legal metric and label names, label
+// blocks that parse, numeric sample values, TYPE lines naming a known
+// type, histogram `le` labels present on `_bucket` series. Returns the
+// number of samples on success.
+func LintPrometheus(text string) (int, error) {
+	samples := 0
+	typed := map[string]string{}
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return 0, fmt.Errorf("line %d: malformed TYPE: %q", lineNo+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return 0, fmt.Errorf("line %d: unknown TYPE %q", lineNo+1, parts[3])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest := line, ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if !validMetricName(name) {
+			return 0, fmt.Errorf("line %d: bad metric name %q", lineNo+1, name)
+		}
+		rest = strings.TrimSpace(rest)
+		hasLE := false
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return 0, fmt.Errorf("line %d: unterminated label block", lineNo+1)
+			}
+			labels, err := parseLabels(rest[1:end])
+			if err != nil {
+				return 0, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			_, hasLE = labels["le"]
+			rest = strings.TrimSpace(rest[end+1:])
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return 0, fmt.Errorf("line %d: want value [timestamp], got %q", lineNo+1, rest)
+		}
+		if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+			return 0, fmt.Errorf("line %d: bad sample value %q", lineNo+1, fields[0])
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			fam := strings.TrimSuffix(name, "_bucket")
+			if typed[fam] == "histogram" && !hasLE {
+				return 0, fmt.Errorf("line %d: histogram bucket without le label", lineNo+1)
+			}
+		}
+		samples++
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples")
+	}
+	return samples, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseLabels parses the inside of a label block (`a="x",b="y"`).
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validLabelName(key) {
+			return nil, fmt.Errorf("bad label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value after %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		out[key] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestLabeledKey(t *testing.T) {
+	if got := Labeled("breaker.state", "workload", "g1/M1"); got != `breaker.state{workload="g1/M1"}` {
+		t.Fatalf("Labeled = %q", got)
+	}
+	if got := Labeled("x", "k", `a"b\c`); got != `x{k="a\"b\\c"}` {
+		t.Fatalf("escaping: %q", got)
+	}
+	if got := Labeled("bare"); got != "bare" {
+		t.Fatalf("no labels: %q", got)
+	}
+}
+
+// TestWritePrometheusAgainstLint renders a registry holding every
+// instrument kind — including a labeled series as the serving layer
+// writes them — and checks both that the linter accepts the output and
+// that the expected sample lines are present.
+func TestWritePrometheusAgainstLint(t *testing.T) {
+	reg := New("mintd")
+	reg.Counter("admission.shed").Add(3)
+	reg.Gauge("admission.queued").Set(2)
+	reg.Gauge(Labeled("breaker.state", "workload", "email-eu/M1")).Set(1)
+	for _, v := range []int64{100, 1000, 100000} {
+		reg.Histogram("http.count.latency_ns").Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	n, err := LintPrometheus(text)
+	if err != nil {
+		t.Fatalf("rendered exposition fails lint: %v\n%s", err, text)
+	}
+	if n == 0 {
+		t.Fatal("no samples rendered")
+	}
+	for _, want := range []string{
+		"mintd_admission_shed 3",
+		"mintd_admission_queued 2",
+		`mintd_breaker_state{workload="email-eu/M1"} 1`,
+		"# TYPE mintd_http_count_latency_ns histogram",
+		`mintd_http_count_latency_ns_bucket{le="+Inf"} 3`,
+		"mintd_http_count_latency_ns_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	reg := New("")
+	h := reg.Histogram("d")
+	h.Observe(1) // bucket [1,1]
+	h.Observe(1)
+	h.Observe(5) // bucket [4,7]
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `d_bucket{le="1"} 2`) {
+		t.Fatalf("first bucket not cumulative-from-zero:\n%s", text)
+	}
+	if !strings.Contains(text, `d_bucket{le="7"} 3`) {
+		t.Fatalf("second bucket must include earlier observations:\n%s", text)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := New("svc")
+	reg.Counter("reqs").Add(1)
+	rr := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if _, err := LintPrometheus(rr.Body.String()); err != nil {
+		t.Fatalf("handler output fails lint: %v", err)
+	}
+}
+
+func TestLintPrometheusCatchesBadText(t *testing.T) {
+	for _, bad := range []string{
+		"1leading_digit 5\n",
+		"name{unterminated=\"x\n",
+		"name not_a_number\n",
+		"",
+	} {
+		if _, err := LintPrometheus(bad); err == nil {
+			t.Errorf("lint accepted %q", bad)
+		}
+	}
+}

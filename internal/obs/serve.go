@@ -27,14 +27,15 @@ func Publish(r *Registry) {
 }
 
 // AttachDebug publishes the registries and mounts the observability
-// endpoints — expvar-compatible JSON at /debug/vars and the full
-// net/http/pprof suite at /debug/pprof/ — on an existing mux, so a
-// long-lived server (mintd) can expose them on its own listener instead
-// of running a second one.
+// endpoints — expvar-compatible JSON at /debug/vars, Prometheus text
+// format at /metrics, and the full net/http/pprof suite at
+// /debug/pprof/ — on an existing mux, so a long-lived server (mintd)
+// can expose them on its own listener instead of running a second one.
 func AttachDebug(mux *http.ServeMux, regs ...*Registry) {
 	for _, r := range regs {
 		Publish(r)
 	}
+	mux.Handle("GET /metrics", MetricsHandler(regs...))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -23,6 +23,10 @@ type Event struct {
 	StartNS int64 `json:"start_ns"`
 	// DurNS is the span duration in nanoseconds.
 	DurNS int64 `json:"dur_ns"`
+	// Trace optionally tags the span with the distributed trace id of
+	// the request that ran it, so cross-process assembly can pick the
+	// right spans out of a shared ring.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Tracer is a fixed-capacity ring buffer of Events. Emitting never
@@ -49,18 +53,35 @@ func NewTracer(capacity int) *Tracer {
 // Emit records a span that started at start and ran for dur. A nil
 // tracer drops the event, so call sites need no enablement branches.
 func (t *Tracer) Emit(name string, worker int32, start time.Time, dur time.Duration) {
+	t.EmitTagged(name, "", worker, start, dur)
+}
+
+// EmitTagged is Emit with a distributed trace id attached to the event.
+// An empty id leaves the event untagged.
+func (t *Tracer) EmitTagged(name, traceID string, worker int32, start time.Time, dur time.Duration) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.ring[t.next] = Event{Name: name, Worker: worker,
-		StartNS: start.Sub(t.base).Nanoseconds(), DurNS: dur.Nanoseconds()}
+		StartNS: start.Sub(t.base).Nanoseconds(), DurNS: dur.Nanoseconds(),
+		Trace: traceID}
 	t.next = (t.next + 1) % len(t.ring)
 	if t.n < len(t.ring) {
 		t.n++
 	}
 	t.total++
+}
+
+// Base returns the tracer's creation time — the zero point Event.StartNS
+// offsets are relative to. Converting ring events into absolute-time
+// spans (for cross-process trace assembly) needs it.
+func (t *Tracer) Base() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.base
 }
 
 // Span emits an event covering start→now; use with defer:

@@ -1,0 +1,110 @@
+package obs
+
+// W3C-traceparent-style trace context. A distributed mintd deployment
+// (coordinator + shards) needs one request identity that survives
+// process hops, so the serving layer mints a TraceContext per request
+// (or adopts the one the client sent), threads it through the engine's
+// runctl.Controller, and propagates it on coordinator→shard calls via
+// the standard `traceparent` header — shard-side spans then join the
+// same trace and the coordinator can assemble one merged timeline.
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// TraceContext identifies one request (TraceID) and one span within it
+// (SpanID). IDs are lowercase hex: 32 chars for the trace, 16 for the
+// span, per the W3C trace-context format.
+type TraceContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// NewTraceContext mints a fresh trace with a fresh root span id.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randHex(16), SpanID: randHex(8)}
+}
+
+// NewSpanID mints a fresh 16-hex-char span id.
+func NewSpanID() string { return randHex(8) }
+
+// randHex returns n random bytes as 2n lowercase hex characters.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing means the platform is broken; degrade to a
+		// constant rather than panicking the serving path.
+		for i := range b {
+			b[i] = byte(i + 1)
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// Traceparent renders the context in W3C form:
+// "00-<trace-id>-<span-id>-01" (version 00, sampled flag set).
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", tc.TraceID, tc.SpanID)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// any version field and requires well-formed, non-zero trace and span
+// ids.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return TraceContext{}, false
+	}
+	traceID, spanID := strings.ToLower(parts[1]), strings.ToLower(parts[2])
+	if !validHexID(traceID, 32) || !validHexID(spanID, 16) {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: traceID, SpanID: spanID}, true
+}
+
+// validHexID reports whether s is exactly n lowercase hex chars and not
+// all zeros.
+func validHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	nonzero := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			nonzero = true
+		}
+	}
+	return nonzero
+}
+
+// TraceFromRequest resolves the trace identity of an incoming HTTP
+// request: a valid `traceparent` header wins, then `X-Request-ID`
+// (used directly when it is already a 32-hex trace id, hashed into one
+// otherwise, so arbitrary client request ids still yield stable trace
+// ids), and finally a freshly minted context. The returned SpanID is
+// the caller's parent span ("" when the client did not send one) — the
+// serving layer's root span should use it as its parent so
+// cross-process span trees link up.
+func TraceFromRequest(r *http.Request) (tc TraceContext, parent string) {
+	if tp, ok := ParseTraceparent(r.Header.Get("traceparent")); ok {
+		return TraceContext{TraceID: tp.TraceID, SpanID: NewSpanID()}, tp.SpanID
+	}
+	if rid := strings.TrimSpace(r.Header.Get("X-Request-ID")); rid != "" {
+		id := strings.ToLower(rid)
+		if !validHexID(id, 32) {
+			sum := sha256.Sum256([]byte(rid))
+			id = hex.EncodeToString(sum[:16])
+		}
+		return TraceContext{TraceID: id, SpanID: NewSpanID()}, ""
+	}
+	return NewTraceContext(), ""
+}

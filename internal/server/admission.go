@@ -40,6 +40,19 @@ const (
 	PriorityHigh
 )
 
+// String names the priority tier as it appears on the wire and in the
+// access log.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityHigh:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
 // ParsePriority maps the request-level priority string ("", "low",
 // "normal", "high") to a Priority.
 func ParsePriority(s string) (Priority, error) {

@@ -52,6 +52,33 @@ const (
 	Degrade
 )
 
+// String names the decision for spans and explain trees.
+func (d Decision) String() string {
+	switch d {
+	case Trial:
+		return "trial"
+	case Degrade:
+		return "degrade"
+	default:
+		return "allow"
+	}
+}
+
+// Gauge values for the per-workload breaker.state gauge.
+const (
+	breakerStateClosed   = 0
+	breakerStateOpen     = 1
+	breakerStateHalfOpen = 2
+)
+
+// setStateGauge exports the key's breaker state as a live labeled gauge
+// (`breaker.state{workload="..."}`), so /metrics and /debug/vars show
+// the same per-(dataset,motif) view the router acts on. Called with
+// b.mu held.
+func (b *BreakerGroup) setStateGauge(key string, state int64) {
+	b.obs.Gauge(obs.Labeled("breaker.state", "workload", key)).Set(state)
+}
+
 // breakerState is one key's window into recent history.
 type breakerState struct {
 	fails     int       // consecutive failures while closed
@@ -89,6 +116,7 @@ func (b *BreakerGroup) Acquire(key string) Decision {
 	}
 	// Cooldown over and no probe in flight: this request is the probe.
 	st.trial = true
+	b.setStateGauge(key, breakerStateHalfOpen)
 	b.obs.Counter("breaker.trial").Add(1)
 	return Trial
 }
@@ -112,11 +140,13 @@ func (b *BreakerGroup) Record(key string, ok bool) {
 		}
 		st.fails = 0
 		st.openUntil = time.Time{}
+		b.setStateGauge(key, breakerStateClosed)
 		return
 	}
 	if wasTrial {
 		// The probe failed: straight back to open, no threshold count.
 		st.openUntil = b.now().Add(b.cfg.Cooldown)
+		b.setStateGauge(key, breakerStateOpen)
 		b.obs.Counter("breaker.reopen").Add(1)
 		return
 	}
@@ -124,6 +154,7 @@ func (b *BreakerGroup) Record(key string, ok bool) {
 	if st.fails >= b.cfg.Threshold && st.openUntil.IsZero() {
 		st.openUntil = b.now().Add(b.cfg.Cooldown)
 		st.fails = 0
+		b.setStateGauge(key, breakerStateOpen)
 		b.obs.Counter("breaker.trip").Add(1)
 	}
 }

@@ -110,6 +110,12 @@ type Config struct {
 	ProbeTimeout time.Duration
 	// Obs receives coordinator metrics (nil: dropped).
 	Obs *obs.Registry
+	// AccessLog, when non-nil, receives one JSON line per request
+	// (trace id, route, priority, outcome, shed/partial markers).
+	AccessLog io.Writer
+	// TraceCapacity bounds the merged traces retained for
+	// GET /debug/trace/<id> (default 256, oldest evicted).
+	TraceCapacity int
 }
 
 func (c Config) normalized() Config {
@@ -152,6 +158,11 @@ type Coordinator struct {
 	brk *server.BreakerGroup
 	mux *http.ServeMux
 
+	// traces retains merged (coordinator + shard fragment) traces for
+	// /debug/trace; alog is the structured access log (both nil-safe).
+	traces *obs.TraceStore
+	alog   *obs.AccessLogger
+
 	start time.Time
 
 	runCtx     context.Context
@@ -180,13 +191,18 @@ func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Shards) == 0 {
 		return nil, errors.New("gather: at least one shard URL is required")
 	}
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = 256
+	}
 	c := &Coordinator{
-		cfg:   cfg.normalized(),
-		obs:   cfg.Obs,
-		start: time.Now(),
-		adm:   server.NewAdmission(cfg.Admission, cfg.Obs),
-		brk:   server.NewBreakerGroup(cfg.Breaker, cfg.Obs),
-		infos: map[string]map[string]*server.DatasetInfoResponse{},
+		cfg:    cfg.normalized(),
+		obs:    cfg.Obs,
+		start:  time.Now(),
+		adm:    server.NewAdmission(cfg.Admission, cfg.Obs),
+		brk:    server.NewBreakerGroup(cfg.Breaker, cfg.Obs),
+		infos:  map[string]map[string]*server.DatasetInfoResponse{},
+		traces: obs.NewTraceStore(cfg.TraceCapacity),
+		alog:   obs.NewAccessLogger(cfg.AccessLog),
 	}
 	c.runCtx, c.cancelRuns = context.WithCancel(context.Background())
 	c.mux = http.NewServeMux()
@@ -196,6 +212,8 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("POST /v1/datasetinfo", c.instrument("datasetinfo", c.handleDatasetInfo))
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /readyz", c.handleReadyz)
+	c.mux.HandleFunc("GET /debug/trace/{id}", c.handleTraceDump)
+	c.mux.Handle("GET /metrics", obs.MetricsHandler(c.obs))
 	return c, nil
 }
 
@@ -270,25 +288,47 @@ func (c *Coordinator) requestCtx(r *http.Request) (context.Context, func()) {
 	}
 }
 
+// instrument wraps a fan-out handler with trace context resolution
+// (incoming traceparent / X-Request-ID honored, X-Trace-Id echoed on
+// every response including drain 503s), per-endpoint metrics, the
+// access log, trace retention for /debug/trace, and a panic backstop.
 func (c *Coordinator) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		rt, sw, r := server.BeginTrace(w, r, "gather."+name)
+		start := time.Now()
 		done, ok := c.beginRequest()
 		if !ok {
-			writeError(w, http.StatusServiceUnavailable, "coordinator is draining", server.RetryAfterSeconds(30*time.Second))
+			rt.Annotate("outcome", "draining")
+			writeError(sw, http.StatusServiceUnavailable, "coordinator is draining", server.RetryAfterSeconds(30*time.Second))
+			c.finishTrace(rt, name, sw.Status(), start)
 			return
 		}
-		defer done()
-		start := time.Now()
 		c.obs.Counter("gather." + name + ".requests").Add(1)
 		defer func() {
 			if rec := recover(); rec != nil {
 				c.obs.Counter("gather." + name + ".panics").Add(1)
-				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec), 0)
+				writeError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec), 0)
 			}
 			c.obs.Histogram("gather." + name + ".latency_ns").Observe(int64(time.Since(start)))
+			done()
+			c.finishTrace(rt, name, sw.Status(), start)
 		}()
-		h(w, r)
+		h(sw, r)
 	}
+}
+
+// finishTrace closes the request's root span, retains the merged trace
+// (coordinator spans plus imported shard fragments) for
+// GET /debug/trace/<id>, and writes the access-log line.
+func (c *Coordinator) finishTrace(rt *obs.ReqTrace, route string, status int, start time.Time) {
+	rt.Finish()
+	c.traces.Add(rt.TraceID(), rt.Spans())
+	c.alog.Log(server.AccessRecordFor(rt, route, status, start))
+}
+
+// handleTraceDump serves one merged trace as Chrome trace JSON.
+func (c *Coordinator) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	server.ServeTraceDump(w, r, c.traces)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -307,18 +347,25 @@ func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
 // admit runs the coordinator's own admission ladder; shed responses
 // carry the combined (own ∨ worst-shard) Retry-After.
 func (c *Coordinator) admit(w http.ResponseWriter, ctx context.Context, priority string) (func(), bool) {
+	rt := obs.ReqTraceFrom(ctx)
 	pri, err := server.ParsePriority(priority)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return nil, false
 	}
+	rt.Annotate("priority", pri.String())
+	sp := rt.Begin("admission.wait", rt.RootID())
 	release, err := c.adm.Acquire(ctx, pri)
 	if err == nil {
+		sp.Set("outcome", "admitted")
+		sp.End()
 		return release, true
 	}
 	var shed *server.ShedError
 	switch {
 	case errors.As(err, &shed):
+		sp.Set("outcome", "shed")
+		sp.End()
 		c.obs.Counter("gather.shed").Add(1)
 		ra := c.adm.CombineRetryAfter(c.shardWorstRetry())
 		if shed.RetryAfter > ra {
@@ -326,8 +373,12 @@ func (c *Coordinator) admit(w http.ResponseWriter, ctx context.Context, priority
 		}
 		writeError(w, http.StatusTooManyRequests, err.Error(), server.RetryAfterSeconds(ra))
 	case errors.Is(err, server.ErrDraining):
+		sp.Set("outcome", "draining")
+		sp.End()
 		writeError(w, http.StatusServiceUnavailable, err.Error(), server.RetryAfterSeconds(30*time.Second))
 	default:
+		sp.Set("outcome", "timeout")
+		sp.End()
 		writeError(w, http.StatusServiceUnavailable, err.Error(),
 			server.RetryAfterSeconds(c.adm.CombineRetryAfter(c.shardWorstRetry())))
 	}
@@ -383,10 +434,32 @@ var errBreakerOpen = errors.New("shard breaker open")
 
 // call POSTs in to one shard with bounded retries, capped backoff, and
 // (when configured) hedging, decoding the 200 body into out. The
-// shard's breaker gates the call and records its outcome.
+// shard's breaker gates the call and records its outcome. Each call
+// records one "shard.call" span carrying the retry/hedge/breaker
+// decisions; its span id is propagated to the shard as the traceparent,
+// so the shard's own span tree hangs under this span in the merged
+// trace.
 func (c *Coordinator) call(ctx context.Context, shardURL, path string, in, out any) error {
+	rt := obs.ReqTraceFrom(ctx)
+	sp := rt.Begin("shard.call", rt.RootID())
+	sp.Set("shard", shardURL)
+	sp.Set("path", path)
+	err := c.callTraced(ctx, rt, sp, shardURL, path, in, out)
+	if err != nil {
+		sp.Set("outcome", "error")
+		sp.Set("error", err.Error())
+	} else {
+		sp.Set("outcome", "ok")
+	}
+	sp.End()
+	return err
+}
+
+func (c *Coordinator) callTraced(ctx context.Context, rt *obs.ReqTrace, sp *obs.SpanRef, shardURL, path string, in, out any) error {
 	if c.brk.Acquire(shardURL) == server.Degrade {
 		c.obs.Counter("gather.breaker_skip").Add(1)
+		c.obs.Counter(obs.Labeled("gather.breaker_skip_by", "shard", shardURL)).Add(1)
+		sp.Set("breaker", "open")
 		return fmt.Errorf("%s: %w", shardURL, errBreakerOpen)
 	}
 	body, err := json.Marshal(in)
@@ -394,10 +467,18 @@ func (c *Coordinator) call(ctx context.Context, shardURL, path string, in, out a
 		c.brk.Record(shardURL, true) // our bug, not shard health evidence
 		return err
 	}
+	// The shard call carries this span's id as the parent, so the
+	// worker-side root span links under it in the merged trace.
+	tp := ""
+	if rt.TraceID() != "" {
+		tp = obs.TraceContext{TraceID: rt.TraceID(), SpanID: sp.ID()}.Traceparent()
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.obs.Counter("gather.retry").Add(1)
+			c.obs.Counter(obs.Labeled("gather.retry_by", "shard", shardURL)).Add(1)
+			sp.Set("retries", strconv.Itoa(attempt))
 			select {
 			case <-time.After(runctl.Backoff(attempt-1, c.cfg.RetryBase, c.cfg.RetryCap)):
 			case <-ctx.Done():
@@ -405,7 +486,7 @@ func (c *Coordinator) call(ctx context.Context, shardURL, path string, in, out a
 				return ctx.Err()
 			}
 		}
-		err := c.attempt(ctx, shardURL, path, body, out)
+		err := c.attempt(ctx, shardURL, path, tp, body, out, sp)
 		if err == nil {
 			c.brk.Record(shardURL, true)
 			return nil
@@ -430,8 +511,9 @@ func (c *Coordinator) call(ctx context.Context, shardURL, path string, in, out a
 
 // attempt issues one shard request, hedging a duplicate after
 // cfg.HedgeAfter without a response. First answer wins; the cancel on
-// return reclaims the loser.
-func (c *Coordinator) attempt(ctx context.Context, shardURL, path string, body []byte, out any) error {
+// return reclaims the loser. tp is the traceparent header value
+// propagated to the shard ("" when the request carries no trace).
+func (c *Coordinator) attempt(ctx context.Context, shardURL, path, tp string, body []byte, out any, sp *obs.SpanRef) error {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type reply struct {
@@ -446,6 +528,9 @@ func (c *Coordinator) attempt(ctx context.Context, shardURL, path string, body [
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if tp != "" {
+			req.Header.Set("traceparent", tp)
+		}
 		resp, err := c.cfg.Client.Do(req)
 		if err != nil {
 			ch <- reply{err: err}
@@ -496,6 +581,8 @@ func (c *Coordinator) attempt(ctx context.Context, shardURL, path string, body [
 			timerC = nil
 			pending++
 			c.obs.Counter("gather.hedged").Add(1)
+			c.obs.Counter(obs.Labeled("gather.hedged_by", "shard", shardURL)).Add(1)
+			sp.Set("hedged", "true")
 			go do()
 		case <-ctx.Done():
 			return ctx.Err()
@@ -719,12 +806,21 @@ func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
+	rt := obs.ReqTraceFrom(ctx)
+	psp := rt.Begin("gather.plan", rt.RootID())
 	qp, err := c.planFor(mineCtx, req.Dataset, planningDelta(req.DeltaSeconds))
 	if err != nil {
+		psp.Set("outcome", "error")
+		psp.End()
 		c.writePlanError(w, err)
 		return
 	}
 	n := len(qp.ranges)
+	psp.Set("shards", strconv.Itoa(n))
+	if miss := qp.missingUpfront(); len(miss) > 0 {
+		psp.Set("missing_upfront", strings.Join(miss, ","))
+	}
+	psp.End()
 	per := runctl.SplitBudget(full, n, c.cfg.MergeMargin)
 
 	results := make([]*server.CountResponse, n)
@@ -748,13 +844,19 @@ func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 				MaxNodes:     per.MaxNodes,
 				Priority:     req.Priority,
 				RootWindow:   &server.TimeWindow{StartTS: int64(qp.ranges[i].Start), EndTS: int64(qp.ranges[i].End)},
+				// Ask the shard for its span fragment so the merged trace
+				// covers the whole fan-out.
+				ReturnTrace: rt.TraceID() != "",
 			}
 			var out server.CountResponse
 			if err := c.call(mineCtx, qp.urls[i], "/v1/count", sreq, &out); err != nil {
 				c.obs.Counter("gather.shard_failed").Add(1)
+				c.obs.Counter(obs.Labeled("gather.shard_failed_by", "shard", qp.urls[i])).Add(1)
 				errs[i] = err
 				return
 			}
+			rt.Import(out.TraceFrag, qp.urls[i])
+			out.TraceFrag = nil // merged client responses carry one trace id, not raw shard spans
 			results[i] = &out
 		}(i)
 	}
@@ -800,6 +902,7 @@ func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 		out.Truncated = true
 		out.StopReason = StopShardUnavailable
 		out.Partial = &server.PartialInfo{MissingShards: missing, Bound: "lower"}
+		rt.Annotate("partial", strings.Join(missing, ","))
 	}
 	switch {
 	case out.Degraded:
@@ -810,6 +913,20 @@ func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 	case out.Truncated:
 		out.Exact = false
 		out.Engine = mint.EnginePartial
+	}
+	rt.Annotate("engine", out.Engine)
+	if out.Degraded {
+		rt.Annotate("degraded", "true")
+	}
+	if out.Truncated {
+		rt.Annotate("truncated", out.StopReason)
+	}
+	out.TraceID = rt.TraceID()
+	if req.Explain {
+		out.Explain = obs.BuildExplain(rt.Spans())
+	}
+	if req.ReturnTrace {
+		out.TraceFrag = rt.Spans()
 	}
 	out.WallMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, out)
@@ -884,12 +1001,18 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
+	rt := obs.ReqTraceFrom(ctx)
+	psp := rt.Begin("gather.plan", rt.RootID())
 	qp, err := c.planFor(mineCtx, req.Dataset, planningDelta(req.DeltaSeconds))
 	if err != nil {
+		psp.Set("outcome", "error")
+		psp.End()
 		c.writePlanError(w, err)
 		return
 	}
 	n := len(qp.ranges)
+	psp.Set("shards", strconv.Itoa(n))
+	psp.End()
 	shardIdx, inner, err := parseMergedToken(req.PageToken, n)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
@@ -918,6 +1041,7 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 			Limit:        req.Limit - len(out.Matches),
 			PageToken:    inner,
 			RootWindow:   &server.TimeWindow{StartTS: int64(qp.ranges[shardIdx].Start), EndTS: int64(qp.ranges[shardIdx].End)},
+			ReturnTrace:  rt.TraceID() != "",
 		}
 		var sres server.EnumerateResponse
 		if err := c.call(mineCtx, qp.urls[shardIdx], "/v1/enumerate", sreq, &sres); err != nil {
@@ -927,6 +1051,7 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			c.obs.Counter("gather.shard_failed").Add(1)
+			c.obs.Counter(obs.Labeled("gather.shard_failed_by", "shard", qp.urls[shardIdx])).Add(1)
 			// The walk cannot skip a shard without breaking the global
 			// order; stop here, loudly.
 			out.Truncated = true
@@ -934,6 +1059,7 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 			out.Partial = &server.PartialInfo{MissingShards: []string{qp.urls[shardIdx]}, Bound: "lower"}
 			break
 		}
+		rt.Import(sres.TraceFrag, qp.urls[shardIdx])
 		out.Matches = append(out.Matches, sres.Matches...)
 		if sres.Truncated && sres.NextPageToken == "" {
 			// A real truncation (wall/node budget), not a filled page.
@@ -955,6 +1081,19 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 			out.NextPageToken = fmt.Sprintf("%d:", shardIdx)
 			break
 		}
+	}
+	if out.Truncated {
+		rt.Annotate("truncated", out.StopReason)
+	}
+	if out.Partial != nil {
+		rt.Annotate("partial", strings.Join(out.Partial.MissingShards, ","))
+	}
+	out.TraceID = rt.TraceID()
+	if req.Explain {
+		out.Explain = obs.BuildExplain(rt.Spans())
+	}
+	if req.ReturnTrace {
+		out.TraceFrag = rt.Spans()
 	}
 	out.WallMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, out)
@@ -999,6 +1138,7 @@ func (c *Coordinator) handleDatasetInfo(w http.ResponseWriter, r *http.Request) 
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	server.EchoTraceID(w, r)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -1007,6 +1147,7 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // back partial should not receive traffic a load balancer could send to
 // a healthier peer.
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	server.EchoTraceID(w, r)
 	if c.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return

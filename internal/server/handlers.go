@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mint"
+	"mint/internal/obs"
 	"mint/internal/runctl"
 )
 
@@ -49,6 +50,14 @@ type CountRequest struct {
 	// slice of the root space; restricted requests never degrade to the
 	// sampling estimator (it cannot scope an estimate to a root window).
 	RootWindow *TimeWindow `json:"root_window,omitempty"`
+	// Explain asks for the inline span/decision tree (admission wait,
+	// registry checkout, breaker verdict, per-shard fan-out, engine
+	// spans) in the response.
+	Explain bool `json:"explain,omitempty"`
+	// ReturnTrace asks for the raw span fragment in the response — the
+	// coordinator sets it on shard fan-out calls so shard-side spans can
+	// be merged into one cross-process trace.
+	ReturnTrace bool `json:"return_trace,omitempty"`
 }
 
 // TimeWindow is a half-open timestamp window [start_ts, end_ts) in
@@ -91,6 +100,15 @@ type CountResponse struct {
 	// Partial is set only on merged scatter-gather responses whose
 	// fan-out lost shards; single-process servers never set it.
 	Partial *PartialInfo `json:"partial,omitempty"`
+	// TraceID is the request's distributed trace id (also echoed on the
+	// X-Trace-Id header); feed it to GET /debug/trace/<id>.
+	TraceID string `json:"trace_id,omitempty"`
+	// Explain is the span/decision tree, present when the request asked
+	// for it.
+	Explain *obs.ExplainNode `json:"explain,omitempty"`
+	// TraceFrag carries the raw spans when the request set return_trace
+	// (coordinator fan-out); stripped from merged client responses.
+	TraceFrag []obs.Span `json:"trace_frag,omitempty"`
 }
 
 // EnumerateRequest asks for concrete matches, paginated.
@@ -110,6 +128,9 @@ type EnumerateRequest struct {
 	// RootWindow restricts enumeration to instances rooted in this
 	// half-open window (scatter-gather fan-out; see CountRequest).
 	RootWindow *TimeWindow `json:"root_window,omitempty"`
+	// Explain / ReturnTrace: see CountRequest.
+	Explain     bool `json:"explain,omitempty"`
+	ReturnTrace bool `json:"return_trace,omitempty"`
 }
 
 // EnumerateResponse carries one page of matches (each match is the
@@ -122,6 +143,10 @@ type EnumerateResponse struct {
 	WallMS        float64   `json:"wall_ms"`
 	// Partial: see CountResponse.Partial.
 	Partial *PartialInfo `json:"partial,omitempty"`
+	// TraceID / Explain / TraceFrag: see CountResponse.
+	TraceID   string           `json:"trace_id,omitempty"`
+	Explain   *obs.ExplainNode `json:"explain,omitempty"`
+	TraceFrag []obs.Span       `json:"trace_frag,omitempty"`
 }
 
 // DatasetInfoRequest asks a worker to describe the data it serves under
@@ -149,6 +174,8 @@ type ProfileRequest struct {
 	DeltaSeconds int64  `json:"delta_seconds,omitempty"`
 	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
 	Priority     string `json:"priority,omitempty"`
+	// Explain: see CountRequest.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // ProfileEntry is one motif's row in a profile.
@@ -165,6 +192,8 @@ type ProfileEntry struct {
 type ProfileResponse struct {
 	Profile []ProfileEntry `json:"profile"`
 	WallMS  float64        `json:"wall_ms"`
+	TraceID string         `json:"trace_id,omitempty"`
+	Explain *obs.ExplainNode `json:"explain,omitempty"`
 }
 
 // ErrorResponse is every non-2xx body.
@@ -182,30 +211,39 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/datasetinfo", s.instrument("datasetinfo", s.handleDatasetInfo))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceDump)
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.obs))
 }
 
-// instrument wraps a mining handler with in-flight registration,
-// per-endpoint metrics, and a panic backstop (a handler bug becomes a
-// 500 and a counter, never a dead process).
+// instrument wraps a mining handler with trace context resolution,
+// in-flight registration, per-endpoint metrics, a structured access-log
+// line, and a panic backstop (a handler bug becomes a 500 and a
+// counter, never a dead process). The X-Trace-Id header is stamped
+// before any outcome is decided, so shed and drain responses carry it
+// too.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		rt, sw, r := BeginTrace(w, r, "http."+name)
+		start := time.Now()
 		done, ok := s.beginRequest()
 		if !ok {
 			s.obs.Counter("http." + name + ".rejected_draining").Add(1)
-			writeError(w, http.StatusServiceUnavailable, "server is draining", RetryAfterSeconds(30*time.Second))
+			rt.Annotate("outcome", "draining")
+			writeError(sw, http.StatusServiceUnavailable, "server is draining", RetryAfterSeconds(30*time.Second))
+			s.finishTrace(rt, name, sw.Status(), start)
 			return
 		}
-		defer done()
-		start := time.Now()
 		s.obs.Counter("http." + name + ".requests").Add(1)
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.obs.Counter("http." + name + ".panics").Add(1)
-				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec), 0)
+				writeError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec), 0)
 			}
 			s.obs.Histogram("http." + name + ".latency_ns").Observe(int64(time.Since(start)))
+			done()
+			s.finishTrace(rt, name, sw.Status(), start)
 		}()
-		h(w, r)
+		h(sw, r)
 	}
 }
 
@@ -225,26 +263,36 @@ func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
 // admit runs the admission ladder and writes the shed/timeout responses
 // itself; a nil release means the response is already written.
 func (s *Server) admit(w http.ResponseWriter, ctx context.Context, priority string, endpoint string) (func(), bool) {
+	rt := obs.ReqTraceFrom(ctx)
 	pri, err := ParsePriority(priority)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return nil, false
 	}
+	rt.Annotate("priority", pri.String())
+	sp := rt.Begin("admission.wait", rt.RootID())
 	release, err := s.adm.Acquire(ctx, pri)
 	if err == nil {
+		sp.Set("outcome", "admitted")
+		sp.End()
 		return release, true
 	}
 	var shed *ShedError
 	switch {
 	case errors.As(err, &shed):
+		sp.Set("outcome", "shed")
 		s.obs.Counter("http." + endpoint + ".shed").Add(1)
 		writeError(w, http.StatusTooManyRequests, err.Error(), RetryAfterSeconds(shed.RetryAfter))
 	case errors.Is(err, ErrDraining):
+		sp.Set("outcome", "draining")
+		rt.Annotate("outcome", "draining")
 		writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(30*time.Second))
 	default: // queue timeout or client context expiry
+		sp.Set("outcome", "queue_timeout")
 		s.obs.Counter("http." + endpoint + ".queue_timeout").Add(1)
 		writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(s.adm.RetryAfter()))
 	}
+	sp.End()
 	return nil, false
 }
 
@@ -276,7 +324,11 @@ func (s *Server) loadWorkload(w http.ResponseWriter, ctx context.Context, datase
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return nil, nil, nil, false
 	}
+	rt := obs.ReqTraceFrom(ctx)
+	sp := rt.Begin("registry.checkout", rt.RootID())
+	sp.Set("dataset", dataset)
 	g, release, err := s.data.Checkout(ctx, dataset)
+	sp.End()
 	if err != nil {
 		if errors.Is(err, ErrUnknownDataset) {
 			writeError(w, http.StatusBadRequest, err.Error(), 0)
@@ -347,20 +399,31 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	defer releaseData()
 	key := workloadKey(req.Dataset, m)
 	roots := rootWindowFor(req.RootWindow)
+	rt := obs.ReqTraceFrom(mineCtx)
+	s.obs.Counter(obs.Labeled("server.workload.requests", "dataset", req.Dataset, "motif", m.Name)).Add(1)
 
 	if req.Supervised {
 		if roots != nil {
 			writeError(w, http.StatusBadRequest, "root_window is not supported with supervised", 0)
 			return
 		}
-		s.handleCountSupervised(w, mineCtx, g, m, key, exactBudget, start)
+		s.handleCountSupervised(w, mineCtx, &req, g, m, key, exactBudget, start)
 		return
 	}
 
 	decision := s.brk.Acquire(key)
+	bsp := rt.Begin("breaker.decision", rt.RootID())
+	bsp.Set("workload", key)
+	bsp.Set("decision", decision.String())
+	bsp.End()
 	if decision == Degrade {
-		s.serveDegraded(w, mineCtx, g, m, roots, start)
+		s.serveDegraded(w, mineCtx, &req, g, m, roots, start)
 		return
+	}
+	msp := rt.Begin("mine", rt.RootID())
+	var tr *obs.Tracer
+	if rt != nil {
+		tr = obs.NewTracer(128)
 	}
 	res, err := mint.CountWithFallback(mineCtx, g, m, mint.FallbackConfig{
 		Budget:  exactBudget,
@@ -368,7 +431,12 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		Chaos:   s.cfg.Chaos,
 		Obs:     s.obs,
 		Roots:   roots,
+		Trace:   tr,
+		TraceID: rt.TraceID(),
 	})
+	msp.Set("engine", res.Engine)
+	msp.End()
+	rt.ImportTracer(tr, msp.ID())
 	if err != nil || res.ExactResult.StopReason == mint.StopFaultInjected {
 		// A panic or injected fault is breaker evidence even when the
 		// estimator still salvaged an answer.
@@ -381,10 +449,31 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		// rather than surfacing an opaque 500: the client gets an
 		// explicit estimate or a clean 503.
 		s.obs.Counter("server.exact_failed").Add(1)
-		s.serveDegraded(w, mineCtx, g, m, roots, start)
+		s.serveDegraded(w, mineCtx, &req, g, m, roots, start)
 		return
 	}
-	writeJSON(w, http.StatusOK, countResponse(res, start))
+	s.writeCount(w, rt, &req, countResponse(res, start))
+}
+
+// writeCount annotates the trace with the response's loud markers,
+// attaches the trace fields the request asked for, and writes the
+// response.
+func (s *Server) writeCount(w http.ResponseWriter, rt *obs.ReqTrace, req *CountRequest, out CountResponse) {
+	rt.Annotate("engine", out.Engine)
+	if out.Degraded {
+		rt.Annotate("degraded", "true")
+	}
+	if out.Truncated {
+		rt.Annotate("truncated", out.StopReason)
+	}
+	out.TraceID = rt.TraceID()
+	if req.Explain {
+		out.Explain = obs.BuildExplain(rt.Spans())
+	}
+	if req.ReturnTrace {
+		out.TraceFrag = rt.Spans()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // countResponse maps a FallbackResult onto the wire contract.
@@ -411,8 +500,10 @@ func countResponse(res mint.FallbackResult, start time.Time) CountResponse {
 // Root-windowed requests (scatter-gather fan-out) never reach PRESTO —
 // the fallback layer returns the exact partial lower bound instead,
 // because an estimate cannot be scoped to a root window.
-func (s *Server) serveDegraded(w http.ResponseWriter, ctx context.Context, g *mint.Graph, m *mint.Motif, roots *mint.RootWindow, start time.Time) {
+func (s *Server) serveDegraded(w http.ResponseWriter, ctx context.Context, req *CountRequest, g *mint.Graph, m *mint.Motif, roots *mint.RootWindow, start time.Time) {
 	s.obs.Counter("server.degraded_served").Add(1)
+	rt := obs.ReqTraceFrom(ctx)
+	sp := rt.Begin("mine.degraded", rt.RootID())
 	res, err := mint.CountWithFallback(ctx, g, m, mint.FallbackConfig{
 		// One checkpoint quantum of exact work: enough to answer tiny
 		// workloads exactly, cheap enough to not matter when it truncates.
@@ -420,27 +511,33 @@ func (s *Server) serveDegraded(w http.ResponseWriter, ctx context.Context, g *mi
 		Workers: 1,
 		Obs:     s.obs,
 		Roots:   roots,
+		TraceID: rt.TraceID(),
 	})
+	sp.Set("engine", res.Engine)
+	sp.End()
 	if err != nil {
 		s.obs.Counter("server.degraded_failed").Add(1)
 		writeError(w, http.StatusServiceUnavailable,
 			"degraded path failed: "+err.Error(), RetryAfterSeconds(s.adm.RetryAfter()))
 		return
 	}
-	writeJSON(w, http.StatusOK, countResponse(res, start))
+	s.writeCount(w, rt, req, countResponse(res, start))
 }
 
 // handleCountSupervised runs the checkpointing miner so a drain (or
 // crash) mid-request leaves resumable evidence instead of lost work.
-func (s *Server) handleCountSupervised(w http.ResponseWriter, ctx context.Context, g *mint.Graph, m *mint.Motif, key string, b runctl.Budget, start time.Time) {
+func (s *Server) handleCountSupervised(w http.ResponseWriter, ctx context.Context, req *CountRequest, g *mint.Graph, m *mint.Motif, key string, b runctl.Budget, start time.Time) {
 	if s.cfg.CheckpointDir == "" {
 		writeError(w, http.StatusBadRequest, "supervised requests need a server checkpoint dir (-checkpoint-dir)", 0)
 		return
 	}
+	rt := obs.ReqTraceFrom(ctx)
 	path := filepath.Join(s.cfg.CheckpointDir,
 		fmt.Sprintf("req-%d-%s.ckpt", s.reqSeq.Add(1), sanitizeKey(key)))
+	sp := rt.Begin("mine.supervised", rt.RootID())
 	res, err := mint.CountSupervisedCtx(ctx, g, m, s.cfg.Workers, b,
 		mint.SupervisorConfig{CheckpointPath: path}, s.cfg.Chaos)
+	sp.End()
 	if err != nil {
 		s.brk.Record(key, false)
 		writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(s.adm.RetryAfter()))
@@ -460,7 +557,7 @@ func (s *Server) handleCountSupervised(w http.ResponseWriter, ctx context.Contex
 		out.Truncated = true
 		out.StopReason = res.StopReason.String()
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeCount(w, rt, req, out)
 }
 
 func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
@@ -501,6 +598,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer releaseData()
 	key := workloadKey(req.Dataset, m)
+	rt := obs.ReqTraceFrom(mineCtx)
 	if s.brk.Acquire(key) == Degrade {
 		// Enumeration has no sampling fallback: shed cleanly while the
 		// breaker cools down rather than burn a slot on a likely panic.
@@ -517,6 +615,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	b.MaxMatches = offset + int64(req.Limit)
 	matches := make([][]int32, 0, req.Limit)
 	var seen int64
+	msp := rt.Begin("mine.enumerate", rt.RootID())
 	res := mint.EnumerateChaosRootsCtx(mineCtx, g, m, b, s.cfg.Chaos, rootWindowFor(req.RootWindow), func(edges []int32) {
 		seen++
 		if seen <= offset {
@@ -526,6 +625,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 			matches = append(matches, append([]int32(nil), edges...))
 		}
 	})
+	msp.End()
 	s.brk.Record(key, res.StopReason != mint.StopFaultInjected)
 	out := EnumerateResponse{
 		Matches: matches,
@@ -538,6 +638,14 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	case res.Truncated:
 		out.Truncated = true
 		out.StopReason = res.StopReason.String()
+		rt.Annotate("truncated", out.StopReason)
+	}
+	out.TraceID = rt.TraceID()
+	if req.Explain {
+		out.Explain = obs.BuildExplain(rt.Spans())
+	}
+	if req.ReturnTrace {
+		out.TraceFrag = rt.Spans()
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -567,12 +675,15 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	if delta <= 0 {
 		delta = mint.DeltaHour
 	}
+	rt := obs.ReqTraceFrom(mineCtx)
+	msp := rt.Begin("mine.profile", rt.RootID())
 	counts, err := mint.ProfileCtx(mineCtx, g, mint.EvaluationMotifs(delta), s.cfg.Workers, full)
+	msp.End()
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(s.adm.RetryAfter()))
 		return
 	}
-	out := ProfileResponse{WallMS: float64(time.Since(start).Microseconds()) / 1000}
+	out := ProfileResponse{WallMS: float64(time.Since(start).Microseconds()) / 1000, TraceID: rt.TraceID()}
 	for _, c := range counts {
 		e := ProfileEntry{
 			Motif:     c.Motif.Name,
@@ -585,6 +696,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 			e.StopReason = c.StopReason.String()
 		}
 		out.Profile = append(out.Profile, e)
+	}
+	if req.Explain {
+		out.Explain = obs.BuildExplain(rt.Spans())
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -634,10 +748,12 @@ func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
 // Health -----------------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	EchoTraceID(w, r)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	EchoTraceID(w, r)
 	if s.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return

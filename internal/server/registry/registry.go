@@ -96,6 +96,10 @@ func New(opts Options) *Registry {
 	if opts.Loader == nil {
 		panic("registry: Options.Loader is required")
 	}
+	// Export the configured watermark once: together with the live
+	// registry.bytes gauge it makes cache pressure readable off /metrics
+	// (bytes/max_bytes) without knowing the server flags.
+	opts.Obs.Gauge("registry.max_bytes").Set(opts.MaxBytes)
 	return &Registry{opts: opts.normalized(), entries: map[string]*entry{}}
 }
 
@@ -290,6 +294,11 @@ func (r *Registry) evictLocked(keep *entry) {
 		delete(r.entries, victim.name)
 		r.bytes -= victim.bytes
 		r.opts.Obs.Counter("registry.evict").Add(1)
+		// Keep the live gauges honest on the eviction path too — load()
+		// only refreshes them after its own evict pass, but Checkout
+		// releases also evict.
+		r.opts.Obs.Gauge("registry.entries").Set(int64(len(r.entries)))
+		r.opts.Obs.Gauge("registry.bytes").Set(r.bytes)
 	}
 }
 

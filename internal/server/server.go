@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -68,18 +69,27 @@ type Config struct {
 	Chaos *mint.ChaosPlan
 	// Obs receives all server metrics (nil: metrics are dropped).
 	Obs *obs.Registry
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (trace id, route, priority, outcome, degradation markers,
+	// duration).
+	AccessLog io.Writer
+	// TraceCapacity bounds how many finished request traces are retained
+	// for GET /debug/trace/<id> (0 = 256).
+	TraceCapacity int
 }
 
 // Server is the serving core. Create with New, mount Handler, and call
 // Drain exactly once on the way out.
 type Server struct {
-	cfg   Config
-	obs   *obs.Registry
-	data  *registry.Registry
-	adm   *Admission
-	brk   *BreakerGroup
-	mux   *http.ServeMux
-	start time.Time
+	cfg    Config
+	obs    *obs.Registry
+	data   *registry.Registry
+	adm    *Admission
+	brk    *BreakerGroup
+	mux    *http.ServeMux
+	start  time.Time
+	traces *obs.TraceStore
+	alog   *obs.AccessLogger
 
 	// runCtx is canceled when drain runs out of patience; every request
 	// context is tied to it, so cancellation reaches the engines'
@@ -136,13 +146,18 @@ func New(cfg Config) *Server {
 	if loader == nil {
 		loader = datasetLoader(cfg.DataDir, cfg.Scale)
 	}
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = 256
+	}
 	s := &Server{
-		cfg:   cfg,
-		obs:   cfg.Obs,
-		start: time.Now(),
-		adm:   NewAdmission(cfg.Admission, cfg.Obs),
-		brk:   NewBreakerGroup(cfg.Breaker, cfg.Obs),
-		fps:   map[*mint.Graph]string{},
+		cfg:    cfg,
+		obs:    cfg.Obs,
+		start:  time.Now(),
+		adm:    NewAdmission(cfg.Admission, cfg.Obs),
+		brk:    NewBreakerGroup(cfg.Breaker, cfg.Obs),
+		fps:    map[*mint.Graph]string{},
+		traces: obs.NewTraceStore(cfg.TraceCapacity),
+		alog:   obs.NewAccessLogger(cfg.AccessLog),
 	}
 	s.data = registry.New(registry.Options{
 		Loader:   loader,

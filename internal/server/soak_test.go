@@ -2,14 +2,17 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"mint"
+	"mint/internal/obs"
 	"mint/internal/testutil"
 )
 
@@ -50,6 +53,7 @@ func TestSoakNeverSilentlyWrong(t *testing.T) {
 		cfg.Chaos = plan
 		cfg.Admission = AdmissionConfig{MaxInflight: 2, MaxQueue: 4, MaxWait: 250 * time.Millisecond}
 		cfg.Breaker = BreakerConfig{Threshold: 2, Cooldown: 150 * time.Millisecond}
+		cfg.Obs = obs.New("mintd") // so the post-soak /metrics scrape has real series to lint
 	})
 
 	// Oracles, computed once up front on the undisturbed engines.
@@ -195,6 +199,24 @@ func TestSoakNeverSilentlyWrong(t *testing.T) {
 	if statuses[http.StatusTooManyRequests]+statuses[http.StatusServiceUnavailable] == 0 {
 		t.Error("soak never shed; admission bounds were not exercised")
 	}
+
+	// After the chaos traffic: the metrics the soak produced — shed
+	// counters, breaker flips, per-workload labels, latency histograms —
+	// must still render as valid Prometheus exposition text.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.LintPrometheus(sb.String())
+	if err != nil {
+		t.Errorf("post-soak /metrics fails exposition lint: %v", err)
+	}
+	t.Logf("post-soak /metrics: %d samples, lint clean", samples)
 }
 
 // checkShedOrOK asserts the status is one of the contract's clean codes

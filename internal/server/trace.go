@@ -1,0 +1,131 @@
+package server
+
+// Per-request distributed tracing and access logging for the serving
+// layer. Every instrumented endpoint resolves a trace identity
+// (incoming traceparent / X-Request-ID, else freshly minted), records a
+// span tree into an obs.ReqTrace carried on the request context, echoes
+// the id on the X-Trace-Id response header (shed and drain responses
+// included), stores the finished trace for GET /debug/trace/<id>, and
+// writes one structured JSON access-log line. The helpers are exported
+// because the scatter-gather coordinator (package gather) runs the same
+// middleware around its fan-out handlers.
+
+import (
+	"net/http"
+	"time"
+
+	"mint/internal/obs"
+)
+
+// StatusWriter captures the response status for the access log and the
+// root span without changing handler behavior.
+type StatusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *StatusWriter) WriteHeader(c int) {
+	if w.code == 0 {
+		w.code = c
+	}
+	w.ResponseWriter.WriteHeader(c)
+}
+
+func (w *StatusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Status returns the written status code (200 when the handler never
+// set one explicitly).
+func (w *StatusWriter) Status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// BeginTrace resolves the request's trace identity, opens the root
+// span, stamps the X-Trace-Id response header, and rebinds the request
+// context to carry the ReqTrace. The header is written before any
+// outcome is decided, so shed and drain responses carry the id too.
+func BeginTrace(w http.ResponseWriter, r *http.Request, root string) (*obs.ReqTrace, *StatusWriter, *http.Request) {
+	tc, parent := obs.TraceFromRequest(r)
+	rt := obs.NewReqTrace(tc, root, parent)
+	w.Header().Set("X-Trace-Id", tc.TraceID)
+	sw := &StatusWriter{ResponseWriter: w}
+	return rt, sw, r.WithContext(obs.WithReqTrace(r.Context(), rt))
+}
+
+// EchoTraceID stamps the trace identity on responses outside the
+// instrumented ladder (health probes), so a client request id is echoed
+// everywhere — drain-time 503s included.
+func EchoTraceID(w http.ResponseWriter, r *http.Request) {
+	tc, _ := obs.TraceFromRequest(r)
+	w.Header().Set("X-Trace-Id", tc.TraceID)
+}
+
+// AccessRecordFor assembles the structured access-log line for one
+// finished request from its trace annotations.
+func AccessRecordFor(rt *obs.ReqTrace, route string, status int, start time.Time) obs.AccessRecord {
+	return obs.AccessRecord{
+		TraceID:   rt.TraceID(),
+		Route:     route,
+		Status:    status,
+		Priority:  rt.Attr("priority"),
+		Outcome:   TraceOutcome(status, rt),
+		Shed:      status == http.StatusTooManyRequests,
+		Degraded:  rt.Attr("degraded") != "",
+		Partial:   rt.Attr("partial") != "",
+		Truncated: rt.Attr("truncated") != "",
+		WallMS:    float64(time.Since(start).Microseconds()) / 1000,
+	}
+}
+
+// TraceOutcome derives the access-log outcome: an explicit handler
+// annotation wins, otherwise the status class decides.
+func TraceOutcome(status int, rt *obs.ReqTrace) string {
+	if o := rt.Attr("outcome"); o != "" {
+		return o
+	}
+	switch {
+	case status == http.StatusTooManyRequests:
+		return "shed"
+	case status >= 200 && status < 300:
+		return "ok"
+	case status >= 400 && status < 500:
+		return "bad_request"
+	default:
+		return "error"
+	}
+}
+
+// finishTrace closes the root span, retains the trace for
+// /debug/trace/<id>, and writes the access-log line.
+func (s *Server) finishTrace(rt *obs.ReqTrace, route string, status int, start time.Time) {
+	rt.Finish()
+	s.traces.Add(rt.TraceID(), rt.Spans())
+	s.alog.Log(AccessRecordFor(rt, route, status, start))
+}
+
+// handleTraceDump serves one stored trace as a Chrome trace_event JSON
+// document (load it in chrome://tracing or ui.perfetto.dev). On a
+// coordinator the stored trace already contains the imported shard
+// fragments, so the dump is the merged cross-process timeline.
+func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	ServeTraceDump(w, r, s.traces)
+}
+
+// ServeTraceDump writes the stored trace named by the {id} path value
+// as Chrome trace JSON (shared by worker and coordinator).
+func ServeTraceDump(w http.ResponseWriter, r *http.Request, ts *obs.TraceStore) {
+	id := r.PathValue("id")
+	if len(ts.Get(id)) == 0 {
+		writeError(w, http.StatusNotFound, "unknown trace id", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	ts.WriteChromeTrace(w, id) //nolint:errcheck // client gone = nothing to do
+}
