@@ -31,11 +31,13 @@ race:
 serve-check:
 	$(GO) test -race -count=1 ./internal/server/... ./internal/shard/ ./cmd/mintd/
 
-# Short fuzz passes (native Go fuzzing): the SNAP loader and the motif
-# parser round trip.
+# Short fuzz passes (native Go fuzzing): the SNAP loader, the motif
+# parser round trip, and the co-mining planner (arbitrary motif lists
+# must partition exactly into δ-grouped prefix tries, never panic).
 fuzz:
 	$(GO) test ./internal/temporal/ -run='^$$' -fuzz=FuzzReadSNAP -fuzztime=30s
 	$(GO) test ./internal/temporal/ -run='^$$' -fuzz=FuzzMotifParse -fuzztime=30s
+	$(GO) test ./internal/comine/ -run='^$$' -fuzz=FuzzMotifSetPlan -fuzztime=30s
 
 # Sequential hot-path benchmarks (the <2% regression budget lives here).
 bench:
@@ -54,7 +56,8 @@ bench-report:
 # Hot-path before/after comparison: Baseline (pre-overhaul) vs optimized
 # (pooled state + window-cached searches) on M1–M4 over a seeded Table I
 # dataset sample; rewrites BENCH_hotpath.json with ns/op and allocs/op for
-# both sides. Run this to refresh the committed reference after deliberate
-# hot-path changes.
+# both sides plus the co-mining row (one co-mined M1–M4 pass vs four
+# sequential per-motif runs). Run this to refresh the committed
+# reference after deliberate hot-path changes.
 bench-compare:
 	$(GO) run ./cmd/benchreport -hotpath -out BENCH_hotpath.json

@@ -38,6 +38,7 @@ import (
 	"testing"
 	"time"
 
+	"mint/internal/comine"
 	"mint/internal/datasets"
 	"mint/internal/mackey"
 	"mint/internal/obs"
@@ -83,6 +84,20 @@ type hotpathRow struct {
 	OptimizedBytesOp  int64   `json:"optimized_bytes_per_op"`
 }
 
+// comineRow is the co-mining measurement: ONE co-mined pass over the
+// 4-motif profile workload against four sequential per-motif runs of
+// the same optimized miner, both single-threaded so the ratio isolates
+// shared-prefix reuse rather than parallelism.
+type comineRow struct {
+	Motifs         []string `json:"motifs"`
+	SequentialNsOp int64    `json:"sequential_ns_per_op"`
+	ComineNsOp     int64    `json:"comine_ns_per_op"`
+	Speedup        float64  `json:"speedup"`
+	Groups         int      `json:"groups"`
+	ForkPoints     int      `json:"fork_points"`
+	SharedRatio    float64  `json:"shared_prefix_ratio"`
+}
+
 // hotpathReport is the BENCH_hotpath.json payload.
 type hotpathReport struct {
 	Schema         string       `json:"schema"`
@@ -93,6 +108,7 @@ type hotpathReport struct {
 	GraphEdges     int          `json:"graph_edges"`
 	Rows           []hotpathRow `json:"benchmarks"`
 	GeomeanSpeedup float64      `json:"geomean_speedup"`
+	Comine         *comineRow   `json:"comine,omitempty"`
 }
 
 func main() {
@@ -234,7 +250,54 @@ func measureHotpath(dataset string, scale float64) (hotpathReport, error) {
 	}
 	rep.GeomeanSpeedup = math.Exp(logSpeedup / float64(len(rep.Rows)))
 	fmt.Printf("geomean speedup: %.2fx\n", rep.GeomeanSpeedup)
+	cr, err := measureComine(g)
+	if err != nil {
+		return rep, err
+	}
+	rep.Comine = &cr
 	return rep, nil
+}
+
+// measureComine A/B-benchmarks the profile workload: four sequential
+// per-motif runs of the optimized miner vs one co-mined pass over the
+// same set. The M1–M4 family shares its canonical (0→1) and (0→1,1→2)
+// prefixes, so the co-mined side skips the repeated prefix expansions a
+// per-motif sweep pays four times.
+func measureComine(g *temporal.Graph) (comineRow, error) {
+	motifs := temporal.EvaluationMotifs(temporal.DeltaHour)
+	plan, err := comine.PlanSet(motifs)
+	if err != nil {
+		return comineRow{}, err
+	}
+	row := comineRow{
+		Groups:      len(plan.Groups),
+		ForkPoints:  plan.ForkPoints(),
+		SharedRatio: plan.SharedRatio(),
+	}
+	for _, m := range motifs {
+		row.Motifs = append(row.Motifs, m.Name)
+	}
+	seq := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, m := range motifs {
+				mackey.Mine(g, m, mackey.Options{})
+			}
+		}
+	})
+	co := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := comine.MineCtx(context.Background(), g, plan,
+				comine.Options{Workers: 1}, runctl.Budget{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	row.SequentialNsOp = seq.NsPerOp()
+	row.ComineNsOp = co.NsPerOp()
+	row.Speedup = float64(seq.NsPerOp()) / float64(co.NsPerOp())
+	fmt.Printf("comine %v: sequential %10d ns/op   co-mined %10d ns/op   speedup %.2fx   (%d groups, %d fork points, shared ratio %.2f)\n",
+		row.Motifs, row.SequentialNsOp, row.ComineNsOp, row.Speedup, row.Groups, row.ForkPoints, row.SharedRatio)
+	return row, nil
 }
 
 func runHotpath(out, dataset string, scale float64, check bool) error {
@@ -292,6 +355,17 @@ func runHotpath(out, dataset string, scale float64, check bool) error {
 				fmt.Fprintf(os.Stderr, "REGRESSION %s: %d allocs/op on the optimized path (committed %d)\n",
 					fr.Motif, fr.OptimizedAllocsOp, cr.OptimizedAllocsOp)
 			}
+		}
+	}
+	if committed.Comine != nil && fresh.Comine != nil {
+		floor := committed.Comine.Speedup * tolerance
+		if fresh.Comine.Speedup < floor {
+			failed = true
+			fmt.Fprintf(os.Stderr, "REGRESSION comine: speedup %.2fx < %.2fx (committed %.2fx - 10%%)\n",
+				fresh.Comine.Speedup, floor, committed.Comine.Speedup)
+		} else {
+			fmt.Printf("ok comine: speedup %.2fx (committed %.2fx, floor %.2fx)\n",
+				fresh.Comine.Speedup, committed.Comine.Speedup, floor)
 		}
 	}
 	if failed {

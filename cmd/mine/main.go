@@ -18,9 +18,14 @@
 // Usage:
 //
 //	mine -algo mackey -dataset wiki-talk -motif M1
+//	mine -motifs M1,M2,M3,M4 -dataset wiki-talk
 //	mine -algo presto -graph edges.txt -motifspec "A->B;B->A"
 //	mine -algo fallback -dataset wiki-talk -timeout 2s
 //	mine -algo mackey -dataset em -obs.listen :8080 -report out.json
+//
+// -motifs co-mines the whole set in one engine pass (same-δ motifs
+// share a traversal, see internal/comine) under the run's single
+// budget, printing one exact per-motif line each.
 package main
 
 import (
@@ -29,9 +34,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"mint/internal/comine"
 	"mint/internal/cyclemine"
 	"mint/internal/datasets"
 	"mint/internal/faultinject"
@@ -52,6 +59,7 @@ func main() {
 	scale := flag.Float64("scale", 0.01, "synthetic dataset scale (0,1]")
 	motifName := flag.String("motif", "M1", "evaluation motif: M1..M4")
 	motifSpec := flag.String("motifspec", "", "explicit motif, e.g. \"A->B;B->C;C->A\"")
+	motifSet := flag.String("motifs", "", "co-mine a motif SET in one pass, e.g. \"M1,M2,M4\" (overrides -algo/-motif)")
 	deltaSec := flag.Int64("delta", int64(temporal.DeltaHour), "motif time window δ in seconds")
 	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 	windows := flag.Int("windows", 32, "presto: sampled windows")
@@ -93,12 +101,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// -motifs switches the run to the co-mining engine: the whole set in
+	// one pass, one shared budget.
+	var batch []*temporal.Motif
+	if *motifSet != "" {
+		*algo = "comine"
+		for _, name := range strings.Split(*motifSet, ",") {
+			bm, err := loadMotif("", strings.TrimSpace(name), temporal.Timestamp(*deltaSec))
+			if err != nil {
+				fatal(err)
+			}
+			batch = append(batch, bm)
+		}
+	}
 	m, err := loadMotif(*motifSpec, *motifName, temporal.Timestamp(*deltaSec))
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("graph: %d nodes, %d edges; motif %s = %s, δ=%ds; algo=%s\n",
-		g.NumNodes(), g.NumEdges(), m.Name, m, m.Delta, *algo)
+	if len(batch) > 0 {
+		m = batch[0]
+		fmt.Printf("graph: %d nodes, %d edges; motif set {%s} co-mined, δ=%ds\n",
+			g.NumNodes(), g.NumEdges(), *motifSet, *deltaSec)
+	} else {
+		fmt.Printf("graph: %d nodes, %d edges; motif %s = %s, δ=%ds; algo=%s\n",
+			g.NumNodes(), g.NumEdges(), m.Name, m, m.Delta, *algo)
+	}
 
 	// One registry and span tracer per process, attached to whichever
 	// engine the chosen algorithm runs. -obs.listen exposes the registry
@@ -137,6 +164,32 @@ func main() {
 	var oc outcome
 	start := time.Now()
 	switch *algo {
+	case "comine":
+		cplan, err := comine.PlanSet(batch)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := comine.MineCtx(ctx, g, cplan,
+			comine.Options{Workers: *workers, Ctl: ctl, Obs: reg, Trace: tracer}, budget)
+		if err != nil {
+			fatal(err)
+		}
+		for _, pm := range res.PerMotif {
+			mark := ""
+			if pm.Truncated {
+				mark = fmt.Sprintf("  (truncated: %s; exact partial)", pm.StopReason)
+			}
+			fmt.Printf("%-6s %s: %d%s\n", pm.Motif.Name, pm.Motif, pm.Matches, mark)
+			oc.matches += pm.Matches
+		}
+		fmt.Printf("co-mined %d motifs in %d groups (%d fork points, %d shared expansions) in %v\n",
+			len(batch), res.Groups, res.ForkPoints, res.SharedExpansions, time.Since(start))
+		taskStats(res.Stats)
+		oc.truncated = res.Truncated
+		oc.reason = res.StopReason
+		if res.Truncated {
+			truncNote(res.StopReason)
+		}
 	case "mackey":
 		if *checkpointPath != "" || *resume {
 			res, err := mackey.MineParallelSupervised(ctx, g, m, opts, budget, mackey.SupervisorOptions{
@@ -253,6 +306,11 @@ func main() {
 	}
 	if *reportPath != "" {
 		rep := buildReport(*algo, g, m, *workers, *timeout, budget, start, oc, reg.Snapshot())
+		if len(batch) > 0 {
+			// The report's motif slot describes the whole co-mined set, not
+			// just the first member buildReport saw.
+			rep.Motif.Name = "set:" + *motifSet
+		}
 		if *graphPath != "" {
 			rep.Graph.Name = *graphPath
 		} else {

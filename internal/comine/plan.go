@@ -1,0 +1,216 @@
+// Package comine implements Mayura-style temporal motif co-mining:
+// several motifs are mined in ONE Algorithm-1 traversal per group
+// instead of one traversal per motif. Motifs are first canonicalized
+// (nodes relabeled in first-appearance order — counts are invariant
+// under motif-node relabeling, so canonical and original motifs have
+// identical instance sets), then grouped by δ and inserted into a
+// prefix-sharing trie over their canonical edge sequences. Because a
+// canonical first edge is always 0→1, every motif in a δ-group shares
+// at least the root level of the trie; the executor walks the trie
+// once per root edge, forking per-motif bookkeeping only where the
+// canonical sequences diverge. A search-tree prefix shared by k motifs
+// is expanded once instead of k times — the redundant-work recovery
+// Mayura reports for the Paranjape M1–M4 family.
+//
+// The planner is pure data: PlanSet never mines. Correctness of the
+// executor rests on a structural invariant established here — the
+// trie's terminal sets partition the input motif indexes exactly
+// (every input index appears at exactly one trie node, duplicates
+// included), which is what FuzzMotifSetPlan fuzzes.
+package comine
+
+import (
+	"fmt"
+
+	"mint/internal/temporal"
+)
+
+// Member is one input motif's slot in a group: its position in the
+// original PlanSet input (results are reported under this index), the
+// motif itself, and its canonical edge sequence.
+type Member struct {
+	// Index is the motif's position in the PlanSet input slice.
+	Index int
+	// Motif is the original (uncanonicalized) motif.
+	Motif *temporal.Motif
+	// Canon is the canonical edge sequence: node IDs relabeled in
+	// first-appearance order. Counting Canon and Motif.Edges against a
+	// graph yields identical totals.
+	Canon []temporal.MotifEdge
+	// NumNodes is the number of distinct canonical nodes.
+	NumNodes int
+}
+
+// Node is one trie node: the canonical motif edge matched at this
+// depth, the continuations, and the input indexes of motifs whose
+// canonical sequence ends exactly here. The group root is a virtual
+// depth-0 node whose Edge is unused.
+type Node struct {
+	// Edge is the canonical motif edge this node matches (depth ≥ 1).
+	Edge temporal.MotifEdge
+	// Depth is the number of motif edges matched once this node's edge
+	// is bound (the virtual root has depth 0).
+	Depth int
+	// Children are the distinct next canonical edges.
+	Children []*Node
+	// Terminal lists input motif indexes completing at this node.
+	// Non-leaf terminals are legal (one motif a prefix of another).
+	Terminal []int
+	// Passing counts members whose sequence passes through or ends at
+	// this node — the shared-work multiplicity: an expansion of a node
+	// with Passing = k replaces k independent per-motif expansions.
+	Passing int
+}
+
+// Group is one δ-homogeneous co-mining unit: members share Delta and
+// are mined by a single traversal of the trie under Root.
+type Group struct {
+	// Delta is the shared time window of every member.
+	Delta temporal.Timestamp
+	// Members lists the group's motifs in input order.
+	Members []Member
+	// Root is the virtual depth-0 trie node. Its children all carry the
+	// canonical edge 0→1 (there is exactly one child by construction —
+	// kept as a slice so the executor needs no special-casing).
+	Root *Node
+	// MaxMotifNodes / MaxMotifEdges bound the worker state the executor
+	// must size for this group.
+	MaxMotifNodes int
+	MaxMotifEdges int
+	// ForkPoints counts trie nodes with more than one child — the
+	// divergence points where per-motif bookkeeping forks.
+	ForkPoints int
+	// TrieEdges counts trie nodes below the root (edges the co-mined
+	// traversal matches); TotalEdges sums the members' sequence lengths
+	// (edges a per-motif sweep would match). 1 - TrieEdges/TotalEdges
+	// is the group's static shared-prefix ratio.
+	TrieEdges  int
+	TotalEdges int
+}
+
+// Plan is the full co-mining plan for one motif set.
+type Plan struct {
+	// Motifs is the input slice, verbatim; PerMotif results index it.
+	Motifs []*temporal.Motif
+	// Groups holds one entry per distinct δ, in first-appearance order
+	// (deterministic for a given input order).
+	Groups []*Group
+}
+
+// PlanSet groups motifs into a co-mining plan. Duplicates are legal
+// (they land on one trie path with both indexes terminal); a nil or
+// empty input yields an empty plan; nil entries are rejected. The
+// returned plan's terminal sets partition the input indexes exactly.
+func PlanSet(motifs []*temporal.Motif) (*Plan, error) {
+	plan := &Plan{Motifs: motifs}
+	byDelta := map[temporal.Timestamp]*Group{}
+	for i, m := range motifs {
+		if m == nil {
+			return nil, fmt.Errorf("comine: motif %d is nil", i)
+		}
+		canon, numNodes := canonicalize(m)
+		grp := byDelta[m.Delta]
+		if grp == nil {
+			grp = &Group{Delta: m.Delta, Root: &Node{}}
+			byDelta[m.Delta] = grp
+			plan.Groups = append(plan.Groups, grp)
+		}
+		grp.insert(i, m, canon, numNodes)
+	}
+	for _, grp := range plan.Groups {
+		grp.ForkPoints = countForks(grp.Root)
+	}
+	return plan, nil
+}
+
+// ForkPoints sums the divergence points across all groups.
+func (p *Plan) ForkPoints() int {
+	n := 0
+	for _, g := range p.Groups {
+		n += g.ForkPoints
+	}
+	return n
+}
+
+// SharedRatio is the plan's static shared-prefix ratio: the fraction
+// of per-motif edge matches the tries fold away (0 when nothing is
+// shared, approaching 1 for near-identical motif sets).
+func (p *Plan) SharedRatio() float64 {
+	trie, total := 0, 0
+	for _, g := range p.Groups {
+		trie += g.TrieEdges
+		total += g.TotalEdges
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(trie)/float64(total)
+}
+
+// canonicalize relabels m's nodes in first-appearance order over the
+// chronological edge sequence. The first canonical edge is always 0→1
+// (motifs are loop-free), so same-δ motifs always share trie depth 1.
+func canonicalize(m *temporal.Motif) ([]temporal.MotifEdge, int) {
+	relabel := make(map[temporal.NodeID]temporal.NodeID, m.NumNodes())
+	next := temporal.NodeID(0)
+	label := func(u temporal.NodeID) temporal.NodeID {
+		if v, ok := relabel[u]; ok {
+			return v
+		}
+		v := next
+		next++
+		relabel[u] = v
+		return v
+	}
+	out := make([]temporal.MotifEdge, m.NumEdges())
+	for i, e := range m.Edges {
+		// Src is labeled before Dst, matching the bind order of the
+		// executor's root task.
+		s := label(e.Src)
+		d := label(e.Dst)
+		out[i] = temporal.MotifEdge{Src: s, Dst: d}
+	}
+	return out, int(next)
+}
+
+// insert threads one member's canonical sequence into the group trie.
+func (g *Group) insert(idx int, m *temporal.Motif, canon []temporal.MotifEdge, numNodes int) {
+	n := g.Root
+	n.Passing++
+	for d, e := range canon {
+		var child *Node
+		for _, c := range n.Children {
+			if c.Edge == e {
+				child = c
+				break
+			}
+		}
+		if child == nil {
+			child = &Node{Edge: e, Depth: d + 1}
+			n.Children = append(n.Children, child)
+			g.TrieEdges++
+		}
+		child.Passing++
+		n = child
+	}
+	n.Terminal = append(n.Terminal, idx)
+	g.Members = append(g.Members, Member{Index: idx, Motif: m, Canon: canon, NumNodes: numNodes})
+	g.TotalEdges += len(canon)
+	if numNodes > g.MaxMotifNodes {
+		g.MaxMotifNodes = numNodes
+	}
+	if len(canon) > g.MaxMotifEdges {
+		g.MaxMotifEdges = len(canon)
+	}
+}
+
+func countForks(n *Node) int {
+	forks := 0
+	if len(n.Children) > 1 {
+		forks++
+	}
+	for _, c := range n.Children {
+		forks += countForks(c)
+	}
+	return forks
+}

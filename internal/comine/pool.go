@@ -1,0 +1,91 @@
+package comine
+
+import (
+	"sync"
+
+	"mint/internal/mackey"
+	"mint/internal/runctl"
+	"mint/internal/temporal"
+)
+
+// Worker-state pooling, mirroring internal/mackey/pool.go: a
+// coworker's per-run state — two node-mapping arrays, the per-motif
+// count cells, and the window cache — is reusable verbatim between
+// runs once bindings are cleared and counts zeroed. Pooled state is
+// single-owner; a panicked worker is abandoned, never pooled.
+//
+// Pool invariants (maintained by release): mapping arrays are
+// all-InvalidNode and count cells all-zero within their high-water
+// length, so acquire only fills freshly exposed capacity.
+
+var coworkerPool sync.Pool
+
+// acquireCoworker returns a run-ready co-mining worker for one group.
+func acquireCoworker(g *temporal.Graph, grp *Group, numMotifs int, ctl *runctl.Controller) *coworker {
+	var w *coworker
+	if v := coworkerPool.Get(); v != nil {
+		w = v.(*coworker)
+		w.stats = mackey.Stats{PoolReuse: 1}
+	} else {
+		w = &coworker{}
+		w.stats = mackey.Stats{}
+	}
+	w.g, w.grp, w.ctl = g, grp, ctl
+	w.m2g = resizeInvalid(w.m2g, grp.MaxMotifNodes)
+	w.g2m = resizeInvalid(w.g2m, g.NumNodes())
+	w.counts = resizeZero64(w.counts, numMotifs)
+	w.wc.ResetFor(g)
+	w.shared = 0
+	w.sinceCheck = 0
+	w.stopped = false
+	w.flushedMatches = 0
+	return w
+}
+
+// release clears live bindings (a truncated run stops mid-tree), zeros
+// the count cells, and pools the worker.
+func (w *coworker) release() {
+	for mu, gu := range w.m2g {
+		if gu != temporal.InvalidNode {
+			w.g2m[gu] = temporal.InvalidNode
+			w.m2g[mu] = temporal.InvalidNode
+		}
+	}
+	for i := range w.counts {
+		w.counts[i] = 0
+	}
+	w.g, w.grp, w.ctl = nil, nil, nil
+	coworkerPool.Put(w)
+}
+
+// resizeInvalid returns s resized to n entries with every entry that
+// could hold stale data set to InvalidNode (see the pool invariant).
+func resizeInvalid(s []temporal.NodeID, n int) []temporal.NodeID {
+	if cap(s) < n {
+		s = make([]temporal.NodeID, n)
+		for i := range s {
+			s[i] = temporal.InvalidNode
+		}
+		return s
+	}
+	old := len(s)
+	s = s[:n]
+	for i := old; i < n; i++ {
+		s[i] = temporal.InvalidNode
+	}
+	return s
+}
+
+// resizeZero64 returns s resized to n zero entries under the same pool
+// invariant (released counts are zero within the high-water length).
+func resizeZero64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	old := len(s)
+	s = s[:n]
+	for i := old; i < n; i++ {
+		s[i] = 0
+	}
+	return s
+}

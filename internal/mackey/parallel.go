@@ -237,6 +237,16 @@ func partitionRootsRange(g *temporal.Graph, workers int, lo, hi temporal.EdgeID)
 	return append(bounds, hi)
 }
 
+// PartitionRoots exposes the time-partitioned chunk boundaries over the
+// half-open root index range [lo, hi) to sibling engines (the co-mining
+// executor in internal/comine schedules its groups over the same
+// timestamp-aligned chunks, so its per-worker window caches advance
+// monotonically exactly like this package's workers do). Chunk k spans
+// bounds[k]..bounds[k+1].
+func PartitionRoots(g *temporal.Graph, workers int, lo, hi temporal.EdgeID) []temporal.EdgeID {
+	return partitionRootsRange(g, workers, lo, hi)
+}
+
 // MineMemo runs the sequential reference miner with software search index
 // memoization enabled — the "Mackey et al. CPU w/ Memoization" baseline of
 // Fig 10/11. The memo table is allocated internally.

@@ -776,6 +776,157 @@ func (c *Coordinator) writePlanError(w http.ResponseWriter, err error) {
 
 // Count ------------------------------------------------------------------
 
+// fanoutCount runs one (single-motif or batch) count fan-out: plan the
+// shards, split the budget, assign each shard its owned root window,
+// and merge the answers. Root-window independence makes the merge a
+// plain per-entry sum; Degraded/Truncated markers OR together so a
+// blended answer is never presented as exact. Batch requests merge
+// PerMotif entrywise — shards answer the same motif list in the same
+// deterministic order (Motifs then MotifSpecs), so entry i everywhere
+// is the same motif; a shard answering a different entry count is
+// treated as failed rather than mis-summed. Failures return a
+// *planError for writePlanError.
+func (c *Coordinator) fanoutCount(ctx context.Context, rt *obs.ReqTrace, req *server.CountRequest, full runctl.Budget) (server.CountResponse, error) {
+	psp := rt.Begin("gather.plan", rt.RootID())
+	qp, err := c.planFor(ctx, req.Dataset, planningDelta(req.DeltaSeconds))
+	if err != nil {
+		psp.Set("outcome", "error")
+		psp.End()
+		return server.CountResponse{}, err
+	}
+	n := len(qp.ranges)
+	psp.Set("shards", strconv.Itoa(n))
+	if miss := qp.missingUpfront(); len(miss) > 0 {
+		psp.Set("missing_upfront", strings.Join(miss, ","))
+	}
+	psp.End()
+	per := runctl.SplitBudget(full, n, c.cfg.MergeMargin)
+	numMotifs := len(req.Motifs) + len(req.MotifSpecs)
+
+	results := make([]*server.CountResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range qp.ranges {
+		if !qp.ok[i] {
+			errs[i] = errBreakerOpen
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sreq := server.CountRequest{
+				Dataset:      req.Dataset,
+				Motif:        req.Motif,
+				MotifSpec:    req.MotifSpec,
+				Motifs:       req.Motifs,
+				MotifSpecs:   req.MotifSpecs,
+				DeltaSeconds: req.DeltaSeconds,
+				TimeoutMS:    shardTimeoutMS(per),
+				MaxMatches:   per.MaxMatches,
+				MaxNodes:     per.MaxNodes,
+				Priority:     req.Priority,
+				RootWindow:   &server.TimeWindow{StartTS: int64(qp.ranges[i].Start), EndTS: int64(qp.ranges[i].End)},
+				// Ask the shard for its span fragment so the merged trace
+				// covers the whole fan-out.
+				ReturnTrace: rt.TraceID() != "",
+			}
+			var out server.CountResponse
+			if err := c.call(ctx, qp.urls[i], "/v1/count", sreq, &out); err != nil {
+				c.obs.Counter("gather.shard_failed").Add(1)
+				c.obs.Counter(obs.Labeled("gather.shard_failed_by", "shard", qp.urls[i])).Add(1)
+				errs[i] = err
+				return
+			}
+			if numMotifs > 0 && len(out.PerMotif) != numMotifs {
+				// A shard whose entry list does not line up cannot be merged
+				// entrywise; a mis-aligned sum would be silently wrong.
+				c.obs.Counter("gather.shard_failed").Add(1)
+				errs[i] = fmt.Errorf("shard %s answered %d per-motif entries, want %d",
+					qp.urls[i], len(out.PerMotif), numMotifs)
+				return
+			}
+			rt.Import(out.TraceFrag, qp.urls[i])
+			out.TraceFrag = nil // merged client responses carry one trace id, not raw shard spans
+			results[i] = &out
+		}(i)
+	}
+	wg.Wait()
+
+	// A shard that answered 400 is reporting a malformed fan-out request
+	// (bad motif spec, usually): that is the client's error, not a
+	// missing shard.
+	for _, err := range errs {
+		var se *shardError
+		if errors.As(err, &se) && se.status == http.StatusBadRequest {
+			return server.CountResponse{}, &planError{status: http.StatusBadRequest, msg: se.msg}
+		}
+	}
+
+	out := server.CountResponse{Engine: mint.EngineExact, Exact: true}
+	if numMotifs > 0 {
+		out.PerMotif = make([]server.MotifCountEntry, numMotifs)
+	}
+	var missing []string
+	for i, res := range results {
+		if res == nil {
+			missing = append(missing, qp.urls[i])
+			continue
+		}
+		out.Count += res.Count
+		out.ExactPartial += res.ExactPartial
+		if res.Degraded {
+			out.Degraded = true
+		}
+		if res.Truncated {
+			out.Truncated = true
+			if out.StopReason == "" {
+				out.StopReason = res.StopReason
+			}
+		}
+		for j, e := range res.PerMotif {
+			m := &out.PerMotif[j]
+			m.Motif, m.Spec = e.Motif, e.Spec
+			m.Count += e.Count
+			if e.Truncated {
+				m.Truncated = true
+				if m.StopReason == "" {
+					m.StopReason = e.StopReason
+				}
+			}
+		}
+	}
+	if len(missing) == n {
+		return server.CountResponse{}, &planError{status: http.StatusServiceUnavailable, msg: "all shards unavailable"}
+	}
+	if len(missing) > 0 {
+		c.obs.Counter("gather.partial_merge").Add(1)
+		out.Truncated = true
+		out.StopReason = StopShardUnavailable
+		out.Partial = &server.PartialInfo{MissingShards: missing, Bound: "lower"}
+		rt.Annotate("partial", strings.Join(missing, ","))
+		// A lost shard's window is missing from EVERY entry: each one is
+		// now a loud lower bound, whatever its own shards reported.
+		for j := range out.PerMotif {
+			m := &out.PerMotif[j]
+			m.Truncated = true
+			if m.StopReason == "" {
+				m.StopReason = StopShardUnavailable
+			}
+		}
+	}
+	switch {
+	case out.Degraded:
+		// A shard answered with an estimate mixed into exact sums; the
+		// merged engine is neither — name the blend honestly.
+		out.Exact = false
+		out.Engine = "mixed"
+	case out.Truncated:
+		out.Exact = false
+		out.Engine = mint.EnginePartial
+	}
+	return out, nil
+}
+
 func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 	var req server.CountRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -807,112 +958,10 @@ func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	rt := obs.ReqTraceFrom(ctx)
-	psp := rt.Begin("gather.plan", rt.RootID())
-	qp, err := c.planFor(mineCtx, req.Dataset, planningDelta(req.DeltaSeconds))
+	out, err := c.fanoutCount(mineCtx, rt, &req, full)
 	if err != nil {
-		psp.Set("outcome", "error")
-		psp.End()
 		c.writePlanError(w, err)
 		return
-	}
-	n := len(qp.ranges)
-	psp.Set("shards", strconv.Itoa(n))
-	if miss := qp.missingUpfront(); len(miss) > 0 {
-		psp.Set("missing_upfront", strings.Join(miss, ","))
-	}
-	psp.End()
-	per := runctl.SplitBudget(full, n, c.cfg.MergeMargin)
-
-	results := make([]*server.CountResponse, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := range qp.ranges {
-		if !qp.ok[i] {
-			errs[i] = errBreakerOpen
-			continue
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sreq := server.CountRequest{
-				Dataset:      req.Dataset,
-				Motif:        req.Motif,
-				MotifSpec:    req.MotifSpec,
-				DeltaSeconds: req.DeltaSeconds,
-				TimeoutMS:    shardTimeoutMS(per),
-				MaxMatches:   per.MaxMatches,
-				MaxNodes:     per.MaxNodes,
-				Priority:     req.Priority,
-				RootWindow:   &server.TimeWindow{StartTS: int64(qp.ranges[i].Start), EndTS: int64(qp.ranges[i].End)},
-				// Ask the shard for its span fragment so the merged trace
-				// covers the whole fan-out.
-				ReturnTrace: rt.TraceID() != "",
-			}
-			var out server.CountResponse
-			if err := c.call(mineCtx, qp.urls[i], "/v1/count", sreq, &out); err != nil {
-				c.obs.Counter("gather.shard_failed").Add(1)
-				c.obs.Counter(obs.Labeled("gather.shard_failed_by", "shard", qp.urls[i])).Add(1)
-				errs[i] = err
-				return
-			}
-			rt.Import(out.TraceFrag, qp.urls[i])
-			out.TraceFrag = nil // merged client responses carry one trace id, not raw shard spans
-			results[i] = &out
-		}(i)
-	}
-	wg.Wait()
-
-	// A shard that answered 400 is reporting a malformed fan-out request
-	// (bad motif spec, usually): that is the client's error, not a
-	// missing shard.
-	for _, err := range errs {
-		var se *shardError
-		if errors.As(err, &se) && se.status == http.StatusBadRequest {
-			writeError(w, http.StatusBadRequest, se.msg, 0)
-			return
-		}
-	}
-
-	out := server.CountResponse{Engine: mint.EngineExact, Exact: true}
-	var missing []string
-	for i, res := range results {
-		if res == nil {
-			missing = append(missing, qp.urls[i])
-			continue
-		}
-		out.Count += res.Count
-		out.ExactPartial += res.ExactPartial
-		if res.Degraded {
-			out.Degraded = true
-		}
-		if res.Truncated {
-			out.Truncated = true
-			if out.StopReason == "" {
-				out.StopReason = res.StopReason
-			}
-		}
-	}
-	if len(missing) == n {
-		writeError(w, http.StatusServiceUnavailable, "all shards unavailable",
-			server.RetryAfterSeconds(c.adm.CombineRetryAfter(c.shardWorstRetry())))
-		return
-	}
-	if len(missing) > 0 {
-		c.obs.Counter("gather.partial_merge").Add(1)
-		out.Truncated = true
-		out.StopReason = StopShardUnavailable
-		out.Partial = &server.PartialInfo{MissingShards: missing, Bound: "lower"}
-		rt.Annotate("partial", strings.Join(missing, ","))
-	}
-	switch {
-	case out.Degraded:
-		// A shard answered with an estimate mixed into exact sums; the
-		// merged engine is neither — name the blend honestly.
-		out.Exact = false
-		out.Engine = "mixed"
-	case out.Truncated:
-		out.Exact = false
-		out.Engine = mint.EnginePartial
 	}
 	rt.Annotate("engine", out.Engine)
 	if out.Degraded {
@@ -1101,9 +1150,88 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 
 // Profile / info / health -------------------------------------------------
 
+// handleProfile serves the M1–M4 fingerprint in coordinator mode as ONE
+// batch count fan-out: each shard co-mines the whole set over its owned
+// root window under its split budget, and the coordinator sums the
+// per-motif entries. Lost shards surface as Partial plus per-entry
+// truncation — a profile assembled without every shard is a loud lower
+// bound, never a silently short fingerprint.
 func (c *Coordinator) handleProfile(w http.ResponseWriter, r *http.Request) {
-	writeError(w, http.StatusNotImplemented,
-		"profile is not supported in coordinator mode; issue per-motif counts instead", 0)
+	var req server.ProfileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	ctx, cleanup := c.requestCtx(r)
+	defer cleanup()
+	release, ok := c.admit(w, ctx, req.Priority)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	full := runctl.DeriveBudget(start, time.Duration(req.TimeoutMS)*time.Millisecond, runctl.Budget{}, c.cfg.Caps)
+	mineCtx, cancel := ctx, func() {}
+	if !full.Deadline.IsZero() {
+		mineCtx, cancel = context.WithDeadline(ctx, full.Deadline)
+	}
+	defer cancel()
+
+	rt := obs.ReqTraceFrom(ctx)
+	creq := server.CountRequest{
+		Dataset:      req.Dataset,
+		Motifs:       []string{"M1", "M2", "M3", "M4"},
+		DeltaSeconds: req.DeltaSeconds,
+		TimeoutMS:    req.TimeoutMS,
+		Priority:     req.Priority,
+	}
+	merged, err := c.fanoutCount(mineCtx, rt, &creq, full)
+	if err != nil {
+		c.writePlanError(w, err)
+		return
+	}
+	perK := 1000.0 / float64(max(1, c.datasetEdges(mineCtx, req.Dataset)))
+	out := server.ProfileResponse{
+		WallMS:  float64(time.Since(start).Microseconds()) / 1000,
+		TraceID: rt.TraceID(),
+		Partial: merged.Partial,
+	}
+	for _, e := range merged.PerMotif {
+		out.Profile = append(out.Profile, server.ProfileEntry{
+			Motif:      e.Motif,
+			Spec:       e.Spec,
+			Count:      e.Count,
+			Density:    float64(e.Count) * perK,
+			Truncated:  e.Truncated,
+			StopReason: e.StopReason,
+		})
+	}
+	if merged.Truncated {
+		rt.Annotate("truncated", merged.StopReason)
+	}
+	if req.Explain {
+		out.Explain = obs.BuildExplain(rt.Spans())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// datasetEdges reports the dataset's total edge count for density
+// normalization: the identified shard's count in full-data mode (every
+// shard serves the same bytes), the sum of slice counts when sliced.
+// Infos are cached by the planner, so this never re-fans the probes.
+func (c *Coordinator) datasetEdges(ctx context.Context, dataset string) int {
+	total := 0
+	for _, u := range c.cfg.Shards {
+		info, err := c.shardInfo(ctx, u, dataset)
+		if err != nil {
+			continue
+		}
+		if !c.cfg.Sliced {
+			return info.Edges
+		}
+		total += info.Edges
+	}
+	return total
 }
 
 // handleDatasetInfo reports the (verified-identical) dataset identity in

@@ -30,6 +30,15 @@ type CountRequest struct {
 	// wins and carries the compact syntax ("A->B;B->C;C->A").
 	Motif     string `json:"motif,omitempty"`
 	MotifSpec string `json:"motif_spec,omitempty"`
+	// Motifs / MotifSpecs switch the request to batch mode: the whole
+	// set is counted in ONE co-mined run (same-δ motifs share a
+	// traversal) under one shared budget, and the response carries one
+	// PerMotif entry per requested motif — named motifs first, then
+	// specs, in request order. Batch mode is exact-or-loud: there is no
+	// sampling fallback, and it conflicts with Motif/MotifSpec and
+	// Supervised (400).
+	Motifs     []string `json:"motifs,omitempty"`
+	MotifSpecs []string `json:"motif_specs,omitempty"`
 	// DeltaSeconds is the motif window δ (0 = one hour).
 	DeltaSeconds int64 `json:"delta_seconds,omitempty"`
 	// TimeoutMS is the client's wall-clock budget; the server clamps it
@@ -109,6 +118,21 @@ type CountResponse struct {
 	// TraceFrag carries the raw spans when the request set return_trace
 	// (coordinator fan-out); stripped from merged client responses.
 	TraceFrag []obs.Span `json:"trace_frag,omitempty"`
+	// PerMotif is present on batch responses only: one entry per
+	// requested motif, in request order (Motifs then MotifSpecs). The
+	// top-level Count is then the sum over entries.
+	PerMotif []MotifCountEntry `json:"per_motif,omitempty"`
+}
+
+// MotifCountEntry is one motif's row in a batch count response. A
+// truncated entry is an exact lower bound, loudly flagged with the stop
+// reason — never a silently short count.
+type MotifCountEntry struct {
+	Motif      string `json:"motif"`
+	Spec       string `json:"spec"`
+	Count      int64  `json:"count"`
+	Truncated  bool   `json:"truncated,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
 }
 
 // EnumerateRequest asks for concrete matches, paginated.
@@ -190,10 +214,13 @@ type ProfileEntry struct {
 
 // ProfileResponse is the full profile.
 type ProfileResponse struct {
-	Profile []ProfileEntry `json:"profile"`
-	WallMS  float64        `json:"wall_ms"`
-	TraceID string         `json:"trace_id,omitempty"`
+	Profile []ProfileEntry   `json:"profile"`
+	WallMS  float64          `json:"wall_ms"`
+	TraceID string           `json:"trace_id,omitempty"`
 	Explain *obs.ExplainNode `json:"explain,omitempty"`
+	// Partial is set only on merged scatter-gather profiles whose
+	// fan-out lost shards; every entry is then a loud lower bound.
+	Partial *PartialInfo `json:"partial,omitempty"`
 }
 
 // ErrorResponse is every non-2xx body.
@@ -390,8 +417,23 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	start := time.Now()
-	mineCtx, cancel, _, exactBudget := s.budgetFor(ctx, req.TimeoutMS, req.MaxMatches, req.MaxNodes)
+	mineCtx, cancel, fullBudget, exactBudget := s.budgetFor(ctx, req.TimeoutMS, req.MaxMatches, req.MaxNodes)
 	defer cancel()
+	if len(req.Motifs) > 0 || len(req.MotifSpecs) > 0 {
+		// Batch mode: one co-mined run over the whole set. No sampling
+		// fallback exists for a motif set, so the batch gets the full
+		// budget — no estimator headroom to reserve.
+		if req.Motif != "" || req.MotifSpec != "" {
+			writeError(w, http.StatusBadRequest, "motifs/motif_specs conflicts with motif/motif_spec", 0)
+			return
+		}
+		if req.Supervised {
+			writeError(w, http.StatusBadRequest, "supervised batch requests are not supported", 0)
+			return
+		}
+		s.handleCountBatch(w, mineCtx, &req, fullBudget, start)
+		return
+	}
 	g, m, releaseData, ok := s.loadWorkload(w, mineCtx, req.Dataset, req.Motif, req.MotifSpec, req.DeltaSeconds)
 	if !ok {
 		return
@@ -522,6 +564,121 @@ func (s *Server) serveDegraded(w http.ResponseWriter, ctx context.Context, req *
 		return
 	}
 	s.writeCount(w, rt, req, countResponse(res, start))
+}
+
+// batchMotifs resolves a batch request's motif list: named motifs
+// first, then custom specs, all at the request δ — the deterministic
+// order the PerMotif entries (and the coordinator's entrywise merge)
+// are keyed on.
+func batchMotifs(req *CountRequest) ([]*mint.Motif, error) {
+	delta := mint.Timestamp(req.DeltaSeconds)
+	if delta <= 0 {
+		delta = mint.DeltaHour
+	}
+	motifs := make([]*mint.Motif, 0, len(req.Motifs)+len(req.MotifSpecs))
+	for _, name := range req.Motifs {
+		m, err := mint.MotifByName(name, delta)
+		if err != nil {
+			return nil, err
+		}
+		motifs = append(motifs, m)
+	}
+	for i, spec := range req.MotifSpecs {
+		m, err := mint.ParseMotif(fmt.Sprintf("custom%d", i), delta, spec)
+		if err != nil {
+			return nil, err
+		}
+		motifs = append(motifs, m)
+	}
+	return motifs, nil
+}
+
+// handleCountBatch serves a multi-motif count as ONE co-mined engine
+// run under one shared budget. The contract is exact-or-loud: there is
+// no PRESTO fallback for a motif set, so every entry is either the
+// exact count or a truncated lower bound flagged with its stop reason
+// — a fault-injected or panicked run answers 200 with every affected
+// entry loudly truncated, never a silently short sum.
+func (s *Server) handleCountBatch(w http.ResponseWriter, ctx context.Context, req *CountRequest, full runctl.Budget, start time.Time) {
+	motifs, err := batchMotifs(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	// Registry checkout only — the dummy motif name mirrors
+	// handleProfile; the real set is resolved above.
+	g, _, releaseData, ok := s.loadWorkload(w, ctx, req.Dataset, "M1", "", req.DeltaSeconds)
+	if !ok {
+		return
+	}
+	defer releaseData()
+	rt := obs.ReqTraceFrom(ctx)
+	for _, m := range motifs {
+		s.obs.Counter(obs.Labeled("server.workload.requests", "dataset", req.Dataset, "motif", m.Name)).Add(1)
+	}
+	key := req.Dataset + "/batch:" + strconv.Itoa(len(motifs))
+	decision := s.brk.Acquire(key)
+	bsp := rt.Begin("breaker.decision", rt.RootID())
+	bsp.Set("workload", key)
+	bsp.Set("decision", decision.String())
+	bsp.End()
+	if decision == Degrade {
+		// Like enumeration, a batch has no degraded engine: shed cleanly
+		// while the breaker cools down.
+		s.obs.Counter("server.batch_degraded_unavailable").Add(1)
+		writeError(w, http.StatusServiceUnavailable,
+			"workload breaker open and batch counting has no degraded mode", RetryAfterSeconds(s.adm.RetryAfter()))
+		return
+	}
+	msp := rt.Begin("mine.batch", rt.RootID())
+	var tr *obs.Tracer
+	if rt != nil {
+		tr = obs.NewTracer(128)
+	}
+	res, err := mint.CountManyOpts(ctx, g, motifs, mint.BatchOptions{
+		Workers: s.cfg.Workers,
+		Obs:     s.obs,
+		Chaos:   s.cfg.Chaos,
+		Roots:   rootWindowFor(req.RootWindow),
+		Trace:   tr,
+		TraceID: rt.TraceID(),
+	}, full)
+	msp.Set("groups", strconv.Itoa(res.Groups))
+	msp.End()
+	rt.ImportTracer(tr, msp.ID())
+	s.brk.Record(key, err == nil && res.StopReason != mint.StopFaultInjected)
+	if err != nil && len(res.PerMotif) == 0 {
+		// Setup failure (bad motif set) — nothing loud to serve.
+		writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(s.adm.RetryAfter()))
+		return
+	}
+	out := CountResponse{
+		Engine:   mint.EngineExact,
+		Exact:    !res.Truncated,
+		PerMotif: make([]MotifCountEntry, len(res.PerMotif)),
+		WallMS:   float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, pm := range res.PerMotif {
+		e := MotifCountEntry{
+			Motif:     pm.Motif.Name,
+			Spec:      pm.Motif.String(),
+			Count:     pm.Matches,
+			Truncated: pm.Truncated,
+		}
+		if pm.Truncated {
+			e.StopReason = pm.StopReason.String()
+		}
+		out.PerMotif[i] = e
+		out.Count += float64(pm.Matches)
+		out.ExactPartial += pm.Matches
+	}
+	if res.Truncated {
+		out.Engine = mint.EnginePartial
+		out.Exact = false
+		out.Truncated = true
+		out.StopReason = res.StopReason.String()
+	}
+	s.writeCount(w, rt, req, out)
 }
 
 // handleCountSupervised runs the checkpointing miner so a drain (or

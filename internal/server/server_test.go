@@ -320,3 +320,197 @@ func TestChaosTripsBreakerAndNeverLies(t *testing.T) {
 		t.Error("breaker never opened despite every exact attempt faulting")
 	}
 }
+
+// Batch /v1/count -------------------------------------------------------
+
+// TestCountBatchEndpointExact: a batch request returns one exact entry
+// per motif — named motifs then specs, in request order — each
+// bit-identical to the single-motif oracle, with the top-level count
+// the sum.
+func TestCountBatchEndpointExact(t *testing.T) {
+	_, ts, graphs := newTestServer(t, nil)
+	g := graphs["g1"]
+	pingpong, err := mint.ParseMotif("custom0", testDelta, "0->1,1->0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM := []*mint.Motif{mint.M1(testDelta), mint.M2(testDelta), pingpong}
+
+	var resp CountResponse
+	status, _ := postJSON(t, ts.URL+"/v1/count", CountRequest{
+		Dataset: "g1", DeltaSeconds: testDelta,
+		Motifs:     []string{"M1", "M2"},
+		MotifSpecs: []string{"0->1,1->0"},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200", status)
+	}
+	if !resp.Exact || resp.Degraded || resp.Truncated {
+		t.Fatalf("markers = %+v, want exact and nothing else", resp)
+	}
+	if len(resp.PerMotif) != 3 {
+		t.Fatalf("per_motif has %d entries, want 3", len(resp.PerMotif))
+	}
+	var sum int64
+	for i, e := range resp.PerMotif {
+		want := mint.Count(g, wantM[i])
+		if e.Count != want {
+			t.Errorf("entry %d (%s): count %d, oracle %d", i, e.Motif, e.Count, want)
+		}
+		if e.Truncated || e.StopReason != "" {
+			t.Errorf("entry %d: exact batch carries truncation markers: %+v", i, e)
+		}
+		if e.Spec != wantM[i].String() {
+			t.Errorf("entry %d: spec %q, want %q", i, e.Spec, wantM[i].String())
+		}
+		sum += e.Count
+	}
+	if int64(resp.Count) != sum || resp.ExactPartial != sum {
+		t.Errorf("top-level count %v / exact_partial %d, want sum %d", resp.Count, resp.ExactPartial, sum)
+	}
+}
+
+// TestCountBatchSharedBudgetTruncatesLoudly: a MaxNodes cap on a batch
+// bounds the WHOLE set, and a stopped batch marks its entries truncated
+// with the reason — never silently short.
+func TestCountBatchSharedBudgetTruncatesLoudly(t *testing.T) {
+	_, ts, graphs := newTestServer(t, nil)
+	g := graphs["g1"]
+
+	var resp CountResponse
+	status, _ := postJSON(t, ts.URL+"/v1/count", CountRequest{
+		Dataset: "g1", DeltaSeconds: testDelta,
+		Motifs:   []string{"M1", "M2", "M3", "M4"},
+		MaxNodes: 1,
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200", status)
+	}
+	if resp.Exact || !resp.Truncated || resp.StopReason == "" {
+		t.Fatalf("MaxNodes=1 batch not loudly truncated: %+v", resp)
+	}
+	if resp.Engine != mint.EnginePartial {
+		t.Errorf("engine %q, want %q", resp.Engine, mint.EnginePartial)
+	}
+	for i, e := range resp.PerMotif {
+		if !e.Truncated || e.StopReason == "" {
+			t.Errorf("entry %d not loudly truncated: %+v", i, e)
+		}
+		want := mint.Count(g, mint.EvaluationMotifs(testDelta)[i])
+		if e.Count > want {
+			t.Errorf("entry %d: truncated count %d exceeds oracle %d", i, e.Count, want)
+		}
+	}
+}
+
+// TestCountBatchRejectsConflictsAndBadMotifs: batch mode 400s on
+// conflicting single-motif fields, supervised mode, and unparseable
+// members.
+func TestCountBatchRejectsConflictsAndBadMotifs(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	cases := []CountRequest{
+		{Dataset: "g1", Motifs: []string{"M1"}, Motif: "M2"},
+		{Dataset: "g1", Motifs: []string{"M1"}, MotifSpec: "0->1"},
+		{Dataset: "g1", Motifs: []string{"M1"}, Supervised: true},
+		{Dataset: "g1", Motifs: []string{"M9"}},
+		{Dataset: "g1", MotifSpecs: []string{"0->0"}},
+	}
+	for i, req := range cases {
+		var er ErrorResponse
+		status, _ := postJSON(t, ts.URL+"/v1/count", req, &er)
+		if status != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400 (err=%q)", i, status, er.Error)
+		}
+	}
+}
+
+// TestCountBatchRootWindowsSumExactly: batch counts over adjacent root
+// windows sum to the unwindowed batch, entry by entry — the property
+// the coordinator's scatter-gather merge rests on.
+func TestCountBatchRootWindowsSumExactly(t *testing.T) {
+	_, ts, graphs := newTestServer(t, nil)
+	g := graphs["g2"]
+	minTS := int64(g.Edges[0].Time)
+	maxTS := int64(g.Edges[g.NumEdges()-1].Time) + 1
+	mid := (minTS + maxTS) / 2
+
+	post := func(tw *TimeWindow) CountResponse {
+		var resp CountResponse
+		status, _ := postJSON(t, ts.URL+"/v1/count", CountRequest{
+			Dataset: "g2", DeltaSeconds: testDelta,
+			Motifs:     []string{"M1", "M2", "M3", "M4"},
+			RootWindow: tw,
+		}, &resp)
+		if status != http.StatusOK {
+			t.Fatalf("status %d, want 200", status)
+		}
+		return resp
+	}
+	full := post(nil)
+	left := post(&TimeWindow{StartTS: minTS, EndTS: mid})
+	right := post(&TimeWindow{StartTS: mid, EndTS: maxTS})
+	for i := range full.PerMotif {
+		sum := left.PerMotif[i].Count + right.PerMotif[i].Count
+		if sum != full.PerMotif[i].Count {
+			t.Errorf("entry %d (%s): windowed sum %d != full %d",
+				i, full.PerMotif[i].Motif, sum, full.PerMotif[i].Count)
+		}
+	}
+}
+
+// TestChaosCountBatchLoudTruncation pins fault injection to the
+// co-miner's chunk site: every chunk claim errors, so a batch request
+// must come back 200 with EVERY entry loudly truncated as fault
+// injected (there is no estimator to silently substitute), and after
+// Threshold failures the workload breaker must open and shed the batch
+// with a 503 instead of lying.
+func TestChaosCountBatchLoudTruncation(t *testing.T) {
+	plan, err := mint.ParseChaosPlan("seed=1,error=1.0,sites=comine.chunk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts, graphs := newTestServer(t, func(cfg *Config) {
+		cfg.Chaos = plan
+		cfg.Breaker = BreakerConfig{Threshold: 2, Cooldown: time.Minute}
+	})
+	oracles := []int64{
+		mint.Count(graphs["g1"], mint.M1(testDelta)),
+		mint.Count(graphs["g1"], mint.M2(testDelta)),
+	}
+	req := CountRequest{Dataset: "g1", Motifs: []string{"M1", "M2"}, DeltaSeconds: testDelta}
+	for i := 0; i < 2; i++ {
+		var resp CountResponse
+		status, _ := postJSON(t, ts.URL+"/v1/count", req, &resp)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200 (exact-or-loud, not an error)", i, status)
+		}
+		if resp.Exact || !resp.Truncated {
+			t.Fatalf("request %d: faulted batch not marked truncated: %+v", i, resp)
+		}
+		if resp.StopReason == "" {
+			t.Errorf("request %d: truncated batch with no stop reason", i)
+		}
+		if resp.TraceID == "" {
+			t.Errorf("request %d: chaos-truncated batch missing trace id", i)
+		}
+		if len(resp.PerMotif) != 2 {
+			t.Fatalf("request %d: %d entries, want 2", i, len(resp.PerMotif))
+		}
+		for j, e := range resp.PerMotif {
+			if !e.Truncated || e.StopReason == "" {
+				t.Errorf("request %d entry %s: fault-injected entry not loudly truncated: %+v", i, e.Motif, e)
+			}
+			if e.Count > oracles[j] {
+				t.Errorf("request %d entry %s: truncated count %d exceeds oracle %d", i, e.Motif, e.Count, oracles[j])
+			}
+		}
+	}
+	if !s.brk.Open("g1/batch:2") {
+		t.Error("batch breaker never opened despite every run faulting")
+	}
+	var resp CountResponse
+	status, _ := postJSON(t, ts.URL+"/v1/count", req, &resp)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("breaker-open batch = %d, want 503 (no degraded mode for a set)", status)
+	}
+}

@@ -37,7 +37,11 @@ func TestSoakNeverSilentlyWrong(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: multi-second concurrent soak")
 	}
-	plan, err := mint.ParseChaosPlan("seed=7,panic=0.05,error=0.50,delay=0.50,delaydur=2ms,sites=mackey")
+	// No sites restriction: rate faults must reach both the single-motif
+	// engine (mackey.*) and the batch co-miner (comine.chunk). Lifting
+	// the old "sites=mackey" prefix leaves mackey-site decisions
+	// unchanged — the prefix only gates, it does not seed the hash.
+	plan, err := mint.ParseChaosPlan("seed=7,panic=0.05,error=0.50,delay=0.50,delaydur=2ms")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +105,56 @@ func TestSoakNeverSilentlyWrong(t *testing.T) {
 				pri := priorities[(c+2*i)%len(priorities)]
 				tag := fmt.Sprintf("client %d req %d (%s/%s pri=%s)", c, i, ds, mn, pri)
 				switch (c + i) % 4 {
-				case 0, 1: // count is the dominant traffic
+				case 1: // batch count: the co-mined multi-motif path
+					var resp CountResponse
+					status, hdr := postJSON(t, ts.URL+"/v1/count", CountRequest{
+						Dataset: ds, Motifs: []string{"M1", "M2"}, DeltaSeconds: testDelta,
+						TimeoutMS: 2000, Priority: pri,
+					}, &resp)
+					checkShedOrOK(t, tag, status, hdr)
+					if status != http.StatusOK {
+						seen(status, "shed")
+						continue
+					}
+					seen(status, "batch")
+					if resp.Degraded {
+						t.Errorf("%s: batch response degraded (engine %q) — batches have no estimator", tag, resp.Engine)
+					}
+					if resp.TraceID == "" {
+						t.Errorf("%s: batch response missing trace id", tag)
+					}
+					if len(resp.PerMotif) != 2 {
+						t.Errorf("%s: batch answered %d entries, want 2", tag, len(resp.PerMotif))
+						continue
+					}
+					if resp.Truncated && resp.StopReason == "" {
+						t.Errorf("%s: truncated batch with no stop reason", tag)
+					}
+					anyTrunc := false
+					for j, e := range resp.PerMotif {
+						oracle := countOracle[ds+"/"+[]string{"M1", "M2"}[j]]
+						switch {
+						case e.Truncated:
+							anyTrunc = true
+							if e.StopReason == "" {
+								t.Errorf("%s: truncated entry %s with no stop reason", tag, e.Motif)
+							}
+							if e.Count > oracle {
+								t.Errorf("%s: truncated %s = %d exceeds oracle %d", tag, e.Motif, e.Count, oracle)
+							}
+						default:
+							if e.Count != oracle {
+								t.Errorf("%s: unmarked %s = %d, oracle %d — silently wrong", tag, e.Motif, e.Count, oracle)
+							}
+						}
+					}
+					if anyTrunc && !resp.Truncated {
+						t.Errorf("%s: truncated entries under an untruncated top-level response: %+v", tag, resp)
+					}
+					if resp.Exact && anyTrunc {
+						t.Errorf("%s: exact=true with truncated entries", tag)
+					}
+				case 0: // single-motif count
 					var resp CountResponse
 					status, hdr := postJSON(t, ts.URL+"/v1/count", CountRequest{
 						Dataset: ds, Motif: mn, DeltaSeconds: testDelta,

@@ -1,10 +1,13 @@
 package engines
 
 import (
+	"context"
 	"fmt"
 
+	"mint/internal/comine"
 	"mint/internal/mackey"
 	"mint/internal/mint"
+	"mint/internal/runctl"
 	"mint/internal/task"
 	"mint/internal/temporal"
 )
@@ -77,5 +80,24 @@ func Engines() []Engine {
 	engines = append(engines, Engine{Name: "mackey/parallel-memo-8", Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
 		return mackey.MineParallelMemo(g, m, mackey.Options{Workers: 8}).Matches, nil
 	}})
+	// The co-miner as a single-motif engine: a one-motif plan exercises
+	// planning plus the singleton-devolution path end to end. Motif SETS
+	// get their own differential matrix (comine_test.go) because the
+	// Engine signature is per-motif.
+	for _, workers := range []int{1, 4} {
+		engines = append(engines, Engine{Name: fmt.Sprintf("comine/solo-%d", workers),
+			Count: func(g *temporal.Graph, m *temporal.Motif) (int64, error) {
+				plan, err := comine.PlanSet([]*temporal.Motif{m})
+				if err != nil {
+					return 0, err
+				}
+				res, err := comine.MineCtx(context.Background(), g, plan,
+					comine.Options{Workers: workers}, runctl.Budget{})
+				if err != nil {
+					return 0, err
+				}
+				return res.PerMotif[0].Matches, nil
+			}})
+	}
 	return engines
 }

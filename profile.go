@@ -6,7 +6,6 @@ import (
 	"math"
 	"sort"
 
-	"mint/internal/mackey"
 	"mint/internal/temporal"
 )
 
@@ -17,9 +16,10 @@ type MotifCount struct {
 	Density float64 // count per thousand temporal edges
 
 	// Truncated marks a count cut short by the profile's context or
-	// budget; Count is then an exact lower bound for this motif, and
-	// StopReason says what fired. Motifs later in the list than the
-	// first truncation typically report StopCanceled immediately.
+	// shared budget; Count is then an exact lower bound for this motif,
+	// and StopReason says what fired. The profile co-mines the set under
+	// one budget, so all motifs of a stopped δ-group (and every group
+	// after the stop) report the same reason.
 	Truncated  bool
 	StopReason StopReason
 }
@@ -33,10 +33,10 @@ func MotifLibrary(delta Timestamp) []*Motif { return temporal.Library(delta) }
 // count of every motif in the list. Motif distributions are stronger
 // features than their static counterparts for network classification
 // (§II-B, citing Tu et al.), and per-node variants serve as features for
-// temporal graph learning. Counting runs the parallel exact miner per
-// motif; workers < 1 means GOMAXPROCS. Profile is ProfileCtx with no
-// cancellation or budget; it panics on a worker failure (the historical
-// behavior).
+// temporal graph learning. Counting co-mines the whole set (same-δ
+// motifs share one traversal, see CountManyCtx); workers < 1 means
+// GOMAXPROCS. Profile is ProfileCtx with no cancellation or budget; it
+// panics on a worker failure (the historical behavior).
 func Profile(g *Graph, motifs []*Motif, workers int) []MotifCount {
 	out, err := ProfileCtx(context.Background(), g, motifs, workers, Budget{})
 	if err != nil {
@@ -45,31 +45,30 @@ func Profile(g *Graph, motifs []*Motif, workers int) []MotifCount {
 	return out
 }
 
-// ProfileCtx is Profile bounded by a context and a per-motif budget (the
-// Budget applies to each motif's mining run separately, so a MaxNodes cap
-// bounds the worst single motif, not the whole fingerprint). A motif cut
-// short is marked Truncated with its exact partial count — fingerprints
-// stay usable as lower bounds — and once the context itself is dead the
-// remaining motifs return immediately, each marked Truncated. A worker
-// failure aborts the profile and returns the error alongside the counts
-// finished so far (the offending motif's entry marks the failure).
+// ProfileCtx is Profile bounded by a context and ONE shared budget:
+// the whole fingerprint is produced by a single co-mined run
+// (CountManyCtx), so a MaxNodes or Deadline cap bounds the profile as
+// a whole — not each motif separately, as the pre-co-mining profiler
+// did. Motifs cut short are marked Truncated with their exact partial
+// counts — fingerprints stay usable as lower bounds — and once the
+// shared controller stops, the remaining motif groups return
+// immediately, each marked Truncated. A worker failure aborts the
+// profile and returns the error alongside the counts accumulated so
+// far.
 func ProfileCtx(ctx context.Context, g *Graph, motifs []*Motif, workers int, b Budget) ([]MotifCount, error) {
-	out := make([]MotifCount, len(motifs))
+	res, err := CountManyCtx(ctx, g, motifs, workers, b)
+	out := make([]MotifCount, len(res.PerMotif))
 	perK := 1000.0 / float64(max(1, g.NumEdges()))
-	for i, m := range motifs {
-		res, err := mackey.MineParallelCtx(ctx, g, m, mackey.Options{Workers: workers}, b)
+	for i, pm := range res.PerMotif {
 		out[i] = MotifCount{
-			Motif:      m,
-			Count:      res.Matches,
-			Density:    float64(res.Matches) * perK,
-			Truncated:  res.Truncated,
-			StopReason: res.StopReason,
-		}
-		if err != nil {
-			return out[:i+1], err
+			Motif:      pm.Motif,
+			Count:      pm.Matches,
+			Density:    float64(pm.Matches) * perK,
+			Truncated:  pm.Truncated,
+			StopReason: pm.StopReason,
 		}
 	}
-	return out, nil
+	return out, err
 }
 
 // FingerprintDistance compares two motif fingerprints (over the same motif

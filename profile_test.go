@@ -215,3 +215,79 @@ func TestProfileCtxBudgetTruncation(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileSharedBudget pins the co-mined profile's budget model: ONE
+// budget governs the whole fingerprint. The motif set spans two δ-groups;
+// a MaxNodes cap small enough to die inside the first group must leave the
+// second group truncated too (it never gets a fresh budget of its own —
+// the pre-co-mining profiler would have completed it).
+func TestProfileSharedBudget(t *testing.T) {
+	g, err := Dataset("em", "", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifs := []*Motif{M1(DeltaHour), M2(DeltaHour), M1(DeltaHour / 2)}
+	full, err := ProfileCtx(context.Background(), g, motifs, 2, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mc := range full {
+		if mc.Count == 0 {
+			t.Skip("dataset slice too sparse to exercise the budget split")
+		}
+	}
+
+	capped, err := ProfileCtx(context.Background(), g, motifs, 2, Budget{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mc := range capped {
+		if !mc.Truncated {
+			t.Errorf("%s (δ=%d): completed under a shared MaxNodes=1 budget — budget looks per-motif",
+				mc.Motif.Name, mc.Motif.Delta)
+		}
+		if mc.StopReason != StopNodeBudget {
+			t.Errorf("%s: stop reason %v, want node budget", mc.Motif.Name, mc.StopReason)
+		}
+		if mc.Count > full[i].Count {
+			t.Errorf("%s: capped count %d exceeds full %d", mc.Motif.Name, mc.Count, full[i].Count)
+		}
+	}
+	// The second δ-group never ran: its count must be zero, not a fresh
+	// full mine.
+	if got := capped[2].Count; got == full[2].Count && got > 0 {
+		t.Errorf("second δ-group counted %d matches after the shared budget died — it ran on its own budget", got)
+	}
+}
+
+// TestCountManyMatchesSingleRuns: the public batch API returns counts
+// bit-identical to independent single-motif runs, with the co-mining
+// shape surfaced.
+func TestCountManyMatchesSingleRuns(t *testing.T) {
+	g, err := Dataset("em", "", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifs := EvaluationMotifs(DeltaHour)
+	res, err := CountManyCtx(context.Background(), g, motifs, 2, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerMotif) != len(motifs) {
+		t.Fatalf("PerMotif length %d vs %d motifs", len(res.PerMotif), len(motifs))
+	}
+	for i, pm := range res.PerMotif {
+		if want := Count(g, motifs[i]); pm.Matches != want {
+			t.Errorf("%s: batch count %d vs direct %d", motifs[i].Name, pm.Matches, want)
+		}
+		if pm.Truncated {
+			t.Errorf("%s: unbudgeted batch truncated", motifs[i].Name)
+		}
+	}
+	if res.Groups != 1 {
+		t.Errorf("M1-M4 share δ: got %d groups, want 1", res.Groups)
+	}
+	if res.SharedExpansions == 0 {
+		t.Error("co-mined M1-M4 reported zero shared expansions")
+	}
+}
