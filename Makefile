@@ -26,18 +26,23 @@ race:
 # in-process + subprocess SIGTERM drain tests.
 # Serving suite: worker core (admission, breakers, registry, chaos
 # soak), the scatter-gather coordinator (internal/server/gather, covered
-# by the ... wildcard), shard planning, and the binary-level drain and
-# coordinator end-to-end tests.
+# by the ... wildcard), shard planning, the streaming-ingest WAL
+# (torn-tail repair, corrupt-log property tests, chaos), and the
+# binary-level drain, coordinator, and SIGKILL-ingest-recovery
+# end-to-end tests.
 serve-check:
-	$(GO) test -race -count=1 ./internal/server/... ./internal/shard/ ./cmd/mintd/
+	$(GO) test -race -count=1 ./internal/server/... ./internal/shard/ ./internal/edgelog/ ./cmd/mintd/
 
 # Short fuzz passes (native Go fuzzing): the SNAP loader, the motif
-# parser round trip, and the co-mining planner (arbitrary motif lists
-# must partition exactly into δ-grouped prefix tries, never panic).
+# parser round trip, the co-mining planner (arbitrary motif lists
+# must partition exactly into δ-grouped prefix tries, never panic),
+# and the WAL decoder (arbitrary segment bytes must yield records, a
+# clean torn-tail, or a loud corruption error — never a panic).
 fuzz:
 	$(GO) test ./internal/temporal/ -run='^$$' -fuzz=FuzzReadSNAP -fuzztime=30s
 	$(GO) test ./internal/temporal/ -run='^$$' -fuzz=FuzzMotifParse -fuzztime=30s
 	$(GO) test ./internal/comine/ -run='^$$' -fuzz=FuzzMotifSetPlan -fuzztime=30s
+	$(GO) test ./internal/edgelog/ -run='^$$' -fuzz=FuzzEdgeLogDecode -fuzztime=30s
 
 # Sequential hot-path benchmarks (the <2% regression budget lives here).
 bench:

@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"mint"
 	"mint/internal/comine"
 	"mint/internal/cyclemine"
 	"mint/internal/datasets"
@@ -56,6 +57,7 @@ func main() {
 	algo := flag.String("algo", "mackey", "mackey | mackey-seq | mackey-memo | taskqueue | paranjape | presto | gpu | cycles | fallback")
 	datasetName := flag.String("dataset", "", "dataset name or abbreviation (em/mo/ub/su/wt/so)")
 	graphPath := flag.String("graph", "", "SNAP-format temporal graph file (overrides -dataset)")
+	walDir := flag.String("wal", "", "mine the live graph of a streaming-ingest WAL directory (see mintd -ingest-dir); overrides -graph/-dataset")
 	scale := flag.Float64("scale", 0.01, "synthetic dataset scale (0,1]")
 	motifName := flag.String("motif", "M1", "evaluation motif: M1..M4")
 	motifSpec := flag.String("motifspec", "", "explicit motif, e.g. \"A->B;B->C;C->A\"")
@@ -66,7 +68,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	maxMatches := flag.Int64("maxmatches", 0, "stop after this many matches (0 = unlimited)")
 	maxNodes := flag.Int64("maxnodes", 0, "stop after this many search-tree node expansions (0 = unlimited)")
-	chaosSpec := flag.String("chaos", "", "fault-injection plan: comma-separated seed=N, panic=P, delay=P, error=P, drop=P (probabilities in [0,1]), delaydur=DUR, sites=PREFIX; sites: mackey.chunk, mackey.root, task.root, task.queue, mint.cycle; e.g. \"seed=1,panic=0.01,error=0.02,delaydur=5ms,sites=mackey\" (testing)")
+	chaosSpec := flag.String("chaos", "", "fault-injection plan: comma-separated seed=N, panic=P, delay=P, error=P, drop=P (probabilities in [0,1]), delaydur=DUR, sites=PREFIX; engine sites: mackey.chunk, mackey.root, task.root, task.queue, mint.cycle; WAL sites (with -wal): edgelog.append, edgelog.fsync, edgelog.rotate, edgelog.replay, edgelog.compact; e.g. \"seed=1,panic=0.01,error=0.02,delaydur=5ms,sites=mackey\" (testing)")
 	checkpointPath := flag.String("checkpoint", "", "mackey: write crash-safe progress snapshots here (enables the supervised miner)")
 	resume := flag.Bool("resume", false, "mackey: resume from -checkpoint, skipping completed chunks")
 	obsListen := flag.String("obs.listen", "", "serve expvar (/debug/vars) and pprof on this address (e.g. :8080 or :0)")
@@ -97,7 +99,18 @@ func main() {
 		}
 	}
 
-	g, err := loadGraph(*graphPath, *datasetName, *scale)
+	var g *temporal.Graph
+	var err error
+	if *walDir != "" {
+		// -wal replays a streaming-ingest log (snapshot + records, torn
+		// tail repaired, CRC-verified) into the live graph, so an offline
+		// mine sees exactly what a restarted mintd would serve. The chaos
+		// plan reaches the replay path (edgelog.replay), mirroring the
+		// engines.
+		g, err = loadWAL(*walDir, plan)
+	} else {
+		g, err = loadGraph(*graphPath, *datasetName, *scale)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -311,9 +324,12 @@ func main() {
 			// just the first member buildReport saw.
 			rep.Motif.Name = "set:" + *motifSet
 		}
-		if *graphPath != "" {
+		switch {
+		case *walDir != "":
+			rep.Graph.Name = "wal:" + *walDir
+		case *graphPath != "":
 			rep.Graph.Name = *graphPath
-		} else {
+		default:
 			rep.Graph.Name = *datasetName
 		}
 		if err := rep.WriteFile(*reportPath); err != nil {
@@ -436,6 +452,23 @@ func truncNote(r runctl.Reason) {
 func taskStats(s mackey.Stats) {
 	fmt.Printf("tasks: %d root, %d search, %d bookkeep, %d backtrack; %d candidates examined\n",
 		s.RootTasks, s.SearchTasks, s.BookkeepTasks, s.BacktrackTasks, s.CandidateEdges)
+}
+
+// loadWAL rebuilds the live graph from a streaming-ingest WAL
+// directory. Replay is the same code path a restarting mintd runs:
+// snapshot first, then CRC-verified records, with a torn tail repaired
+// loudly and any mid-log corruption refused outright.
+func loadWAL(dir string, plan *faultinject.Plan) (*temporal.Graph, error) {
+	s, rec, err := mint.OpenStream(dir, mint.StreamOptions{SnapshotEvery: -1, Chaos: plan})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	fmt.Printf("wal: replayed %d records (snapshot seq %d) from %s\n", rec.Records, rec.SnapshotSeq, dir)
+	if rec.Truncated {
+		fmt.Printf("wal: NOTE: torn tail truncated during replay: %s\n", rec.Detail)
+	}
+	return s.Graph()
 }
 
 func loadGraph(path, dataset string, scale float64) (*temporal.Graph, error) {

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mint"
+	"mint/internal/testutil"
+)
+
+// postEdges sends one ingest batch and reports whether it was acked
+// (HTTP 200). A transport error or non-200 means the batch is NOT
+// durable from the client's point of view and must be retried.
+func postEdges(base, clientID string, clientSeq uint64, edges []mint.Edge) (acked, dup bool) {
+	req := map[string]any{"client_id": clientID, "client_seq": clientSeq}
+	batch := make([]map[string]int64, len(edges))
+	for i, e := range edges {
+		batch[i] = map[string]int64{"src": int64(e.Src), "dst": int64(e.Dst), "time": int64(e.Time)}
+	}
+	req["edges"] = batch
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, false
+	}
+	var out struct {
+		Dup bool `json:"dup"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false, false
+	}
+	return true, out.Dup
+}
+
+// TestSIGKILLIngestRecovery is the crash-safety gate on the real
+// binary: a mintd ingesting a live edge stream is SIGKILLed mid-append
+// — no drain, no flush, the process simply dies — then restarted on
+// the same WAL directory. The restarted server must replay to a state
+// containing every acked batch, the client must be able to resume
+// idempotently from its own send counter (re-sent batches dedup, lost
+// ones land), and the final live count must be bit-identical to a cold
+// in-process mine of the full edge stream — the oracle.
+func TestSIGKILLIngestRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: builds a binary and runs subprocesses")
+	}
+	dir := t.TempDir()
+	bin := buildMintd(t, dir)
+	walDir := filepath.Join(dir, "wal")
+
+	const delta = 500
+	all := testutil.RandomGraph(rand.New(rand.NewSource(41)), 16, 2000, 8000).Edges
+	const batchSize = 20
+	var batches [][]mint.Edge
+	for i := 0; i < len(all); i += batchSize {
+		end := i + batchSize
+		if end > len(all) {
+			end = len(all)
+		}
+		batches = append(batches, all[i:end])
+	}
+
+	args := []string{
+		"-listen", "127.0.0.1:0", "-workers", "1", "-scale", "0.01",
+		"-ingest-dir", walDir, "-ingest-sync", "always",
+		"-ingest-segment-bytes", "8192", "-ingest-snapshot-every", "7",
+	}
+	cmd1, base1 := startMintd(t, bin, args...)
+	waitReady(t, base1)
+
+	// Stream batches from a writer goroutine while the test SIGKILLs the
+	// process under it. acked is the client's durable high-water mark:
+	// every batch at or below it got a 200 after the WAL fsync.
+	var acked atomic.Int64
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i, b := range batches {
+			ok, _ := postEdges(base1, "kill", uint64(i+1), b)
+			if !ok {
+				return // the process died under us — exactly the point
+			}
+			acked.Store(int64(i + 1))
+		}
+	}()
+
+	// Let some batches land, then kill without ceremony.
+	deadline := time.Now().Add(10 * time.Second)
+	for acked.Load() < 5 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if acked.Load() < 5 {
+		t.Fatal("no batches were acked before the kill window")
+	}
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait() //nolint:errcheck // reaping a SIGKILLed child
+	<-writerDone
+	ackedN := int(acked.Load())
+	t.Logf("SIGKILL after %d/%d acked batches", ackedN, len(batches))
+
+	// Restart on the same WAL. Readiness implies replay is caught up.
+	_, base2 := startMintd(t, bin, args...)
+	waitReady(t, base2)
+
+	// Replay must cover at least every acked batch (durability), and at
+	// most one more (the batch in flight at the kill — a WAL record is
+	// atomic: it replays whole or not at all).
+	info := datasetInfo(t, base2, "live")
+	lo, hi := ackedN*batchSize, (ackedN+1)*batchSize
+	if hi > len(all) {
+		hi = len(all)
+	}
+	if info.Edges < lo || info.Edges > hi {
+		t.Fatalf("replayed %d edges; acked batches hold %d (at most %d with the in-flight batch)",
+			info.Edges, lo, hi)
+	}
+
+	// Resume the stream idempotently: re-send from the last acked batch.
+	// Acked batches must dedup against the replayed ledger; everything
+	// else must land exactly once.
+	for i := ackedN - 1; i < len(batches); i++ {
+		ok, dup := postEdges(base2, "kill", uint64(i+1), batches[i])
+		if !ok {
+			t.Fatalf("resume append %d failed", i+1)
+		}
+		if i < ackedN && !dup {
+			t.Fatalf("acked batch %d was not deduped after replay", i+1)
+		}
+	}
+	info = datasetInfo(t, base2, "live")
+	if info.Edges != len(all) {
+		t.Fatalf("after resume the live graph has %d edges, want %d", info.Edges, len(all))
+	}
+
+	// The oracle: a cold in-process mine of the full stream.
+	g, err := mint.NewGraph(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"M1", "M3"} {
+		m, err := mint.MotifByName(name, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mint.Count(g, m)
+		body, _ := json.Marshal(map[string]any{
+			"dataset": "live", "motif": name, "delta_seconds": delta, "timeout_ms": 30_000,
+		})
+		resp, err := http.Post(base2+"/v1/count", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Count float64 `json:"count"`
+			Exact bool    `json:"exact"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			t.Fatalf("count %s: status %d err %v", name, resp.StatusCode, decErr)
+		}
+		if !out.Exact || int64(out.Count) != want {
+			t.Fatalf("%s after kill+recover = %v (exact=%v), oracle %d", name, out.Count, out.Exact, want)
+		}
+	}
+}
+
+// datasetInfo fetches /v1/datasetinfo for name.
+func datasetInfo(t *testing.T, base, name string) DatasetInfoOut {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"dataset": name})
+	resp, err := http.Post(base+"/v1/datasetinfo", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out DatasetInfoOut
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("datasetinfo %s: status %d", name, resp.StatusCode)
+	}
+	return out
+}
+
+// DatasetInfoOut mirrors the server's dataset info wire shape.
+type DatasetInfoOut struct {
+	Edges       int    `json:"edges"`
+	Fingerprint string `json:"fingerprint"`
+}

@@ -8,8 +8,16 @@
 //	                      ("degraded": true, engine "presto") past it
 //	POST /v1/enumerate  — concrete matches, bounded and paginated
 //	POST /v1/profile    — M1–M4 profile of a dataset
+//	POST /v1/edges      — append an edge batch to the live dataset
+//	                      (-ingest-dir; durable WAL ack, idempotent via
+//	                      client_id + client_seq)
+//	POST /v1/standing   — register a standing motif count on the live
+//	                      dataset, maintained incrementally per append
+//	GET  /v1/standing   — the standing-query board (DELETE
+//	                      /v1/standing/<name> unregisters)
 //	GET  /healthz       — liveness (always 200 while the process runs)
-//	GET  /readyz        — readiness (503 once draining)
+//	GET  /readyz        — readiness (503 once draining, or while the
+//	                      ingest WAL is still replaying at startup)
 //	GET  /metrics       — Prometheus text exposition of the obs registry
 //	GET  /debug/vars    — live expvar metrics; /debug/pprof/ alongside
 //	GET  /debug/trace/<id> — one request's merged Chrome trace
@@ -39,12 +47,21 @@
 // merged answer loudly partial (missing shards named), never silently
 // short. /readyz reflects shard quorum.
 //
+// Streaming ingestion (-ingest-dir) serves one mutable "live" dataset
+// backed by a crash-safe segmented WAL: POST /v1/edges batches are
+// fsynced (per -ingest-sync) before they are acknowledged, a restart
+// replays the log — /readyz stays 503 "replaying" until the graph is
+// caught up — and registered standing queries fold each batch
+// incrementally, bit-identical to a cold full mine.
+//
 // Usage:
 //
 //	mintd -listen :7465
 //	mintd -listen :7465 -scale 0.05 -inflight 8 -queue 32 -max-timeout 30s
+//	mintd -listen :7465 -ingest-dir /var/lib/mint/wal -ingest-window 86400
 //	mintd -listen :7464 -coordinator -shards http://h1:7465,http://h2:7465,http://h3:7465
 //	curl -s localhost:7465/v1/count -d '{"dataset":"wiki-talk","motif":"M1"}'
+//	curl -s localhost:7465/v1/edges -d '{"client_id":"c1","client_seq":1,"edges":[{"src":1,"dst":2,"time":100}]}'
 package main
 
 import (
@@ -61,6 +78,7 @@ import (
 	"time"
 
 	"mint"
+	"mint/internal/edgelog"
 	"mint/internal/obs"
 	"mint/internal/runctl"
 	"mint/internal/server"
@@ -93,7 +111,13 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that trip a workload breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker degrades its workload")
 	checkpointDir := flag.String("checkpoint-dir", "", "enable supervised requests; checkpoints land here")
-	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=1,panic=0.01,sites=mackey\" (testing)")
+	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=1,panic=0.01,sites=mackey\"; engine sites: mackey.chunk, mackey.root, task.root, task.queue, mint.cycle; WAL sites: edgelog.append, edgelog.fsync, edgelog.rotate, edgelog.replay, edgelog.compact (testing)")
+	ingestDir := flag.String("ingest-dir", "", "enable streaming ingestion: crash-safe edge WAL directory for the live dataset")
+	liveDataset := flag.String("live-dataset", "live", "dataset name the ingest stream serves on the mining endpoints")
+	ingestWindow := flag.Int64("ingest-window", 0, "sliding retention window for the live dataset, in dataset time units (0 = keep every edge)")
+	ingestSync := flag.String("ingest-sync", "always", "WAL fsync policy: \"always\" (every append), \"none\" (OS flush), or N (every Nth append)")
+	ingestSegBytes := flag.Int64("ingest-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 4MiB)")
+	ingestSnapEvery := flag.Int("ingest-snapshot-every", 0, "WAL snapshot + compaction cadence in accepted appends (0 = default 256, <0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight requests after SIGTERM before their contexts are canceled")
 	reportPath := flag.String("report", "", "write the end-of-life RunReport JSON here on drain")
 	coordinator := flag.Bool("coordinator", false, "run as a scatter-gather coordinator over -shards instead of mining locally")
@@ -121,6 +145,21 @@ func main() {
 		alogW = f
 	}
 
+	// Validate operator input before any heavy lifting: a typo in the
+	// chaos plan or the WAL sync policy must fail at startup with the
+	// item named, not after datasets load or the edge log replays.
+	var plan *mint.ChaosPlan
+	if *chaosSpec != "" {
+		var err error
+		if plan, err = mint.ParseChaosPlan(*chaosSpec); err != nil {
+			fatal(err)
+		}
+	}
+	syncEvery, err := edgelog.ParseSyncPolicy(*ingestSync)
+	if err != nil {
+		fatal(err)
+	}
+
 	reg := obs.New("mintd")
 	var srv serving
 	if *coordinator {
@@ -135,6 +174,9 @@ func main() {
 		}
 		if *chaosSpec != "" {
 			fatal(fmt.Errorf("-chaos injects faults into mining engines; the coordinator has none — set it on the workers"))
+		}
+		if *ingestDir != "" {
+			fatal(fmt.Errorf("-ingest-dir is a worker feature; the coordinator serves no local datasets — set it on a worker"))
 		}
 		c, err := gather.New(gather.Config{
 			Shards:      urls,
@@ -189,19 +231,41 @@ func main() {
 			},
 			EnumerateMaxLimit: *enumLimit,
 			CheckpointDir:     *checkpointDir,
-			Obs:               reg,
-			AccessLog:         alogW,
-			TraceCapacity:     *traceCap,
+			Ingest: server.IngestConfig{
+				Dir:           *ingestDir,
+				Dataset:       *liveDataset,
+				Window:        *ingestWindow,
+				SyncEvery:     syncEvery,
+				SegmentBytes:  *ingestSegBytes,
+				SnapshotEvery: *ingestSnapEvery,
+			},
+			Obs:           reg,
+			AccessLog:     alogW,
+			TraceCapacity: *traceCap,
 		}
-		if *chaosSpec != "" {
-			plan, err := mint.ParseChaosPlan(*chaosSpec)
-			if err != nil {
-				fatal(err)
-			}
+		if plan != nil {
 			cfg.Chaos = plan
 			fmt.Printf("mintd: chaos enabled: %s\n", plan)
 		}
-		srv = server.New(cfg)
+		ss := server.New(cfg)
+		if cfg.Ingest.Enabled() {
+			// Replay runs off the serving path: the listener comes up now,
+			// /readyz answers "replaying" until the WAL is caught up, and
+			// the outcome lands in the log either way.
+			go func() {
+				rec, err := ss.IngestRecovery()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mintd: ingest: opening WAL %s failed: %v\n", *ingestDir, err)
+					return
+				}
+				fmt.Printf("mintd: ingest: %q replayed %d records (snapshot seq %d) from %s\n",
+					cfg.Ingest.Name(), rec.Records, rec.SnapshotSeq, *ingestDir)
+				if rec.Truncated {
+					fmt.Printf("mintd: ingest: WARNING: torn WAL tail truncated during replay: %s\n", rec.Detail)
+				}
+			}()
+		}
+		srv = ss
 	}
 
 	// One mux: the API plus the obs debug endpoints, so a single port

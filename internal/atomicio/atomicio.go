@@ -1,9 +1,9 @@
 // Package atomicio provides crash-safe file writes for every artifact the
-// repository persists: checkpoints, RunReport JSONs, experiment CSVs, and
-// sweep state. A run killed mid-write (the whole point of the chaos
-// harness) must never leave a torn or empty file where a previous good one
-// stood — readers see either the old contents or the new, nothing in
-// between.
+// repository persists: checkpoints, RunReport JSONs, experiment CSVs,
+// edge-log snapshots, and sweep state. A run killed mid-write (the whole
+// point of the chaos harness) must never leave a torn or empty file where
+// a previous good one stood — readers see either the old contents or the
+// new, nothing in between.
 package atomicio
 
 import (
@@ -12,8 +12,9 @@ import (
 )
 
 // WriteFile atomically replaces path with data: the bytes are written to a
-// temporary file in the same directory, fsynced, and renamed over path.
-// On any error the temporary file is removed and path is untouched.
+// temporary file in the same directory, fsynced, renamed over path, and
+// the parent directory is fsynced so the rename itself survives power
+// loss. On any error the temporary file is removed and path is untouched.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".*.tmp")
@@ -44,11 +45,29 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 		os.Remove(tmpName)
 		return err
 	}
-	// Make the rename itself durable. Directory fsync is best-effort:
-	// some platforms/filesystems reject opening directories for sync.
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
+	// A rename is only durable once the directory entry it rewrote is on
+	// disk: fsync(file) orders the *contents*, not the dirent. Without
+	// this, power loss after WriteFile returns can resurrect the old file
+	// — or leave none — under the path we just "atomically" replaced.
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making previously issued renames and file
+// creations inside it durable. Filesystems that cannot sync an opened
+// directory (some network or FUSE mounts reject the open itself) are
+// tolerated: the open error is swallowed, because there is nothing more
+// the caller could do. A failed Sync on a successfully opened directory
+// is a real I/O error and is reported.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		// Nonexistent directories are a caller bug worth surfacing; an
+		// unopenable-but-present directory is a filesystem limitation.
+		if os.IsNotExist(err) {
+			return err
+		}
+		return nil
 	}
-	return nil
+	defer d.Close()
+	return d.Sync()
 }

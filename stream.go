@@ -1,0 +1,632 @@
+package mint
+
+// Streaming ingestion with incremental standing-query counts.
+//
+// A Stream is a live temporal graph fed by durable appends: every batch
+// goes through the internal/edgelog WAL before it is visible, so a
+// SIGKILL at any instant recovers — by replay — to exactly the acked
+// edge sequence. On top of the live edge set the Stream maintains
+// *standing queries*: registered motifs whose counts are kept current
+// incrementally instead of by cold re-mines.
+//
+// The incremental step leans on the root-window partition property
+// (RootWindow: instances partition exactly by the timestamp of their
+// earliest edge). Appending edges with minimum timestamp p can only
+// create or complete instances rooted in [p−δ, ∞): an instance rooted
+// earlier has its whole window strictly before every new edge. Evicting
+// edges below a cutoff c can only remove instances rooted below c: an
+// instance rooted at r ≥ c uses no edge older than r. So with
+//
+//	old   = graph at the last successful integration (cutoff oldCut)
+//	new   = current graph (cutoff newCut, pending edges ≥ p appended)
+//	lo    = max(newCut, p−δ)
+//
+// the standing count advances by exactly
+//
+//	count(new) = count(old) − old[oldCut,newCut) − old[lo,∞) + new[lo,∞)
+//
+// — three root-windowed mines over slices of the timeline instead of one
+// full re-mine. Every windowed mine must complete un-truncated for the
+// fold to commit; otherwise the standing counts are marked Stale (loudly,
+// with the stop reason) and the fold retries — from the same committed
+// baseline — on the next append or Refresh. Counts are therefore always
+// either exact or explicitly stale, never silently wrong.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"mint/internal/edgelog"
+	"mint/internal/temporal"
+)
+
+// ErrInvalidEdge marks an edge batch the stream refuses to accept (a
+// caller mistake — out-of-range endpoints — not an environment
+// failure); re-exported so the serving layer can map it to 400.
+var ErrInvalidEdge = edgelog.ErrInvalidEdge
+
+// StreamOptions configures OpenStream.
+type StreamOptions struct {
+	// Window is the sliding retention window: once an edge with timestamp
+	// T arrives, edges older than T−Window are evicted from the live
+	// graph (the WAL keeps them until compaction). 0 retains everything.
+	Window Timestamp
+	// Workers bounds the parallelism of integration mines (< 1 means
+	// GOMAXPROCS).
+	Workers int
+	// SnapshotEvery writes a WAL snapshot (and compacts covered segments)
+	// after this many accepted appends; 0 means 256, < 0 disables.
+	SnapshotEvery int
+	// SegmentBytes / SyncEvery configure the underlying edge log (see
+	// edgelog.Options).
+	SegmentBytes int64
+	SyncEvery    int
+	// IntegrateBudget bounds each incremental integration mine. A
+	// truncated integration never commits: it marks standing counts stale
+	// and is retried. The zero budget is unlimited.
+	IntegrateBudget Budget
+	// Chaos, when non-nil, fires at the edgelog.* sites and inside the
+	// integration mines (the engine sites).
+	Chaos *ChaosPlan
+	// Obs receives edgelog.* and stream.* instruments (nil-safe).
+	Obs *ObsRegistry
+}
+
+// StreamRecovery reports what OpenStream rebuilt from disk.
+type StreamRecovery struct {
+	// Records is how many WAL records were replayed (beyond the snapshot).
+	Records int
+	// SnapshotSeq is the sequence of the snapshot replay started from (0
+	// when none existed).
+	SnapshotSeq uint64
+	// Truncated reports that a damaged log tail was repaired by
+	// truncation; Detail says where and why. The recovered state is a
+	// clean prefix of the acked history — the loss is loud, never silent.
+	Truncated bool
+	Detail    string
+}
+
+// StandingCount is the queryable state of one registered standing query.
+type StandingCount struct {
+	Name  string    `json:"name"`
+	Motif string    `json:"motif"`
+	Delta Timestamp `json:"delta"`
+	// Count is the exact instance count in the live graph as of Seq —
+	// unless Stale, in which case it is the count as of the last
+	// successful integration and Reason says why folding stopped.
+	Count int64  `json:"count"`
+	Seq   uint64 `json:"seq"`
+	Stale bool   `json:"stale,omitempty"`
+	// Reason carries the StopReason or error of the failed fold.
+	Reason string `json:"reason,omitempty"`
+}
+
+type standingQuery struct {
+	name   string
+	motif  *Motif
+	count  int64
+	stale  bool
+	reason string
+}
+
+// Stream is a durable, append-only live dataset with incremental
+// standing-query counts. All methods are safe for concurrent use.
+type Stream struct {
+	opts StreamOptions
+	log  *edgelog.Log
+
+	mu      sync.Mutex
+	edges   []Edge // live edges in append order (stable-sort tie-break)
+	maxTime Timestamp
+	hasMax  bool
+	cutoff  Timestamp
+	hasCut  bool
+	graph   *Graph // built lazily from edges; nil when dirty
+	lastSeq uint64 // last WAL seq applied to edges
+
+	queries     map[string]*standingQuery
+	countGraph  *Graph // baseline of the committed standing counts
+	countCutoff Timestamp
+	// pendingMin is the minimum timestamp among edges appended since the
+	// last committed integration; math.MaxInt64 means none pending.
+	pendingMin    Timestamp
+	integratedSeq uint64
+
+	appendsSinceSnap int
+	closed           bool
+}
+
+// OpenStream opens (or creates) the durable stream in dir, replaying the
+// edge log into the live graph. A torn log tail is repaired and reported
+// in StreamRecovery; corruption anywhere else fails loudly.
+func OpenStream(dir string, opts StreamOptions) (*Stream, StreamRecovery, error) {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = 256
+	}
+	l, replay, err := edgelog.Open(dir, edgelog.Options{
+		SegmentBytes: opts.SegmentBytes,
+		SyncEvery:    opts.SyncEvery,
+		Chaos:        opts.Chaos,
+		Obs:          opts.Obs,
+	})
+	if err != nil {
+		return nil, StreamRecovery{}, err
+	}
+	s := &Stream{
+		opts:       opts,
+		log:        l,
+		queries:    map[string]*standingQuery{},
+		pendingMin: math.MaxInt64,
+	}
+	rec := StreamRecovery{
+		Records:   len(replay.Records),
+		Truncated: replay.Truncated,
+		Detail:    replay.TruncateAt,
+	}
+	if snap := replay.Snapshot; snap != nil {
+		rec.SnapshotSeq = snap.Seq
+		s.lastSeq = snap.Seq
+		if snap.Cutoff != 0 {
+			s.cutoff, s.hasCut = snap.Cutoff, true
+		}
+		for _, e := range snap.Edges {
+			s.observeTime(e.Time)
+		}
+		s.edges = append(s.edges, snap.Edges...)
+	}
+	for _, r := range replay.Records {
+		s.applyLocked(r.Seq, r.Edges)
+	}
+	// The replayed graph is the committed baseline for standing counts
+	// (none are registered yet, so this is just initial bookkeeping).
+	g, err := s.graphLocked()
+	if err != nil {
+		l.Close()
+		return nil, rec, err
+	}
+	s.countGraph = g
+	s.countCutoff = s.cutoff
+	s.pendingMin = math.MaxInt64
+	s.integratedSeq = s.lastSeq
+	s.opts.Obs.Gauge("stream.edges").Set(int64(len(s.edges)))
+	return s, rec, nil
+}
+
+func (s *Stream) observeTime(t Timestamp) {
+	if !s.hasMax || t > s.maxTime {
+		s.maxTime = t
+		s.hasMax = true
+	}
+}
+
+// applyLocked folds one durable record into the live edge set: advance
+// the time watermark, advance the eviction cutoff, drop evicted edges.
+// Replay calls it with the exact acked sequence, so the resulting state
+// is a pure function of the record history — the property the
+// differential suite pins.
+func (s *Stream) applyLocked(seq uint64, edges []Edge) (accepted, evicted int) {
+	for _, e := range edges {
+		s.observeTime(e.Time)
+	}
+	if s.opts.Window > 0 && s.hasMax {
+		if c := s.maxTime - s.opts.Window; !s.hasCut || c > s.cutoff {
+			s.cutoff, s.hasCut = c, true
+		}
+	}
+	if s.hasCut {
+		kept := s.edges[:0]
+		for _, e := range s.edges {
+			if e.Time >= s.cutoff {
+				kept = append(kept, e)
+			} else {
+				evicted++
+			}
+		}
+		s.edges = kept
+	}
+	for _, e := range edges {
+		if s.hasCut && e.Time < s.cutoff {
+			evicted++
+			continue
+		}
+		s.edges = append(s.edges, e)
+		accepted++
+		if e.Time < s.pendingMin {
+			s.pendingMin = e.Time
+		}
+	}
+	s.graph = nil
+	s.lastSeq = seq
+	s.opts.Obs.Gauge("stream.edges").Set(int64(len(s.edges)))
+	if evicted > 0 {
+		s.opts.Obs.Counter("stream.evicted_edges").Add(int64(evicted))
+	}
+	return accepted, evicted
+}
+
+func (s *Stream) graphLocked() (*Graph, error) {
+	if s.graph == nil {
+		g, err := temporal.NewGraph(s.edges)
+		if err != nil {
+			return nil, err
+		}
+		s.graph = g
+	}
+	return s.graph, nil
+}
+
+// AppendResult reports one Append.
+type AppendResult struct {
+	// Seq is the WAL sequence the batch got (0 for duplicates).
+	Seq uint64 `json:"seq"`
+	// Dup marks an idempotent retry: the batch was already applied under
+	// this client sequence and nothing was written.
+	Dup bool `json:"dup,omitempty"`
+	// Accepted/Evicted split the batch: evicted edges were older than the
+	// sliding-window cutoff on arrival.
+	Accepted int `json:"accepted"`
+	Evicted  int `json:"evicted,omitempty"`
+	// Stale reports that standing counts could not be folded for this
+	// append (they are marked stale and will retry); the edge data itself
+	// is durable and live regardless.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// Append durably adds a batch of edges to the live graph and folds the
+// delta into every registered standing query. The batch is acked only
+// after the WAL write (and fsync, per policy) succeeds; on error nothing
+// was applied. clientID/clientSeq give idempotent retry (see
+// edgelog.Log.Append); an empty clientID opts out.
+func (s *Stream) Append(ctx context.Context, clientID string, clientSeq uint64, edges []Edge) (AppendResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return AppendResult{}, errors.New("mint: append on closed stream")
+	}
+	rec, dup, err := s.log.Append(clientID, clientSeq, edges)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	if dup {
+		return AppendResult{Dup: true}, nil
+	}
+	var res AppendResult
+	res.Seq = rec.Seq
+	res.Accepted, res.Evicted = s.applyLocked(rec.Seq, rec.Edges)
+	s.opts.Obs.Counter("stream.appends").Add(1)
+
+	if err := s.integrateLocked(ctx); err != nil {
+		res.Stale = true
+	}
+
+	s.appendsSinceSnap++
+	if s.opts.SnapshotEvery > 0 && s.appendsSinceSnap >= s.opts.SnapshotEvery {
+		if err := s.snapshotLocked(); err != nil {
+			// The WAL still holds everything; a failed snapshot only
+			// delays compaction. Count it and retry next time.
+			s.opts.Obs.Counter("stream.snapshot_errors").Add(1)
+		} else {
+			s.appendsSinceSnap = 0
+		}
+	}
+	return res, nil
+}
+
+// snapshotLocked persists the live state and compacts the WAL.
+func (s *Stream) snapshotLocked() error {
+	snap := &edgelog.Snapshot{
+		Seq:    s.lastSeq,
+		Edges:  append([]Edge(nil), s.edges...),
+		Cutoff: s.cutoff,
+	}
+	return s.log.WriteSnapshot(snap)
+}
+
+// Snapshot forces a WAL snapshot + compaction now.
+func (s *Stream) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("mint: snapshot on closed stream")
+	}
+	if err := s.snapshotLocked(); err != nil {
+		return err
+	}
+	s.appendsSinceSnap = 0
+	return nil
+}
+
+// integrateLocked advances every standing query from the committed
+// baseline (countGraph, countCutoff) to the current live graph using the
+// three root-windowed mines derived in the package comment. All groups
+// must fold cleanly for the commit; any truncation or error marks every
+// query stale and leaves the baseline untouched, so the next call
+// retries the same fold.
+func (s *Stream) integrateLocked(ctx context.Context) error {
+	if len(s.queries) == 0 {
+		// Keep the baseline current so a later Register starts clean.
+		g, err := s.graphLocked()
+		if err != nil {
+			return err
+		}
+		s.countGraph = g
+		s.countCutoff = s.cutoff
+		s.pendingMin = math.MaxInt64
+		s.integratedSeq = s.lastSeq
+		return nil
+	}
+	if s.pendingMin == math.MaxInt64 && s.cutoff == s.countCutoff && s.integratedSeq == s.lastSeq {
+		return nil // nothing to fold
+	}
+	newG, err := s.graphLocked()
+	if err != nil {
+		s.markStaleLocked(err.Error())
+		return err
+	}
+
+	// Group standing queries by δ so each group's three windowed mines
+	// co-mine every member in one traversal.
+	groups := map[Timestamp][]*standingQuery{}
+	for _, q := range s.queries {
+		groups[q.motif.Delta] = append(groups[q.motif.Delta], q)
+	}
+
+	type folded struct {
+		q     *standingQuery
+		count int64
+	}
+	var commits []folded
+	for delta, qs := range groups {
+		motifs := make([]*Motif, len(qs))
+		for i, q := range qs {
+			motifs[i] = q.motif
+		}
+		deltas := make([]int64, len(qs))
+		for i := range qs {
+			deltas[i] = qs[i].count
+		}
+
+		// lo = max(newCut, pendingMin − δ), saturating.
+		lo := Timestamp(math.MinInt64)
+		if s.pendingMin != math.MaxInt64 {
+			lo = s.pendingMin
+			if lo > math.MinInt64+delta {
+				lo -= delta
+			} else {
+				lo = math.MinInt64
+			}
+		} else {
+			// No pending edges: only the eviction window changed, so the
+			// suffix mines are empty.
+			lo = math.MaxInt64
+		}
+		if s.hasCut && s.cutoff > lo {
+			lo = s.cutoff
+		}
+
+		mine := func(g *Graph, w *RootWindow) ([]int64, error) {
+			if w != nil && w.Start >= w.End {
+				return make([]int64, len(motifs)), nil
+			}
+			res, err := CountManyOpts(ctx, g, motifs, BatchOptions{
+				Workers: s.opts.Workers,
+				Obs:     s.opts.Obs,
+				Chaos:   s.opts.Chaos,
+				Roots:   w,
+			}, s.opts.IntegrateBudget)
+			if err != nil {
+				return nil, err
+			}
+			if res.Truncated {
+				return nil, fmt.Errorf("mint: integration mine truncated: %v", res.StopReason)
+			}
+			out := make([]int64, len(res.PerMotif))
+			for i, pm := range res.PerMotif {
+				if pm.Truncated {
+					return nil, fmt.Errorf("mint: integration mine truncated: %v", pm.StopReason)
+				}
+				out[i] = pm.Matches
+			}
+			return out, nil
+		}
+
+		// A: instances of the old graph rooted in the evicted window.
+		if s.countGraph != nil && s.cutoff > s.countCutoff {
+			a, err := mine(s.countGraph, &RootWindow{Start: s.countCutoff, End: s.cutoff})
+			if err != nil {
+				s.markStaleLocked(err.Error())
+				return err
+			}
+			for i := range deltas {
+				deltas[i] -= a[i]
+			}
+		}
+		// B/C: replace the old suffix with the new suffix from lo up.
+		if lo != math.MaxInt64 {
+			suffix := &RootWindow{Start: lo, End: math.MaxInt64}
+			if s.countGraph != nil {
+				b, err := mine(s.countGraph, suffix)
+				if err != nil {
+					s.markStaleLocked(err.Error())
+					return err
+				}
+				for i := range deltas {
+					deltas[i] -= b[i]
+				}
+			}
+			c, err := mine(newG, suffix)
+			if err != nil {
+				s.markStaleLocked(err.Error())
+				return err
+			}
+			for i := range deltas {
+				deltas[i] += c[i]
+			}
+		}
+		for i, q := range qs {
+			commits = append(commits, folded{q: q, count: deltas[i]})
+		}
+	}
+
+	// Every group folded cleanly: commit atomically.
+	for _, f := range commits {
+		f.q.count = f.count
+		f.q.stale = false
+		f.q.reason = ""
+	}
+	s.countGraph = newG
+	s.countCutoff = s.cutoff
+	s.pendingMin = math.MaxInt64
+	s.integratedSeq = s.lastSeq
+	s.opts.Obs.Counter("stream.integrations").Add(1)
+	return nil
+}
+
+func (s *Stream) markStaleLocked(reason string) {
+	for _, q := range s.queries {
+		q.stale = true
+		q.reason = reason
+	}
+	s.opts.Obs.Counter("stream.integrations_stale").Add(1)
+}
+
+// Register adds a standing query: motif's instance count in the live
+// graph, maintained incrementally from now on. The initial count is a
+// full mine of the current graph; a truncated mine refuses the
+// registration (a standing query must start exact).
+func (s *Stream) Register(ctx context.Context, name string, motif *Motif) (StandingCount, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return StandingCount{}, errors.New("mint: register on closed stream")
+	}
+	if name == "" {
+		return StandingCount{}, errors.New("mint: standing query needs a name")
+	}
+	if _, ok := s.queries[name]; ok {
+		return StandingCount{}, fmt.Errorf("mint: standing query %q already registered", name)
+	}
+	// Fold any pending edges first so the new query's baseline graph is
+	// the same countGraph every other query is committed against.
+	if err := s.integrateLocked(ctx); err != nil {
+		return StandingCount{}, fmt.Errorf("mint: cannot register %q while integration is failing: %w", name, err)
+	}
+	res, err := CountManyOpts(ctx, s.countGraph, []*Motif{motif}, BatchOptions{
+		Workers: s.opts.Workers,
+		Obs:     s.opts.Obs,
+		Chaos:   s.opts.Chaos,
+	}, s.opts.IntegrateBudget)
+	if err != nil {
+		return StandingCount{}, err
+	}
+	if res.Truncated || res.PerMotif[0].Truncated {
+		return StandingCount{}, fmt.Errorf("mint: initial mine for %q truncated (%v); not registering", name, res.StopReason)
+	}
+	q := &standingQuery{name: name, motif: motif, count: res.PerMotif[0].Matches}
+	s.queries[name] = q
+	s.opts.Obs.Gauge("stream.standing_queries").Set(int64(len(s.queries)))
+	return s.standingLocked(q), nil
+}
+
+// Unregister removes a standing query; unknown names are a no-op (false).
+func (s *Stream) Unregister(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.queries[name]
+	delete(s.queries, name)
+	s.opts.Obs.Gauge("stream.standing_queries").Set(int64(len(s.queries)))
+	return ok
+}
+
+// Refresh retries a failed integration now (no-op when counts are
+// current). Returns the first error if the fold still cannot commit.
+func (s *Stream) Refresh(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("mint: refresh on closed stream")
+	}
+	return s.integrateLocked(ctx)
+}
+
+func (s *Stream) standingLocked(q *standingQuery) StandingCount {
+	return StandingCount{
+		Name:   q.name,
+		Motif:  q.motif.Name,
+		Delta:  q.motif.Delta,
+		Count:  q.count,
+		Seq:    s.integratedSeq,
+		Stale:  q.stale,
+		Reason: q.reason,
+	}
+}
+
+// Standing returns the current standing-query counts, sorted by name.
+func (s *Stream) Standing() []StandingCount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StandingCount, 0, len(s.queries))
+	for _, q := range s.queries {
+		out = append(out, s.standingLocked(q))
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Graph returns an immutable snapshot of the live graph. The snapshot is
+// safe to mine concurrently with further appends (appends build new
+// graphs; returned ones are never mutated).
+func (s *Stream) Graph() (*Graph, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("mint: graph on closed stream")
+	}
+	return s.graphLocked()
+}
+
+// Info reports the stream's position for readiness and dataset-info
+// endpoints.
+type StreamInfo struct {
+	Seq         uint64    `json:"seq"`
+	Edges       int       `json:"edges"`
+	Cutoff      Timestamp `json:"cutoff"`
+	MaxTime     Timestamp `json:"max_time"`
+	Fingerprint string    `json:"fingerprint"`
+	Segments    int       `json:"segments"`
+}
+
+// Info returns the current stream position. The fingerprint covers the
+// live edge sequence and changes on every accepted append — it is the
+// identity the registry's stale-read guard checks.
+func (s *Stream) Info() StreamInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StreamInfo{
+		Seq:         s.lastSeq,
+		Edges:       len(s.edges),
+		Cutoff:      s.cutoff,
+		MaxTime:     s.maxTime,
+		Fingerprint: edgelog.EdgesFingerprint(s.edges),
+		Segments:    s.log.SegmentCount(),
+	}
+}
+
+// Close syncs and closes the underlying log. Appends fail afterwards;
+// previously returned graphs stay valid.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.log.Close()
+}
