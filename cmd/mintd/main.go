@@ -118,6 +118,8 @@ func main() {
 	ingestSync := flag.String("ingest-sync", "always", "WAL fsync policy: \"always\" (every append), \"none\" (OS flush), or N (every Nth append)")
 	ingestSegBytes := flag.Int64("ingest-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 4MiB)")
 	ingestSnapEvery := flag.Int("ingest-snapshot-every", 0, "WAL snapshot + compaction cadence in accepted appends (0 = default 256, <0 = never)")
+	ingestMaxBatch := flag.Int("ingest-max-batch", 0, "max edges per POST /v1/edges batch (0 = default 1Mi edges)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "max JSON request body size in bytes on every endpoint (0 = default 64MiB)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight requests after SIGTERM before their contexts are canceled")
 	reportPath := flag.String("report", "", "write the end-of-life RunReport JSON here on drain")
 	coordinator := flag.Bool("coordinator", false, "run as a scatter-gather coordinator over -shards instead of mining locally")
@@ -230,6 +232,7 @@ func main() {
 				Cooldown:  *breakerCooldown,
 			},
 			EnumerateMaxLimit: *enumLimit,
+			MaxBodyBytes:      *maxBodyBytes,
 			CheckpointDir:     *checkpointDir,
 			Ingest: server.IngestConfig{
 				Dir:           *ingestDir,
@@ -238,6 +241,7 @@ func main() {
 				SyncEvery:     syncEvery,
 				SegmentBytes:  *ingestSegBytes,
 				SnapshotEvery: *ingestSnapEvery,
+				MaxBatchEdges: *ingestMaxBatch,
 			},
 			Obs:           reg,
 			AccessLog:     alogW,

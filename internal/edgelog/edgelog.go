@@ -357,6 +357,9 @@ func (l *Log) openFreshSegmentLocked() error {
 	}
 	if err := atomicio.SyncDir(l.dir); err != nil {
 		f.Close()
+		// Remove the orphan so a retry's O_EXCL create does not hit
+		// EEXIST forever.
+		os.Remove(filepath.Join(l.dir, seg.name))
 		return err
 	}
 	l.f = f
@@ -369,20 +372,31 @@ func (l *Log) openFreshSegmentLocked() error {
 
 // rotateLocked seals the active segment (final sync) and opens a fresh
 // one. Called before an append that would overflow SegmentBytes, so a
-// rotation failure fails that append cleanly with no bytes written.
+// rotation failure fails that append cleanly with no bytes written. If
+// the old segment was sealed but the fresh one could not be opened,
+// l.f is left nil and the next append re-enters here to retry just the
+// open — a transient create/sync failure must not wedge the log behind
+// a closed file handle.
 func (l *Log) rotateLocked() error {
 	if err := l.opts.Chaos.Fire("edgelog.rotate", int64(l.nextSeq), 0); err != nil {
 		return err
 	}
-	if err := l.f.Sync(); err != nil {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		err := l.f.Close()
+		l.f = nil
+		l.unsynced = 0
+		if err != nil {
+			return err
+		}
+	}
+	if err := l.openFreshSegmentLocked(); err != nil {
 		return err
 	}
-	if err := l.f.Close(); err != nil {
-		return err
-	}
-	l.unsynced = 0
 	l.opts.Obs.Counter("edgelog.rotations").Add(1)
-	return l.openFreshSegmentLocked()
+	return nil
 }
 
 // Append durably records one batch. clientID/clientSeq implement
@@ -407,6 +421,15 @@ func (l *Log) Append(clientID string, clientSeq uint64, edges []temporal.Edge) (
 	if clientID != "" && len(clientID) > 1<<15 {
 		return Record{}, false, fmt.Errorf("edgelog: client id of %d bytes exceeds the 32KiB limit", len(clientID))
 	}
+	// The replay decoder refuses payloads over maxRecordLen, so an
+	// oversize batch must be rejected here — acking it would durably
+	// write a record that can never replay (the acked-means-durable
+	// contract would break on the next restart).
+	if n := encodedPayloadLen(len(clientID), len(edges)); n > maxRecordLen {
+		return Record{}, false, fmt.Errorf(
+			"%w: batch of %d edges encodes to a %d-byte record, over the %d-byte cap (split the batch; max %d edges)",
+			ErrInvalidEdge, len(edges), n, int64(maxRecordLen), MaxBatchEdges)
+	}
 	if clientID != "" && clientSeq <= l.clients[clientID] {
 		l.opts.Obs.Counter("edgelog.append_dup").Add(1)
 		return Record{}, true, nil
@@ -423,7 +446,9 @@ func (l *Log) Append(clientID string, clientSeq uint64, edges []temporal.Edge) (
 		return fail(err)
 	}
 
-	if l.size >= l.opts.SegmentBytes {
+	// l.f == nil means a previous rotation sealed the old segment but
+	// failed to open a fresh one; rotateLocked retries just the open.
+	if l.f == nil || l.size >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return fail(err)
 		}

@@ -109,6 +109,43 @@ func TestIdempotentClientRetry(t *testing.T) {
 	}
 }
 
+// TestAppendRejectsOversizeBatch pins the acked-means-durable contract
+// against the decoder's record cap: a batch that would encode past
+// maxRecordLen must be refused at Append time (the replay decoder
+// rejects such payloads, so acking one would durably write a record
+// that can never replay — silent loss on the next restart).
+func TestAppendRejectsOversizeBatch(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	defer l.Close()
+
+	// Zero-valued edges pass endpoint validation; only the count is over.
+	huge := make([]temporal.Edge, MaxBatchEdges+1)
+	_, dup, err := l.Append("cli", 1, huge)
+	if !errors.Is(err, ErrInvalidEdge) || dup {
+		t.Fatalf("oversize append: dup=%v err=%v, want ErrInvalidEdge", dup, err)
+	}
+	if l.NextSeq() != 1 {
+		t.Fatalf("oversize append advanced the log: next seq %d", l.NextSeq())
+	}
+	if l.ClientSeq("cli") != 0 {
+		t.Fatalf("oversize append moved the client ledger: %d", l.ClientSeq("cli"))
+	}
+
+	// The exact cap is appendable and replays.
+	full := make([]temporal.Edge, MaxBatchEdges)
+	if _, dup, err := l.Append("", 0, full); err != nil || dup {
+		t.Fatalf("cap-sized append: dup=%v err=%v", dup, err)
+	}
+	l.Close()
+	l2, res := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if res.Truncated || len(res.Records) != 1 || len(res.Records[0].Edges) != MaxBatchEdges {
+		t.Fatalf("cap-sized record did not replay cleanly: truncated=%v records=%d",
+			res.Truncated, len(res.Records))
+	}
+}
+
 func TestTornTailTruncation(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := mustOpen(t, dir, Options{})

@@ -36,10 +36,29 @@ const (
 	frameLen   = 8 // length + crc
 	// maxRecordLen caps a single record's payload so a corrupt length
 	// field cannot drive a multi-GB allocation before the CRC check runs.
+	// Append enforces the same cap on the way in: a batch that would
+	// encode past it is rejected before any bytes are written, so every
+	// acked record is replayable.
 	maxRecordLen = 1 << 26
+
+	// recordOverhead is the fixed payload cost of a record before the
+	// client id and edges: kind + seq + clientIDLen + clientSeq + edgeCount.
+	recordOverhead = 1 + 8 + 2 + 8 + 4
 
 	kindEdges = 1
 )
+
+// MaxBatchEdges is the largest edge batch one record can carry (with an
+// empty client id); Append rejects anything that would encode past
+// maxRecordLen, because the replay decoder refuses such records.
+const MaxBatchEdges = (maxRecordLen - recordOverhead) / 16
+
+// encodedPayloadLen mirrors encodeRecord's layout: the payload size of a
+// record with the given client id and edge count, in int64 so callers
+// can compare against maxRecordLen without overflow.
+func encodedPayloadLen(clientIDLen, edgeCount int) int64 {
+	return recordOverhead + int64(clientIDLen) + 16*int64(edgeCount)
+}
 
 // Record is one durable append: a batch of edges plus the client identity
 // that made idempotent retry possible.
@@ -76,7 +95,7 @@ func (e *CorruptError) Error() string {
 // encodeRecord appends the framed record to buf and returns the extended
 // slice. Encoding cannot fail: limits are enforced at Append time.
 func encodeRecord(buf []byte, r Record) []byte {
-	payloadLen := 1 + 8 + 2 + len(r.ClientID) + 8 + 4 + 16*len(r.Edges)
+	payloadLen := encodedPayloadLen(len(r.ClientID), len(r.Edges))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
 	crcAt := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // crc placeholder

@@ -33,7 +33,13 @@ type Snapshot struct {
 	Seq uint64 `json:"seq"`
 	// Cutoff is the sliding-window eviction cutoff: every edge with
 	// Time < Cutoff has been evicted, and Edges holds none of them.
-	Cutoff temporal.Timestamp `json:"cutoff"`
+	// HasCutoff distinguishes "cutoff is the zero timestamp" from "no
+	// eviction has happened" — timestamps may be negative, so the zero
+	// value of Cutoff alone cannot. (Snapshots written before the field
+	// existed decode with HasCutoff false; readers fall back to
+	// Cutoff != 0 for those.)
+	Cutoff    temporal.Timestamp `json:"cutoff"`
+	HasCutoff bool               `json:"has_cutoff,omitempty"`
 	// Edges is the live edge set in append order (NOT time-sorted; graph
 	// construction sorts stably, so append order is the tie-break and
 	// must be preserved for bit-identical rebuilds).

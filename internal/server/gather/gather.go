@@ -929,8 +929,7 @@ func (c *Coordinator) fanoutCount(ctx context.Context, rt *obs.ReqTrace, req *se
 
 func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 	var req server.CountRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+	if !server.DecodeBody(w, r, 0, &req) {
 		return
 	}
 	if req.Supervised {
@@ -1015,8 +1014,7 @@ func parseMergedToken(tok string, n int) (int, string, error) {
 
 func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	var req server.EnumerateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+	if !server.DecodeBody(w, r, 0, &req) {
 		return
 	}
 	if c.cfg.Sliced {
@@ -1158,8 +1156,7 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 // bound, never a silently short fingerprint.
 func (c *Coordinator) handleProfile(w http.ResponseWriter, r *http.Request) {
 	var req server.ProfileRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+	if !server.DecodeBody(w, r, 0, &req) {
 		return
 	}
 	ctx, cleanup := c.requestCtx(r)
@@ -1238,8 +1235,7 @@ func (c *Coordinator) datasetEdges(ctx context.Context, dataset string) int {
 // full-data mode; sliced deployments have no single identity to report.
 func (c *Coordinator) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
 	var req server.DatasetInfoRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+	if !server.DecodeBody(w, r, 0, &req) {
 		return
 	}
 	if c.cfg.Sliced {

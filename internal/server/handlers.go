@@ -291,6 +291,37 @@ func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
 	writeJSON(w, status, ErrorResponse{Error: msg, RetryAfterSeconds: retryAfter})
 }
 
+// DefaultMaxBodyBytes bounds a JSON request body when Config.MaxBodyBytes
+// is zero: generous enough for large ingest batches, small enough that a
+// single request cannot drive unbounded allocation.
+const DefaultMaxBodyBytes = 64 << 20
+
+// DecodeBody decodes one JSON request body through http.MaxBytesReader
+// (limit <= 0 means DefaultMaxBodyBytes). On failure it writes the error
+// response — 413 for an oversized body, 400 otherwise — and returns
+// false. Every body-carrying handler must come through here: it is the
+// server's request-size bound.
+func DecodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	if limit <= 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(v); err != nil {
+		var big *http.MaxBytesError
+		if errors.As(err, &big) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", big.Limit), 0)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return false
+	}
+	return true
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	return DecodeBody(w, r, s.cfg.MaxBodyBytes, v)
+}
+
 // admit runs the admission ladder and writes the shed/timeout responses
 // itself; a nil release means the response is already written.
 func (s *Server) admit(w http.ResponseWriter, ctx context.Context, priority string, endpoint string) (func(), bool) {
@@ -409,8 +440,7 @@ func (s *Server) budgetFor(ctx context.Context, timeoutMS, maxMatches, maxNodes 
 
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	var req CountRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	ctx, cleanup := s.requestCtx(r)
@@ -723,8 +753,7 @@ func (s *Server) handleCountSupervised(w http.ResponseWriter, ctx context.Contex
 
 func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	var req EnumerateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Limit <= 0 {
@@ -813,8 +842,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	var req ProfileRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	ctx, cleanup := s.requestCtx(r)
@@ -873,8 +901,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 // and must stay answerable under load so coordinators can plan.
 func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
 	var req DatasetInfoRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Dataset == "" {

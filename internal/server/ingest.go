@@ -12,13 +12,14 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"time"
 
 	"mint"
+	"mint/internal/edgelog"
 	"mint/internal/obs"
 	"mint/internal/server/registry"
 )
@@ -50,6 +51,29 @@ type IngestConfig struct {
 	// SnapshotEvery snapshots + compacts the WAL after this many
 	// accepted appends (0 = default 256, < 0 disables).
 	SnapshotEvery int
+	// MaxBatchEdges caps one POST /v1/edges batch (0 = default
+	// DefaultMaxBatchEdges). Oversized batches answer 400; the cap is
+	// clamped to the WAL's own record limit (edgelog.MaxBatchEdges) so
+	// an accepted batch always fits one replayable record.
+	MaxBatchEdges int
+}
+
+// DefaultMaxBatchEdges is the per-request edge-batch cap when
+// IngestConfig.MaxBatchEdges is zero. Well under the WAL record limit:
+// batches this size keep append latency and allocation bounded, and a
+// client with more edges just splits them.
+const DefaultMaxBatchEdges = 1 << 20
+
+// maxBatch resolves the effective batch cap.
+func (c IngestConfig) maxBatch() int {
+	n := c.MaxBatchEdges
+	if n <= 0 {
+		n = DefaultMaxBatchEdges
+	}
+	if n > edgelog.MaxBatchEdges {
+		n = edgelog.MaxBatchEdges
+	}
+	return n
 }
 
 // Enabled reports whether the config turns ingestion on.
@@ -264,12 +288,16 @@ func (s *Server) writeLiveError(w http.ResponseWriter, err error) {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Edges) == 0 {
 		writeError(w, http.StatusBadRequest, "edges are required", 0)
+		return
+	}
+	if max := s.cfg.Ingest.maxBatch(); len(req.Edges) > max {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d edges exceeds the %d-edge limit (split the batch)", len(req.Edges), max), 0)
 		return
 	}
 	ctx, cleanup := s.requestCtx(r)
@@ -339,8 +367,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStandingRegister(w http.ResponseWriter, r *http.Request) {
 	var req StandingRegisterRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Name == "" {

@@ -330,3 +330,47 @@ func TestIngestValidation(t *testing.T) {
 		t.Fatalf("append without ingest: status %d, want 400", code)
 	}
 }
+
+// TestIngestRequestLimits pins the server's request-size bounds: a batch
+// over the edge cap is a 400, a body over MaxBodyBytes is a 413, and a
+// request inside both limits still lands. Without these, one client
+// could drive unbounded allocation — or ack a batch too large for the
+// WAL's record cap to ever replay.
+func TestIngestRequestLimits(t *testing.T) {
+	_, ts := newIngestServer(t, t.TempDir(), func(cfg *Config) {
+		cfg.MaxBodyBytes = 4096
+		cfg.Ingest.MaxBatchEdges = 2
+	})
+
+	code, _ := postJSON(t, ts.URL+"/v1/edges", IngestRequest{
+		Edges: []IngestEdge{{Src: 1, Dst: 2, Time: 1}, {Src: 2, Dst: 3, Time: 2}, {Src: 3, Dst: 4, Time: 3}},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("over-cap batch: status %d, want 400", code)
+	}
+
+	big := IngestRequest{}
+	for i := 0; i < 500; i++ {
+		big.Edges = append(big.Edges, IngestEdge{Src: int64(i), Dst: int64(i + 1), Time: int64(i)})
+	}
+	code, _ = postJSON(t, ts.URL+"/v1/edges", big, nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", code)
+	}
+
+	// The mining endpoints share the body bound.
+	code, _ = postJSON(t, ts.URL+"/v1/count", CountRequest{
+		Dataset: "live", Motif: "M1", MotifSpec: string(make([]byte, 8192)),
+	}, nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized count body: status %d, want 413", code)
+	}
+
+	var out IngestResponse
+	code, _ = postJSON(t, ts.URL+"/v1/edges", IngestRequest{
+		Edges: []IngestEdge{{Src: 1, Dst: 2, Time: 1}, {Src: 2, Dst: 3, Time: 2}},
+	}, &out)
+	if code != http.StatusOK || out.Accepted != 2 {
+		t.Fatalf("in-limit batch: status %d resp %+v", code, out)
+	}
+}

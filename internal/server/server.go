@@ -60,6 +60,9 @@ type Config struct {
 	Breaker BreakerConfig
 	// EnumerateMaxLimit caps one enumerate page (0 = 1000).
 	EnumerateMaxLimit int
+	// MaxBodyBytes caps every JSON request body (http.MaxBytesReader);
+	// 0 means DefaultMaxBodyBytes. Oversized bodies answer 413.
+	MaxBodyBytes int64
 	// CheckpointDir enables supervised counting: requests with
 	// "supervised": true checkpoint under this directory and drain can
 	// cut them short without losing completed chunks.

@@ -125,11 +125,18 @@ type Stream struct {
 	cutoff  Timestamp
 	hasCut  bool
 	graph   *Graph // built lazily from edges; nil when dirty
+	fp      string // cached EdgesFingerprint; valid when fpOK
+	fpOK    bool
 	lastSeq uint64 // last WAL seq applied to edges
 
-	queries     map[string]*standingQuery
-	countGraph  *Graph // baseline of the committed standing counts
+	queries    map[string]*standingQuery
+	countGraph *Graph // baseline of the committed standing counts
+	// countCutoff/hasCountCut mirror cutoff/hasCut at the last committed
+	// integration. hasCountCut matters: a baseline with no cutoff at all
+	// is rooted from the beginning of time, not from the zero timestamp
+	// (live sets may hold negative timestamps).
 	countCutoff Timestamp
+	hasCountCut bool
 	// pendingMin is the minimum timestamp among edges appended since the
 	// last committed integration; math.MaxInt64 means none pending.
 	pendingMin    Timestamp
@@ -169,7 +176,9 @@ func OpenStream(dir string, opts StreamOptions) (*Stream, StreamRecovery, error)
 	if snap := replay.Snapshot; snap != nil {
 		rec.SnapshotSeq = snap.Seq
 		s.lastSeq = snap.Seq
-		if snap.Cutoff != 0 {
+		// Older snapshots predate HasCutoff; for those, a non-zero cutoff
+		// is the only signal.
+		if snap.HasCutoff || snap.Cutoff != 0 {
 			s.cutoff, s.hasCut = snap.Cutoff, true
 		}
 		for _, e := range snap.Edges {
@@ -189,6 +198,7 @@ func OpenStream(dir string, opts StreamOptions) (*Stream, StreamRecovery, error)
 	}
 	s.countGraph = g
 	s.countCutoff = s.cutoff
+	s.hasCountCut = s.hasCut
 	s.pendingMin = math.MaxInt64
 	s.integratedSeq = s.lastSeq
 	s.opts.Obs.Gauge("stream.edges").Set(int64(len(s.edges)))
@@ -239,6 +249,7 @@ func (s *Stream) applyLocked(seq uint64, edges []Edge) (accepted, evicted int) {
 		}
 	}
 	s.graph = nil
+	s.fpOK = false
 	s.lastSeq = seq
 	s.opts.Obs.Gauge("stream.edges").Set(int64(len(s.edges)))
 	if evicted > 0 {
@@ -318,9 +329,10 @@ func (s *Stream) Append(ctx context.Context, clientID string, clientSeq uint64, 
 // snapshotLocked persists the live state and compacts the WAL.
 func (s *Stream) snapshotLocked() error {
 	snap := &edgelog.Snapshot{
-		Seq:    s.lastSeq,
-		Edges:  append([]Edge(nil), s.edges...),
-		Cutoff: s.cutoff,
+		Seq:       s.lastSeq,
+		Edges:     append([]Edge(nil), s.edges...),
+		Cutoff:    s.cutoff,
+		HasCutoff: s.hasCut,
 	}
 	return s.log.WriteSnapshot(snap)
 }
@@ -354,11 +366,13 @@ func (s *Stream) integrateLocked(ctx context.Context) error {
 		}
 		s.countGraph = g
 		s.countCutoff = s.cutoff
+		s.hasCountCut = s.hasCut
 		s.pendingMin = math.MaxInt64
 		s.integratedSeq = s.lastSeq
 		return nil
 	}
-	if s.pendingMin == math.MaxInt64 && s.cutoff == s.countCutoff && s.integratedSeq == s.lastSeq {
+	if s.pendingMin == math.MaxInt64 && s.hasCut == s.hasCountCut &&
+		s.cutoff == s.countCutoff && s.integratedSeq == s.lastSeq {
 		return nil // nothing to fold
 	}
 	newG, err := s.graphLocked()
@@ -433,9 +447,18 @@ func (s *Stream) integrateLocked(ctx context.Context) error {
 			return out, nil
 		}
 
-		// A: instances of the old graph rooted in the evicted window.
-		if s.countGraph != nil && s.cutoff > s.countCutoff {
-			a, err := mine(s.countGraph, &RootWindow{Start: s.countCutoff, End: s.cutoff})
+		// A: instances of the old graph rooted in the evicted window. When
+		// the baseline had no cutoff (hasCountCut false) that window opens
+		// at the beginning of time — not at the zero timestamp, which
+		// would miss (or, for a negative cutoff, skip) negative-rooted
+		// instances and silently commit wrong counts.
+		cutAdvanced := s.hasCut && (!s.hasCountCut || s.cutoff > s.countCutoff)
+		if s.countGraph != nil && cutAdvanced {
+			evictStart := Timestamp(math.MinInt64)
+			if s.hasCountCut {
+				evictStart = s.countCutoff
+			}
+			a, err := mine(s.countGraph, &RootWindow{Start: evictStart, End: s.cutoff})
 			if err != nil {
 				s.markStaleLocked(err.Error())
 				return err
@@ -479,6 +502,7 @@ func (s *Stream) integrateLocked(ctx context.Context) error {
 	}
 	s.countGraph = newG
 	s.countCutoff = s.cutoff
+	s.hasCountCut = s.hasCut
 	s.pendingMin = math.MaxInt64
 	s.integratedSeq = s.lastSeq
 	s.opts.Obs.Counter("stream.integrations").Add(1)
@@ -605,16 +629,23 @@ type StreamInfo struct {
 
 // Info returns the current stream position. The fingerprint covers the
 // live edge sequence and changes on every accepted append — it is the
-// identity the registry's stale-read guard checks.
+// identity the registry's stale-read guard checks. It is cached per
+// applied append (Info runs on every ack, /readyz probe, and standing
+// list; an O(edges) hash under the stream mutex on each of those would
+// serialize ingest).
 func (s *Stream) Info() StreamInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.fpOK {
+		s.fp = edgelog.EdgesFingerprint(s.edges)
+		s.fpOK = true
+	}
 	return StreamInfo{
 		Seq:         s.lastSeq,
 		Edges:       len(s.edges),
 		Cutoff:      s.cutoff,
 		MaxTime:     s.maxTime,
-		Fingerprint: edgelog.EdgesFingerprint(s.edges),
+		Fingerprint: s.fp,
 		Segments:    s.log.SegmentCount(),
 	}
 }

@@ -206,6 +206,77 @@ func TestStreamStandingQueryWithEviction(t *testing.T) {
 	}
 }
 
+// TestStreamStandingQueryEvictionNegativeTimestamps pins the eviction
+// fold for live sets that hold negative timestamps (the wire accepts any
+// int64 time). The committed baseline starts with no cutoff at all, so
+// the first eviction's "what left the window" mine must be rooted from
+// the beginning of time — rooting it at the zero timestamp would skip
+// every negative-rooted instance and silently commit wrong counts.
+func TestStreamStandingQueryEvictionNegativeTimestamps(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenStream(dir, StreamOptions{Workers: 2, Window: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m := M1(50)
+	// Batch 1 lives entirely below zero and forms M1 (3-cycle) instances
+	// there.
+	neg := []Edge{
+		{Src: 1, Dst: 2, Time: -90}, {Src: 2, Dst: 3, Time: -80}, {Src: 3, Dst: 1, Time: -70},
+		{Src: 4, Dst: 5, Time: -60}, {Src: 5, Dst: 6, Time: -55}, {Src: 6, Dst: 4, Time: -50},
+	}
+	streamAppend(t, s, 1, neg)
+	reg, err := s.Register(context.Background(), "q", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveNeg, _ := s.Graph()
+	if want := Count(liveNeg, m); reg.Count != want || want == 0 {
+		t.Fatalf("negative-time baseline: standing=%d full=%d (want non-zero)", reg.Count, want)
+	}
+	// Batch 2 advances the watermark so the cutoff lands at -30: still
+	// negative, and everything from batch 1 evicts. The standing count
+	// must track a cold mine of the post-eviction live graph exactly.
+	pos := []Edge{
+		{Src: 7, Dst: 8, Time: 40}, {Src: 8, Dst: 9, Time: 55}, {Src: 9, Dst: 7, Time: 70},
+	}
+	res := streamAppend(t, s, 2, pos)
+	if res.Evicted != len(neg) {
+		t.Fatalf("evicted %d edges, want %d (cutoff %d)", res.Evicted, len(neg), s.Info().Cutoff)
+	}
+	live, _ := s.Graph()
+	sc := s.Standing()[0]
+	if sc.Stale {
+		t.Fatalf("stale: %s", sc.Reason)
+	}
+	if want := Count(live, m); sc.Count != want {
+		t.Fatalf("after negative-window eviction: standing=%d full=%d (cutoff %d)",
+			sc.Count, want, s.Info().Cutoff)
+	}
+}
+
+// TestStreamInfoFingerprintCached pins the fingerprint cache: Info on an
+// unchanged stream returns the identical fingerprint without rehashing
+// behavior changes, and an accepted append invalidates it.
+func TestStreamInfoFingerprintCached(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenStream(dir, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	streamAppend(t, s, 1, []Edge{{Src: 1, Dst: 2, Time: 10}})
+	a, b := s.Info().Fingerprint, s.Info().Fingerprint
+	if a == "" || a != b {
+		t.Fatalf("fingerprint unstable across idle Infos: %q vs %q", a, b)
+	}
+	streamAppend(t, s, 2, []Edge{{Src: 2, Dst: 3, Time: 20}})
+	if c := s.Info().Fingerprint; c == a {
+		t.Fatalf("fingerprint did not change after an accepted append")
+	}
+}
+
 func TestStreamStaleOnTruncatedIntegration(t *testing.T) {
 	dir := t.TempDir()
 	// A 1-node budget: the register-time mine on the empty graph passes
