@@ -31,7 +31,7 @@ race:
 # binary-level drain, coordinator, and SIGKILL-ingest-recovery
 # end-to-end tests.
 serve-check:
-	$(GO) test -race -count=1 ./internal/server/... ./internal/shard/ ./internal/edgelog/ ./cmd/mintd/
+	$(GO) test -race -count=1 ./internal/server/... ./internal/shard/ ./internal/edgelog/ ./internal/replica/ ./cmd/mintd/
 
 # Short fuzz passes (native Go fuzzing): the SNAP loader, the motif
 # parser round trip, the co-mining planner (arbitrary motif lists

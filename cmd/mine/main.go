@@ -42,6 +42,7 @@ import (
 	"mint/internal/comine"
 	"mint/internal/cyclemine"
 	"mint/internal/datasets"
+	"mint/internal/edgelog"
 	"mint/internal/faultinject"
 	"mint/internal/gpumodel"
 	"mint/internal/mackey"
@@ -58,6 +59,7 @@ func main() {
 	datasetName := flag.String("dataset", "", "dataset name or abbreviation (em/mo/ub/su/wt/so)")
 	graphPath := flag.String("graph", "", "SNAP-format temporal graph file (overrides -dataset)")
 	walDir := flag.String("wal", "", "mine the live graph of a streaming-ingest WAL directory (see mintd -ingest-dir); overrides -graph/-dataset")
+	walVerify := flag.Bool("wal-verify", false, "read-only WAL fsck of -wal: per-segment CRC status, torn tail, snapshot fingerprint, epoch; exits non-zero on corruption (no mining)")
 	scale := flag.Float64("scale", 0.01, "synthetic dataset scale (0,1]")
 	motifName := flag.String("motif", "M1", "evaluation motif: M1..M4")
 	motifSpec := flag.String("motifspec", "", "explicit motif, e.g. \"A->B;B->C;C->A\"")
@@ -76,6 +78,14 @@ func main() {
 	reportPath := flag.String("report", "", "write the end-of-run RunReport JSON here")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event dump of the run's spans here")
 	flag.Parse()
+
+	if *walVerify {
+		if *walDir == "" {
+			fatal(fmt.Errorf("-wal-verify needs -wal=<dir>"))
+		}
+		verifyWAL(*walDir)
+		return
+	}
 
 	// SIGINT/SIGTERM cancel the mining context: interrupted runs unwind
 	// cooperatively and print their partial results below.
@@ -469,6 +479,37 @@ func loadWAL(dir string, plan *faultinject.Plan) (*temporal.Graph, error) {
 		fmt.Printf("wal: NOTE: torn tail truncated during replay: %s\n", rec.Detail)
 	}
 	return s.Graph()
+}
+
+// verifyWAL is the -wal-verify mode: a read-only fsck of a streaming
+// WAL directory. It never repairs anything — a torn tail is reported,
+// not truncated — so it is safe to run against a directory another
+// process owns. Exits non-zero when the log would not replay cleanly.
+func verifyWAL(dir string) {
+	rep, err := edgelog.Verify(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wal-verify: %s\n", rep.Dir)
+	if rep.HasSnapshot {
+		fmt.Printf("  snapshot: seq %d, %d edges, %d standing queries, fingerprint %s\n",
+			rep.SnapshotSeq, rep.SnapshotEdges, rep.SnapshotStanding, rep.SnapshotFingerprint)
+	} else {
+		fmt.Println("  snapshot: none")
+	}
+	fmt.Printf("  epoch: %d, next seq: %d\n", rep.Epoch, rep.NextSeq)
+	for _, seg := range rep.Segments {
+		fmt.Printf("  segment %s: first seq %d, %d records, %d bytes — %s\n",
+			seg.Name, seg.FirstSeq, seg.Records, seg.Bytes, seg.Status)
+	}
+	for _, p := range rep.Problems {
+		fmt.Printf("  PROBLEM: %s\n", p)
+	}
+	if !rep.OK {
+		fmt.Println("wal-verify: FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("wal-verify: OK")
 }
 
 func loadGraph(path, dataset string, scale float64) (*temporal.Graph, error) {

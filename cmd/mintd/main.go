@@ -119,11 +119,12 @@ func main() {
 	ingestSegBytes := flag.Int64("ingest-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 4MiB)")
 	ingestSnapEvery := flag.Int("ingest-snapshot-every", 0, "WAL snapshot + compaction cadence in accepted appends (0 = default 256, <0 = never)")
 	ingestMaxBatch := flag.Int("ingest-max-batch", 0, "max edges per POST /v1/edges batch (0 = default 1Mi edges)")
+	follow := flag.String("follow", "", "run as a hot standby of the primary mintd at this base URL (requires -ingest-dir): WAL records are replicated into the local log, writes answer 409, /readyz waits for fingerprint-verified catch-up, POST /v1/promote flips to primary")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "max JSON request body size in bytes on every endpoint (0 = default 64MiB)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight requests after SIGTERM before their contexts are canceled")
 	reportPath := flag.String("report", "", "write the end-of-life RunReport JSON here on drain")
 	coordinator := flag.Bool("coordinator", false, "run as a scatter-gather coordinator over -shards instead of mining locally")
-	shards := flag.String("shards", "", "comma-separated worker base URLs for -coordinator mode")
+	shards := flag.String("shards", "", "comma-separated worker base URLs for -coordinator mode; an entry may be a '|'-separated replica set (\"http://a1|http://a2\") the coordinator fails over within")
 	shardAttempts := flag.Int("shard-attempts", 3, "coordinator: max attempts per shard call")
 	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: duplicate a shard call after this long without a response (0 = no hedging)")
 	quorum := flag.Int("quorum", 0, "coordinator: healthy shards readyz requires (0 = majority)")
@@ -180,6 +181,9 @@ func main() {
 		if *ingestDir != "" {
 			fatal(fmt.Errorf("-ingest-dir is a worker feature; the coordinator serves no local datasets — set it on a worker"))
 		}
+		if *follow != "" {
+			fatal(fmt.Errorf("-follow is a worker feature; the coordinator replicates nothing — set it on a standby worker"))
+		}
 		c, err := gather.New(gather.Config{
 			Shards:      urls,
 			MaxAttempts: *shardAttempts,
@@ -212,6 +216,9 @@ func main() {
 		fmt.Printf("mintd: coordinator over %d shards: %s\n", len(urls), strings.Join(urls, ", "))
 		srv = c
 	} else {
+		if *follow != "" && *ingestDir == "" {
+			fatal(fmt.Errorf("-follow needs -ingest-dir: the standby replays the primary's records into its OWN crash-safe WAL"))
+		}
 		cfg := server.Config{
 			DataDir:          *dataDir,
 			Scale:            *scale,
@@ -242,6 +249,7 @@ func main() {
 				SegmentBytes:  *ingestSegBytes,
 				SnapshotEvery: *ingestSnapEvery,
 				MaxBatchEdges: *ingestMaxBatch,
+				Follow:        strings.TrimRight(*follow, "/"),
 			},
 			Obs:           reg,
 			AccessLog:     alogW,
@@ -266,6 +274,9 @@ func main() {
 					cfg.Ingest.Name(), rec.Records, rec.SnapshotSeq, *ingestDir)
 				if rec.Truncated {
 					fmt.Printf("mintd: ingest: WARNING: torn WAL tail truncated during replay: %s\n", rec.Detail)
+				}
+				if cfg.Ingest.Follow != "" {
+					fmt.Printf("mintd: replica: following %s (reads gate on catch-up; POST /v1/promote to take over)\n", cfg.Ingest.Follow)
 				}
 			}()
 		}

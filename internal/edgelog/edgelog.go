@@ -64,6 +64,17 @@ type Options struct {
 	Chaos *faultinject.Plan
 	// Obs receives edgelog.* counters and gauges (nil-safe).
 	Obs *obs.Registry
+	// Progress, when non-nil, is called after each segment replayed by
+	// Open, so a slow startup replay is distinguishable from a stuck one.
+	Progress func(ReplayProgress)
+}
+
+// ReplayProgress is a point-in-time report of Open's segment replay.
+type ReplayProgress struct {
+	SegmentsDone  int   `json:"segments_done"`
+	SegmentsTotal int   `json:"segments_total"`
+	Records       int64 `json:"records"`
+	Bytes         int64 `json:"bytes"`
 }
 
 // SyncNever disables per-append fsync entirely.
@@ -108,6 +119,7 @@ type Log struct {
 	active   segment
 	size     int64
 	nextSeq  uint64
+	epoch    uint64
 	unsynced int
 	broken   bool
 	closed   bool
@@ -115,6 +127,12 @@ type Log struct {
 	clients  map[string]uint64
 	attempts map[uint64]int // chaos retry ordinals per record seq
 	buf      []byte
+	// activeSynced is the durable (fsynced) byte length of the active
+	// segment: WAL shipping reads no further, so a record never reaches
+	// a follower before it would survive the primary's own crash.
+	// SyncNever tracks the written length instead — that mode is
+	// explicitly non-durable.
+	activeSynced int64
 }
 
 // ReplayResult is what Open recovered from disk: the latest snapshot (nil
@@ -174,8 +192,12 @@ func Open(dir string, opts Options) (*Log, ReplayResult, error) {
 	}
 	res.Snapshot = snap
 	l.nextSeq = 1
+	l.epoch = 1
 	if snap != nil {
 		l.nextSeq = snap.Seq + 1
+		if snap.Epoch > 0 {
+			l.epoch = snap.Epoch
+		}
 		for id, cs := range snap.Clients {
 			l.clients[id] = cs
 		}
@@ -192,13 +214,51 @@ func Open(dir string, opts Options) (*Log, ReplayResult, error) {
 	}
 	sort.Slice(l.segments, func(i, j int) bool { return l.segments[i].firstSeq < l.segments[j].firstSeq })
 
+	var replayedBytes int64
 	for i, seg := range l.segments {
 		if err := opts.Chaos.Fire("edgelog.replay", int64(i), 0); err != nil {
 			return nil, res, err
 		}
 		last := i == len(l.segments)-1
-		if err := l.replaySegment(seg, last, &res); err != nil {
+		n, err := l.replaySegment(seg, last, &res)
+		if err != nil {
 			return nil, res, err
+		}
+		replayedBytes += n
+		if opts.Progress != nil {
+			opts.Progress(ReplayProgress{
+				SegmentsDone:  i + 1,
+				SegmentsTotal: len(l.segments),
+				Records:       int64(len(res.Records)),
+				Bytes:         replayedBytes,
+			})
+		}
+	}
+
+	// A crash between snapshot write and segment removal leaves segments
+	// the snapshot fully covers. Replay skipped their records; finish the
+	// interrupted compaction now (the snapshot is durable) instead of
+	// re-skipping them on every future open.
+	if snap != nil && len(l.segments) > 1 {
+		kept := l.segments[:0]
+		removed := 0
+		for i, seg := range l.segments {
+			covered := i+1 < len(l.segments) && l.segments[i+1].firstSeq <= snap.Seq+1
+			if covered {
+				if err := os.Remove(filepath.Join(dir, seg.name)); err != nil {
+					return nil, res, err
+				}
+				removed++
+				continue
+			}
+			kept = append(kept, seg)
+		}
+		l.segments = kept
+		if removed > 0 {
+			if err := atomicio.SyncDir(dir); err != nil {
+				return nil, res, err
+			}
+			opts.Obs.Counter("edgelog.open_compact_deleted").Add(int64(removed))
 		}
 	}
 
@@ -219,6 +279,9 @@ func Open(dir string, opts Options) (*Log, ReplayResult, error) {
 			return nil, res, err
 		}
 		l.f = f
+		// Everything replay validated is on disk and survived whatever
+		// ended the previous process; treat it as durable for shipping.
+		l.activeSynced = l.size
 	}
 
 	l.obsGauges()
@@ -234,11 +297,12 @@ func Open(dir string, opts Options) (*Log, ReplayResult, error) {
 // advancing l.nextSeq. For the final segment it repairs a damaged tail by
 // truncating the file; for earlier segments any failure is fatal. On
 // return for the final segment, l.size is the validated append offset.
-func (l *Log) replaySegment(seg segment, last bool, res *ReplayResult) error {
+// The int return is the number of bytes scanned, for replay progress.
+func (l *Log) replaySegment(seg segment, last bool, res *ReplayResult) (int64, error) {
 	path := filepath.Join(l.dir, seg.name)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	damaged := func(off int64, err error) error {
 		if !last {
@@ -286,20 +350,20 @@ func (l *Log) replaySegment(seg segment, last bool, res *ReplayResult) error {
 						res.Truncated = true
 						res.TruncateAt = fmt.Sprintf("%s@0: rewrote torn header", seg.name)
 						l.size = headerLen
-						return nil
+						return int64(headerLen), nil
 					}
 				}
 			}
-			return fmt.Errorf("edgelog: repairing torn header of %s: %w", seg.name, err)
+			return 0, fmt.Errorf("edgelog: repairing torn header of %s: %w", seg.name, err)
 		}
-		return err
+		return 0, err
 	}
 
 	off := int64(headerLen)
 	for off < int64(len(data)) {
 		rec, n, err := decodeRecordAt(data[off:], seg.name, off)
 		if err != nil {
-			return damaged(off, err)
+			return off, damaged(off, err)
 		}
 		if rec.Seq < l.nextSeq {
 			// Already covered by the snapshot (compaction only removes
@@ -308,7 +372,7 @@ func (l *Log) replaySegment(seg segment, last bool, res *ReplayResult) error {
 			continue
 		}
 		if rec.Seq != l.nextSeq {
-			return &CorruptError{Segment: seg.name, Offset: off,
+			return off, &CorruptError{Segment: seg.name, Offset: off,
 				Reason: fmt.Sprintf("sequence gap: record %d where %d expected", rec.Seq, l.nextSeq)}
 		}
 		res.Records = append(res.Records, rec)
@@ -316,12 +380,15 @@ func (l *Log) replaySegment(seg segment, last bool, res *ReplayResult) error {
 		if rec.ClientID != "" && rec.ClientSeq > l.clients[rec.ClientID] {
 			l.clients[rec.ClientID] = rec.ClientSeq
 		}
+		if rec.Kind == KindEpoch && rec.Epoch > l.epoch {
+			l.epoch = rec.Epoch
+		}
 		off += int64(n)
 	}
 	if last {
 		l.size = off
 	}
-	return nil
+	return off, nil
 }
 
 func syncFileByName(path string) error {
@@ -365,6 +432,7 @@ func (l *Log) openFreshSegmentLocked() error {
 	l.f = f
 	l.active = seg
 	l.size = headerLen
+	l.activeSynced = headerLen
 	l.segments = append(l.segments, seg)
 	l.obsGauges()
 	return nil
@@ -446,47 +514,11 @@ func (l *Log) Append(clientID string, clientSeq uint64, edges []temporal.Edge) (
 		return fail(err)
 	}
 
-	// l.f == nil means a previous rotation sealed the old segment but
-	// failed to open a fresh one; rotateLocked retries just the open.
-	if l.f == nil || l.size >= l.opts.SegmentBytes {
-		if err := l.rotateLocked(); err != nil {
-			return fail(err)
-		}
-	}
-
-	rec := Record{Seq: seq, ClientID: clientID, ClientSeq: clientSeq, Edges: edges}
-	l.buf = encodeRecord(l.buf[:0], rec)
-	wrote, err := l.f.Write(l.buf)
-	if err == nil {
-		l.unsynced++
-		if l.opts.SyncEvery > 0 && l.unsynced >= l.opts.SyncEvery {
-			if err = l.opts.Chaos.Fire("edgelog.fsync", int64(seq), attempt); err == nil {
-				err = l.f.Sync()
-			}
-			if err == nil {
-				l.unsynced = 0
-				l.opts.Obs.Counter("edgelog.fsyncs").Add(1)
-			}
-		}
-	}
-	if err != nil {
-		// Roll the file back to the pre-append offset so the failed (and
-		// possibly partial or unsynced) frame can never replay.
-		if wrote > 0 || l.opts.SyncEvery > 0 {
-			if terr := l.f.Truncate(l.size); terr != nil {
-				l.broken = true
-				return fail(fmt.Errorf("%w (append: %v, rollback: %v)", ErrBroken, err, terr))
-			}
-			if _, serr := l.f.Seek(l.size, 0); serr != nil {
-				l.broken = true
-				return fail(fmt.Errorf("%w (append: %v, reseek: %v)", ErrBroken, err, serr))
-			}
-		}
+	rec := Record{Seq: seq, Kind: KindEdges, ClientID: clientID, ClientSeq: clientSeq, Edges: edges}
+	if err := l.writeRecordLocked(rec, false, attempt); err != nil {
 		return fail(err)
 	}
 
-	l.size += int64(len(l.buf))
-	l.nextSeq = seq + 1
 	delete(l.attempts, seq)
 	if clientID != "" {
 		l.clients[clientID] = clientSeq
@@ -495,6 +527,260 @@ func (l *Log) Append(clientID string, clientSeq uint64, edges []temporal.Edge) (
 	l.opts.Obs.Counter("edgelog.append_edges").Add(int64(len(edges)))
 	l.obsGauges()
 	return rec, false, nil
+}
+
+// writeRecordLocked frames rec at the tail of the active segment
+// (rotating first if needed), applies the sync policy (forceSync
+// overrides SyncEvery), and rolls the file back on any failure so a bad
+// frame can never replay. On success l.size, l.nextSeq and the durable
+// watermark are advanced; on rollback failure the log is marked broken.
+func (l *Log) writeRecordLocked(rec Record, forceSync bool, attempt int) error {
+	// l.f == nil means a previous rotation sealed the old segment but
+	// failed to open a fresh one; rotateLocked retries just the open.
+	if l.f == nil || l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+
+	l.buf = encodeRecord(l.buf[:0], rec)
+	wrote, err := l.f.Write(l.buf)
+	synced := false
+	if err == nil {
+		l.unsynced++
+		if forceSync || (l.opts.SyncEvery > 0 && l.unsynced >= l.opts.SyncEvery) {
+			if err = l.opts.Chaos.Fire("edgelog.fsync", int64(rec.Seq), attempt); err == nil {
+				err = l.f.Sync()
+			}
+			if err == nil {
+				l.unsynced = 0
+				synced = true
+				l.opts.Obs.Counter("edgelog.fsyncs").Add(1)
+			}
+		}
+	}
+	if err != nil {
+		// Roll the file back to the pre-append offset so the failed (and
+		// possibly partial or unsynced) frame can never replay.
+		if wrote > 0 || l.opts.SyncEvery > 0 || forceSync {
+			if terr := l.f.Truncate(l.size); terr != nil {
+				l.broken = true
+				return fmt.Errorf("%w (append: %v, rollback: %v)", ErrBroken, err, terr)
+			}
+			if _, serr := l.f.Seek(l.size, 0); serr != nil {
+				l.broken = true
+				return fmt.Errorf("%w (append: %v, reseek: %v)", ErrBroken, err, serr)
+			}
+		}
+		return err
+	}
+
+	l.size += int64(len(l.buf))
+	l.nextSeq = rec.Seq + 1
+	if synced || l.opts.SyncEvery == SyncNever {
+		l.activeSynced = l.size
+	}
+	return nil
+}
+
+// BumpEpoch durably raises the log's epoch to `to` by appending an epoch
+// record, fsynced regardless of SyncEvery: a promotion that could be
+// forgotten on crash would let a deposed primary resurrect un-fenced.
+// `to` must be strictly beyond the current epoch.
+func (l *Log) BumpEpoch(to uint64) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Record{}, errors.New("edgelog: append on closed log")
+	}
+	if l.broken {
+		return Record{}, ErrBroken
+	}
+	if to <= l.epoch {
+		return Record{}, fmt.Errorf("edgelog: epoch bump to %d not beyond current epoch %d", to, l.epoch)
+	}
+	seq := l.nextSeq
+	attempt := l.attempts[seq]
+	l.attempts[seq] = attempt + 1
+	if err := l.opts.Chaos.Fire("edgelog.append", int64(seq), attempt); err != nil {
+		l.opts.Obs.Counter("edgelog.append_errors").Add(1)
+		return Record{}, err
+	}
+	rec := Record{Seq: seq, Kind: KindEpoch, Epoch: to}
+	if err := l.writeRecordLocked(rec, true, attempt); err != nil {
+		l.opts.Obs.Counter("edgelog.append_errors").Add(1)
+		return Record{}, err
+	}
+	delete(l.attempts, seq)
+	l.epoch = to
+	l.opts.Obs.Counter("edgelog.appends").Add(1)
+	l.opts.Obs.Counter("edgelog.epoch_bumps").Add(1)
+	l.obsGauges()
+	return rec, nil
+}
+
+// AppendStanding durably records a standing-query board change, fsynced
+// regardless of SyncEvery: an acked registration that evaporated on
+// restart is exactly the silent drop these records exist to prevent.
+func (l *Log) AppendStanding(op StandingOp) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Record{}, errors.New("edgelog: append on closed log")
+	}
+	if l.broken {
+		return Record{}, ErrBroken
+	}
+	if err := validateStanding(&op); err != nil {
+		return Record{}, err
+	}
+	seq := l.nextSeq
+	attempt := l.attempts[seq]
+	l.attempts[seq] = attempt + 1
+	if err := l.opts.Chaos.Fire("edgelog.append", int64(seq), attempt); err != nil {
+		l.opts.Obs.Counter("edgelog.append_errors").Add(1)
+		return Record{}, err
+	}
+	rec := Record{Seq: seq, Kind: KindStanding, Standing: &op}
+	if err := l.writeRecordLocked(rec, true, attempt); err != nil {
+		l.opts.Obs.Counter("edgelog.append_errors").Add(1)
+		return Record{}, err
+	}
+	delete(l.attempts, seq)
+	l.opts.Obs.Counter("edgelog.appends").Add(1)
+	l.obsGauges()
+	return rec, nil
+}
+
+// AppendRecord writes a record exactly as shipped from a replication
+// source: seq, kind, and payload are preserved verbatim so the
+// follower's log replays the same history the primary's would. The
+// record's seq must be exactly this log's next sequence — anything else
+// means the two histories diverged, and divergence is a refusal, never
+// a repair. The local sync policy applies (followers own their
+// durability knobs).
+func (l *Log) AppendRecord(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("edgelog: append on closed log")
+	}
+	if l.broken {
+		return ErrBroken
+	}
+	if rec.Seq != l.nextSeq {
+		return fmt.Errorf("edgelog: replicated record seq %d where %d expected: source and local histories diverged", rec.Seq, l.nextSeq)
+	}
+	switch rec.Kind {
+	case KindEdges, 0:
+		if err := validateEdges(rec.Edges); err != nil {
+			return err
+		}
+	case KindEpoch:
+		if rec.Epoch == 0 {
+			return fmt.Errorf("%w: replicated epoch record with epoch 0", ErrInvalidEdge)
+		}
+	case KindStanding:
+		if err := validateStanding(rec.Standing); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: replicated record of unknown kind %d", ErrInvalidEdge, rec.Kind)
+	}
+	seq := rec.Seq
+	attempt := l.attempts[seq]
+	l.attempts[seq] = attempt + 1
+	if err := l.opts.Chaos.Fire("edgelog.append", int64(seq), attempt); err != nil {
+		l.opts.Obs.Counter("edgelog.append_errors").Add(1)
+		return err
+	}
+	if err := l.writeRecordLocked(rec, false, attempt); err != nil {
+		l.opts.Obs.Counter("edgelog.append_errors").Add(1)
+		return err
+	}
+	delete(l.attempts, seq)
+	if rec.ClientID != "" && rec.ClientSeq > l.clients[rec.ClientID] {
+		l.clients[rec.ClientID] = rec.ClientSeq
+	}
+	if rec.Kind == KindEpoch && rec.Epoch > l.epoch {
+		l.epoch = rec.Epoch
+	}
+	l.opts.Obs.Counter("edgelog.appends").Add(1)
+	l.obsGauges()
+	return nil
+}
+
+// ErrCompacted reports that the requested sequence predates the oldest
+// retained segment: those records only exist folded into the snapshot,
+// so the reader must bootstrap from the snapshot instead.
+var ErrCompacted = errors.New("edgelog: requested records were compacted into a snapshot")
+
+// ReadRecords decodes up to max records starting at fromSeq for WAL
+// shipping. Only durable bytes are read (see activeSynced): a record is
+// never shipped before it would survive the primary's own crash. The
+// second return is the durable bytes beyond the last returned record —
+// the shipper's byte lag. A fromSeq older than the first retained
+// segment returns ErrCompacted.
+func (l *Log) ReadRecords(fromSeq uint64, max int) ([]Record, int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, 0, errors.New("edgelog: read on closed log")
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	if fromSeq == 0 {
+		fromSeq = 1
+	}
+	if len(l.segments) > 0 && fromSeq < l.segments[0].firstSeq {
+		return nil, 0, ErrCompacted
+	}
+	var recs []Record
+	var tailBytes int64
+	for i, seg := range l.segments {
+		if i+1 < len(l.segments) && l.segments[i+1].firstSeq <= fromSeq {
+			continue // wholly before fromSeq
+		}
+		data, err := os.ReadFile(filepath.Join(l.dir, seg.name))
+		if err != nil {
+			return nil, 0, err
+		}
+		limit := int64(len(data))
+		if seg.name == l.active.name && l.activeSynced < limit {
+			// Unsynced tail: written but not yet durable. Never ship it.
+			limit = l.activeSynced
+		}
+		if err := checkHeader(data, seg.name); err != nil {
+			return nil, 0, err
+		}
+		off := int64(headerLen)
+		for off < limit {
+			// The durable watermark always lands on a record boundary, so
+			// the prefix below limit must decode cleanly.
+			rec, n, err := decodeRecordAt(data[off:limit], seg.name, off)
+			if err != nil {
+				return nil, 0, err
+			}
+			off += int64(n)
+			if rec.Seq < fromSeq {
+				continue
+			}
+			if len(recs) < max {
+				recs = append(recs, rec)
+			} else {
+				tailBytes += int64(n)
+			}
+		}
+	}
+	return recs, tailBytes, nil
+}
+
+// Epoch returns the log's current epoch (1 for a never-promoted log).
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
 }
 
 // Sync flushes any unsynced appends (a no-op under SyncEvery=1).
@@ -511,6 +797,7 @@ func (l *Log) Sync() error {
 		return err
 	}
 	l.unsynced = 0
+	l.activeSynced = l.size
 	l.opts.Obs.Counter("edgelog.fsyncs").Add(1)
 	return nil
 }

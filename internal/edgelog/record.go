@@ -7,10 +7,22 @@
 //	frame:   length uint32 LE | crc32(IEEE, payload) uint32 LE | payload
 //	payload: kind uint8
 //	         seq uint64 LE                 (global, contiguous from 1)
-//	         clientIDLen uint16 LE | clientID bytes
-//	         clientSeq uint64 LE
-//	         edgeCount uint32 LE
-//	         edgeCount × (src int32 LE | dst int32 LE | time int64 LE)
+//	         ...kind-specific body
+//
+// Kind KindEdges (1) — one durable edge batch:
+//
+//	clientIDLen uint16 LE | clientID bytes
+//	clientSeq uint64 LE
+//	edgeCount uint32 LE
+//	edgeCount × (src int32 LE | dst int32 LE | time int64 LE)
+//
+// Kind KindEpoch (2) — an epoch bump (replication fencing; see BumpEpoch):
+//
+//	epoch uint64 LE
+//
+// Kind KindStanding (3) — a standing-query registration change:
+//
+//	op uint8 | delta int64 LE | nameLen uint16 LE | name | specLen uint16 LE | spec
 //
 // Every decoder error is positioned (segment-relative byte offset) and
 // classified: ErrTornTail means "the bytes simply stop mid-frame" — the
@@ -41,12 +53,39 @@ const (
 	// acked record is replayable.
 	maxRecordLen = 1 << 26
 
-	// recordOverhead is the fixed payload cost of a record before the
-	// client id and edges: kind + seq + clientIDLen + clientSeq + edgeCount.
+	// recordOverhead is the fixed payload cost of an edges record before
+	// the client id and edges: kind + seq + clientIDLen + clientSeq +
+	// edgeCount.
 	recordOverhead = 1 + 8 + 2 + 8 + 4
-
-	kindEdges = 1
 )
+
+// Record kinds. Zero is treated as KindEdges on encode so pre-epoch
+// callers constructing Record literals keep working.
+const (
+	KindEdges    = 1 // an edge batch (the only kind before replication)
+	KindEpoch    = 2 // an epoch bump: fences deposed primaries
+	KindStanding = 3 // a standing-query register/unregister
+)
+
+// Standing-record operations.
+const (
+	StandingRegister   uint8 = 1
+	StandingUnregister uint8 = 2
+)
+
+// maxStandingStrLen bounds the name and spec of a standing record so a
+// registration can never approach the record cap.
+const maxStandingStrLen = 1 << 15
+
+// StandingOp is the body of a KindStanding record: one registration
+// change on the standing-query board, durable so the board survives
+// restart and ships to followers like any other record.
+type StandingOp struct {
+	Op    uint8  `json:"op"`
+	Name  string `json:"name"`
+	Spec  string `json:"spec,omitempty"`
+	Delta int64  `json:"delta,omitempty"`
+}
 
 // MaxBatchEdges is the largest edge batch one record can carry (with an
 // empty client id); Append rejects anything that would encode past
@@ -60,13 +99,18 @@ func encodedPayloadLen(clientIDLen, edgeCount int) int64 {
 	return recordOverhead + int64(clientIDLen) + 16*int64(edgeCount)
 }
 
-// Record is one durable append: a batch of edges plus the client identity
-// that made idempotent retry possible.
+// Record is one durable append. Kind selects which body fields are
+// meaningful: KindEdges carries ClientID/ClientSeq/Edges (the client
+// identity is what makes idempotent retry possible), KindEpoch carries
+// Epoch, KindStanding carries Standing. Kind zero encodes as KindEdges.
 type Record struct {
 	Seq       uint64
+	Kind      uint8
 	ClientID  string
 	ClientSeq uint64
 	Edges     []temporal.Edge
+	Epoch     uint64
+	Standing  *StandingOp
 }
 
 // ErrTornTail tags decode failures consistent with a write that was cut
@@ -95,22 +139,39 @@ func (e *CorruptError) Error() string {
 // encodeRecord appends the framed record to buf and returns the extended
 // slice. Encoding cannot fail: limits are enforced at Append time.
 func encodeRecord(buf []byte, r Record) []byte {
-	payloadLen := encodedPayloadLen(len(r.ClientID), len(r.Edges))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+	lenAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
 	crcAt := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // crc placeholder
 	payloadAt := len(buf)
-	buf = append(buf, kindEdges)
-	buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.ClientID)))
-	buf = append(buf, r.ClientID...)
-	buf = binary.LittleEndian.AppendUint64(buf, r.ClientSeq)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Edges)))
-	for _, e := range r.Edges {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Src))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Dst))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Time))
+	switch r.Kind {
+	case KindEpoch:
+		buf = append(buf, KindEpoch)
+		buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, r.Epoch)
+	case KindStanding:
+		buf = append(buf, KindStanding)
+		buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
+		buf = append(buf, r.Standing.Op)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Standing.Delta))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Standing.Name)))
+		buf = append(buf, r.Standing.Name...)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Standing.Spec)))
+		buf = append(buf, r.Standing.Spec...)
+	default: // KindEdges and the zero value
+		buf = append(buf, KindEdges)
+		buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.ClientID)))
+		buf = append(buf, r.ClientID...)
+		buf = binary.LittleEndian.AppendUint64(buf, r.ClientSeq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Edges)))
+		for _, e := range r.Edges {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Src))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Dst))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Time))
+		}
 	}
+	binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-payloadAt))
 	binary.LittleEndian.PutUint32(buf[crcAt:], crc32.ChecksumIEEE(buf[payloadAt:]))
 	return buf
 }
@@ -155,15 +216,48 @@ func decodeRecordAt(b []byte, seg string, off int64) (Record, int, error) {
 	if len(p) < 1 {
 		return bad("empty payload")
 	}
-	if p[0] != kindEdges {
-		return bad(fmt.Sprintf("unknown record kind %d", p[0]))
-	}
+	rec.Kind = p[0]
 	p = p[1:]
-	if len(p) < 8+2 {
-		return bad("payload truncated before client id")
+	if len(p) < 8 {
+		return bad("payload truncated before sequence")
 	}
 	rec.Seq = binary.LittleEndian.Uint64(p)
 	p = p[8:]
+	switch rec.Kind {
+	case KindEdges:
+	case KindEpoch:
+		if len(p) != 8 {
+			return bad(fmt.Sprintf("epoch record body is %d bytes, want 8", len(p)))
+		}
+		rec.Epoch = binary.LittleEndian.Uint64(p)
+		return rec, frameLen + int(payloadLen), nil
+	case KindStanding:
+		if len(p) < 1+8+2 {
+			return bad("standing record truncated before name")
+		}
+		op := StandingOp{Op: p[0], Delta: int64(binary.LittleEndian.Uint64(p[1:]))}
+		p = p[1+8:]
+		nameLen := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) < nameLen+2 {
+			return bad(fmt.Sprintf("standing record truncated inside name of length %d", nameLen))
+		}
+		op.Name = string(p[:nameLen])
+		p = p[nameLen:]
+		specLen := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) != specLen {
+			return bad(fmt.Sprintf("standing spec length %d does not match %d remaining payload bytes", specLen, len(p)))
+		}
+		op.Spec = string(p)
+		rec.Standing = &op
+		return rec, frameLen + int(payloadLen), nil
+	default:
+		return bad(fmt.Sprintf("unknown record kind %d", rec.Kind))
+	}
+	if len(p) < 2 {
+		return bad("payload truncated before client id")
+	}
 	idLen := int(binary.LittleEndian.Uint16(p))
 	p = p[2:]
 	if len(p) < idLen+8+4 {
@@ -216,6 +310,25 @@ func checkHeader(b []byte, seg string) error {
 // caller mistake, not an environment failure. The HTTP ingest layer
 // maps it to 400 where I/O failures map to 503.
 var ErrInvalidEdge = errors.New("edgelog: invalid edge")
+
+// validateStanding enforces the wire limits of a standing record: the
+// encoder stores name and spec lengths as uint16, so oversized strings
+// must be refused before any bytes are written.
+func validateStanding(op *StandingOp) error {
+	if op == nil {
+		return fmt.Errorf("%w: standing record without a body", ErrInvalidEdge)
+	}
+	if op.Op != StandingRegister && op.Op != StandingUnregister {
+		return fmt.Errorf("%w: unknown standing op %d", ErrInvalidEdge, op.Op)
+	}
+	if op.Name == "" {
+		return fmt.Errorf("%w: standing record needs a name", ErrInvalidEdge)
+	}
+	if len(op.Name) >= maxStandingStrLen || len(op.Spec) >= maxStandingStrLen {
+		return fmt.Errorf("%w: standing name/spec exceeds the %d-byte limit", ErrInvalidEdge, maxStandingStrLen)
+	}
+	return nil
+}
 
 // validateEdges enforces the same endpoint limits the SNAP loader does,
 // so a replayed log can never feed the graph values the miner's int32

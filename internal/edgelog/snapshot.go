@@ -46,9 +46,23 @@ type Snapshot struct {
 	Edges []temporal.Edge `json:"edges"`
 	// Clients is the idempotency ledger: last applied clientSeq per id.
 	Clients map[string]uint64 `json:"clients,omitempty"`
+	// Epoch is the log's replication epoch at snapshot time; compaction
+	// may delete the epoch record that raised it, so the snapshot must
+	// carry it. Zero (older snapshots) means epoch 1.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Standing is the standing-query board at snapshot time, so
+	// registrations survive compaction of their KindStanding records.
+	Standing []StandingSpec `json:"standing,omitempty"`
 	// Fingerprint binds the snapshot to its edge content
 	// (EdgesFingerprint); Load recomputes and refuses a mismatch.
 	Fingerprint string `json:"fingerprint"`
+}
+
+// StandingSpec is one persisted standing-query registration.
+type StandingSpec struct {
+	Name  string `json:"name"`
+	Spec  string `json:"spec"`
+	Delta int64  `json:"delta"`
 }
 
 // EdgesFingerprint renders the identity of an edge sequence (order
@@ -91,18 +105,11 @@ func (l *Log) WriteSnapshot(snap *Snapshot) error {
 			snap.Clients[id] = cs
 		}
 	}
-	snap.Fingerprint = EdgesFingerprint(snap.Edges)
-
-	payload, err := json.Marshal(snap)
-	if err != nil {
-		return err
+	if snap.Epoch == 0 {
+		snap.Epoch = l.epoch
 	}
-	buf := make([]byte, 0, snapHeaderLen+len(payload))
-	buf = append(buf, snapMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
-	buf = append(buf, payload...)
-	if err := atomicio.WriteFile(filepath.Join(l.dir, snapshotName), buf, 0o644); err != nil {
+
+	if err := l.writeSnapshotFileLocked(snap); err != nil {
 		return err
 	}
 	l.opts.Obs.Counter("edgelog.snapshots").Add(1)
@@ -115,6 +122,12 @@ func (l *Log) WriteSnapshot(snap *Snapshot) error {
 			// compaction of the current segment.
 			return fmt.Errorf("edgelog: snapshot written but rotation failed: %w", err)
 		}
+	}
+
+	// The crash window: the snapshot is durable but covered segments are
+	// still on disk. An error here leaves leftovers for Open to clean.
+	if err := l.opts.Chaos.Fire("edgelog.compact.remove", int64(snap.Seq), 0); err != nil {
+		return err
 	}
 
 	// Segment i is fully covered when the next segment starts at or
@@ -142,6 +155,95 @@ func (l *Log) WriteSnapshot(snap *Snapshot) error {
 	}
 	l.obsGauges()
 	return nil
+}
+
+// writeSnapshotFileLocked fingerprints snap and writes it atomically to
+// the log's snapshot file.
+func (l *Log) writeSnapshotFileLocked(snap *Snapshot) error {
+	snap.Fingerprint = EdgesFingerprint(snap.Edges)
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, snapHeaderLen+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	buf = append(buf, payload...)
+	return atomicio.WriteFile(filepath.Join(l.dir, snapshotName), buf, 0o644)
+}
+
+// InstallSnapshot bootstraps an empty log from a snapshot shipped by a
+// replication source whose older records were compacted away. It refuses
+// a log that already holds any history — installing over local records
+// would silently rewrite it, which is divergence, not catch-up. On
+// success the log's state (nextSeq, epoch, clients) matches the
+// snapshot and appends resume at snap.Seq+1.
+func (l *Log) InstallSnapshot(snap *Snapshot) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("edgelog: snapshot install on closed log")
+	}
+	if l.broken {
+		return ErrBroken
+	}
+	if l.nextSeq != 1 || l.size > headerLen || len(l.segments) > 1 {
+		return fmt.Errorf("edgelog: refusing snapshot install over existing history (next seq %d): local and source logs diverged", l.nextSeq)
+	}
+	if snap == nil || snap.Seq == 0 {
+		return fmt.Errorf("edgelog: refusing to install an empty snapshot")
+	}
+	cp := *snap
+	if err := l.writeSnapshotFileLocked(&cp); err != nil {
+		return err
+	}
+	l.opts.Obs.Counter("edgelog.snapshot_installs").Add(1)
+
+	// Drop the empty active segment: its name (wal-…01) no longer matches
+	// its first sequence, and openFreshSegmentLocked will mint a correct
+	// one at snap.Seq+1.
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	if len(l.segments) == 1 {
+		if err := os.Remove(filepath.Join(l.dir, l.segments[0].name)); err != nil {
+			return err
+		}
+		if err := atomicio.SyncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	l.segments = nil
+	l.active = segment{}
+	l.size = 0
+	l.activeSynced = 0
+	l.unsynced = 0
+
+	l.nextSeq = cp.Seq + 1
+	l.epoch = 1
+	if cp.Epoch > 0 {
+		l.epoch = cp.Epoch
+	}
+	l.clients = make(map[string]uint64, len(cp.Clients))
+	for id, cs := range cp.Clients {
+		l.clients[id] = cs
+	}
+	if err := l.openFreshSegmentLocked(); err != nil {
+		return err
+	}
+	l.obsGauges()
+	return nil
+}
+
+// LoadSnapshot reads and verifies the snapshot file in dir without
+// opening the log (nil when none exists). Read-only: used by fsck
+// tooling and by the replication snapshot endpoint.
+func LoadSnapshot(dir string) (*Snapshot, error) {
+	return loadSnapshot(filepath.Join(dir, snapshotName))
 }
 
 // loadSnapshot reads and verifies the snapshot file. A missing file is

@@ -1,0 +1,158 @@
+// Read-only WAL fsck: the backend of `mine -wal-verify`. Verify walks a
+// log directory exactly as Open would — snapshot first, then every
+// segment in sequence order — but never truncates, rewrites, or deletes
+// anything. Its job is to let an operator decide whether a diverged
+// follower's log is salvageable before any process touches it.
+package edgelog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// VerifyReport is the result of a read-only log inspection.
+type VerifyReport struct {
+	Dir string `json:"dir"`
+
+	// Snapshot summary (zero values when no snapshot exists).
+	HasSnapshot         bool   `json:"has_snapshot"`
+	SnapshotSeq         uint64 `json:"snapshot_seq,omitempty"`
+	SnapshotFingerprint string `json:"snapshot_fingerprint,omitempty"`
+	SnapshotEdges       int    `json:"snapshot_edges,omitempty"`
+	SnapshotStanding    int    `json:"snapshot_standing,omitempty"`
+
+	// Epoch is the replication epoch the log would recover to: the
+	// snapshot's epoch raised by any replayable epoch records.
+	Epoch uint64 `json:"epoch"`
+	// NextSeq is the sequence the next append would get after recovery.
+	NextSeq uint64 `json:"next_seq"`
+
+	Segments []SegmentReport `json:"segments"`
+
+	// TornTail reports that the final segment ends mid-record — the
+	// normal signature of a crash, repairable by Open's truncation.
+	TornTail bool `json:"torn_tail"`
+	// Problems lists everything Open would refuse to repair. Empty
+	// Problems means the log is salvageable (OK).
+	Problems []string `json:"problems,omitempty"`
+	OK       bool     `json:"ok"`
+}
+
+// SegmentReport is one segment's verification summary.
+type SegmentReport struct {
+	Name     string `json:"name"`
+	FirstSeq uint64 `json:"first_seq"`
+	Bytes    int64  `json:"bytes"`
+	// Records is how many records decoded with valid CRCs and would
+	// replay; Covered is how many decoded fine but are already folded
+	// into the snapshot.
+	Records int `json:"records"`
+	Covered int `json:"covered_records,omitempty"`
+	// Status is "ok", "covered" (entirely below the snapshot; removable),
+	// "torn-tail" (repairable, final segment only), or "corrupt: <why>".
+	Status string `json:"status"`
+}
+
+// Verify inspects the log in dir without mutating it. The returned error
+// covers only environment failures (unreadable directory); log damage is
+// reported in the VerifyReport itself.
+func Verify(dir string) (*VerifyReport, error) {
+	rep := &VerifyReport{Dir: dir, Epoch: 1, NextSeq: 1}
+	problem := func(format string, args ...any) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+	}
+
+	snap, err := loadSnapshot(filepath.Join(dir, snapshotName))
+	if err != nil {
+		problem("snapshot: %v", err)
+	} else if snap != nil {
+		rep.HasSnapshot = true
+		rep.SnapshotSeq = snap.Seq
+		rep.SnapshotFingerprint = snap.Fingerprint
+		rep.SnapshotEdges = len(snap.Edges)
+		rep.SnapshotStanding = len(snap.Standing)
+		rep.NextSeq = snap.Seq + 1
+		if snap.Epoch > 0 {
+			rep.Epoch = snap.Epoch
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		if first, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segment{name: e.Name(), firstSeq: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+
+	expect := rep.NextSeq
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		sr := SegmentReport{Name: seg.name, FirstSeq: seg.firstSeq, Status: "ok"}
+		data, err := os.ReadFile(filepath.Join(dir, seg.name))
+		if err != nil {
+			sr.Status = fmt.Sprintf("corrupt: %v", err)
+			problem("%s: %v", seg.name, err)
+			rep.Segments = append(rep.Segments, sr)
+			continue
+		}
+		sr.Bytes = int64(len(data))
+		if err := checkHeader(data, seg.name); err != nil {
+			if errors.Is(err, ErrTornTail) && last {
+				sr.Status = "torn-tail"
+				rep.TornTail = true
+			} else {
+				sr.Status = fmt.Sprintf("corrupt: %v", err)
+				problem("%s: %v", seg.name, err)
+			}
+			rep.Segments = append(rep.Segments, sr)
+			continue
+		}
+		off := int64(headerLen)
+		for off < int64(len(data)) {
+			rec, n, err := decodeRecordAt(data[off:], seg.name, off)
+			if err != nil {
+				if errors.Is(err, ErrTornTail) && last {
+					sr.Status = "torn-tail"
+					rep.TornTail = true
+				} else {
+					sr.Status = fmt.Sprintf("corrupt: %v", err)
+					problem("%s@%d: %v", seg.name, off, err)
+				}
+				break
+			}
+			switch {
+			case rec.Seq < expect:
+				sr.Covered++
+			case rec.Seq == expect:
+				sr.Records++
+				expect = rec.Seq + 1
+				if rec.Kind == KindEpoch && rec.Epoch > rep.Epoch {
+					rep.Epoch = rec.Epoch
+				}
+			default:
+				sr.Status = fmt.Sprintf("corrupt: sequence gap: record %d where %d expected", rec.Seq, expect)
+				problem("%s@%d: sequence gap: record %d where %d expected", seg.name, off, rec.Seq, expect)
+			}
+			if sr.Status != "ok" {
+				break
+			}
+			off += int64(n)
+		}
+		if sr.Status == "ok" && sr.Records == 0 && sr.Covered > 0 {
+			sr.Status = "covered"
+		}
+		rep.Segments = append(rep.Segments, sr)
+	}
+
+	rep.NextSeq = expect
+	rep.OK = len(rep.Problems) == 0
+	return rep, nil
+}

@@ -1,0 +1,258 @@
+package replica_test
+
+// Follower tests against a real server.Server primary hosted in
+// httptest: catch-up with fingerprint verification, epoch fencing
+// (stale source), snapshot bootstrap after compaction, and divergence
+// refusal.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mint"
+	"mint/internal/replica"
+	"mint/internal/runctl"
+	"mint/internal/server"
+)
+
+func newPrimary(t *testing.T, mutate func(*server.Config)) (*server.Server, *httptest.Server) {
+	t.Helper()
+	cfg := server.Config{
+		Caps:   runctl.Caps{DefaultTimeout: 10 * time.Second, MaxTimeout: 30 * time.Second},
+		Ingest: server.IngestConfig{Dir: t.TempDir(), Dataset: "live", SnapshotEvery: -1},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := server.New(cfg)
+	<-s.LiveReady()
+	if _, err := s.IngestRecovery(); err != nil {
+		t.Fatalf("primary ingest open: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, in any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+func ingestBatch(t *testing.T, url string, seq uint64, base int, n int) {
+	t.Helper()
+	req := server.IngestRequest{ClientID: "src", ClientSeq: seq}
+	for i := 0; i < n; i++ {
+		req.Edges = append(req.Edges, server.IngestEdge{
+			Src: int64(base+i) % 31, Dst: int64(base+i+1) % 29, Time: int64(base+i) * 10,
+		})
+	}
+	if code := postJSON(t, url+"/v1/edges", req, nil); code != http.StatusOK {
+		t.Fatalf("ingest batch %d: status %d", seq, code)
+	}
+}
+
+func newFollowerStream(t *testing.T) *mint.Stream {
+	t.Helper()
+	st, _, err := mint.OpenStream(t.TempDir(), mint.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// runFollower starts f.Run in a goroutine and returns a cancel+wait.
+func runFollower(t *testing.T, f *replica.Follower) (context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	stopped := make(chan struct{})
+	go func() { done <- f.Run(ctx); close(stopped) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-stopped:
+		case <-time.After(5 * time.Second):
+			t.Error("follower did not stop")
+		}
+	})
+	return cancel, done
+}
+
+func waitCaughtUp(t *testing.T, f *replica.Follower, wantSeq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := f.Status()
+		if st.CaughtUp && st.AppliedSeq >= wantSeq {
+			return
+		}
+		if f.Terminal() {
+			t.Fatalf("follower halted while waiting for catch-up: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("follower never caught up to seq %d: %+v", wantSeq, f.Status())
+}
+
+func TestFollowerCatchUpVerified(t *testing.T) {
+	srv, ts := newPrimary(t, nil)
+	for i := 0; i < 5; i++ {
+		ingestBatch(t, ts.URL, uint64(i+1), i*8, 8)
+	}
+
+	st := newFollowerStream(t)
+	f, err := replica.New(replica.Config{
+		Source: ts.URL, Dataset: "live", Stream: st, WaitMS: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFollower(t, f)
+	waitCaughtUp(t, f, 5)
+
+	status := f.Status()
+	live, lerr := srv.LiveStream()
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	si := live.Info()
+	if status.Fingerprint != si.Fingerprint || status.AppliedSeq != si.Seq {
+		t.Fatalf("caught-up status %+v vs primary %+v", status, si)
+	}
+	if status.Role != "follower" || status.LagRecords != 0 {
+		t.Fatalf("status fields: %+v", status)
+	}
+
+	// New appends while the follower long-polls: it must converge again.
+	for i := 5; i < 9; i++ {
+		ingestBatch(t, ts.URL, uint64(i+1), i*8, 8)
+	}
+	waitCaughtUp(t, f, 9)
+	if fp := f.Status().Fingerprint; fp != live.Info().Fingerprint {
+		t.Fatalf("fingerprint after second catch-up: %s vs %s", fp, live.Info().Fingerprint)
+	}
+}
+
+func TestFollowerStaleSourceAndFencesPrimary(t *testing.T) {
+	_, ts := newPrimary(t, nil)
+	ingestBatch(t, ts.URL, 1, 0, 4)
+
+	// The follower has seen epoch 3 (a past promotion). Pulling from a
+	// primary still at epoch 1 must depose the primary (it fences) and
+	// halt the follower terminally: the old primary ships nothing.
+	st := newFollowerStream(t)
+	if err := st.BumpEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	f, err := replica.New(replica.Config{Source: ts.URL, Dataset: "live", Stream: st, WaitMS: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done := runFollower(t, f)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run returned nil for a terminal halt")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower did not halt on stale source")
+	}
+	if got := f.Status().State; got != replica.StateStaleSource {
+		t.Fatalf("state = %q, want %q", got, replica.StateStaleSource)
+	}
+
+	// The deposed primary must now refuse writes loudly.
+	req := server.IngestRequest{ClientID: "src", ClientSeq: 2,
+		Edges: []server.IngestEdge{{Src: 1, Dst: 2, Time: 99}}}
+	if code := postJSON(t, ts.URL+"/v1/edges", req, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("fenced primary answered ingest with %d, want 503", code)
+	}
+}
+
+func TestFollowerSnapshotBootstrap(t *testing.T) {
+	// SnapshotEvery: 3 → the primary compacts its early records away, so
+	// a fresh follower's FromSeq=1 pull answers Compacted and the
+	// follower must bootstrap from the snapshot.
+	srv, ts := newPrimary(t, func(cfg *server.Config) {
+		cfg.Ingest.SnapshotEvery = 3
+	})
+	for i := 0; i < 7; i++ {
+		ingestBatch(t, ts.URL, uint64(i+1), i*6, 6)
+	}
+	live, err := srv.LiveStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, rerr := live.ReadRecords(1, 0); rerr == nil {
+		t.Skip("primary did not compact; bootstrap path not reachable")
+	}
+
+	st := newFollowerStream(t)
+	f, ferr := replica.New(replica.Config{Source: ts.URL, Dataset: "live", Stream: st, WaitMS: 200})
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	runFollower(t, f)
+	waitCaughtUp(t, f, live.Info().Seq)
+	if fp := f.Status().Fingerprint; fp != live.Info().Fingerprint {
+		t.Fatalf("bootstrap fingerprint %s != primary %s", fp, live.Info().Fingerprint)
+	}
+}
+
+func TestFollowerDivergedIsTerminal(t *testing.T) {
+	_, ts := newPrimary(t, nil)
+	ingestBatch(t, ts.URL, 1, 0, 4)
+	ingestBatch(t, ts.URL, 2, 4, 4)
+
+	// The follower already wrote its OWN first record — a different
+	// history. Applying the primary's tail lines the seqs up, and the
+	// fingerprint check at equal seq must then refuse loudly.
+	st := newFollowerStream(t)
+	if _, err := st.Append(context.Background(), "other", 1,
+		[]mint.Edge{{Src: 9, Dst: 8, Time: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := replica.New(replica.Config{Source: ts.URL, Dataset: "live", Stream: st, WaitMS: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done := runFollower(t, f)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run returned nil for divergence")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower did not halt on divergence")
+	}
+	if got := f.Status().State; got != replica.StateDiverged {
+		t.Fatalf("state = %q, want %q", got, replica.StateDiverged)
+	}
+	if !f.Terminal() {
+		t.Fatal("diverged follower not terminal")
+	}
+}

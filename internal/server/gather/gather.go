@@ -67,6 +67,13 @@ type Config struct {
 	// Shards are the worker base URLs ("http://host:port"). Order is
 	// load-bearing: plan range i is always served by Shards[i], so a
 	// stable shard list gives deterministic assignment across restarts.
+	// An entry may be a replica SET — '|'-separated alternates
+	// ("http://a1|http://a2") replicating the same data (WAL shipping,
+	// mintd -follow). The first member is the preferred primary; on its
+	// failure the fan-out fails over to a member whose current
+	// fingerprint matches the plan's, so a replicated range survives
+	// process death with exact answers. Only when an entire set is down
+	// does its window degrade to a loud partial.
 	Shards []string
 	// Client issues shard requests (default: a client with no overall
 	// timeout — per-request contexts carry the deadlines).
@@ -144,10 +151,17 @@ func (c Config) normalized() Config {
 		c.ProbeTimeout = 500 * time.Millisecond
 	}
 	for i, s := range c.Shards {
-		c.Shards[i] = strings.TrimRight(s, "/")
+		members := strings.Split(s, "|")
+		for j, m := range members {
+			members[j] = strings.TrimRight(strings.TrimSpace(m), "/")
+		}
+		c.Shards[i] = strings.Join(members, "|")
 	}
 	return c
 }
+
+// setLabel names one replica set in errors, partials, and metrics.
+func setLabel(members []string) string { return strings.Join(members, "|") }
 
 // Coordinator is the scatter-gather serving core. Create with New,
 // mount Handler, call Drain exactly once on the way out.
@@ -157,6 +171,11 @@ type Coordinator struct {
 	adm *server.Admission
 	brk *server.BreakerGroup
 	mux *http.ServeMux
+
+	// sets[i] is shard entry i split into its replica members; a
+	// single-URL entry is a one-member set. Plan range i belongs to
+	// sets[i] as a unit — any member can serve it, fingerprint willing.
+	sets [][]string
 
 	// traces retains merged (coordinator + shard fragment) traces for
 	// /debug/trace; alog is the structured access log (both nil-safe).
@@ -178,10 +197,11 @@ type Coordinator struct {
 	shardRetryUntil atomic.Int64
 
 	// infos caches each shard's DatasetInfoResponse per dataset.
-	// Datasets are immutable for a process lifetime, so a fingerprint
-	// fetched once stays valid; a shard that later dies keeps its cached
-	// identity and is reported missing rather than silently re-planned
-	// around.
+	// Static datasets are immutable for a process lifetime, so a
+	// fingerprint fetched once stays valid; a shard that later dies keeps
+	// its cached identity and is reported missing rather than silently
+	// re-planned around. Live (ingest/replicated) datasets are never
+	// cached — their fingerprint moves with every append.
 	infoMu sync.Mutex
 	infos  map[string]map[string]*server.DatasetInfoResponse
 }
@@ -203,6 +223,18 @@ func New(cfg Config) (*Coordinator, error) {
 		infos:  map[string]map[string]*server.DatasetInfoResponse{},
 		traces: obs.NewTraceStore(cfg.TraceCapacity),
 		alog:   obs.NewAccessLogger(cfg.AccessLog),
+	}
+	for i, entry := range c.cfg.Shards {
+		var set []string
+		for _, m := range strings.Split(entry, "|") {
+			if m != "" {
+				set = append(set, m)
+			}
+		}
+		if len(set) == 0 {
+			return nil, fmt.Errorf("gather: shard entry %d is empty", i)
+		}
+		c.sets = append(c.sets, set)
 	}
 	c.runCtx, c.cancelRuns = context.WithCancel(context.Background())
 	c.mux = http.NewServeMux()
@@ -610,27 +642,54 @@ func (c *Coordinator) shardInfo(ctx context.Context, shardURL, dataset string) (
 	if err := c.call(ctx, shardURL, "/v1/datasetinfo", server.DatasetInfoRequest{Dataset: dataset}, &out); err != nil {
 		return nil, err
 	}
-	c.infoMu.Lock()
-	c.infos[dataset][shardURL] = &out
-	c.infoMu.Unlock()
+	if !out.Live {
+		// A live dataset's fingerprint describes this instant only;
+		// caching it would plan future fan-outs against a stale identity.
+		c.infoMu.Lock()
+		c.infos[dataset][shardURL] = &out
+		c.infoMu.Unlock()
+	}
 	return &out, nil
 }
 
-// queryPlan is one request's fan-out: ranges[i] is the owned root
-// window served by urls[i]; ok[i] is false when the shard could not
-// even be identified (its window is missing from the start).
-type queryPlan struct {
-	ranges []shard.Range
-	urls   []string
-	ok     []bool
+// setInfo identifies one replica set: members in order, first answer
+// wins and becomes the acting member. A 400 (unknown dataset) bounces
+// immediately — every member would say the same.
+func (c *Coordinator) setInfo(ctx context.Context, set []string, dataset string) (*server.DatasetInfoResponse, string, error) {
+	var lastErr error
+	for _, u := range set {
+		info, err := c.shardInfo(ctx, u, dataset)
+		if err == nil {
+			return info, u, nil
+		}
+		lastErr = err
+		var se *shardError
+		if errors.As(err, &se) && se.status == http.StatusBadRequest {
+			return nil, "", err
+		}
+	}
+	return nil, "", lastErr
 }
 
-// missingUpfront lists the shards already known unusable.
+// queryPlan is one request's fan-out: ranges[i] is the owned root
+// window served by replica set members[i], preferring acting member
+// urls[i]; fps[i] is the fingerprint the set was planned against (the
+// failover admission bar); ok[i] is false when no member of the set
+// could even be identified (its window is missing from the start).
+type queryPlan struct {
+	ranges  []shard.Range
+	urls    []string
+	members [][]string
+	fps     []string
+	ok      []bool
+}
+
+// missingUpfront lists the replica sets already known unusable.
 func (qp *queryPlan) missingUpfront() []string {
 	var out []string
 	for i, ok := range qp.ok {
 		if !ok {
-			out = append(out, qp.urls[i])
+			out = append(out, setLabel(qp.members[i]))
 		}
 	}
 	return out
@@ -647,16 +706,17 @@ func (e *planError) Error() string { return e.msg }
 // planFor identifies every shard and computes the fan-out for one
 // (dataset, δ) query.
 func (c *Coordinator) planFor(ctx context.Context, dataset string, delta mint.Timestamp) (*queryPlan, error) {
-	n := len(c.cfg.Shards)
+	n := len(c.sets)
 	infos := make([]*server.DatasetInfoResponse, n)
+	acting := make([]string, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i, u := range c.cfg.Shards {
+	for i, set := range c.sets {
 		wg.Add(1)
-		go func(i int, u string) {
+		go func(i int, set []string) {
 			defer wg.Done()
-			infos[i], errs[i] = c.shardInfo(ctx, u, dataset)
-		}(i, u)
+			infos[i], acting[i], errs[i] = c.setInfo(ctx, set, dataset)
+		}(i, set)
 	}
 	wg.Wait()
 	// A 400 is about the request (unknown dataset), not shard health:
@@ -669,10 +729,12 @@ func (c *Coordinator) planFor(ctx context.Context, dataset string, delta mint.Ti
 	}
 
 	if c.cfg.Sliced {
-		return c.planSliced(infos, errs)
+		return c.planSliced(infos, acting, errs)
 	}
 
-	// Full-data mode: every identified shard must serve the same bytes.
+	// Full-data mode: every identified set must serve the same bytes.
+	// (Members WITHIN a set replicate one history by construction; a
+	// laggy member is rejected at failover time, not here.)
 	fp, span := "", shard.Range{}
 	firstOK := -1
 	for i, info := range infos {
@@ -688,14 +750,14 @@ func (c *Coordinator) planFor(ctx context.Context, dataset string, delta mint.Ti
 		if info.Fingerprint != fp {
 			return nil, &planError{status: http.StatusBadGateway, msg: fmt.Sprintf(
 				"shard data mismatch for dataset %q: %s serves %s but %s serves %s — refusing to merge",
-				dataset, c.cfg.Shards[firstOK], fp, c.cfg.Shards[i], info.Fingerprint)}
+				dataset, acting[firstOK], fp, acting[i], info.Fingerprint)}
 		}
 	}
 	if firstOK < 0 {
 		msg := fmt.Sprintf("no shard could describe dataset %q", dataset)
 		for i, err := range errs {
 			if err != nil {
-				msg += fmt.Sprintf("; %s: %v", c.cfg.Shards[i], err)
+				msg += fmt.Sprintf("; %s: %v", setLabel(c.sets[i]), err)
 				break
 			}
 		}
@@ -704,7 +766,17 @@ func (c *Coordinator) planFor(ctx context.Context, dataset string, delta mint.Ti
 	p := shard.New(span.Start, span.End, n, delta)
 	qp := &queryPlan{ranges: p.Ranges}
 	for i := range p.Ranges {
-		qp.urls = append(qp.urls, c.cfg.Shards[i])
+		u := acting[i]
+		if u == "" {
+			u = c.sets[i][0]
+		}
+		qp.urls = append(qp.urls, u)
+		qp.members = append(qp.members, c.sets[i])
+		pfp := ""
+		if infos[i] != nil {
+			pfp = infos[i].Fingerprint
+		}
+		qp.fps = append(qp.fps, pfp)
 		qp.ok = append(qp.ok, infos[i] != nil)
 	}
 	return qp, nil
@@ -720,11 +792,11 @@ func (c *Coordinator) planFor(ctx context.Context, dataset string, delta mint.Ti
 // window cannot be reconstructed, and folding it into a neighbour that
 // does not hold its data would silently undercount — the one failure
 // mode this layer exists to prevent.
-func (c *Coordinator) planSliced(infos []*server.DatasetInfoResponse, errs []error) (*queryPlan, error) {
+func (c *Coordinator) planSliced(infos []*server.DatasetInfoResponse, acting []string, errs []error) (*queryPlan, error) {
 	for i, info := range infos {
 		if info == nil {
 			return nil, &planError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf(
-				"sliced coordinator cannot plan: shard %s never identified (%v)", c.cfg.Shards[i], errs[i])}
+				"sliced coordinator cannot plan: shard %s never identified (%v)", setLabel(c.sets[i]), errs[i])}
 		}
 	}
 	order := make([]int, len(infos))
@@ -745,10 +817,57 @@ func (c *Coordinator) planSliced(infos []*server.DatasetInfoResponse, errs []err
 			end = start + 1
 		}
 		qp.ranges = append(qp.ranges, shard.Range{Start: start, End: end})
-		qp.urls = append(qp.urls, c.cfg.Shards[idx])
+		qp.urls = append(qp.urls, acting[idx])
+		qp.members = append(qp.members, c.sets[idx])
+		qp.fps = append(qp.fps, infos[idx].Fingerprint)
 		qp.ok = append(qp.ok, true)
 	}
 	return qp, nil
+}
+
+// callSet issues one fan-out call with replica failover: the acting
+// member first, then — on transport/5xx failure — each remaining set
+// member whose CURRENT fingerprint matches the plan's. The fingerprint
+// bar hedges against laggy standbys: a replica still catching up
+// serves an older graph, and merging its window would be a silently
+// short count, the one failure mode this layer exists to prevent. Only
+// when every member is down or lagging does the range go missing
+// (loud partial). A 400 is the request's fault and bounces immediately
+// — every member would answer the same.
+func (c *Coordinator) callSet(ctx context.Context, qp *queryPlan, i int, dataset, path string, in, out any) error {
+	err := c.call(ctx, qp.urls[i], path, in, out)
+	if err == nil {
+		return nil
+	}
+	var se *shardError
+	if errors.As(err, &se) && se.status == http.StatusBadRequest {
+		return err
+	}
+	for _, m := range qp.members[i] {
+		if m == qp.urls[i] || ctx.Err() != nil {
+			continue
+		}
+		info, ierr := c.shardInfo(ctx, m, dataset)
+		if ierr != nil {
+			continue
+		}
+		if qp.fps[i] != "" && info.Fingerprint != qp.fps[i] {
+			c.obs.Counter("gather.failover_fp_mismatch").Add(1)
+			c.obs.Counter(obs.Labeled("gather.failover_fp_mismatch_by", "shard", m)).Add(1)
+			continue
+		}
+		ferr := c.call(ctx, m, path, in, out)
+		if ferr == nil {
+			c.obs.Counter("gather.failover").Add(1)
+			c.obs.Counter(obs.Labeled("gather.failover_by", "shard", m)).Add(1)
+			return nil
+		}
+		if errors.As(ferr, &se) && se.status == http.StatusBadRequest {
+			return ferr
+		}
+		err = ferr
+	}
+	return err
 }
 
 // planningDelta mirrors the worker's δ default so the coordinator's
@@ -831,7 +950,7 @@ func (c *Coordinator) fanoutCount(ctx context.Context, rt *obs.ReqTrace, req *se
 				ReturnTrace: rt.TraceID() != "",
 			}
 			var out server.CountResponse
-			if err := c.call(ctx, qp.urls[i], "/v1/count", sreq, &out); err != nil {
+			if err := c.callSet(ctx, qp, i, req.Dataset, "/v1/count", sreq, &out); err != nil {
 				c.obs.Counter("gather.shard_failed").Add(1)
 				c.obs.Counter(obs.Labeled("gather.shard_failed_by", "shard", qp.urls[i])).Add(1)
 				errs[i] = err
@@ -869,7 +988,7 @@ func (c *Coordinator) fanoutCount(ctx context.Context, rt *obs.ReqTrace, req *se
 	var missing []string
 	for i, res := range results {
 		if res == nil {
-			missing = append(missing, qp.urls[i])
+			missing = append(missing, setLabel(qp.members[i]))
 			continue
 		}
 		out.Count += res.Count
@@ -1075,7 +1194,7 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		if !qp.ok[shardIdx] {
 			out.Truncated = true
 			out.StopReason = StopShardUnavailable
-			out.Partial = &server.PartialInfo{MissingShards: []string{qp.urls[shardIdx]}, Bound: "lower"}
+			out.Partial = &server.PartialInfo{MissingShards: []string{setLabel(qp.members[shardIdx])}, Bound: "lower"}
 			break
 		}
 		sreq := server.EnumerateRequest{
@@ -1091,7 +1210,7 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 			ReturnTrace:  rt.TraceID() != "",
 		}
 		var sres server.EnumerateResponse
-		if err := c.call(mineCtx, qp.urls[shardIdx], "/v1/enumerate", sreq, &sres); err != nil {
+		if err := c.callSet(mineCtx, qp, shardIdx, req.Dataset, "/v1/enumerate", sreq, &sres); err != nil {
 			var se *shardError
 			if errors.As(err, &se) && se.status == http.StatusBadRequest {
 				writeError(w, http.StatusBadRequest, se.msg, 0)
@@ -1103,7 +1222,7 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 			// order; stop here, loudly.
 			out.Truncated = true
 			out.StopReason = StopShardUnavailable
-			out.Partial = &server.PartialInfo{MissingShards: []string{qp.urls[shardIdx]}, Bound: "lower"}
+			out.Partial = &server.PartialInfo{MissingShards: []string{setLabel(qp.members[shardIdx])}, Bound: "lower"}
 			break
 		}
 		rt.Import(sres.TraceFrag, qp.urls[shardIdx])
@@ -1218,8 +1337,8 @@ func (c *Coordinator) handleProfile(w http.ResponseWriter, r *http.Request) {
 // Infos are cached by the planner, so this never re-fans the probes.
 func (c *Coordinator) datasetEdges(ctx context.Context, dataset string) int {
 	total := 0
-	for _, u := range c.cfg.Shards {
-		info, err := c.shardInfo(ctx, u, dataset)
+	for _, set := range c.sets {
+		info, _, err := c.setInfo(ctx, set, dataset)
 		if err != nil {
 			continue
 		}
@@ -1253,7 +1372,7 @@ func (c *Coordinator) handleDatasetInfo(w http.ResponseWriter, r *http.Request) 
 		if !qp.ok[i] {
 			continue
 		}
-		if info, err := c.shardInfo(ctx, qp.urls[i], req.Dataset); err == nil {
+		if info, _, err := c.setInfo(ctx, qp.members[i], req.Dataset); err == nil {
 			writeJSON(w, http.StatusOK, info)
 			return
 		}
@@ -1278,37 +1397,59 @@ func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.ProbeTimeout)
 	defer cancel()
-	status := make([]string, len(c.cfg.Shards))
-	var healthy atomic.Int64
+	// Probe every member of every set; a SET is healthy when any member
+	// answers — quorum counts sets, because a set with one live replica
+	// still serves its whole root window exactly.
+	type probe struct{ set, member int }
+	var probes []probe
+	for i, set := range c.sets {
+		for j := range set {
+			probes = append(probes, probe{i, j})
+		}
+	}
+	status := make([][]string, len(c.sets))
+	for i, set := range c.sets {
+		status[i] = make([]string, len(set))
+	}
 	var wg sync.WaitGroup
-	for i, u := range c.cfg.Shards {
+	for _, p := range probes {
 		wg.Add(1)
-		go func(i int, u string) {
+		go func(p probe) {
 			defer wg.Done()
+			u := c.sets[p.set][p.member]
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/healthz", nil)
 			if err != nil {
-				status[i] = "unreachable"
+				status[p.set][p.member] = "unreachable"
 				return
 			}
 			resp, err := c.cfg.Client.Do(req)
 			if err != nil {
-				status[i] = "unreachable"
+				status[p.set][p.member] = "unreachable"
 				return
 			}
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
-				status[i] = "ok"
-				healthy.Add(1)
+				status[p.set][p.member] = "ok"
 			} else {
-				status[i] = fmt.Sprintf("status %d", resp.StatusCode)
+				status[p.set][p.member] = fmt.Sprintf("status %d", resp.StatusCode)
 			}
-		}(i, u)
+		}(p)
 	}
 	wg.Wait()
+	var healthy atomic.Int64
 	shards := map[string]string{}
-	for i, u := range c.cfg.Shards {
-		shards[u] = status[i]
+	for i, set := range c.sets {
+		setOK := false
+		for j, u := range set {
+			shards[u] = status[i][j]
+			if status[i][j] == "ok" {
+				setOK = true
+			}
+		}
+		if setOK {
+			healthy.Add(1)
+		}
 	}
 	body := map[string]any{
 		"healthy": healthy.Load(),

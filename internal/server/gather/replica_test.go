@@ -1,0 +1,202 @@
+package gather
+
+// Replica-set tests: '|'-separated shard entries, mid-query failover to
+// a fingerprint-matching standby, the fingerprint bar against laggy
+// standbys, and loud-partial only when a whole set is down.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mint"
+	"mint/internal/obs"
+	"mint/internal/server"
+	"mint/internal/shard"
+)
+
+// flakyFront proxies datasetinfo to the backing worker but fails every
+// query path — a primary that plans fine and dies mid-query.
+func flakyFront(t *testing.T, backend string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/datasetinfo" {
+			req, err := http.NewRequestWithContext(r.Context(), r.Method, backend+r.URL.Path, r.Body)
+			if err != nil {
+				w.WriteHeader(http.StatusBadGateway)
+				return
+			}
+			req.Header = r.Header
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				w.WriteHeader(http.StatusBadGateway)
+				return
+			}
+			defer resp.Body.Close()
+			w.WriteHeader(resp.StatusCode)
+			var body json.RawMessage
+			json.NewDecoder(resp.Body).Decode(&body) //nolint:errcheck
+			w.Write(body)                            //nolint:errcheck
+			return
+		}
+		http.Error(w, "injected: primary died mid-query", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestReplicaSetFailoverExact(t *testing.T) {
+	g := testGraph()
+	graphs := map[string]*mint.Graph{"g": g}
+	// Set 0: a primary that dies on every query + a healthy replica of
+	// the same graph. Set 1: a plain healthy single.
+	_, replicaTS := newWorker(t, graphs, nil)
+	primary := flakyFront(t, replicaTS.URL)
+	_, otherTS := newWorker(t, graphs, nil)
+
+	reg := obs.New("mintd")
+	_, cts := newCoordinator(t, []string{primary.URL + "|" + replicaTS.URL, otherTS.URL},
+		func(cfg *Config) { cfg.Obs = reg; cfg.MaxAttempts = 1 })
+
+	want := mint.Count(g, mint.M1(testDelta))
+	var resp server.CountResponse
+	status, _ := postJSON(t, cts.URL+"/v1/count",
+		server.CountRequest{Dataset: "g", Motif: "M1", DeltaSeconds: testDelta}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200", status)
+	}
+	if !resp.Exact || resp.Partial != nil || resp.Truncated {
+		t.Fatalf("failover answer not pure exact: %+v", resp)
+	}
+	if int64(resp.Count) != want {
+		t.Fatalf("failover count %v, oracle %d", resp.Count, want)
+	}
+	if reg.Counter("gather.failover").Value() == 0 {
+		t.Fatal("gather.failover counter did not move")
+	}
+}
+
+func TestReplicaSetDeadPrimaryPlansOntoStandby(t *testing.T) {
+	g := testGraph()
+	graphs := map[string]*mint.Graph{"g": g}
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	t.Cleanup(dead.Close)
+	_, replicaTS := newWorker(t, graphs, nil)
+
+	_, cts := newCoordinator(t, []string{dead.URL + "|" + replicaTS.URL}, nil)
+	want := mint.Count(g, mint.M1(testDelta))
+	var resp server.CountResponse
+	status, _ := postJSON(t, cts.URL+"/v1/count",
+		server.CountRequest{Dataset: "g", Motif: "M1", DeltaSeconds: testDelta}, &resp)
+	if status != http.StatusOK || !resp.Exact || int64(resp.Count) != want {
+		t.Fatalf("dead-primary plan: %d %+v, oracle %d", status, resp, want)
+	}
+}
+
+func TestFailoverRejectsLaggyStandby(t *testing.T) {
+	g := testGraph()
+	// The standby serves a DIFFERENT graph under the same name — a laggy
+	// copy with another fingerprint. Failing over to it would merge a
+	// silently different window; the coordinator must refuse it and
+	// degrade to loud-partial instead.
+	laggy := testGraph()
+	laggyEdges := laggy.Edges[:len(laggy.Edges)/2]
+	shortG, err := mint.NewGraph(laggyEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.Fingerprint(shortG) == shard.Fingerprint(g) {
+		t.Fatal("fixture graphs must differ")
+	}
+	_, fullTS := newWorker(t, map[string]*mint.Graph{"g": g}, nil)
+	primary := flakyFront(t, fullTS.URL)
+	_, laggyTS := newWorker(t, map[string]*mint.Graph{"g": shortG}, nil)
+	_, otherTS := newWorker(t, map[string]*mint.Graph{"g": g}, nil)
+
+	reg := obs.New("mintd")
+	_, cts := newCoordinator(t, []string{primary.URL + "|" + laggyTS.URL, otherTS.URL},
+		func(cfg *Config) { cfg.Obs = reg; cfg.MaxAttempts = 1 })
+
+	var resp server.CountResponse
+	status, _ := postJSON(t, cts.URL+"/v1/count",
+		server.CountRequest{Dataset: "g", Motif: "M1", DeltaSeconds: testDelta}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d (partial answers are 200 with loud markers)", status)
+	}
+	if resp.Partial == nil || resp.Exact || !resp.Truncated {
+		t.Fatalf("laggy-standby answer must be loud-partial: %+v", resp)
+	}
+	if reg.Counter("gather.failover_fp_mismatch").Value() == 0 {
+		t.Fatal("gather.failover_fp_mismatch counter did not move")
+	}
+	if reg.Counter("gather.failover").Value() != 0 {
+		t.Fatal("coordinator counted a failover it refused")
+	}
+}
+
+func TestWholeSetDownLoudPartial(t *testing.T) {
+	g := testGraph()
+	deadA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	t.Cleanup(deadA.Close)
+	deadB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	t.Cleanup(deadB.Close)
+	_, healthyTS := newWorker(t, map[string]*mint.Graph{"g": g}, nil)
+
+	_, cts := newCoordinator(t, []string{deadA.URL + "|" + deadB.URL, healthyTS.URL},
+		func(cfg *Config) { cfg.MaxAttempts = 1 })
+	var resp server.CountResponse
+	status, _ := postJSON(t, cts.URL+"/v1/count",
+		server.CountRequest{Dataset: "g", Motif: "M1", DeltaSeconds: testDelta}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if resp.Partial == nil || len(resp.Partial.MissingShards) != 1 {
+		t.Fatalf("whole-set-down answer: %+v", resp)
+	}
+	wantLabel := setLabel([]string{deadA.URL, deadB.URL})
+	if resp.Partial.MissingShards[0] != wantLabel {
+		t.Fatalf("missing label %q, want %q", resp.Partial.MissingShards[0], wantLabel)
+	}
+}
+
+func TestCoordinatorReadyzCountsSets(t *testing.T) {
+	g := testGraph()
+	graphs := map[string]*mint.Graph{"g": g}
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	t.Cleanup(dead.Close)
+	_, aliveTS := newWorker(t, graphs, nil)
+	_, otherTS := newWorker(t, graphs, nil)
+
+	// Set 0 has a dead primary but a live standby: the SET is healthy.
+	_, cts := newCoordinator(t, []string{dead.URL + "|" + aliveTS.URL, otherTS.URL}, nil)
+	resp, err := http.Get(cts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rz struct {
+		Healthy int               `json:"healthy"`
+		Shards  map[string]string `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with a one-replica-down set: %d (%+v)", resp.StatusCode, rz)
+	}
+	if rz.Healthy != 2 {
+		t.Fatalf("set counting: healthy=%d, want 2 (a set with a live standby is healthy)", rz.Healthy)
+	}
+	if len(rz.Shards) != 3 {
+		t.Fatalf("per-member probe map: %+v", rz.Shards)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mint"
+	"mint/internal/edgelog"
 	"mint/internal/obs"
 	"mint/internal/runctl"
 )
@@ -190,6 +191,9 @@ type DatasetInfoResponse struct {
 	MinTS       int64  `json:"min_ts"`
 	MaxTS       int64  `json:"max_ts"`
 	Fingerprint string `json:"fingerprint"`
+	// Live marks a mutable (ingest/replicated) dataset: its fingerprint
+	// describes this instant, so coordinators must not cache it.
+	Live bool `json:"live,omitempty"`
 }
 
 // ProfileRequest asks for the M1–M4 motif profile of a dataset.
@@ -240,6 +244,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/standing", s.instrument("standing", s.handleStandingRegister))
 	s.mux.HandleFunc("GET /v1/standing", s.instrument("standing_list", s.handleStandingList))
 	s.mux.HandleFunc("DELETE /v1/standing/{name}", s.instrument("standing_delete", s.handleStandingUnregister))
+	s.mux.HandleFunc("POST /v1/replication/pull", s.instrument("replication_pull", s.handleReplicationPull))
+	s.mux.HandleFunc("GET /v1/replication/snapshot", s.instrument("replication_snapshot", s.handleReplicationSnapshot))
+	s.mux.HandleFunc("GET /v1/replication/status", s.instrument("replication_status", s.handleReplicationStatus))
+	s.mux.HandleFunc("POST /v1/promote", s.instrument("promote", s.handlePromote))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceDump)
@@ -925,6 +933,7 @@ func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
 		Nodes:       g.NumNodes(),
 		Edges:       g.NumEdges(),
 		Fingerprint: s.fingerprintOf(req.Dataset, g),
+		Live:        s.cfg.Ingest.Enabled() && req.Dataset == s.cfg.Ingest.Name(),
 	}
 	if n := g.NumEdges(); n > 0 {
 		out.MinTS = int64(g.Edges[0].Time)
@@ -956,7 +965,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		// rebuilt the live graph: flipping ready earlier would route
 		// traffic to a dataset that is still missing durable edges.
 		if s.liveReplaying.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "replaying"})
+			body := map[string]any{"status": "replaying"}
+			// Replay progress: how far through the WAL the rebuild is, so
+			// an operator watching readyz can tell stuck from slow.
+			if p, ok := s.replayProg.Load().(edgelog.ReplayProgress); ok {
+				body["progress"] = p
+			}
+			writeJSON(w, http.StatusServiceUnavailable, body)
 			return
 		}
 		st, err := s.liveStream()
@@ -965,6 +980,21 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 				"status": "ingest_failed", "error": err.Error(),
 			})
 			return
+		}
+		if _, following := s.followingSource(); following {
+			// A follower is not ready until fingerprint-verified catch-up:
+			// routing reads to a syncing standby would serve answers from a
+			// graph that is behind the primary's acked history.
+			f := s.currentFollower()
+			if f == nil || !f.CaughtUp() {
+				body := map[string]any{"status": "syncing"}
+				if f != nil {
+					body["replication"] = f.Status()
+				}
+				writeJSON(w, http.StatusServiceUnavailable, body)
+				return
+			}
+			out["replication"] = f.Status()
 		}
 		info := st.Info()
 		s.liveMu.Lock()

@@ -56,6 +56,13 @@ type IngestConfig struct {
 	// clamped to the WAL's own record limit (edgelog.MaxBatchEdges) so
 	// an accepted batch always fits one replayable record.
 	MaxBatchEdges int
+	// Follow, when set, runs this node as a hot standby of the primary
+	// mintd at this base URL: the live dataset is read-only here (writes
+	// answer 409 pointing at the primary), WAL records are pulled and
+	// applied continuously, and /readyz stays 503 "syncing" until
+	// fingerprint-verified catch-up. POST /v1/promote flips the node to
+	// primary. Requires Dir.
+	Follow string
 }
 
 // DefaultMaxBatchEdges is the per-request edge-batch cap when
@@ -107,6 +114,7 @@ func (s *Server) openLive() {
 		SyncEvery:     s.cfg.Ingest.SyncEvery,
 		Chaos:         s.cfg.Chaos,
 		Obs:           s.obs,
+		Progress:      func(p edgelog.ReplayProgress) { s.replayProg.Store(p) },
 	})
 	s.liveMu.Lock()
 	s.live, s.liveRec, s.liveErr = st, rec, err
@@ -123,6 +131,11 @@ func (s *Server) openLive() {
 		s.obs.Counter("server.ingest.replay_truncated").Add(1)
 	}
 	s.obs.Histogram("server.ingest.replay_ns").Observe(int64(time.Since(start)))
+	if s.cfg.Ingest.Follow != "" {
+		// Follower mode: start pulling from the primary. Readiness stays
+		// gated on catch-up (handleReadyz), not on this goroutine.
+		s.startFollower(st)
+	}
 }
 
 // liveStream resolves the ingest stream, or the error that explains
@@ -145,6 +158,12 @@ func (s *Server) liveStream() (*mint.Stream, error) {
 		return nil, ErrReplaying
 	}
 	return s.live, nil
+}
+
+// LiveStream exposes the ingest stream once replay has landed (tests,
+// replication harnesses); it returns the same errors liveStream does.
+func (s *Server) LiveStream() (*mint.Stream, error) {
+	return s.liveStream()
 }
 
 // LiveReady returns a channel that closes once startup replay has
@@ -287,6 +306,9 @@ func (s *Server) writeLiveError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.gateWrites(w) {
+		return
+	}
 	var req IngestRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -366,6 +388,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStandingRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.gateWrites(w) {
+		return
+	}
 	var req StandingRegisterRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -446,6 +471,9 @@ func (s *Server) handleStandingList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStandingUnregister(w http.ResponseWriter, r *http.Request) {
+	if !s.gateWrites(w) {
+		return
+	}
 	name := r.PathValue("name")
 	if name == "" {
 		writeError(w, http.StatusBadRequest, "name is required", 0)
@@ -456,7 +484,12 @@ func (s *Server) handleStandingUnregister(w http.ResponseWriter, r *http.Request
 		s.writeLiveError(w, err)
 		return
 	}
-	if !st.Unregister(name) {
+	ok, err := st.Unregister(name)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error(), RetryAfterSeconds(30*time.Second))
+		return
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, "no standing query named "+name, 0)
 		return
 	}

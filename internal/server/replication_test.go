@@ -1,0 +1,326 @@
+package server
+
+// Serving-layer replication tests: follower-mode write gating, readyz
+// catch-up gating with replay progress, epoch fencing at the pull
+// handler, and the promote flow.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mint"
+	"mint/internal/edgelog"
+	"mint/internal/replica"
+	"mint/internal/runctl"
+)
+
+// newFollowerServer builds a server in -follow mode against primary.
+func newFollowerServer(t *testing.T, primary string) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Loader: graphLoader(testGraphs()),
+		Caps:   runctl.Caps{DefaultTimeout: 10 * time.Second, MaxTimeout: 30 * time.Second},
+		Ingest: IngestConfig{Dir: t.TempDir(), Dataset: "live", SnapshotEvery: -1, Follow: primary},
+	}
+	s := New(cfg)
+	<-s.LiveReady()
+	if _, err := s.IngestRecovery(); err != nil {
+		t.Fatalf("follower ingest open: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	// Stop the pull loop before the primary's httptest server closes:
+	// a live long-poll would hold its Close for seconds.
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+func waitFollowerReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if getJSON(t, url+"/readyz", nil) == http.StatusOK {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var body map[string]any
+	code := getJSON(t, url+"/readyz", &body)
+	t.Fatalf("follower never ready: %d %v", code, body)
+}
+
+func TestFollowerModePromoteEndToEnd(t *testing.T) {
+	_, pts := newIngestServer(t, t.TempDir(), nil)
+	edges := []mint.Edge{
+		{Src: 1, Dst: 2, Time: 10}, {Src: 2, Dst: 3, Time: 20},
+		{Src: 3, Dst: 1, Time: 30}, {Src: 1, Dst: 3, Time: 40},
+	}
+	ingestBatch(t, pts.URL, 1, edges[:2])
+	ingestBatch(t, pts.URL, 2, edges[2:])
+
+	fs, fts := newFollowerServer(t, pts.URL)
+	waitFollowerReady(t, fts.URL)
+
+	// Ready follower reports caught_up with the primary's fingerprint.
+	var st replica.Status
+	if code := getJSON(t, fts.URL+"/v1/replication/status", &st); code != http.StatusOK {
+		t.Fatalf("replication status: %d", code)
+	}
+	var pst replica.Status
+	getJSON(t, pts.URL+"/v1/replication/status", &pst)
+	if !st.CaughtUp || st.State != replica.StateCaughtUp || st.Fingerprint != pst.Fingerprint {
+		t.Fatalf("follower status %+v vs primary %+v", st, pst)
+	}
+	if pst.Role != "primary" || pst.State != "primary" {
+		t.Fatalf("primary status: %+v", pst)
+	}
+
+	// Counts served by the follower equal the primary's.
+	var pc, fc CountResponse
+	req := CountRequest{Dataset: "live", Motif: "M1", DeltaSeconds: testDelta}
+	if code, _ := postJSON(t, pts.URL+"/v1/count", req, &pc); code != http.StatusOK {
+		t.Fatalf("primary count: %d", code)
+	}
+	if code, _ := postJSON(t, fts.URL+"/v1/count", req, &fc); code != http.StatusOK {
+		t.Fatalf("follower count: %d", code)
+	}
+	if fc.Count != pc.Count || !fc.Exact {
+		t.Fatalf("follower count %v (exact=%v) != primary %v", fc.Count, fc.Exact, pc.Count)
+	}
+
+	// Writes bounce off a follower with a loud 409 pointing at the primary.
+	code, _ := postJSON(t, fts.URL+"/v1/edges", IngestRequest{
+		ClientID: "test", ClientSeq: 9, Edges: []IngestEdge{{Src: 7, Dst: 8, Time: 99}},
+	}, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("follower accepted a write: %d, want 409", code)
+	}
+	code, _ = postJSON(t, fts.URL+"/v1/standing", StandingRegisterRequest{
+		Name: "q", Motif: "M1", DeltaSeconds: testDelta,
+	}, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("follower accepted a standing registration: %d, want 409", code)
+	}
+
+	// Promote: epoch bumps, role flips, writes now land.
+	var pr PromoteResponse
+	if code, _ := postJSON(t, fts.URL+"/v1/promote", struct{}{}, &pr); code != http.StatusOK {
+		t.Fatalf("promote: %d", code)
+	}
+	if pr.Status != "promoted" || pr.Epoch != 2 {
+		t.Fatalf("promote response: %+v", pr)
+	}
+	getJSON(t, fts.URL+"/v1/replication/status", &st)
+	if st.Role != "primary" || st.Epoch != 2 {
+		t.Fatalf("post-promote status: %+v", st)
+	}
+	code, _ = postJSON(t, fts.URL+"/v1/edges", IngestRequest{
+		ClientID: "test", ClientSeq: 3, Edges: []IngestEdge{{Src: 7, Dst: 8, Time: 99}},
+	}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("promoted node refused a write: %d", code)
+	}
+	// A second promote is a no-op, not a second epoch bump.
+	postJSON(t, fts.URL+"/v1/promote", struct{}{}, &pr)
+	if pr.Status != "already_primary" {
+		t.Fatalf("second promote: %+v", pr)
+	}
+	_ = fs
+}
+
+func TestPromoteRefusesLaggyUnlessForced(t *testing.T) {
+	// The primary is unreachable from the start: the follower can never
+	// verify catch-up, so an unforced promote must refuse.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	t.Cleanup(dead.Close)
+	_, fts := newFollowerServer(t, dead.URL)
+
+	var pr PromoteResponse
+	code, _ := postJSON(t, fts.URL+"/v1/promote", struct{}{}, &pr)
+	if code != http.StatusConflict {
+		t.Fatalf("promote of a syncing follower: %d, want 409", code)
+	}
+	code, _ = postJSON(t, fts.URL+"/v1/promote?force=1", struct{}{}, &pr)
+	if code != http.StatusOK || pr.Status != "promoted" {
+		t.Fatalf("forced promote: %d %+v", code, pr)
+	}
+	// The promoted node serves writes even though it never caught up —
+	// force is the operator saying "this copy is now the truth".
+	code, _ = postJSON(t, fts.URL+"/v1/edges", IngestRequest{
+		ClientID: "test", ClientSeq: 1, Edges: []IngestEdge{{Src: 1, Dst: 2, Time: 5}},
+	}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("forced-promoted node refused a write: %d", code)
+	}
+}
+
+func TestPullEpochFencingLatches(t *testing.T) {
+	_, ts := newIngestServer(t, t.TempDir(), nil)
+	ingestBatch(t, ts.URL, 1, []mint.Edge{{Src: 1, Dst: 2, Time: 10}})
+
+	// A pull carrying a newer epoch proves a promotion happened
+	// elsewhere: this node is deposed and must latch fenced.
+	var out replica.PullResponse
+	code, _ := postJSON(t, ts.URL+"/v1/replication/pull", replica.PullRequest{
+		Dataset: "live", FromSeq: 2, Epoch: 7,
+	}, &out)
+	if code != http.StatusConflict {
+		t.Fatalf("pull with newer epoch: %d, want 409", code)
+	}
+	// Fenced is sticky: writes refuse with 503 from now on.
+	code, _ = postJSON(t, ts.URL+"/v1/edges", IngestRequest{
+		ClientID: "test", ClientSeq: 2, Edges: []IngestEdge{{Src: 3, Dst: 4, Time: 20}},
+	}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("fenced node accepted a write: %d, want 503", code)
+	}
+	// And shipping refuses too — even for an old-epoch puller.
+	code, _ = postJSON(t, ts.URL+"/v1/replication/pull", replica.PullRequest{
+		Dataset: "live", FromSeq: 2, Epoch: 1,
+	}, &out)
+	if code != http.StatusConflict {
+		t.Fatalf("fenced node shipped records: %d, want 409", code)
+	}
+	var st replica.Status
+	getJSON(t, ts.URL+"/v1/replication/status", &st)
+	if !st.Fenced || st.State != "fenced" {
+		t.Fatalf("fenced status: %+v", st)
+	}
+	// A fenced node cannot be promoted (its history may be behind the
+	// newer epoch's).
+	code, _ = postJSON(t, ts.URL+"/v1/promote", struct{}{}, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("promote of fenced node: %d, want 409", code)
+	}
+}
+
+func TestReplicationPullShipsRecords(t *testing.T) {
+	_, ts := newIngestServer(t, t.TempDir(), nil)
+	edges := []mint.Edge{{Src: 1, Dst: 2, Time: 10}, {Src: 2, Dst: 3, Time: 20}}
+	ingestBatch(t, ts.URL, 1, edges)
+
+	var out replica.PullResponse
+	code, _ := postJSON(t, ts.URL+"/v1/replication/pull", replica.PullRequest{
+		Dataset: "live", FromSeq: 1, Epoch: 1,
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("pull: %d", code)
+	}
+	if len(out.Records) != 1 || out.Records[0].Seq != 1 || len(out.Records[0].Edges) != 2 {
+		t.Fatalf("pull records: %+v", out.Records)
+	}
+	if out.Seq != 1 || out.Fingerprint == "" || out.Epoch != 1 {
+		t.Fatalf("pull position: %+v", out)
+	}
+	// Wrong dataset is a 400, not an empty 200.
+	code, _ = postJSON(t, ts.URL+"/v1/replication/pull", replica.PullRequest{
+		Dataset: "nope", FromSeq: 1, Epoch: 1,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("pull wrong dataset: %d, want 400", code)
+	}
+}
+
+func TestReadyzReplayingReportsProgress(t *testing.T) {
+	s, ts := newIngestServer(t, t.TempDir(), nil)
+	ingestBatch(t, ts.URL, 1, []mint.Edge{{Src: 1, Dst: 2, Time: 10}})
+
+	s.replayProg.Store(edgelog.ReplayProgress{
+		SegmentsDone: 1, SegmentsTotal: 3, Records: 42, Bytes: 4096,
+	})
+	s.liveReplaying.Store(true)
+	defer s.liveReplaying.Store(false)
+
+	var rz struct {
+		Status   string                 `json:"status"`
+		Progress edgelog.ReplayProgress `json:"progress"`
+	}
+	code := getJSON(t, ts.URL+"/readyz", &rz)
+	if code != http.StatusServiceUnavailable || rz.Status != "replaying" {
+		t.Fatalf("readyz during replay: %d %+v", code, rz)
+	}
+	if rz.Progress.SegmentsTotal != 3 || rz.Progress.Records != 42 {
+		t.Fatalf("replay progress not reported: %+v", rz.Progress)
+	}
+}
+
+func TestReadyzSyncingGateUntilCaughtUp(t *testing.T) {
+	// Follower of a dead primary: live replay finished, but catch-up
+	// can't be verified — /readyz must answer 503 "syncing", not ready.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	t.Cleanup(dead.Close)
+	_, fts := newFollowerServer(t, dead.URL)
+
+	var rz map[string]any
+	code := getJSON(t, fts.URL+"/readyz", &rz)
+	if code != http.StatusServiceUnavailable || rz["status"] != "syncing" {
+		t.Fatalf("syncing follower readyz: %d %v", code, rz)
+	}
+	if _, ok := rz["replication"]; !ok {
+		t.Fatalf("syncing readyz missing replication detail: %v", rz)
+	}
+}
+
+func TestFollowerMirrorsStandingBoard(t *testing.T) {
+	_, pts := newIngestServer(t, t.TempDir(), nil)
+	code, _ := postJSON(t, pts.URL+"/v1/standing", StandingRegisterRequest{
+		Name: "q1", Motif: "M1", DeltaSeconds: testDelta,
+	}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("register on primary: %d", code)
+	}
+	ingestBatch(t, pts.URL, 1, []mint.Edge{
+		{Src: 1, Dst: 2, Time: 10}, {Src: 2, Dst: 3, Time: 20}, {Src: 3, Dst: 1, Time: 30},
+	})
+
+	_, fts := newFollowerServer(t, pts.URL)
+	waitFollowerReady(t, fts.URL)
+
+	// The registration shipped as a WAL record; after catch-up the
+	// follower's board holds the same query with the same exact count.
+	read := func(url string) []mint.StandingCount {
+		var out struct {
+			Standing []mint.StandingCount `json:"standing"`
+		}
+		if code := getJSON(t, url+"/v1/standing", &out); code != http.StatusOK {
+			t.Fatalf("GET /v1/standing %s: %d", url, code)
+		}
+		return out.Standing
+	}
+	want := read(pts.URL)
+	got := read(fts.URL)
+	if len(want) != 1 || len(got) != 1 {
+		t.Fatalf("boards: primary %+v follower %+v", want, got)
+	}
+	if got[0].Name != want[0].Name || got[0].Count != want[0].Count || got[0].Stale {
+		t.Fatalf("follower board %+v != primary %+v", got[0], want[0])
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt available for debugging edits

@@ -26,6 +26,7 @@ import (
 	"mint"
 	"mint/internal/datasets"
 	"mint/internal/obs"
+	"mint/internal/replica"
 	"mint/internal/runctl"
 	"mint/internal/server/registry"
 	"mint/internal/shard"
@@ -125,6 +126,20 @@ type Server struct {
 	liveRec       mint.StreamRecovery
 	liveReady     chan struct{}
 	liveReplaying atomic.Bool
+
+	// Replication state. follower/followerStop/followerDone exist only
+	// in -follow mode; promoted flips once POST /v1/promote succeeds;
+	// fenced latches when a pull proves a newer epoch exists (this node
+	// was deposed — refuse writes and shipping forever after);
+	// replayProg holds the latest edgelog.ReplayProgress for /readyz.
+	replMu       sync.Mutex
+	follower     *replica.Follower
+	followerStop context.CancelFunc
+	followerDone chan struct{}
+	promoted     bool
+	promoteMu    sync.Mutex
+	fenced       atomic.Bool
+	replayProg   atomic.Value
 
 	// fps caches per-dataset identity fingerprints: shard.Fingerprint is
 	// a full O(edges) scan and datasetinfo is called per fan-out, so
@@ -278,10 +293,19 @@ func (s *Server) Drain(ctx context.Context) error {
 	if graceful {
 		s.cancelRuns() // release the AfterFunc watchers
 	}
-	// In-flight work is done; seal the ingest stream. Close syncs and
-	// releases the WAL so a restart replays a clean tail.
+	// In-flight work is done; seal the ingest stream. Stop the follower
+	// pull loop first — it appends to the same stream Close is about to
+	// seal. Close syncs and releases the WAL so a restart replays a
+	// clean tail.
 	if s.cfg.Ingest.Enabled() {
 		<-s.liveReady
+		s.replMu.Lock()
+		stop, fdone := s.followerStop, s.followerDone
+		s.replMu.Unlock()
+		if stop != nil {
+			stop()
+			<-fdone
+		}
 		s.liveMu.Lock()
 		st := s.live
 		s.live = nil

@@ -154,8 +154,10 @@ func TestDifferentialStreamingCounts(t *testing.T) {
 			live, _ := s.Graph()
 			s.Close()
 
-			// Cold restart: replay the WAL, re-register, and require
-			// bit-identical counts to the pre-restart live graph.
+			// Cold restart: replay the WAL and require bit-identical counts
+			// to the pre-restart live graph. Registrations are durable WAL
+			// records now, so the board restores (and reseeds) itself — a
+			// re-register must refuse as a duplicate, not silently reset.
 			s2, rec, err := mint.OpenStream(dir, mint.StreamOptions{
 				Workers: 2,
 				Window:  sc.window,
@@ -170,13 +172,23 @@ func TestDifferentialStreamingCounts(t *testing.T) {
 			if got := s2.Info(); got.Fingerprint != finalInfo.Fingerprint {
 				t.Fatalf("cold fingerprint %s != live %s", got.Fingerprint, finalInfo.Fingerprint)
 			}
+			restored := map[string]mint.StandingCount{}
+			for _, st := range s2.Standing() {
+				restored[st.Name] = st
+			}
 			for _, q := range sqs {
-				st, err := s2.Register(context.Background(), q.name, q.motif)
-				if err != nil {
-					t.Fatalf("cold Register %s: %v", q.name, err)
+				st, ok := restored[q.name]
+				if !ok {
+					t.Fatalf("cold reopen lost standing query %s", q.name)
+				}
+				if st.Stale {
+					t.Fatalf("cold-restored %s stale: %s", q.name, st.Reason)
 				}
 				if want := mint.Count(live, q.motif); st.Count != want {
 					t.Fatalf("cold %s = %d, live mine = %d", q.name, st.Count, want)
+				}
+				if _, err := s2.Register(context.Background(), q.name, q.motif); err == nil {
+					t.Fatalf("re-registering restored %s did not refuse", q.name)
 				}
 			}
 		})
@@ -230,7 +242,12 @@ func TestStreamingStaleNeverWrong(t *testing.T) {
 		}
 		history[seq] = h
 	}
-	record(0)
+	// Registrations are durable WAL records now, so each one consumed a
+	// sequence number; a query seeded at registration claims that seq.
+	// The graph was empty through all of them.
+	for seq := uint64(0); seq <= s.Info().Seq; seq++ {
+		record(seq)
+	}
 
 	sawStale := false
 	for i := 0; i < len(edges); i += 15 {
@@ -266,16 +283,24 @@ func TestStreamingStaleNeverWrong(t *testing.T) {
 	live, _ := s.Graph()
 	s.Close()
 
-	// Chaos-free recovery from the same WAL: exact again.
+	// Chaos-free recovery from the same WAL: the durably-registered board
+	// restores itself and reseeds exact.
 	s2, _, err := mint.OpenStream(dir, mint.StreamOptions{Workers: 2})
 	if err != nil {
 		t.Fatalf("clean reopen: %v", err)
 	}
 	defer s2.Close()
+	recovered := map[string]mint.StandingCount{}
+	for _, st := range s2.Standing() {
+		recovered[st.Name] = st
+	}
 	for name, m := range registered {
-		st, err := s2.Register(context.Background(), name, m)
-		if err != nil {
-			t.Fatalf("clean Register %s: %v", name, err)
+		st, ok := recovered[name]
+		if !ok {
+			t.Fatalf("clean reopen lost standing query %s", name)
+		}
+		if st.Stale {
+			t.Fatalf("recovered %s stale without chaos: %s", name, st.Reason)
 		}
 		if want := mint.Count(live, m); st.Count != want {
 			t.Fatalf("recovered %s = %d, want %d", name, st.Count, want)

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 
 	"mint/internal/edgelog"
@@ -73,6 +74,9 @@ type StreamOptions struct {
 	Chaos *ChaosPlan
 	// Obs receives edgelog.* and stream.* instruments (nil-safe).
 	Obs *ObsRegistry
+	// Progress, when non-nil, receives per-segment replay progress during
+	// OpenStream (see edgelog.Options.Progress).
+	Progress func(edgelog.ReplayProgress)
 }
 
 // StreamRecovery reports what OpenStream rebuilt from disk.
@@ -105,11 +109,33 @@ type StandingCount struct {
 }
 
 type standingQuery struct {
-	name   string
-	motif  *Motif
-	count  int64
+	name  string
+	motif *Motif
+	count int64
+	// seeded is false for a query restored from the WAL/snapshot (or
+	// mirrored from a replication source) whose count has not been mined
+	// yet: the next integration fully mines it against the live graph.
+	// Standing counts are pure functions of the current graph, so seeding
+	// at catch-up equals having folded every append since registration.
+	seeded bool
 	stale  bool
 	reason string
+}
+
+// encodeStandingSpec renders a motif for a standing WAL record so the
+// exact motif — including its display name — survives restart. The last
+// '|' separates name from edges; edge specs never contain '|', so any
+// '|' in the name stays unambiguous.
+func encodeStandingSpec(m *Motif) string { return m.Name + "|" + m.String() }
+
+// parseStandingSpec inverts encodeStandingSpec; a spec with no separator
+// (foreign writer) falls back to the standing-query name.
+func parseStandingSpec(fallbackName string, delta Timestamp, spec string) (*Motif, error) {
+	name, edges := fallbackName, spec
+	if i := strings.LastIndexByte(spec, '|'); i >= 0 {
+		name, edges = spec[:i], spec[i+1:]
+	}
+	return ParseMotif(name, delta, edges)
 }
 
 // Stream is a durable, append-only live dataset with incremental
@@ -158,6 +184,7 @@ func OpenStream(dir string, opts StreamOptions) (*Stream, StreamRecovery, error)
 		SyncEvery:    opts.SyncEvery,
 		Chaos:        opts.Chaos,
 		Obs:          opts.Obs,
+		Progress:     opts.Progress,
 	})
 	if err != nil {
 		return nil, StreamRecovery{}, err
@@ -185,12 +212,21 @@ func OpenStream(dir string, opts StreamOptions) (*Stream, StreamRecovery, error)
 			s.observeTime(e.Time)
 		}
 		s.edges = append(s.edges, snap.Edges...)
+		for _, sp := range snap.Standing {
+			op := edgelog.StandingOp{Op: edgelog.StandingRegister, Name: sp.Name, Spec: sp.Spec, Delta: sp.Delta}
+			if err := s.applyStandingLocked(&op); err != nil {
+				l.Close()
+				return nil, rec, err
+			}
+		}
 	}
 	for _, r := range replay.Records {
-		s.applyLocked(r.Seq, r.Edges)
+		if err := s.consumeLocked(r); err != nil {
+			l.Close()
+			return nil, rec, err
+		}
 	}
-	// The replayed graph is the committed baseline for standing counts
-	// (none are registered yet, so this is just initial bookkeeping).
+	// The replayed graph is the committed baseline for standing counts.
 	g, err := s.graphLocked()
 	if err != nil {
 		l.Close()
@@ -201,8 +237,65 @@ func OpenStream(dir string, opts StreamOptions) (*Stream, StreamRecovery, error)
 	s.hasCountCut = s.hasCut
 	s.pendingMin = math.MaxInt64
 	s.integratedSeq = s.lastSeq
+	if len(s.queries) > 0 {
+		// Reseed restored standing queries with a full mine so the board
+		// is exact (not just present) the moment the stream opens. On
+		// failure the queries stay loudly stale and retry on the next
+		// append or Refresh — the stream itself is healthy.
+		if err := s.integrateLocked(context.Background()); err != nil {
+			s.opts.Obs.Counter("stream.reseed_errors").Add(1)
+		}
+	}
 	s.opts.Obs.Gauge("stream.edges").Set(int64(len(s.edges)))
 	return s, rec, nil
+}
+
+// consumeLocked folds one durable record of any kind into in-memory
+// state: edge batches go through applyLocked, standing records mutate the
+// query board, epoch records only advance the position (the log itself
+// tracks the epoch). Shared by replay and replication apply, so both
+// paths reconstruct identical state from identical histories.
+func (s *Stream) consumeLocked(r edgelog.Record) error {
+	switch r.Kind {
+	case edgelog.KindStanding:
+		if err := s.applyStandingLocked(r.Standing); err != nil {
+			return err
+		}
+		s.lastSeq = r.Seq
+	case edgelog.KindEpoch:
+		s.lastSeq = r.Seq
+	default:
+		s.applyLocked(r.Seq, r.Edges)
+	}
+	return nil
+}
+
+// applyStandingLocked replays one standing-board change. Registered
+// queries start unseeded and stale: present immediately, exact after the
+// next integration mines them.
+func (s *Stream) applyStandingLocked(op *edgelog.StandingOp) error {
+	if op == nil {
+		return errors.New("mint: standing record without a body")
+	}
+	switch op.Op {
+	case edgelog.StandingRegister:
+		m, err := parseStandingSpec(op.Name, Timestamp(op.Delta), op.Spec)
+		if err != nil {
+			// The spec was parsed successfully when the record was acked,
+			// so failing here means the log's history is not trustworthy.
+			return fmt.Errorf("mint: replaying standing registration %q: %w", op.Name, err)
+		}
+		s.queries[op.Name] = &standingQuery{
+			name: op.Name, motif: m,
+			stale: true, reason: "restored from log; awaiting reseed",
+		}
+	case edgelog.StandingUnregister:
+		delete(s.queries, op.Name)
+	default:
+		return fmt.Errorf("mint: unknown standing op %d for %q", op.Op, op.Name)
+	}
+	s.opts.Obs.Gauge("stream.standing_queries").Set(int64(len(s.queries)))
+	return nil
 }
 
 func (s *Stream) observeTime(t Timestamp) {
@@ -333,8 +426,29 @@ func (s *Stream) snapshotLocked() error {
 		Edges:     append([]Edge(nil), s.edges...),
 		Cutoff:    s.cutoff,
 		HasCutoff: s.hasCut,
+		Standing:  s.standingSpecsLocked(),
 	}
 	return s.log.WriteSnapshot(snap)
+}
+
+// standingSpecsLocked renders the standing board for a snapshot, sorted
+// by name so identical boards serialize identically.
+func (s *Stream) standingSpecsLocked() []edgelog.StandingSpec {
+	if len(s.queries) == 0 {
+		return nil
+	}
+	specs := make([]edgelog.StandingSpec, 0, len(s.queries))
+	for _, q := range s.queries {
+		specs = append(specs, edgelog.StandingSpec{
+			Name: q.name, Spec: encodeStandingSpec(q.motif), Delta: int64(q.motif.Delta),
+		})
+	}
+	for i := 1; i < len(specs); i++ {
+		for j := i; j > 0 && specs[j].Name < specs[j-1].Name; j-- {
+			specs[j], specs[j-1] = specs[j-1], specs[j]
+		}
+	}
+	return specs
 }
 
 // Snapshot forces a WAL snapshot + compaction now.
@@ -371,7 +485,13 @@ func (s *Stream) integrateLocked(ctx context.Context) error {
 		s.integratedSeq = s.lastSeq
 		return nil
 	}
-	if s.pendingMin == math.MaxInt64 && s.hasCut == s.hasCountCut &&
+	var reseed []*standingQuery
+	for _, q := range s.queries {
+		if !q.seeded {
+			reseed = append(reseed, q)
+		}
+	}
+	if len(reseed) == 0 && s.pendingMin == math.MaxInt64 && s.hasCut == s.hasCountCut &&
 		s.cutoff == s.countCutoff && s.integratedSeq == s.lastSeq {
 		return nil // nothing to fold
 	}
@@ -381,11 +501,15 @@ func (s *Stream) integrateLocked(ctx context.Context) error {
 		return err
 	}
 
-	// Group standing queries by δ so each group's three windowed mines
-	// co-mine every member in one traversal.
+	// Group seeded standing queries by δ so each group's three windowed
+	// mines co-mine every member in one traversal. Unseeded queries
+	// (restored or mirrored) have no committed baseline to fold from and
+	// are fully mined against the live graph instead.
 	groups := map[Timestamp][]*standingQuery{}
 	for _, q := range s.queries {
-		groups[q.motif.Delta] = append(groups[q.motif.Delta], q)
+		if q.seeded {
+			groups[q.motif.Delta] = append(groups[q.motif.Delta], q)
+		}
 	}
 
 	type folded struct {
@@ -393,6 +517,34 @@ func (s *Stream) integrateLocked(ctx context.Context) error {
 		count int64
 	}
 	var commits []folded
+	if len(reseed) > 0 {
+		motifs := make([]*Motif, len(reseed))
+		for i, q := range reseed {
+			motifs[i] = q.motif
+		}
+		res, err := CountManyOpts(ctx, newG, motifs, BatchOptions{
+			Workers: s.opts.Workers,
+			Obs:     s.opts.Obs,
+			Chaos:   s.opts.Chaos,
+		}, s.opts.IntegrateBudget)
+		if err != nil {
+			s.markStaleLocked(err.Error())
+			return err
+		}
+		if res.Truncated {
+			err := fmt.Errorf("mint: reseed mine truncated: %v", res.StopReason)
+			s.markStaleLocked(err.Error())
+			return err
+		}
+		for i, pm := range res.PerMotif {
+			if pm.Truncated {
+				err := fmt.Errorf("mint: reseed mine truncated: %v", pm.StopReason)
+				s.markStaleLocked(err.Error())
+				return err
+			}
+			commits = append(commits, folded{q: reseed[i], count: pm.Matches})
+		}
+	}
 	for delta, qs := range groups {
 		motifs := make([]*Motif, len(qs))
 		for i, q := range qs {
@@ -497,6 +649,7 @@ func (s *Stream) integrateLocked(ctx context.Context) error {
 	// Every group folded cleanly: commit atomically.
 	for _, f := range commits {
 		f.q.count = f.count
+		f.q.seeded = true
 		f.q.stale = false
 		f.q.reason = ""
 	}
@@ -549,20 +702,45 @@ func (s *Stream) Register(ctx context.Context, name string, motif *Motif) (Stand
 	if res.Truncated || res.PerMotif[0].Truncated {
 		return StandingCount{}, fmt.Errorf("mint: initial mine for %q truncated (%v); not registering", name, res.StopReason)
 	}
-	q := &standingQuery{name: name, motif: motif, count: res.PerMotif[0].Matches}
+	// Persist the registration before exposing it: an acked standing
+	// query must survive restart (and ship to followers) like any edge.
+	rec, err := s.log.AppendStanding(edgelog.StandingOp{
+		Op: edgelog.StandingRegister, Name: name,
+		Spec: encodeStandingSpec(motif), Delta: int64(motif.Delta),
+	})
+	if err != nil {
+		return StandingCount{}, fmt.Errorf("mint: persisting standing query %q: %w", name, err)
+	}
+	s.lastSeq = rec.Seq
+	// integrateLocked above committed through the previous lastSeq and a
+	// standing record changes no edges, so the counts are exact here too.
+	s.integratedSeq = rec.Seq
+	q := &standingQuery{name: name, motif: motif, count: res.PerMotif[0].Matches, seeded: true}
 	s.queries[name] = q
 	s.opts.Obs.Gauge("stream.standing_queries").Set(int64(len(s.queries)))
 	return s.standingLocked(q), nil
 }
 
-// Unregister removes a standing query; unknown names are a no-op (false).
-func (s *Stream) Unregister(name string) bool {
+// Unregister removes a standing query, durably: the removal is a WAL
+// record, so it also survives restart and ships to followers. Unknown
+// names are a no-op (false, nil).
+func (s *Stream) Unregister(name string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.queries[name]
+	if s.closed {
+		return false, errors.New("mint: unregister on closed stream")
+	}
+	if _, ok := s.queries[name]; !ok {
+		return false, nil
+	}
+	rec, err := s.log.AppendStanding(edgelog.StandingOp{Op: edgelog.StandingUnregister, Name: name})
+	if err != nil {
+		return false, fmt.Errorf("mint: persisting unregister of %q: %w", name, err)
+	}
+	s.lastSeq = rec.Seq
 	delete(s.queries, name)
 	s.opts.Obs.Gauge("stream.standing_queries").Set(int64(len(s.queries)))
-	return ok
+	return true, nil
 }
 
 // Refresh retries a failed integration now (no-op when counts are
@@ -616,6 +794,115 @@ func (s *Stream) Graph() (*Graph, error) {
 	return s.graphLocked()
 }
 
+// ApplyReplicated appends one record shipped from a replication source
+// verbatim — same seq, same kind, same payload — and folds it into the
+// live edge set. It does NOT integrate standing counts (a follower
+// refreshes once caught up; per-record mines during catch-up would cost
+// thousands of mines with no reader) — restored queries stay loudly
+// stale until then. A seq mismatch is a divergence refusal from the log.
+func (s *Stream) ApplyReplicated(rec edgelog.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("mint: apply on closed stream")
+	}
+	if err := s.log.AppendRecord(rec); err != nil {
+		return err
+	}
+	if err := s.consumeLocked(rec); err != nil {
+		return err
+	}
+	s.opts.Obs.Counter("stream.replicated_records").Add(1)
+	s.appendsSinceSnap++
+	if s.opts.SnapshotEvery > 0 && s.appendsSinceSnap >= s.opts.SnapshotEvery {
+		if err := s.snapshotLocked(); err != nil {
+			s.opts.Obs.Counter("stream.snapshot_errors").Add(1)
+		} else {
+			s.appendsSinceSnap = 0
+		}
+	}
+	return nil
+}
+
+// InstallSnapshot bootstraps this stream from a snapshot shipped by a
+// replication source whose older WAL records were compacted away. The
+// underlying log refuses the install unless it is empty — installing
+// over local history would be silent divergence repair.
+func (s *Stream) InstallSnapshot(snap *edgelog.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("mint: snapshot install on closed stream")
+	}
+	if err := s.log.InstallSnapshot(snap); err != nil {
+		return err
+	}
+	s.edges = append(s.edges[:0:0], snap.Edges...)
+	s.maxTime, s.hasMax = 0, false
+	for _, e := range snap.Edges {
+		s.observeTime(e.Time)
+	}
+	s.cutoff, s.hasCut = 0, false
+	if snap.HasCutoff || snap.Cutoff != 0 {
+		s.cutoff, s.hasCut = snap.Cutoff, true
+	}
+	s.graph = nil
+	s.fpOK = false
+	s.lastSeq = snap.Seq
+	s.queries = map[string]*standingQuery{}
+	for _, sp := range snap.Standing {
+		op := edgelog.StandingOp{Op: edgelog.StandingRegister, Name: sp.Name, Spec: sp.Spec, Delta: sp.Delta}
+		if err := s.applyStandingLocked(&op); err != nil {
+			return err
+		}
+	}
+	g, err := s.graphLocked()
+	if err != nil {
+		return err
+	}
+	s.countGraph = g
+	s.countCutoff = s.cutoff
+	s.hasCountCut = s.hasCut
+	s.pendingMin = math.MaxInt64
+	s.integratedSeq = s.lastSeq
+	s.appendsSinceSnap = 0
+	s.opts.Obs.Gauge("stream.edges").Set(int64(len(s.edges)))
+	return nil
+}
+
+// ReadRecords exposes the log's shipping reader (see
+// edgelog.Log.ReadRecords): durable records from fromSeq, plus the byte
+// lag beyond the last one returned.
+func (s *Stream) ReadRecords(fromSeq uint64, max int) ([]edgelog.Record, int64, error) {
+	return s.log.ReadRecords(fromSeq, max)
+}
+
+// LoadSnapshot reads the stream's on-disk snapshot (nil when none), for
+// bootstrapping a follower whose requested records were compacted away.
+func (s *Stream) LoadSnapshot() (*edgelog.Snapshot, error) {
+	return edgelog.LoadSnapshot(s.log.Dir())
+}
+
+// Epoch returns the stream's replication epoch.
+func (s *Stream) Epoch() uint64 { return s.log.Epoch() }
+
+// BumpEpoch durably raises the replication epoch (promotion): an epoch
+// record lands in the WAL — fsynced — and ships to any follower like
+// every other record.
+func (s *Stream) BumpEpoch(to uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("mint: epoch bump on closed stream")
+	}
+	rec, err := s.log.BumpEpoch(to)
+	if err != nil {
+		return err
+	}
+	s.lastSeq = rec.Seq
+	return nil
+}
+
 // Info reports the stream's position for readiness and dataset-info
 // endpoints.
 type StreamInfo struct {
@@ -625,6 +912,7 @@ type StreamInfo struct {
 	MaxTime     Timestamp `json:"max_time"`
 	Fingerprint string    `json:"fingerprint"`
 	Segments    int       `json:"segments"`
+	Epoch       uint64    `json:"epoch"`
 }
 
 // Info returns the current stream position. The fingerprint covers the
@@ -647,6 +935,7 @@ func (s *Stream) Info() StreamInfo {
 		MaxTime:     s.maxTime,
 		Fingerprint: s.fp,
 		Segments:    s.log.SegmentCount(),
+		Epoch:       s.log.Epoch(),
 	}
 }
 

@@ -1,0 +1,215 @@
+package mint
+
+// Stream-level replication tests: durable standing-query registrations
+// (WAL records + snapshots), the verbatim ApplyReplicated mirror path,
+// and snapshot bootstrap via InstallSnapshot.
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mint/internal/testutil"
+)
+
+func TestStreamStandingSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenStream(dir, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testutil.RandomGraph(rand.New(rand.NewSource(7)), 10, 80, 600)
+	m1, m2 := M1(200), M2(350)
+	if _, err := s.Register(context.Background(), "q1", m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register(context.Background(), "q2", m2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(g.Edges); i += 9 {
+		end := i + 9
+		if end > len(g.Edges) {
+			end = len(g.Edges)
+		}
+		streamAppend(t, s, uint64(i/9+1), g.Edges[i:end])
+	}
+	if ok, err := s.Unregister("q2"); err != nil || !ok {
+		t.Fatalf("Unregister(q2) = %v, %v", ok, err)
+	}
+	live, _ := s.Graph()
+	want1 := Count(live, m1)
+	s.Close()
+
+	// Reopen: q1 restored from the WAL and reseeded exact; q2's durable
+	// unregister also replays, so it stays gone.
+	s2, _, err := OpenStream(dir, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	board := s2.Standing()
+	if len(board) != 1 || board[0].Name != "q1" {
+		t.Fatalf("restored board = %+v, want exactly q1", board)
+	}
+	if board[0].Stale {
+		t.Fatalf("restored q1 still stale after reseed: %s", board[0].Reason)
+	}
+	if board[0].Count != want1 {
+		t.Fatalf("restored q1 = %d, full mine = %d", board[0].Count, want1)
+	}
+}
+
+func TestStreamStandingSurvivesSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenStream(dir, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := M1(250)
+	if _, err := s.Register(context.Background(), "q", m); err != nil {
+		t.Fatal(err)
+	}
+	g := testutil.RandomGraph(rand.New(rand.NewSource(9)), 8, 60, 500)
+	streamAppend(t, s, 1, g.Edges)
+	// Compact everything — including the standing registration record —
+	// into a snapshot. The board must ride along in the snapshot itself.
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	live, _ := s.Graph()
+	want := Count(live, m)
+	s.Close()
+
+	s2, _, err := OpenStream(dir, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	board := s2.Standing()
+	if len(board) != 1 || board[0].Name != "q" {
+		t.Fatalf("board after snapshot compaction = %+v", board)
+	}
+	if board[0].Stale || board[0].Count != want {
+		t.Fatalf("snapshot-restored q: stale=%v count=%d want %d (%s)", board[0].Stale, board[0].Count, want, board[0].Reason)
+	}
+}
+
+func TestStreamApplyReplicatedMirror(t *testing.T) {
+	src, _, err := OpenStream(t.TempDir(), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, _, err := OpenStream(t.TempDir(), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	g := testutil.RandomGraph(rand.New(rand.NewSource(13)), 12, 100, 800)
+	m := M1(300)
+	if _, err := src.Register(context.Background(), "q", m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(g.Edges); i += 11 {
+		end := i + 11
+		if end > len(g.Edges) {
+			end = len(g.Edges)
+		}
+		streamAppend(t, src, uint64(i/11+1), g.Edges[i:end])
+	}
+	if err := src.BumpEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ship the whole history record-by-record, the follower's apply path.
+	recs, tail, err := src.ReadRecords(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail != 0 {
+		t.Fatalf("tail bytes after full read = %d", tail)
+	}
+	for _, r := range recs {
+		if err := dst.ApplyReplicated(r); err != nil {
+			t.Fatalf("apply seq %d: %v", r.Seq, err)
+		}
+	}
+	si, di := src.Info(), dst.Info()
+	if di.Fingerprint != si.Fingerprint || di.Seq != si.Seq || di.Epoch != si.Epoch {
+		t.Fatalf("mirror info %+v != source %+v", di, si)
+	}
+	// The mirrored standing board is present but stale until a refresh
+	// (catch-up does not mine per record); Refresh makes it exact.
+	board := dst.Standing()
+	if len(board) != 1 || board[0].Name != "q" {
+		t.Fatalf("mirrored board = %+v", board)
+	}
+	if err := dst.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srcLive, _ := src.Graph()
+	board = dst.Standing()
+	if board[0].Stale || board[0].Count != Count(srcLive, m) {
+		t.Fatalf("refreshed mirror q: stale=%v count=%d want %d", board[0].Stale, board[0].Count, Count(srcLive, m))
+	}
+	dstLive, _ := dst.Graph()
+	if !reflect.DeepEqual(srcLive.Edges, dstLive.Edges) {
+		t.Fatal("mirrored live edges differ from source")
+	}
+}
+
+func TestStreamInstallSnapshotBootstrap(t *testing.T) {
+	src, _, err := OpenStream(t.TempDir(), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	m := M1(200)
+	if _, err := src.Register(context.Background(), "q", m); err != nil {
+		t.Fatal(err)
+	}
+	g := testutil.RandomGraph(rand.New(rand.NewSource(21)), 9, 70, 500)
+	streamAppend(t, src, 1, g.Edges[:40])
+	if err := src.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	streamAppend(t, src, 2, g.Edges[40:])
+
+	snap, err := src.LoadSnapshot()
+	if err != nil || snap == nil {
+		t.Fatalf("LoadSnapshot: %+v err=%v", snap, err)
+	}
+
+	dst, _, err := OpenStream(t.TempDir(), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.InstallSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	// After the bootstrap, the compacted tail ships as normal records.
+	recs, _, err := src.ReadRecords(snap.Seq+1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := dst.ApplyReplicated(r); err != nil {
+			t.Fatalf("apply seq %d: %v", r.Seq, err)
+		}
+	}
+	si, di := src.Info(), dst.Info()
+	if di.Fingerprint != si.Fingerprint || di.Seq != si.Seq {
+		t.Fatalf("bootstrap mirror info %+v != source %+v", di, si)
+	}
+	if board := dst.Standing(); len(board) != 1 || board[0].Name != "q" {
+		t.Fatalf("standing board not carried by snapshot: %+v", board)
+	}
+	// A second install over the now non-empty log must refuse: that would
+	// be silent divergence repair.
+	if err := dst.InstallSnapshot(snap); err == nil {
+		t.Fatal("InstallSnapshot over non-empty log must refuse")
+	}
+}

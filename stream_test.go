@@ -165,8 +165,13 @@ func TestStreamStandingQueryIncremental(t *testing.T) {
 			}
 		}
 	}
-	if !s.Unregister("q1") || s.Unregister("q1") {
-		t.Fatalf("Unregister bookkeeping broken")
+	ok, err := s.Unregister("q1")
+	if err != nil || !ok {
+		t.Fatalf("Unregister(q1) = %v, %v; want true, nil", ok, err)
+	}
+	ok, err = s.Unregister("q1")
+	if err != nil || ok {
+		t.Fatalf("second Unregister(q1) = %v, %v; want false, nil", ok, err)
 	}
 }
 
@@ -307,8 +312,10 @@ func TestStreamStaleOnTruncatedIntegration(t *testing.T) {
 		t.Fatalf("standing not loudly stale: %+v", sc)
 	}
 	// Stale = frozen at the last committed value, never silently wrong.
-	if sc.Count != 0 || sc.Seq != 0 {
-		t.Fatalf("stale count moved: %+v", sc)
+	// (The registration itself is a WAL record now, so the committed
+	// position is the registration's seq, not 0.)
+	if sc.Count != 0 || sc.Seq != reg.Seq {
+		t.Fatalf("stale count moved: %+v (registered at seq %d)", sc, reg.Seq)
 	}
 	// The graph itself is live and exact regardless.
 	live, _ := s.Graph()
